@@ -1,0 +1,257 @@
+(* difane — run the paper's experiments and operate on policy files.
+
+   Each experiment subcommand regenerates one table/figure of the SIGCOMM
+   2010 evaluation on the simulated substrate; `all` runs the full suite
+   in DESIGN.md order.  `check` and `deploy` work on difane-policy files
+   (see Policy_io). *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed; every experiment is deterministic given the seed." in
+  Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let quick_arg =
+  let doc = "Shrink workload sizes for a fast smoke run." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let experiment name summary run =
+  let doc = summary in
+  let term = Term.(const (fun seed quick -> run ~seed ~quick) $ seed_arg $ quick_arg) in
+  Cmd.v (Cmd.info name ~doc) term
+
+(* ---- operator commands over policy files ---- *)
+
+let policy_arg =
+  let doc = "Policy file (difane-policy v1 format; see Policy_io)." in
+  Arg.(required & opt (some non_dir_file) None & info [ "p"; "policy" ] ~docv:"FILE" ~doc)
+
+let topology_arg =
+  let doc =
+    "Topology: line:N, star:N, mesh:N, waxman:N or campus:EDGES (seeded by --seed)."
+  in
+  Arg.(value & opt string "line:8" & info [ "t"; "topology" ] ~docv:"KIND:N" ~doc)
+
+let authorities_arg =
+  let doc = "Comma-separated authority switch ids." in
+  Arg.(value & opt string "1" & info [ "a"; "authorities" ] ~docv:"IDS" ~doc)
+
+let k_arg =
+  let doc = "Number of flowspace partitions." in
+  Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc)
+
+let cache_arg =
+  let doc = "Per-switch cache capacity (TCAM entries)." in
+  Arg.(value & opt int 1000 & info [ "cache" ] ~docv:"N" ~doc)
+
+let flows_arg =
+  let doc = "Flows to simulate." in
+  Arg.(value & opt int 20_000 & info [ "flows" ] ~docv:"N" ~doc)
+
+let alpha_arg =
+  let doc = "Zipf skew of flow popularity." in
+  Arg.(value & opt float 1.0 & info [ "alpha" ] ~docv:"A" ~doc)
+
+let parse_topology ~seed spec =
+  let fail () = invalid_arg (Printf.sprintf "unknown topology %S" spec) in
+  match String.split_on_char ':' spec with
+  | [ kind; n ] -> (
+      match (kind, int_of_string_opt n) with
+      | "line", Some n -> Topology.line n ()
+      | "star", Some n -> Topology.star n ()
+      | "mesh", Some n -> Topology.full_mesh n ()
+      | "waxman", Some n ->
+          let rng = Prng.create seed in
+          Topology.waxman ~rand:(fun () -> Prng.float rng) ~nodes:n ()
+      | "campus", Some n ->
+          let rng = Prng.create seed in
+          Topology.campus ~rand:(fun () -> Prng.float rng) ~edge_switches:n ()
+      | _ -> fail ())
+  | _ -> fail ()
+
+let parse_ids s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+
+let load_policy_or_die policy_file =
+  match Policy_io.load policy_file with
+  | Ok policy -> policy
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+let check_cmd =
+  let run policy_file =
+    let policy = load_policy_or_die policy_file in
+    let shadowed = Classifier.shadowed policy in
+    let dead = Classifier.dead_rules policy in
+    Printf.printf "rules            : %d\n" (Classifier.length policy);
+    Printf.printf "schema           : %s\n"
+      (Format.asprintf "%a" Schema.pp (Classifier.schema policy));
+    Printf.printf "total (no gaps)  : %b\n" (Classifier.is_total policy);
+    Printf.printf "dependency depth : %d\n" (Classifier.dependency_depth policy);
+    Printf.printf "overlapping pairs: %d\n" (Classifier.overlap_count policy);
+    Printf.printf "shadowed rules   : %d\n" (List.length shadowed);
+    List.iter
+      (fun r -> Printf.printf "  shadowed: %s\n" (Format.asprintf "%a" Rule.pp r))
+      shadowed;
+    Printf.printf "dead rules       : %d\n" (List.length dead);
+    List.iter
+      (fun (r : Rule.t) ->
+        if not (List.exists (fun (s : Rule.t) -> s.id = r.id) shadowed) then
+          Printf.printf "  dead (combination): %s\n" (Format.asprintf "%a" Rule.pp r))
+      dead
+  in
+  let doc = "Analyse a policy file: totality, dependency depth, shadowed/dead rules." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ policy_arg)
+
+let deploy_cmd =
+  let run policy_file topo_spec auths k cache flows alpha seed =
+    let policy = load_policy_or_die policy_file in
+    try
+      let topology = parse_topology ~seed topo_spec in
+      let authority_ids = parse_ids auths in
+      let config =
+        { Deployment.default_config with k; cache_capacity = cache; balance = `Volume }
+      in
+      let d = Deployment.build ~config ~policy ~topology ~authority_ids () in
+      let part = Deployment.partitioner d in
+      Printf.printf "deployed %d rules as %d partitions over authorities %s\n"
+        part.Partitioner.source_rules
+        (List.length part.Partitioner.partitions)
+        auths;
+      Printf.printf "TCAM: %d total entries (%.2fx), max %d per authority\n"
+        part.Partitioner.total_entries part.Partitioner.duplication
+        part.Partitioner.max_entries;
+      let rng = Prng.create seed in
+      let profile =
+        {
+          Traffic.default with
+          flows;
+          rate = 20_000.;
+          alpha;
+          distinct_headers = max 100 (flows / 10);
+          packets_per_flow_mean = 3.0;
+          ingresses = [ 0 ];
+        }
+      in
+      let workload = Traffic.generate rng policy profile in
+      let r = Flowsim.run_difane d workload in
+      Printf.printf "simulated %d flows (%d packets) over %.2f s\n" r.Flowsim.offered_flows
+        r.Flowsim.delivered_packets r.Flowsim.duration;
+      Printf.printf "cache hit rate : %s\n"
+        (Table.fmt_pct
+           (float_of_int r.Flowsim.cache_hit_packets
+           /. float_of_int (max 1 r.Flowsim.delivered_packets)));
+      (match r.Flowsim.first_packet_delay with
+      | Some s ->
+          Printf.printf "first-packet delay: p50 %.0f us, p99 %.0f us\n"
+            (1e6 *. s.Summary.p50) (1e6 *. s.Summary.p99)
+      | None -> ());
+      if Array.length r.Flowsim.stretches > 0 then begin
+        let s = Summary.of_array r.Flowsim.stretches in
+        Printf.printf "miss stretch   : mean %.2f, p95 %.2f\n" s.Summary.mean s.Summary.p95
+      end
+    with Invalid_argument e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+  in
+  let doc = "Deploy a policy file over a topology and simulate Zipf traffic." in
+  Cmd.v (Cmd.info "deploy" ~doc)
+    Term.(
+      const run $ policy_arg $ topology_arg $ authorities_arg $ k_arg $ cache_arg
+      $ flows_arg $ alpha_arg $ seed_arg)
+
+let partition_cmd =
+  let run policy_file k max_entries =
+    let policy = load_policy_or_die policy_file in
+    let part =
+      match max_entries with
+      | Some budget -> Partitioner.compute_bounded policy ~max_entries:budget
+      | None -> Partitioner.compute policy ~k
+    in
+    Printf.printf "%d rules -> %d partitions, %d total entries (%.2fx), max %d
+"
+      part.Partitioner.source_rules
+      (List.length part.Partitioner.partitions)
+      part.Partitioner.total_entries part.Partitioner.duplication
+      part.Partitioner.max_entries;
+    Table.print ~title:"partitions"
+      ~header:[ "pid"; "entries"; "region" ]
+      (part.Partitioner.partitions
+      |> List.sort (fun (a : Partitioner.partition) b ->
+             Int.compare (Classifier.length b.table) (Classifier.length a.table))
+      |> List.filteri (fun i _ -> i < 32)
+      |> List.map (fun (p : Partitioner.partition) ->
+             [
+               string_of_int p.pid;
+               string_of_int (Classifier.length p.table);
+               Pred.to_string p.region;
+             ]))
+  in
+  let max_entries_arg =
+    let doc = "Split until every partition fits this TCAM budget (overrides --k)." in
+    Arg.(value & opt (some int) None & info [ "max-entries" ] ~docv:"N" ~doc)
+  in
+  let doc = "Partition a policy file and print the per-authority TCAM cost." in
+  Cmd.v (Cmd.info "partition" ~doc) Term.(const run $ policy_arg $ k_arg $ max_entries_arg)
+
+let optimize_cmd =
+  let run policy_file output =
+    let policy = load_policy_or_die policy_file in
+    let minimised, report = Optimize.minimise policy in
+    Printf.printf "%s\n" (Format.asprintf "%a" Optimize.pp_report report);
+    match output with
+    | None -> print_string (Policy_io.to_string minimised)
+    | Some path ->
+        Policy_io.save path minimised;
+        Printf.printf "written to %s\n" path
+  in
+  let output_arg =
+    let doc = "Write the minimised policy here instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Minimise a policy file (redundancy removal + sibling merging), exactly."
+  in
+  Cmd.v (Cmd.info "optimize" ~doc) Term.(const run $ policy_arg $ output_arg)
+
+let experiments =
+  [
+    experiment "table1" "Rule-set characteristics (Table 1)" (fun ~seed ~quick ->
+        Experiments.T1.print (Experiments.T1.run ~seed ~quick ()));
+    experiment "throughput" "Flow-setup throughput, DIFANE vs NOX" (fun ~seed ~quick ->
+        Experiments.F_tput.print (Experiments.F_tput.run ~seed ~quick ()));
+    experiment "scaling" "Throughput vs number of authority switches" (fun ~seed ~quick ->
+        Experiments.F_scale.print (Experiments.F_scale.run ~seed ~quick ()));
+    experiment "delay" "First-packet delay CDFs" (fun ~seed ~quick ->
+        Experiments.F_delay.print (Experiments.F_delay.run ~seed ~quick ()));
+    experiment "partition-sweep" "TCAM entries vs number of partitions" (fun ~seed ~quick ->
+        Experiments.F_part.print (Experiments.F_part.run ~seed ~quick ()));
+    experiment "missrate" "Cache miss rate vs cache size" (fun ~seed ~quick ->
+        Experiments.F_miss.print (Experiments.F_miss.run ~seed ~quick ()));
+    experiment "stretch" "Stretch CDF by authority placement" (fun ~seed ~quick ->
+        Experiments.F_stretch.print (Experiments.F_stretch.run ~seed ~quick ()));
+    experiment "dynamics" "Policy-update consistency vs cache timeout" (fun ~seed ~quick ->
+        Experiments.F_dyn.print (Experiments.F_dyn.run ~seed ~quick ()));
+    experiment "ablation-cut" "Best-cut vs fixed-dimension partitioning" (fun ~seed ~quick ->
+        Experiments.A_cut.print (Experiments.A_cut.run ~seed ~quick ()));
+    experiment "ablation-splice" "Splice vs dependent-set cache cost" (fun ~seed ~quick ->
+        Experiments.A_splice.print (Experiments.A_splice.run ~seed ~quick ()));
+    experiment "control-overhead" "Control-plane frames and bytes" (fun ~seed ~quick ->
+        Experiments.E_ctrl.print (Experiments.E_ctrl.run ~seed ~quick ()));
+    experiment "cache-sweep" "Ingress cache size vs authority load" (fun ~seed ~quick ->
+        Experiments.E_cache.print (Experiments.E_cache.run ~seed ~quick ()));
+    experiment "all" "Run every experiment in DESIGN.md order" (fun ~seed ~quick ->
+        Experiments.run_all ~seed ~quick ());
+    check_cmd;
+    deploy_cmd;
+    partition_cmd;
+    optimize_cmd;
+  ]
+
+let main =
+  let doc = "reproduce the DIFANE (SIGCOMM 2010) evaluation" in
+  Cmd.group (Cmd.info "difane" ~version:"1.0.0" ~doc) experiments
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/campus_acl.ml: Array Classifier Deployment Float Flowsim Format Hashtbl Int64 List Option Partitioner Policy_gen Printf Prng Rule String Summary Switch Table Tcam Topology Traffic

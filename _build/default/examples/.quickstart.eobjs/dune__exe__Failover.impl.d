@@ -1,0 +1,1 @@
+examples/failover.ml: Action Array Classifier Deployment List Option Policy_gen Pred Printf Prng Schema String Topology Traffic

@@ -1,0 +1,1 @@
+examples/isp_vpn.ml: Action Array Assignment Classifier Deployment Format List Placement Policy_gen Printf Prng String Summary Table Topology Traffic

@@ -1,0 +1,1 @@
+examples/policy_update.ml: Action Classifier Deployment Header Int64 Printf Schema Topology

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Array Assignment Classifier Dataplane Deployment Format Header Int64 List Partitioner Printf Prng Routing Rule Schema String Switch Topology

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Cachesim Classifier Filename List Policy_gen Printf Prng Sys Table Trace Traffic

@@ -1,0 +1,123 @@
+(* Campus ACL: a two-tier enterprise network enforcing a ClassBench-style
+   five-tuple ACL with DIFANE.
+
+   Generates a 1500-rule ACL, deploys it across a campus topology with
+   the distribution switches as authorities, replays Zipf traffic from
+   every edge switch through the discrete-event simulator, and reports
+   what the operator cares about: TCAM usage, cache hit rates, setup
+   delay, and per-rule counter attribution (transparency).
+
+     dune exec examples/campus_acl.exe *)
+
+let printf = Printf.printf
+
+let () =
+  let seed = 2026 in
+  let rng = Prng.create seed in
+
+  (* Policy: campus-core ACL stand-in. *)
+  let policy =
+    Policy_gen.acl (Prng.split rng)
+      { Policy_gen.default_acl with rules = 1500; chains = 60; chain_depth = 6 }
+  in
+  printf "Policy: %d rules, dependency depth %d\n" (Classifier.length policy)
+    (Classifier.dependency_depth policy);
+
+  (* Topology: 2 cores, distribution pairs, 12 edge switches. *)
+  let topo_rng = Prng.split rng in
+  let topology = Topology.campus ~rand:(fun () -> Prng.float topo_rng) ~edge_switches:12 () in
+  let distribution = [ 2; 3; 4 ] (* the distribution tier hosts authority duties *) in
+  let edges = List.init 12 (fun e -> 2 + 3 + e) in
+  printf "Topology: %s; authorities at distribution switches %s\n"
+    (Format.asprintf "%a" Topology.pp topology)
+    (String.concat "," (List.map string_of_int distribution));
+
+  let config =
+    {
+      Deployment.default_config with
+      k = 12;
+      cache_capacity = 150 (* a tenth of the policy *);
+      cache_idle_timeout = Some 5.0;
+      balance = `Volume;
+    }
+  in
+  let d = Deployment.build ~config ~policy ~topology ~authority_ids:distribution () in
+  let part = Deployment.partitioner d in
+  printf "Partitioning: %d -> %d TCAM entries (%.2fx duplication), max %d per authority\n\n"
+    part.Partitioner.source_rules part.Partitioner.total_entries part.Partitioner.duplication
+    part.Partitioner.max_entries;
+
+  (* Zipf traffic from every edge switch. *)
+  let profile =
+    {
+      Traffic.default with
+      flows = 30_000;
+      rate = 20_000.;
+      alpha = 1.1;
+      distinct_headers = 2_000;
+      packets_per_flow_mean = 4.0;
+      ingresses = edges;
+    }
+  in
+  let flows = Traffic.generate (Prng.split rng) policy profile in
+  let r = Flowsim.run_difane d flows in
+
+  printf "Traffic: %d flows, %d packets delivered over %.2f s\n" r.Flowsim.offered_flows
+    r.Flowsim.delivered_packets r.Flowsim.duration;
+  printf "Cache hits: %s of packets\n"
+    (Table.fmt_pct
+       (float_of_int r.Flowsim.cache_hit_packets /. float_of_int r.Flowsim.delivered_packets));
+  (match r.Flowsim.first_packet_delay with
+  | Some s ->
+      printf "First-packet delay: p50 %.0f us, p99 %.0f us\n" (1e6 *. s.Summary.p50)
+        (1e6 *. s.Summary.p99)
+  | None -> ());
+  if Array.length r.Flowsim.stretches > 0 then begin
+    let s = Summary.of_array r.Flowsim.stretches in
+    printf "Miss-packet stretch: mean %.2f, p95 %.2f\n" s.Summary.mean s.Summary.p95
+  end;
+
+  (* Per-switch cache behaviour. *)
+  printf "\nPer-edge-switch caches (capacity %d):\n" config.Deployment.cache_capacity;
+  Table.print ~title:"edge switch cache statistics"
+    ~header:[ "switch"; "occupancy"; "hit rate"; "evictions" ]
+    (List.map
+       (fun e ->
+         let sw = Deployment.switch d e in
+         let st = Tcam.stats (Switch.cache sw) in
+         [
+           string_of_int e;
+           string_of_int (Switch.cache_occupancy sw);
+           (let hr = Tcam.hit_rate (Switch.cache sw) in
+            if Float.is_nan hr then "-" else Table.fmt_pct hr);
+           Int64.to_string st.Tcam.evictions;
+         ])
+       edges);
+
+  (* Transparency: counters aggregate back to original policy rules. *)
+  let totals = Hashtbl.create 64 in
+  Array.iter
+    (fun sw ->
+      List.iter
+        (fun (origin, n) ->
+          Hashtbl.replace totals origin
+            (Int64.add n (Option.value ~default:0L (Hashtbl.find_opt totals origin))))
+        (Switch.aggregate_counters sw))
+    (Deployment.switches d);
+  let top =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+    |> List.sort (fun (_, a) (_, b) -> Int64.compare b a)
+    |> List.filteri (fun i _ -> i < 8)
+  in
+  Table.print ~title:"hottest policy rules (packets attributed across all switches)"
+    ~header:[ "rule id"; "packets"; "rule" ]
+    (List.map
+       (fun (id, n) ->
+         [
+           string_of_int id;
+           Int64.to_string n;
+           (match Classifier.find policy id with
+           | Some rl -> Format.asprintf "%a" Rule.pp rl
+           | None -> "(partition-clipped)");
+         ])
+       top)

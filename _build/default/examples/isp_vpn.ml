@@ -1,0 +1,96 @@
+(* ISP VPN: destination-prefix forwarding over a Waxman WAN.
+
+   A 5000-prefix routing policy (the paper's ISP/VPN stand-in) deployed
+   over a 40-node random WAN.  Compares authority-switch placement
+   strategies by the stretch miss packets suffer, and shows the
+   load-balance the greedy assignment achieves.
+
+     dune exec examples/isp_vpn.exe *)
+
+let printf = Printf.printf
+
+let () =
+  let seed = 7 in
+  let rng = Prng.create seed in
+  let topo_rng = Prng.split rng in
+  let topology = Topology.waxman ~rand:(fun () -> Prng.float topo_rng) ~nodes:40 () in
+  printf "WAN: %s\n" (Format.asprintf "%a" Topology.pp topology);
+
+  let policy =
+    Policy_gen.prefix_table (Prng.split rng)
+      { Policy_gen.default_prefixes with prefixes = 5000; egresses = 8 }
+  in
+  printf "Policy: %d destination prefixes\n\n" (Classifier.length policy);
+
+  let placement_rng = Prng.split rng in
+  let placements =
+    [
+      ("random", Placement.random ~rand:(fun () -> Prng.float placement_rng) topology ~k:4);
+      ("top-degree", Placement.by_degree topology ~k:4);
+      ("centroid", Placement.centroid topology ~k:4);
+      ("k-median", Placement.k_median topology ~k:4);
+    ]
+  in
+
+  let headers = Traffic.headers_for (Prng.split rng) policy 1000 in
+  let probe_rng = Prng.split rng in
+  let probes =
+    List.init 4000 (fun i ->
+        (Prng.int probe_rng (Topology.nodes topology), headers.(i mod Array.length headers)))
+  in
+
+  let placements =
+    placements @ [ ("k-median+nearest", Placement.k_median topology ~k:4) ]
+  in
+  let rows =
+    List.map
+      (fun (name, authorities) ->
+        let nearest = name = "k-median+nearest" in
+        let config =
+          {
+            Deployment.default_config with
+            k = 16;
+            cache_capacity = 0;
+            balance = `Volume;
+            tunnel_to = (if nearest then `Nearest_replica else `Primary);
+            replication = (if nearest then 4 else 1);
+          }
+        in
+        let d = Deployment.build ~config ~policy ~topology ~authority_ids:authorities () in
+        let stretches =
+          List.filter_map
+            (fun (ingress, h) ->
+              let o = Deployment.inject d ~now:0. ~ingress h in
+              match (o.Deployment.authority, Action.egress o.Deployment.action) with
+              | Some via, Some egress when ingress <> egress ->
+                  Some (Topology.stretch topology ~src:ingress ~via ~dst:egress)
+              | _ -> None)
+            probes
+        in
+        let s = Summary.of_list stretches in
+        let imbalance = Assignment.imbalance (Deployment.assignment d) in
+        ( name,
+          String.concat "," (List.map string_of_int authorities),
+          s,
+          imbalance ))
+      placements
+  in
+  Table.print ~title:"stretch of miss packets by authority placement"
+    ~header:[ "placement"; "authorities"; "p50"; "mean"; "p95"; "TCAM imbalance" ]
+    (List.map
+       (fun (name, auths, s, imb) ->
+         [
+           name;
+           auths;
+           Printf.sprintf "%.2f" s.Summary.p50;
+           Printf.sprintf "%.2f" s.Summary.mean;
+           Printf.sprintf "%.2f" s.Summary.p95;
+           Printf.sprintf "%.2f" imb;
+         ])
+       rows);
+
+  printf "\nInterpretation: every miss detours through its authority switch.  With\n";
+  printf "primary-only tunnelling, central placement keeps the detour short; with\n";
+  printf "replicated partitions and nearest-replica tunnelling, spread (k-median)\n";
+  printf "placement nearly erases it -- the paper's replication knob doing double\n";
+  printf "duty.\n"

@@ -1,0 +1,1 @@
+lib/controller/assignment.ml: Classifier Float Format Hashtbl Int List Option Partitioner

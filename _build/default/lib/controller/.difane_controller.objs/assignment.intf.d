@@ -1,0 +1,1 @@
+lib/controller/assignment.mli: Format Partitioner

@@ -1,0 +1,1 @@
+lib/controller/control_plane.ml: Array Assignment Channel Classifier Deployment Hashtbl Int Int64 List Logs Message Option Partitioner Rule Switch Tcam

@@ -1,0 +1,1 @@
+lib/controller/control_plane.mli: Deployment

@@ -1,0 +1,1 @@
+lib/controller/deployment.ml: Action Array Assignment Classifier Hashtbl Int Int64 List Logs Option Partitioner Pred Printf Rule Switch Tcam Topology

@@ -1,0 +1,1 @@
+lib/controller/deployment.mli: Action Assignment Classifier Header Partitioner Rule Switch Topology

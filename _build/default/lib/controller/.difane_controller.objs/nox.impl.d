@@ -1,0 +1,1 @@
+lib/controller/nox.ml: Action Array Classifier Header Int64 List Option Pred Rule Schema Switch Tcam Ternary Topology

@@ -1,0 +1,1 @@
+lib/controller/nox.mli: Action Classifier Header Rule Switch Topology

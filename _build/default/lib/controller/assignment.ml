@@ -1,0 +1,145 @@
+type t = {
+  replicas : (int * int list) list; (* pid -> switches, primary first *)
+  weights : (int * float) list;
+  authorities : int list;
+  replication : int;
+}
+
+let weight_of weights pid = Option.value ~default:0. (List.assoc_opt pid weights)
+
+(* Greedy placement: heaviest partitions first, each replica on the
+   least-loaded switch that does not already hold the partition. *)
+let place ~existing ~weights ~authorities ~replication pids =
+  let load = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace load a 0.) authorities;
+  List.iter
+    (fun (pid, replicas) ->
+      match replicas with
+      | primary :: _ when Hashtbl.mem load primary ->
+          Hashtbl.replace load primary (Hashtbl.find load primary +. weight_of weights pid)
+      | _ -> ())
+    existing;
+  let r = min replication (List.length authorities) in
+  let sorted =
+    List.sort (fun a b -> Float.compare (weight_of weights b) (weight_of weights a)) pids
+  in
+  List.fold_left
+    (fun acc pid ->
+      let rec pick chosen n =
+        if n = 0 then List.rev chosen
+        else
+          let candidates = List.filter (fun a -> not (List.mem a chosen)) authorities in
+          match candidates with
+          | [] -> List.rev chosen
+          | first :: _ ->
+              let best =
+                List.fold_left
+                  (fun b a -> if Hashtbl.find load a < Hashtbl.find load b then a else b)
+                  first candidates
+              in
+              (* only the primary counts toward balancing load *)
+              if chosen = [] then
+                Hashtbl.replace load best (Hashtbl.find load best +. weight_of weights pid);
+              pick (best :: chosen) (n - 1)
+      in
+      (pid, pick [] r) :: acc)
+    existing sorted
+
+let greedy ?weights ?(replication = 1) partitioner ~authority_switches =
+  if authority_switches = [] then invalid_arg "Assignment.greedy: no authority switches";
+  if replication < 1 then invalid_arg "Assignment.greedy: replication must be >= 1";
+  let parts = partitioner.Partitioner.partitions in
+  let weights =
+    match weights with
+    | Some w -> w
+    | None ->
+        List.map
+          (fun (p : Partitioner.partition) ->
+            (p.pid, float_of_int (Classifier.length p.table)))
+          parts
+  in
+  let pids = List.map (fun (p : Partitioner.partition) -> p.pid) parts in
+  {
+    replicas = place ~existing:[] ~weights ~authorities:authority_switches ~replication pids;
+    weights;
+    authorities = authority_switches;
+    replication;
+  }
+
+let replicas_of t pid =
+  match List.assoc_opt pid t.replicas with
+  | Some rs -> rs
+  | None -> raise Not_found
+
+let switch_for t pid =
+  match replicas_of t pid with
+  | primary :: _ -> primary
+  | [] -> raise Not_found
+
+let partitions_of t sw =
+  List.filter_map
+    (fun (pid, rs) -> match rs with primary :: _ when primary = sw -> Some pid | _ -> None)
+    t.replicas
+
+let hosted_by t sw =
+  List.filter_map (fun (pid, rs) -> if List.mem sw rs then Some pid else None) t.replicas
+
+let replication t = t.replication
+
+let loads t =
+  List.map
+    (fun a ->
+      ( a,
+        List.fold_left
+          (fun acc pid -> acc +. weight_of t.weights pid)
+          0. (partitions_of t a) ))
+    (List.sort Int.compare t.authorities)
+
+let imbalance t =
+  let ls = List.map snd (loads t) in
+  match ls with
+  | [] -> 1.0
+  | _ ->
+      let total = List.fold_left ( +. ) 0. ls in
+      let mean = total /. float_of_int (List.length ls) in
+      if mean = 0. then 1.0 else List.fold_left Float.max 0. ls /. mean
+
+let reassign t ~failed =
+  let survivors = List.filter (fun a -> a <> failed) t.authorities in
+  if survivors = [] then invalid_arg "Assignment.reassign: no surviving authority switches";
+  (* Drop the failed switch from every replica list; promote backups. *)
+  let pruned =
+    List.map (fun (pid, rs) -> (pid, List.filter (fun a -> a <> failed) rs)) t.replicas
+  in
+  let kept, orphaned = List.partition (fun (_, rs) -> rs <> []) pruned in
+  let replicas =
+    place ~existing:kept ~weights:t.weights ~authorities:survivors
+      ~replication:t.replication
+      (List.map fst orphaned)
+  in
+  (* Top surviving partitions back up to the replication factor. *)
+  let r = min t.replication (List.length survivors) in
+  let replicas =
+    List.map
+      (fun (pid, rs) ->
+        let missing = r - List.length rs in
+        if missing <= 0 then (pid, rs)
+        else
+          let extra =
+            List.filter (fun a -> not (List.mem a rs)) survivors
+            |> List.filteri (fun i _ -> i < missing)
+          in
+          (pid, rs @ extra))
+      replicas
+  in
+  { t with authorities = survivors; replicas }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (a, l) ->
+         Format.fprintf ppf "authority %d: primaries %a (load %.0f)" a
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+              Format.pp_print_int)
+           (partitions_of t a) l))
+    (loads t)

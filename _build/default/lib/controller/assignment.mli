@@ -1,0 +1,58 @@
+(** Assigning partitions to authority switches.
+
+    The controller balances authority load: partitions are placed on
+    authority switches so that per-switch TCAM usage (or, with weights,
+    expected miss traffic) is even.  Greedy longest-processing-time
+    bin-packing — within 4/3 of optimal, and cheap enough to re-run on
+    every policy or membership change.
+
+    For availability each partition can be {e replicated}: one primary
+    plus [replication - 1] backups on distinct switches, all of which
+    hold the partition's authority rules.  Failover then only swaps the
+    partition rules to point at a backup — no rule transfer is needed
+    (the paper's fast-failover argument). *)
+
+type t
+
+val greedy :
+  ?weights:(int * float) list ->
+  ?replication:int ->
+  Partitioner.t ->
+  authority_switches:int list ->
+  t
+(** Sort partitions by weight (default: clipped-table size) descending,
+    place each primary on the least-loaded authority switch, then add
+    backups on the least-loaded switches not already holding the
+    partition.  [replication] defaults to 1 (no backups) and is capped at
+    the number of authority switches.
+    @raise Invalid_argument when [authority_switches] is empty or
+    [replication < 1]. *)
+
+val switch_for : t -> int -> int
+(** Primary authority switch of a partition id.  @raise Not_found. *)
+
+val replicas_of : t -> int -> int list
+(** All switches holding a partition (primary first).  @raise Not_found. *)
+
+val partitions_of : t -> int -> int list
+(** Partition ids hosted by a switch as primary. *)
+
+val hosted_by : t -> int -> int list
+(** Partition ids a switch holds as primary {e or} backup. *)
+
+val replication : t -> int
+
+val loads : t -> (int * float) list
+(** Per-authority-switch total primary weight, ascending by switch id. *)
+
+val imbalance : t -> float
+(** max load / mean load over primaries; 1.0 = perfect. *)
+
+val reassign : t -> failed:int -> t
+(** Remove a failed switch.  Partitions whose primary failed are promoted
+    to their first surviving backup when one exists (no data movement);
+    partitions left without any replica are re-placed greedily.  Backup
+    sets are topped back up on the survivors.
+    @raise Invalid_argument when [failed] was the only authority. *)
+
+val pp : Format.formatter -> t -> unit

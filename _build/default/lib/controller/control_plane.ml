@@ -1,0 +1,281 @@
+let log_src = Logs.Src.create "difane.control" ~doc:"DIFANE control-plane events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  channel_latency : float;
+  echo_interval : float;
+  echo_miss_limit : int;
+  stats_interval : float;
+  rebalance_interval : float option;
+}
+
+let default_config =
+  {
+    channel_latency = 1e-3;
+    echo_interval = 1.0;
+    echo_miss_limit = 3;
+    stats_interval = 5.0;
+    rebalance_interval = None;
+  }
+
+type port = {
+  to_switch : Channel.t;
+  to_controller : Channel.t;
+  mutable alive : bool; (* the real device still responds *)
+  mutable outstanding_echo : bool;
+  mutable missed_echoes : int;
+  mutable declared_dead : bool;
+}
+
+type t = {
+  mutable deployment : Deployment.t;
+  config : config;
+  ports : port array;
+  retired : (int, int64) Hashtbl.t; (* origin -> packets of removed entries *)
+  live : (int * int, int * int64) Hashtbl.t;
+      (* (switch, cache rule id) -> (origin, packets): latest stats snapshot *)
+  mutable last_echo : float;
+  mutable last_stats : float;
+  mutable last_rebalance : float;
+  mutable rebalances : int;
+  mutable failed : int list; (* reverse failure order *)
+  mutable next_xid : int;
+}
+
+let create ?(config = default_config) deployment =
+  let schema = Classifier.schema (Deployment.policy deployment) in
+  let n = Array.length (Deployment.switches deployment) in
+  {
+    deployment;
+    config;
+    ports =
+      Array.init n (fun _ ->
+          {
+            to_switch = Channel.create schema ~latency:config.channel_latency;
+            to_controller = Channel.create schema ~latency:config.channel_latency;
+            alive = true;
+            outstanding_echo = false;
+            missed_echoes = 0;
+            declared_dead = false;
+          });
+    retired = Hashtbl.create 64;
+    live = Hashtbl.create 64;
+    last_echo = neg_infinity;
+    last_stats = neg_infinity;
+    last_rebalance = neg_infinity;
+    rebalances = 0;
+    failed = [];
+    next_xid = 1;
+  }
+
+let deployment t = t.deployment
+
+let xid t =
+  let x = t.next_xid in
+  t.next_xid <- x + 1;
+  x
+
+let send_to_switch t i ~now msg =
+  Channel.send t.ports.(i).to_switch ~now ~xid:(xid t) msg
+
+let declare_dead t ~now i =
+  ignore now;
+  let port = t.ports.(i) in
+  if not port.declared_dead then begin
+    port.declared_dead <- true;
+    t.failed <- i :: t.failed;
+    Log.warn (fun m -> m "switch %d missed %d echoes; declared dead" i t.config.echo_miss_limit);
+    (* Authority failover, if the dead switch held that duty and a
+       survivor exists to take it. *)
+    let auths = Deployment.authority_ids t.deployment in
+    if List.mem i auths && List.length auths > 1 then
+      t.deployment <- Deployment.fail_authority t.deployment i
+  end
+
+(* Aggregate a stats reply: refresh the live snapshot of this switch's
+   cache entries.  Cache-rule ids map back to the policy rule they were
+   spliced from via the install-time origin record (the cookie the
+   authority switch set; we read the switch model's copy). *)
+let absorb_stats t i (reply : Message.stats_reply) =
+  let sw = Deployment.switch t.deployment i in
+  List.iter
+    (fun (f : Message.flow_stats) ->
+      match Switch.origin_of_cache_rule sw f.rule_id with
+      | None -> ()
+      | Some origin -> Hashtbl.replace t.live (i, f.rule_id) (origin, f.packets))
+    reply.Message.flows
+
+let process_reply t ~now i (_xid, msg) =
+  let port = t.ports.(i) in
+  match msg with
+  | Message.Echo_reply _ ->
+      port.outstanding_echo <- false;
+      port.missed_echoes <- 0
+  | Message.Stats_reply reply -> absorb_stats t i reply
+  | Message.Barrier_reply _ | Message.Hello -> ()
+  | Message.Packet_in _ ->
+      (* DIFANE's whole point: switches do not punt packets; a packet-in
+         here would indicate a misconfigured bank.  Ignore but count as a
+         miss of the invariant in debug builds. *)
+      ignore now
+  | Message.Flow_removed f ->
+      (* final counters from an expired/evicted cache entry: retire them
+         so nothing is lost to churn, and drop the live snapshot *)
+      Hashtbl.remove t.live (i, f.Message.removed_rule);
+      if f.Message.cookie >= 0 then begin
+        let prev = Option.value ~default:0L (Hashtbl.find_opt t.retired f.Message.cookie) in
+        Hashtbl.replace t.retired f.Message.cookie
+          (Int64.add prev f.Message.final_packets)
+      end
+  | Message.Echo_request _ | Message.Barrier_request _ | Message.Stats_request _
+  | Message.Flow_mod _ | Message.Packet_out _ | Message.Install_partition _
+  | Message.Drop_partition _ ->
+      ()
+
+let push_deployment t ~now =
+  let d = t.deployment in
+  let partitioner = Deployment.partitioner d in
+  let assignment = Deployment.assignment d in
+  let prules =
+    Partitioner.partition_rules partitioner ~assignment:(Assignment.switch_for assignment)
+  in
+  Array.iteri
+    (fun i port ->
+      if not port.declared_dead then begin
+        List.iter
+          (fun rule ->
+            send_to_switch t i ~now
+              (Message.Flow_mod
+                 { Message.command = Message.Add; bank = Message.Partition; rule;
+                   idle_timeout = None; hard_timeout = None }))
+          prules;
+        send_to_switch t i ~now (Message.Barrier_request i);
+        List.iter
+          (fun pid ->
+            let p =
+              List.find
+                (fun (p : Partitioner.partition) -> p.pid = pid)
+                partitioner.Partitioner.partitions
+            in
+            send_to_switch t i ~now
+              (Message.Install_partition
+                 { Message.pid = p.pid; region = p.region;
+                   table_rules = Classifier.rules p.table }))
+          (Assignment.hosted_by assignment i)
+      end)
+    t.ports
+
+let tick t ~now =
+  (* 1. periodic echoes with failure detection *)
+  if now -. t.last_echo >= t.config.echo_interval then begin
+    t.last_echo <- now;
+    Array.iteri
+      (fun i port ->
+        if not port.declared_dead then begin
+          if port.outstanding_echo then begin
+            port.missed_echoes <- port.missed_echoes + 1;
+            if port.missed_echoes >= t.config.echo_miss_limit then declare_dead t ~now i
+          end;
+          if not port.declared_dead then begin
+            port.outstanding_echo <- true;
+            send_to_switch t i ~now (Message.Echo_request i)
+          end
+        end)
+      t.ports
+  end;
+  (* 2. periodic stats collection *)
+  if now -. t.last_stats >= t.config.stats_interval then begin
+    t.last_stats <- now;
+    Array.iteri
+      (fun i port ->
+        if not port.declared_dead then
+          send_to_switch t i ~now
+            (Message.Stats_request { Message.table_bank = Message.Cache; cookie = i }))
+      t.ports
+  end;
+  (* 2b. periodic load rebalancing from measured per-partition misses *)
+  (match t.config.rebalance_interval with
+  | Some interval when now -. t.last_rebalance >= interval ->
+      t.last_rebalance <- now;
+      let loads = Deployment.measured_partition_loads t.deployment in
+      if List.exists (fun (_, l) -> l > 0.) loads then begin
+        t.deployment <- Deployment.rebalance t.deployment ~loads;
+        t.rebalances <- t.rebalances + 1
+      end
+  | _ -> ());
+  (* 3. deliver controller->switch frames; collect switch responses and
+        any queued asynchronous notifications (flow-removed) *)
+  Array.iteri
+    (fun i port ->
+      let frames = Channel.poll port.to_switch ~now in
+      if port.alive then begin
+        List.iter
+          (fun (x, msg) ->
+            let responses =
+              Switch.handle_control (Deployment.switch t.deployment i) ~now msg
+            in
+            List.iter (fun r -> Channel.send port.to_controller ~now ~xid:x r) responses)
+          frames;
+        List.iter
+          (fun n -> Channel.send port.to_controller ~now ~xid:0 n)
+          (Switch.drain_notifications (Deployment.switch t.deployment i))
+      end)
+    t.ports;
+  (* 4. deliver switch->controller frames *)
+  Array.iteri
+    (fun i port ->
+      List.iter (process_reply t ~now i) (Channel.poll port.to_controller ~now))
+    t.ports
+
+let rebalances t = t.rebalances
+
+let rule_counters t =
+  let totals = Hashtbl.copy t.retired in
+  Hashtbl.iter
+    (fun _ (origin, packets) ->
+      let prev = Option.value ~default:0L (Hashtbl.find_opt totals origin) in
+      Hashtbl.replace totals origin (Int64.add prev packets))
+    t.live;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) totals []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let failed_switches t = List.rev t.failed
+
+let delete_cached_origin t ~now ~origin_id =
+  let deleted = ref 0 in
+  Array.iteri
+    (fun i port ->
+      if not port.declared_dead then begin
+        let sw = Deployment.switch t.deployment i in
+        List.iter
+          (fun (e : Tcam.entry) ->
+            if Switch.origin_of_cache_rule sw e.Tcam.rule.Rule.id = Some origin_id then begin
+              incr deleted;
+              send_to_switch t i ~now
+                (Message.Flow_mod
+                   {
+                     Message.command = Message.Delete;
+                     bank = Message.Cache;
+                     rule = e.Tcam.rule;
+                     idle_timeout = None;
+                     hard_timeout = None;
+                   })
+            end)
+          (Tcam.entries (Switch.cache sw))
+      end)
+    t.ports;
+  !deleted
+
+let control_frames t =
+  Array.fold_left
+    (fun acc p -> acc + Channel.frames_carried p.to_switch + Channel.frames_carried p.to_controller)
+    0 t.ports
+
+let control_bytes t =
+  Array.fold_left
+    (fun acc p -> acc + Channel.bytes_carried p.to_switch + Channel.bytes_carried p.to_controller)
+    0 t.ports
+
+(* Test hook: make a switch stop responding (device death). *)
+let kill_switch t i = t.ports.(i).alive <- false

@@ -1,0 +1,77 @@
+(** The controller's runtime control plane.
+
+    Wraps a {!Deployment} with per-switch {!Channel}s and drives the
+    live duties the paper gives the DIFANE controller beyond initial rule
+    placement:
+
+    - {b liveness}: periodic echo requests; a switch that misses enough
+      replies is declared failed, triggering authority failover;
+    - {b statistics}: periodic cache-bank stats polling, aggregated back
+      to {e original policy rule ids} so per-rule counters survive
+      splicing and eviction (the transparency property);
+    - {b cache management}: explicit deletion of cache entries by origin
+      rule (used by strict policy updates).
+
+    All traffic crosses the channels encoded, so the byte/frame counters
+    here are the control-plane overhead of the deployment. *)
+
+type t
+
+type config = {
+  channel_latency : float;  (** one-way controller↔switch latency *)
+  echo_interval : float;
+  echo_miss_limit : int;  (** missed echoes before a switch is declared dead *)
+  stats_interval : float;
+  rebalance_interval : float option;
+      (** when set, the controller periodically re-places partitions on
+          the authorities using the measured per-partition miss load
+          (paper §5's load rebalancing, automated) *)
+}
+
+val default_config : config
+(** 1 ms channels, 1 s echoes, 3 misses, 5 s stats, no auto-rebalance. *)
+
+val rebalances : t -> int
+(** Automatic rebalances performed so far. *)
+
+val create : ?config:config -> Deployment.t -> t
+
+val deployment : t -> Deployment.t
+(** The current deployment (changes after failover). *)
+
+val push_deployment : t -> now:float -> unit
+(** Transmit the deployment's entire configuration over the control
+    channels as encoded messages: every switch gets its partition rules
+    as staged flow-mods closed by a barrier, and each authority replica
+    gets its tables as [Install_partition] transfers.  The switches apply
+    everything as the frames arrive (during subsequent {!tick}s).  This
+    is the message-driven equivalent of [Deployment.build]'s direct
+    installation — pair it with [Deployment.build ~install:false]. *)
+
+val tick : t -> now:float -> unit
+(** Advance the control plane to [now]: emit due echoes and stats
+    requests, deliver due frames in both directions, process replies, and
+    run failure detection (possibly failing over authorities).  Call it
+    periodically from the simulation loop; it is idempotent within a
+    tick period. *)
+
+val rule_counters : t -> (int * int64) list
+(** Packets per original policy rule id, as of the last stats
+    collection, aggregated over every switch's cache bank. *)
+
+val failed_switches : t -> int list
+(** Switches declared dead so far (in failure order). *)
+
+val delete_cached_origin : t -> now:float -> origin_id:int -> int
+(** Send cache-bank deletions for every cached piece spliced from this
+    policy rule, across all switches; returns entries deleted.  This is
+    the targeted invalidation used by strict policy updates. *)
+
+val control_frames : t -> int
+val control_bytes : t -> int
+(** Total control-plane traffic so far, both directions. *)
+
+val kill_switch : t -> int -> unit
+(** Test hook: the device stops responding to control messages (its
+    data plane may keep running on stale state).  Failure detection will
+    notice after [echo_miss_limit] missed echoes. *)

@@ -1,0 +1,359 @@
+let log_src = Logs.Src.create "difane.deployment" ~doc:"DIFANE deployment events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  k : int;
+  heuristic : Partitioner.heuristic;
+  cache_capacity : int;
+  cache_idle_timeout : float option;
+  cache_hard_timeout : float option;
+  balance : [ `Rules | `Volume ];
+  replication : int;
+  cache_mode : [ `Spliced | `Microflow ];
+  tunnel_to : [ `Primary | `Nearest_replica ];
+  authority_tcam : int option;
+}
+
+let default_config =
+  {
+    k = 4;
+    heuristic = Partitioner.Best_cut;
+    cache_capacity = 1000;
+    cache_idle_timeout = Some 10.;
+    cache_hard_timeout = None;
+    balance = `Rules;
+    replication = 1;
+    cache_mode = `Spliced;
+    tunnel_to = `Primary;
+    authority_tcam = None;
+  }
+
+type t = {
+  policy : Classifier.t;
+  topology : Topology.t;
+  switches : Switch.t array;
+  partitioner : Partitioner.t;
+  assignment : Assignment.t;
+  authority_ids : int list;
+  config : config;
+  unreachable : (int, unit) Hashtbl.t;
+  mutable last_new_installs : int;
+  mutable last_new_primary_installs : int;
+}
+
+let install_all ?(fresh_tables = true) d =
+  let prules =
+    Partitioner.partition_rules d.partitioner
+      ~assignment:(Assignment.switch_for d.assignment)
+  in
+  let new_installs = ref 0 in
+  let new_primary_installs = ref 0 in
+  Array.iteri
+    (fun i sw ->
+      Switch.install_partition_rules sw prules;
+      (* drop authority tables the new assignment no longer places here;
+         on a policy change every table is stale *)
+      List.iter
+        (fun (p : Partitioner.partition) ->
+          let keep =
+            (not fresh_tables)
+            && (try List.mem i (Assignment.replicas_of d.assignment p.pid)
+                with Not_found -> false)
+          in
+          if not keep then Switch.drop_authority sw p.pid)
+        (Switch.authority_partitions sw))
+    d.switches;
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      List.iter
+        (fun host ->
+          let sw = d.switches.(host) in
+          let already =
+            List.exists
+              (fun (q : Partitioner.partition) -> q.pid = p.pid)
+              (Switch.authority_partitions sw)
+          in
+          if not already then begin
+            incr new_installs;
+            if host = Assignment.switch_for d.assignment p.pid then
+              incr new_primary_installs;
+            Switch.install_authority sw p
+          end)
+        (Assignment.replicas_of d.assignment p.pid))
+    d.partitioner.Partitioner.partitions;
+  d.last_new_installs <- !new_installs;
+  d.last_new_primary_installs <- !new_primary_installs;
+  Log.debug (fun m ->
+      m "installed %d partition rules/switch, %d new authority tables (%d primary)"
+        (List.length prules) !new_installs !new_primary_installs)
+
+let assignment_weights config (partitioner : Partitioner.t) =
+  match config.balance with
+  | `Rules -> None
+  | `Volume ->
+      Some
+        (List.map
+           (fun (p : Partitioner.partition) -> (p.pid, Pred.size p.region))
+           partitioner.Partitioner.partitions)
+
+let build ?(config = default_config) ?(install : bool = true) ~policy ~topology
+    ~authority_ids () =
+  if authority_ids = [] then invalid_arg "Deployment.build: no authority switches";
+  let n = Topology.nodes topology in
+  List.iter
+    (fun a ->
+      if a < 0 || a >= n then invalid_arg "Deployment.build: authority id outside topology")
+    authority_ids;
+  let switches =
+    Array.init n (fun id -> Switch.create ~id ~cache_capacity:config.cache_capacity)
+  in
+  let partitioner = Partitioner.compute ~heuristic:config.heuristic policy ~k:config.k in
+  if config.replication < 1 then invalid_arg "Deployment.build: replication must be >= 1";
+  let assignment =
+    Assignment.greedy ?weights:(assignment_weights config partitioner)
+      ~replication:config.replication partitioner ~authority_switches:authority_ids
+  in
+  let d =
+    { policy; topology; switches; partitioner; assignment; authority_ids; config;
+      unreachable = Hashtbl.create 4; last_new_installs = 0;
+      last_new_primary_installs = 0 }
+  in
+  (match config.authority_tcam with
+  | None -> ()
+  | Some budget ->
+      List.iter
+        (fun a ->
+          let usage =
+            List.fold_left
+              (fun acc pid ->
+                let p =
+                  List.find
+                    (fun (p : Partitioner.partition) -> p.pid = pid)
+                    partitioner.Partitioner.partitions
+                in
+                acc + Classifier.length p.table)
+              0 (Assignment.hosted_by assignment a)
+          in
+          if usage > budget then
+            invalid_arg
+              (Printf.sprintf
+                 "Deployment.build: authority %d needs %d TCAM entries (budget %d); \
+                  raise k or use Partitioner.compute_bounded"
+                 a usage budget))
+        authority_ids);
+  if install then install_all d;
+  d
+
+let policy d = d.policy
+let topology d = d.topology
+let partitioner d = d.partitioner
+let assignment d = d.assignment
+let switch d i = d.switches.(i)
+let switches d = d.switches
+let authority_ids d = d.authority_ids
+let config d = d.config
+
+let mark_unreachable d i = Hashtbl.replace d.unreachable i ()
+let mark_reachable d i = Hashtbl.remove d.unreachable i
+let is_reachable d i = not (Hashtbl.mem d.unreachable i)
+
+let resolve_authority d ?ingress h ~nominal =
+  match (d.config.tunnel_to, ingress) with
+  | `Nearest_replica, Some from -> (
+      let pid = (Partitioner.find d.partitioner h).Partitioner.pid in
+      let reachable =
+        List.filter (is_reachable d) (Assignment.replicas_of d.assignment pid)
+      in
+      let dist a = Option.value ~default:infinity (Topology.distance d.topology from a) in
+      match reachable with
+      | [] -> None
+      | first :: rest ->
+          Some (List.fold_left (fun best a -> if dist a < dist best then a else best) first rest))
+  | (`Primary | `Nearest_replica), _ ->
+      if is_reachable d nominal then Some nominal
+      else
+        (* the partition rule's backup action: try the replicas in order *)
+        let pid = (Partitioner.find d.partitioner h).Partitioner.pid in
+        List.find_opt (is_reachable d) (Assignment.replicas_of d.assignment pid)
+
+type outcome = {
+  action : Action.t;
+  path : int list;
+  latency : float;
+  cache_hit : bool;
+  authority : int option;
+  installed : Rule.t option;
+}
+
+let leg topo a b =
+  if a = b then Some ([ a ], 0.)
+  else
+    match Topology.shortest_path topo a b with
+    | None -> None
+    | Some p -> Some (p, Topology.path_latency topo p)
+
+(* Append [next] to [path] without repeating the junction node. *)
+let join path next = path @ List.tl next
+
+let deliver topo ~from action =
+  match Action.egress action with
+  | None -> ([ from ], 0.) (* dropped (or counted-and-dropped) at [from] *)
+  | Some egress -> (
+      match leg topo from egress with
+      | Some (p, l) -> (p, l)
+      | None -> ([ from ], 0.))
+
+let inject d ~now ~ingress h =
+  let sw = d.switches.(ingress) in
+  match Switch.process sw ~now h with
+  | Switch.Local (action, bank) ->
+      let path, latency = deliver d.topology ~from:ingress action in
+      {
+        action;
+        path;
+        latency;
+        cache_hit = (bank = Switch.Cache_bank);
+        authority = (if bank = Switch.Authority_bank then Some ingress else None);
+        installed = None;
+      }
+  | Switch.Tunnel nominal -> (
+      match resolve_authority d ~ingress h ~nominal with
+      | None ->
+          (* no live replica holds this partition: the miss is lost *)
+          { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
+            authority = None; installed = None }
+      | Some auth -> (
+      let to_auth = leg d.topology ingress auth in
+      match to_auth with
+      | None ->
+          { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
+            authority = None; installed = None }
+      | Some (p1, l1) -> (
+          match Switch.serve_miss ~mode:d.config.cache_mode d.switches.(auth) ~now h with
+          | None ->
+              (* misrouted: authority lost its partition (e.g. after failover
+                 with stale partition rules); drop, as hardware would *)
+              { action = Action.Drop; path = p1; latency = l1; cache_hit = false;
+                authority = Some auth; installed = None }
+          | Some { Switch.action; cache_rule; origin_id } ->
+              ignore
+                (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
+                   ?hard_timeout:d.config.cache_hard_timeout ~origin_id sw ~now cache_rule);
+              let p2, l2 = deliver d.topology ~from:auth action in
+              {
+                action;
+                path = join p1 p2;
+                latency = l1 +. l2;
+                cache_hit = false;
+                authority = Some auth;
+                installed = Some cache_rule;
+              })))
+  | Switch.Unmatched ->
+      { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
+        authority = None; installed = None }
+
+let expire_caches d ~now =
+  Array.fold_left (fun acc sw -> acc + List.length (Switch.expire_cache sw ~now)) 0 d.switches
+
+let flush_caches d = Array.iter (fun sw -> Tcam.clear (Switch.cache sw)) d.switches
+
+let update_policy ?(flush = true) d ~now new_policy =
+  ignore now;
+  let partitioner =
+    Partitioner.compute ~heuristic:d.config.heuristic new_policy ~k:d.config.k
+  in
+  let assignment =
+    Assignment.greedy ?weights:(assignment_weights d.config partitioner)
+      ~replication:d.config.replication partitioner ~authority_switches:d.authority_ids
+  in
+  let d' = { d with policy = new_policy; partitioner; assignment } in
+  install_all d';
+  (* Strict consistency drops every reactive cache entry — stale spliced
+     pieces may disagree with the new policy.  Lazy mode leaves them to
+     their idle timeouts (experiment F-DYN measures the exposure). *)
+  if flush then flush_caches d';
+  d'
+
+let invalidate_origins d ~origins =
+  Array.fold_left
+    (fun acc sw ->
+      let cache = Switch.cache sw in
+      let victims =
+        List.filter
+          (fun (e : Tcam.entry) ->
+            match Switch.origin_of_cache_rule sw e.Tcam.rule.Rule.id with
+            | Some origin -> origins origin
+            | None -> false)
+          (Tcam.entries cache)
+      in
+      List.iter (fun (e : Tcam.entry) -> ignore (Tcam.remove cache e.Tcam.rule.Rule.id)) victims;
+      acc + List.length victims)
+    0 d.switches
+
+let changed_rule_ids ~old_policy new_policy =
+  let ids c = List.map (fun (r : Rule.t) -> r.id) (Classifier.rules c) in
+  let all = List.sort_uniq Int.compare (ids old_policy @ ids new_policy) in
+  List.filter
+    (fun id ->
+      match (Classifier.find old_policy id, Classifier.find new_policy id) with
+      | None, None -> false
+      | Some _, None | None, Some _ -> true
+      | Some a, Some b -> not (Rule.equal a b))
+    all
+
+let fail_authority d failed =
+  Log.info (fun m -> m "authority %d failed; promoting backups" failed);
+  let assignment = Assignment.reassign d.assignment ~failed in
+  let authority_ids = List.filter (fun a -> a <> failed) d.authority_ids in
+  (* The failed switch keeps its cache but loses authority duties. *)
+  List.iter
+    (fun (p : Partitioner.partition) -> Switch.drop_authority d.switches.(failed) p.pid)
+    (Switch.authority_partitions d.switches.(failed));
+  let d' = { d with assignment; authority_ids } in
+  (* same policy, same partitions: pre-installed backup tables stay valid *)
+  install_all ~fresh_tables:false d';
+  d'
+
+let measured_partition_loads d =
+  let totals = Hashtbl.create 16 in
+  Array.iter
+    (fun sw ->
+      List.iter
+        (fun (pid, n) ->
+          let prev = Option.value ~default:0. (Hashtbl.find_opt totals pid) in
+          Hashtbl.replace totals pid (prev +. Int64.to_float n))
+        (Switch.partition_load sw))
+    d.switches;
+  (* every partition appears, even if it served no misses *)
+  List.map
+    (fun (p : Partitioner.partition) ->
+      (p.pid, Option.value ~default:0. (Hashtbl.find_opt totals p.pid)))
+    d.partitioner.Partitioner.partitions
+
+let rebalance d ~loads =
+  Log.info (fun m -> m "rebalancing %d partitions on measured load" (List.length loads));
+  let assignment =
+    Assignment.greedy ~weights:loads ~replication:d.config.replication d.partitioner
+      ~authority_switches:d.authority_ids
+  in
+  let d' = { d with assignment } in
+  install_all ~fresh_tables:false d';
+  d'
+
+let last_new_authority_installs d = d.last_new_installs
+let last_new_primary_installs d = d.last_new_primary_installs
+
+let semantically_equal d probes =
+  List.for_all
+    (fun h ->
+      let expected = Classifier.action d.policy h in
+      let ingress = 0 in
+      let got = (inject d ~now:0. ~ingress h).action in
+      match expected with
+      | Some a -> Action.equal a got
+      | None -> Action.equal Action.Drop got)
+    probes
+
+let total_cache_entries d =
+  Array.fold_left (fun acc sw -> acc + Switch.cache_occupancy sw) 0 d.switches

@@ -1,0 +1,170 @@
+(** A deployed DIFANE network.
+
+    Gathers the pieces — topology, per-node switches, the partitioner's
+    output and the partition→authority assignment — and implements the
+    packet walk of the paper's Figure 1: ingress cache lookup, tunnel to
+    the authority switch on a miss, reactive cache install back at the
+    ingress.  This module is the {e functional} data plane (exact
+    behaviour, path taken, hop latency along shortest paths); the
+    discrete-event simulator in [difane_sim] layers queueing and service
+    times on top of it for the timing experiments. *)
+
+type t
+
+type config = {
+  k : int;  (** number of flowspace partitions *)
+  heuristic : Partitioner.heuristic;
+  cache_capacity : int;  (** per-switch cache TCAM entries *)
+  cache_idle_timeout : float option;  (** seconds; [None] = never expire *)
+  cache_hard_timeout : float option;
+      (** upper bound on any cache entry's lifetime; the knob that bounds
+          staleness across lazy policy updates (experiment F-DYN) *)
+  balance : [ `Rules | `Volume ];
+      (** what the partition→authority assignment balances: TCAM usage
+          ([`Rules]) or expected miss traffic under uniform headers
+          ([`Volume], weight = flowspace volume of each region) *)
+  replication : int;
+      (** authority replicas per partition (>= 1).  Backups hold the
+          partition's rules ahead of time, so failover is a partition-rule
+          swap with no rule transfer (paper §5). *)
+  cache_mode : [ `Spliced | `Microflow ];
+      (** what authority switches install at the ingress on a miss:
+          DIFANE's spliced wildcard piece, or an Ethane-style exact-match
+          entry covering only that header (the ablation the paper's
+          wildcard-caching argument rests on) *)
+  tunnel_to : [ `Primary | `Nearest_replica ];
+      (** which replica a miss is tunnelled to: the partition's primary,
+          or the replica closest to the ingress switch (the controller
+          installs per-ingress partition rules; with replication >= 2
+          this converts authority placement spread into shorter
+          detours) *)
+  authority_tcam : int option;
+      (** per-authority-switch TCAM budget for authority tables.  When
+          set, [build] verifies the partitioning fits (every switch's
+          hosted tables sum within budget) and raises otherwise —
+          undersized budgets should be fixed with a larger [k] or
+          {!Partitioner.compute_bounded}, not discovered in production. *)
+}
+
+val default_config : config
+(** k = 4, best-cut, 1000-entry caches, 10 s idle timeout, no hard
+    timeout. *)
+
+val build :
+  ?config:config ->
+  ?install:bool ->
+  policy:Classifier.t ->
+  topology:Topology.t ->
+  authority_ids:int list ->
+  unit ->
+  t
+(** Partition the policy, assign partitions to [authority_ids], install
+    authority tables there and partition rules everywhere.  With
+    [install = false] the switches are left blank — the configuration is
+    then pushed over the control channels with
+    {!Control_plane.push_deployment}, which is how a real controller
+    would do it.
+    @raise Invalid_argument on an empty [authority_ids] or ids outside
+    the topology. *)
+
+val policy : t -> Classifier.t
+val topology : t -> Topology.t
+val partitioner : t -> Partitioner.t
+val assignment : t -> Assignment.t
+val switch : t -> int -> Switch.t
+val switches : t -> Switch.t array
+val authority_ids : t -> int list
+val config : t -> config
+
+(** {1 Packet walk} *)
+
+type outcome = {
+  action : Action.t;  (** what the policy says happens to the packet *)
+  path : int list;  (** switches traversed, ingress first *)
+  latency : float;  (** propagation latency along [path] *)
+  cache_hit : bool;  (** decided by the ingress cache bank *)
+  authority : int option;  (** authority switch visited, when missed *)
+  installed : Rule.t option;  (** cache rule installed at the ingress *)
+}
+
+val inject : t -> now:float -> ingress:int -> Header.t -> outcome
+(** Walk one packet through the network, mutating switch state (cache
+    counters and reactive installs) exactly as DIFANE would. *)
+
+val expire_caches : t -> now:float -> int
+(** Run cache timeouts on every switch; returns entries expired. *)
+
+val flush_caches : t -> unit
+
+(** {1 Dynamics} *)
+
+val update_policy : ?flush:bool -> t -> now:float -> Classifier.t -> t
+(** Re-partition for a new policy and reinstall authority tables and
+    partition rules everywhere.  With [flush = true] (default) every
+    reactive cache entry is dropped too — strict consistency.  With
+    [flush = false] stale spliced entries linger until their idle timeout
+    (the paper's lazy-expiry mode, measured by experiment F-DYN).  Switch
+    identities and statistics carry over. *)
+
+val mark_unreachable : t -> int -> unit
+(** Data-plane failure model: tunnels to this switch stop working (link or
+    device down), {e before} any controller reaction.  With replication
+    >= 2 a miss then falls back to the partition's backup replica purely
+    in the data plane — the paper's zero-controller failover.  Without a
+    live replica the miss is dropped (and counted). *)
+
+val mark_reachable : t -> int -> unit
+
+val resolve_authority : t -> ?ingress:int -> Header.t -> nominal:int -> int option
+(** Where a miss packet tunnelled toward [nominal] actually lands.  With
+    [tunnel_to = `Primary]: the nominal authority when reachable, else
+    the first reachable replica of the header's partition.  With
+    [`Nearest_replica] and an [ingress]: the reachable replica closest to
+    the ingress. *)
+
+val invalidate_origins : t -> origins:(int -> bool) -> int
+(** Remove every cached entry spliced from a policy rule selected by
+    [origins], across all switches; returns entries removed.  The
+    targeted-invalidation consistency mode: after a policy change only
+    the affected rules' cache entries need to go. *)
+
+val changed_rule_ids : old_policy:Classifier.t -> Classifier.t -> int list
+(** Rule ids whose definition differs between two policies (changed
+    predicate/action/priority, or present in only one) — what a
+    controller invalidates on an incremental update. *)
+
+val fail_authority : t -> int -> t
+(** Authority-switch failover: promote backups for the failed switch's
+    partitions (or re-place them when no backup exists) and reinstall
+    partition rules.  The failed switch keeps forwarding cached flows but
+    no longer serves misses.
+    @raise Invalid_argument when it was the only authority. *)
+
+val last_new_authority_installs : t -> int
+(** Authority tables newly pushed to a switch by the most recent
+    [build]/[update_policy]/[fail_authority], including background backup
+    replenishment. *)
+
+val measured_partition_loads : t -> (int * float) list
+(** Misses served per partition id, aggregated over every authority
+    switch — the live traffic measurement rebalancing uses. *)
+
+val rebalance : t -> loads:(int * float) list -> t
+(** Re-place partitions on the {e same} authority set using measured
+    per-partition loads instead of static weights (the paper's periodic
+    load rebalancing).  The flowspace partitions themselves are
+    unchanged — only partition rules move, and pre-installed tables are
+    kept where the new assignment agrees with the old. *)
+
+val last_new_primary_installs : t -> int
+(** The subset of {!last_new_authority_installs} that was on the serving
+    path (a table pushed to a partition's new {e primary}).  With
+    replication >= 2 a failover promotes warm backups, so this is
+    typically zero — the point of pre-installed backups. *)
+
+(** {1 Global checks (used by tests)} *)
+
+val semantically_equal : t -> Header.t list -> bool
+(** Every probe header gets exactly the original classifier's action. *)
+
+val total_cache_entries : t -> int

@@ -1,0 +1,48 @@
+(** The reactive-controller baseline (NOX/Ethane style).
+
+    The first packet of every flow is punted to a central controller,
+    which consults the global policy, installs an exact-match (microflow)
+    rule at the ingress switch and sends the packet back out.  This is
+    the architecture DIFANE's evaluation compares against: correct, but
+    the controller is a serial bottleneck and every miss pays a
+    control-channel round trip.
+
+    Functional behaviour lives here; the timing model (controller service
+    rate, control-channel RTT) is applied by the simulator. *)
+
+type t
+
+type config = {
+  cache_capacity : int;  (** ingress microflow-table entries *)
+  idle_timeout : float option;
+  rtt : float;  (** switch-controller round-trip, seconds *)
+  service_time : float;  (** controller CPU per packet-in, seconds *)
+}
+
+val default_config : config
+(** 10_000 entries, 10 s idle timeout, 10 ms RTT, 50 µs service. *)
+
+val build :
+  ?config:config -> policy:Classifier.t -> topology:Topology.t -> unit -> t
+
+val policy : t -> Classifier.t
+val topology : t -> Topology.t
+val config : t -> config
+val switch : t -> int -> Switch.t
+
+type outcome = {
+  action : Action.t;
+  punted : bool;  (** the packet went to the controller *)
+  path : int list;
+  latency : float;  (** data-plane propagation + (if punted) RTT + service *)
+  installed : Rule.t option;
+}
+
+val inject : t -> now:float -> ingress:int -> Header.t -> outcome
+(** One packet: ingress microflow-table lookup, controller on miss. *)
+
+val packet_ins : t -> int64
+(** Total packets punted to the controller so far. *)
+
+val microflow_rule : t -> id:int -> Header.t -> Action.t -> Rule.t
+(** The exact-match rule the controller installs for a header. *)

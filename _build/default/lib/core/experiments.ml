@@ -1,0 +1,978 @@
+(* Shared machinery for the experiment drivers. *)
+
+let eval_sets ~seed ~quick =
+  if not quick then Policy_gen.evaluation_sets ~seed
+  else
+    (* Scaled-down twins of the Table-1 rule sets, for the test suite. *)
+    let rng = Prng.create seed in
+    let mk label description classifier = { Policy_gen.label; classifier; description } in
+    [
+      mk "acl-small" "campus-edge ACL stand-in (quick)"
+        (Policy_gen.acl (Prng.split rng)
+           { Policy_gen.default_acl with rules = 60; chains = 8; chain_depth = 3 });
+      mk "acl-medium" "campus-core ACL stand-in (quick)"
+        (Policy_gen.acl (Prng.split rng)
+           { Policy_gen.default_acl with rules = 120; chains = 12; chain_depth = 5 });
+      mk "acl-deep" "ClassBench-style deep-chain ACL (quick)"
+        (Policy_gen.acl (Prng.split rng)
+           { Policy_gen.default_acl with rules = 150; chains = 12; chain_depth = 8 });
+      mk "prefix-5k" "ISP VPN stand-in (quick)"
+        (Policy_gen.prefix_table (Prng.split rng)
+           { Policy_gen.default_prefixes with prefixes = 300 });
+      mk "prefix-20k" "backbone stand-in (quick)"
+        (Policy_gen.prefix_table (Prng.split rng)
+           { Policy_gen.default_prefixes with prefixes = 800 });
+    ]
+
+(* A small total policy for the timing experiments: the saturation points
+   depend on service rates, not on rule-set size, so a compact table keeps
+   data-plane lookups cheap inside the event loop. *)
+let timing_policy ~seed =
+  Policy_gen.acl (Prng.create seed)
+    { Policy_gen.default_acl with rules = 120; chains = 10; chain_depth = 4; egresses = 4 }
+
+(* Distinct single-packet flows at a Poisson rate — the paper's worst-case
+   flow-setup workload (every flow misses). *)
+
+(* splitmix64 finaliser: uniform and uncorrelated in every bit, so header
+   fields are independent — correlated fields would skew traffic across
+   the flowspace partitions. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let distinct_flows ~rng ~schema ~rate ~duration ~ingresses =
+  let ingresses = Array.of_list ingresses in
+  let arity = Schema.arity schema in
+  let rec gen acc now flow_id =
+    let now = now +. Prng.exponential rng ~rate in
+    if now > duration then List.rev acc
+    else
+      let header =
+        Header.make schema
+          (Array.init arity (fun f -> mix64 (Int64.of_int ((flow_id * arity) + f + 1))))
+      in
+      let flow =
+        {
+          Traffic.flow_id;
+          header;
+          ingress = ingresses.(flow_id mod Array.length ingresses);
+          start = now;
+          packets = 1;
+          interval = 1e-4;
+        }
+      in
+      gen (flow :: acc) now (flow_id + 1)
+  in
+  gen [] 0. 0
+
+(* Prefix-chain depth, specialised for destination-prefix tables: the
+   generic O(n^2) dependency analysis is wasteful when every predicate is
+   a dst_ip prefix — nesting depth is computable by hashing truncations. *)
+let prefix_chain_depth classifier =
+  let dst = Schema.index (Classifier.schema classifier) "dst_ip" in
+  let table = Hashtbl.create 1024 in
+  let prefixes =
+    List.filter_map
+      (fun (r : Rule.t) ->
+        match Range.of_ternary (Pred.field r.pred dst) with
+        | Some _ ->
+            let f = Pred.field r.pred dst in
+            Some (Ternary.value f, Ternary.specified_bits f)
+        | None -> None)
+      (Classifier.rules classifier)
+  in
+  List.iter (fun (v, l) -> Hashtbl.replace table (v, l) ()) prefixes;
+  let truncate v l = Int64.logand v (Int64.shift_left Int64.minus_one (32 - l)) in
+  let depth_of (v, l) =
+    let d = ref 1 in
+    for l' = 0 to l - 1 do
+      if Hashtbl.mem table (truncate v l', l') then incr d
+    done;
+    !d
+  in
+  List.fold_left (fun acc p -> max acc (depth_of p)) 0 prefixes
+
+let is_prefix_set label = String.length label >= 6 && String.sub label 0 6 = "prefix"
+
+(* Overlapping pairs in a prefix table = nested-prefix pairs: count each
+   rule's proper ancestors by hashing truncations (O(n * width)). *)
+let prefix_overlap_count classifier =
+  let dst = Schema.index (Classifier.schema classifier) "dst_ip" in
+  let table = Hashtbl.create 1024 in
+  let prefixes =
+    List.map
+      (fun (r : Rule.t) ->
+        let f = Pred.field r.pred dst in
+        (Ternary.value f, Ternary.specified_bits f))
+      (Classifier.rules classifier)
+  in
+  List.iter (fun (v, l) -> Hashtbl.replace table (v, l) ()) prefixes;
+  let truncate v l = if l = 0 then 0L else Int64.logand v (Int64.shift_left Int64.minus_one (32 - l)) in
+  List.fold_left
+    (fun acc (v, l) ->
+      let ancestors = ref 0 in
+      for l' = 0 to l - 1 do
+        if Hashtbl.mem table (truncate v l', l') then incr ancestors
+      done;
+      acc + !ancestors)
+    0 prefixes
+
+(* ------------------------------------------------------------------ *)
+
+module T1 = struct
+  type row = {
+    label : string;
+    description : string;
+    rules : int;
+    fields : int;
+    depth : int;
+    overlaps : int;
+  }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    List.map
+      (fun (s : Policy_gen.named) ->
+        let c = s.classifier in
+        let depth =
+          if is_prefix_set s.label then prefix_chain_depth c
+          else if Classifier.length c > 2500 then
+            (* exact dependency depth is O(n^2) subtractions; the overlap
+               chain is a tight upper bound on these generated ACLs *)
+            Classifier.overlap_depth c
+          else Classifier.dependency_depth c
+        in
+        let overlaps =
+          if is_prefix_set s.label then prefix_overlap_count c
+          else Classifier.overlap_count c
+        in
+        {
+          label = s.label;
+          description = s.description;
+          rules = Classifier.length c;
+          fields = Schema.arity (Classifier.schema c);
+          depth;
+          overlaps;
+        })
+      (eval_sets ~seed ~quick)
+
+  let print rows =
+    Table.print ~title:"Table 1: evaluation rule sets"
+      ~header:[ "rule set"; "rules"; "fields"; "dep. depth"; "overlap pairs"; "stands in for" ]
+      (List.map
+         (fun r ->
+           [
+             r.label;
+             string_of_int r.rules;
+             string_of_int r.fields;
+             string_of_int r.depth;
+             (if r.overlaps < 0 then "-" else string_of_int r.overlaps);
+             r.description;
+           ])
+         rows)
+end
+
+(* ------------------------------------------------------------------ *)
+
+let throughput_topology = Topology.star 6 ~latency:100e-6 ()
+(* hub 0 = authority candidate pool is spokes 1..4; ingresses at hub+spoke 5 *)
+
+let throughput_deployment ~seed ~authorities () =
+  let policy = timing_policy ~seed in
+  (* Worst case of the paper's throughput runs: every flow must miss, so
+     ingress caches are disabled (a spliced wildcard entry would otherwise
+     absorb most "distinct" headers and flatter DIFANE). *)
+  let config =
+    {
+      Deployment.default_config with
+      k = max 8 (2 * List.length authorities);
+      cache_capacity = 0;
+      cache_idle_timeout = Some 1.0;
+      balance = `Volume;
+    }
+  in
+  Deployment.build ~config ~policy ~topology:throughput_topology
+    ~authority_ids:authorities ()
+
+module F_tput = struct
+  type point = { offered_rate : float; difane : Flowsim.result; nox : Flowsim.result }
+
+  let rates ~quick =
+    if quick then [ 10e3; 50e3; 200e3 ]
+    else [ 10e3; 20e3; 50e3; 100e3; 200e3; 400e3; 800e3; 1200e3 ]
+
+  let duration ~quick = if quick then 0.02 else 0.1
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let policy = timing_policy ~seed in
+    let schema = Classifier.schema policy in
+    let duration = duration ~quick in
+    List.map
+      (fun rate ->
+        let flows =
+          distinct_flows ~rng:(Prng.create (seed + int_of_float rate)) ~schema ~rate
+            ~duration ~ingresses:[ 5 ]
+        in
+        let difane =
+          Flowsim.run_difane (throughput_deployment ~seed ~authorities:[ 1 ] ()) flows
+        in
+        let nox_net =
+          (* microflow entries never aggregate, but disable them too so the
+             two systems face the identical all-miss workload *)
+          Nox.build
+            ~config:{ Nox.default_config with cache_capacity = 1 }
+            ~policy ~topology:throughput_topology ()
+        in
+        let nox = Flowsim.run_nox nox_net flows in
+        { offered_rate = rate; difane; nox })
+      (rates ~quick)
+
+  let print points =
+    Table.print ~title:"Fig: flow-setup throughput, DIFANE (1 authority) vs NOX"
+      ~header:
+        [ "offered (flows/s)"; "DIFANE tput"; "DIFANE drop%"; "NOX tput"; "NOX drop%" ]
+      (List.map
+         (fun p ->
+           let dropf (r : Flowsim.result) =
+             if r.offered_flows = 0 then 0.
+             else float_of_int r.dropped_flows /. float_of_int r.offered_flows
+           in
+           [
+             Table.fmt_si p.offered_rate;
+             Table.fmt_si p.difane.Flowsim.setup_throughput;
+             Table.fmt_pct (dropf p.difane);
+             Table.fmt_si p.nox.Flowsim.setup_throughput;
+             Table.fmt_pct (dropf p.nox);
+           ])
+         points)
+end
+
+module F_scale = struct
+  type point = { authority_switches : int; throughput : float; per_switch : float }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let policy = timing_policy ~seed in
+    let schema = Classifier.schema policy in
+    let timing = Flowsim.default_timing in
+    let capacity_per_switch = 1. /. timing.Flowsim.authority_service in
+    let duration = if quick then 0.01 else 0.05 in
+    List.map
+      (fun n_auth ->
+        (* offer ~1.5x the aggregate capacity so every configuration
+           saturates *)
+        let rate = 1.5 *. capacity_per_switch *. float_of_int n_auth in
+        let flows =
+          distinct_flows ~rng:(Prng.create (seed + n_auth)) ~schema ~rate ~duration
+            ~ingresses:[ 5 ]
+        in
+        let authorities = List.init n_auth (fun i -> i + 1) in
+        let d = throughput_deployment ~seed ~authorities () in
+        let r = Flowsim.run_difane ~timing d flows in
+        {
+          authority_switches = n_auth;
+          throughput = r.Flowsim.setup_throughput;
+          per_switch = r.Flowsim.setup_throughput /. float_of_int n_auth;
+        })
+      (if quick then [ 1; 2 ] else [ 1; 2; 3; 4 ])
+
+  let print points =
+    Table.print ~title:"Fig: DIFANE throughput vs number of authority switches"
+      ~header:[ "authority switches"; "throughput (flows/s)"; "per switch" ]
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.authority_switches;
+             Table.fmt_si p.throughput;
+             Table.fmt_si p.per_switch;
+           ])
+         points)
+end
+
+module F_delay = struct
+  type t = {
+    difane_delays : Cdf.t;
+    nox_delays : Cdf.t;
+    difane_median : float;
+    nox_median : float;
+    ratio : float;
+  }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let policy = timing_policy ~seed in
+    let schema = Classifier.schema policy in
+    let n_flows_rate = 5e3 (* far below every capacity: pure latency *) in
+    let duration = if quick then 0.1 else 1.0 in
+    (* a line gives a spread of ingress->authority->egress distances, so
+       the CDF has the shape the paper plots rather than a step *)
+    let topology = Topology.line 8 ~latency:100e-6 () in
+    let ingresses = [ 0; 2; 4; 6; 7 ] in
+    let flows ~salt =
+      distinct_flows ~rng:(Prng.create (seed + salt)) ~schema ~rate:n_flows_rate ~duration
+        ~ingresses
+    in
+    let config =
+      { Deployment.default_config with k = 8; cache_capacity = 0; balance = `Volume }
+    in
+    let d = Deployment.build ~config ~policy ~topology ~authority_ids:[ 1; 5 ] () in
+    let rd = Flowsim.run_difane d (flows ~salt:1) in
+    let nox_net = Nox.build ~policy ~topology () in
+    let rn = Flowsim.run_nox nox_net (flows ~salt:1) in
+    let difane_delays = Cdf.of_array rd.Flowsim.miss_delays in
+    let nox_delays = Cdf.of_array rn.Flowsim.miss_delays in
+    let difane_median = Cdf.inverse difane_delays 0.5 in
+    let nox_median = Cdf.inverse nox_delays 0.5 in
+    { difane_delays; nox_delays; difane_median; nox_median;
+      ratio = nox_median /. difane_median }
+
+  let print t =
+    Table.print ~title:"Fig: first-packet delay CDF (seconds)"
+      ~header:[ "percentile"; "DIFANE"; "NOX" ]
+      (List.map
+         (fun q ->
+           [
+             Printf.sprintf "p%.0f" (100. *. q);
+             Printf.sprintf "%.6f" (Cdf.inverse t.difane_delays q);
+             Printf.sprintf "%.6f" (Cdf.inverse t.nox_delays q);
+           ])
+         [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99 ]);
+    Printf.printf "median ratio (NOX / DIFANE): %.1fx\n" t.ratio
+end
+
+(* ------------------------------------------------------------------ *)
+
+module F_part = struct
+  type point = {
+    label : string;
+    k : int;
+    max_entries : int;
+    total_entries : int;
+    duplication : float;
+  }
+
+  let ks ~quick = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let sets = eval_sets ~seed ~quick in
+    List.concat_map
+      (fun (s : Policy_gen.named) ->
+        List.map
+          (fun k ->
+            let r = Partitioner.compute s.classifier ~k in
+            {
+              label = s.label;
+              k;
+              max_entries = r.Partitioner.max_entries;
+              total_entries = r.Partitioner.total_entries;
+              duplication = r.Partitioner.duplication;
+            })
+          (ks ~quick))
+      sets
+
+  let print points =
+    Table.print ~title:"Fig: TCAM entries vs number of partitions"
+      ~header:[ "rule set"; "k"; "max entries/switch"; "total entries"; "duplication" ]
+      (List.map
+         (fun p ->
+           [
+             p.label;
+             string_of_int p.k;
+             string_of_int p.max_entries;
+             string_of_int p.total_entries;
+             Printf.sprintf "%.2fx" p.duplication;
+           ])
+         points)
+end
+
+module F_miss = struct
+  type point = {
+    alpha : float;
+    cache_size : int;
+    wildcard_miss_rate : float;
+    wildcard_opt_miss_rate : float;  (** Belady floor for the same keys *)
+    microflow_miss_rate : float;
+  }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let rng = Prng.create seed in
+    let policy =
+      Policy_gen.acl (Prng.split rng)
+        (if quick then { Policy_gen.default_acl with rules = 150; chains = 15 }
+         else { Policy_gen.default_acl with rules = 2000; chains = 70; chain_depth = 6 })
+    in
+    let alphas = if quick then [ 1.0 ] else [ 0.8; 1.0; 1.2 ] in
+    let sizes =
+      if quick then [ 8; 32; 128 ] else [ 20; 50; 100; 200; 400; 800; 1600 ]
+    in
+    List.concat_map
+      (fun alpha ->
+        let profile =
+          {
+            Traffic.default with
+            flows = (if quick then 2_000 else 50_000);
+            distinct_headers = (if quick then 300 else 5_000);
+            alpha;
+            packets_per_flow_mean = 3.0;
+          }
+        in
+        let flows = Traffic.generate (Prng.split rng) policy profile in
+        let stream = Cachesim.packet_stream flows in
+        List.map
+          (fun (size, (wild : Cachesim.result), (opt : Cachesim.result),
+                (micro : Cachesim.result)) ->
+            {
+              alpha;
+              cache_size = size;
+              wildcard_miss_rate = wild.Cachesim.miss_rate;
+              wildcard_opt_miss_rate = opt.Cachesim.miss_rate;
+              microflow_miss_rate = micro.Cachesim.miss_rate;
+            })
+          (Cachesim.sweep_with_opt policy ~cache_sizes:sizes stream))
+      alphas
+
+  let print points =
+    Table.print ~title:"Fig: cache miss rate vs cache size (Zipf traffic)"
+      ~header:
+        [ "alpha"; "cache entries"; "wildcard (DIFANE) miss"; "wildcard OPT floor";
+          "microflow miss" ]
+      (List.map
+         (fun p ->
+           [
+             Printf.sprintf "%.1f" p.alpha;
+             string_of_int p.cache_size;
+             Table.fmt_pct p.wildcard_miss_rate;
+             Table.fmt_pct p.wildcard_opt_miss_rate;
+             Table.fmt_pct p.microflow_miss_rate;
+           ])
+         points)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module F_stretch = struct
+  type series = { placement : string; stretch : Cdf.t; mean : float; p95 : float }
+
+  let pick_placement topo rng ~k = function
+    | `Random -> Placement.random ~rand:(fun () -> Prng.float rng) topo ~k
+    | `Degree -> Placement.by_degree topo ~k
+    | `Centroid -> Placement.centroid topo ~k
+    | `K_median -> Placement.k_median topo ~k
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let rng = Prng.create seed in
+    let topo_rng = Prng.split rng in
+    let topo =
+      Topology.waxman ~rand:(fun () -> Prng.float topo_rng)
+        ~nodes:(if quick then 20 else 50) ()
+    in
+    let policy =
+      Policy_gen.prefix_table (Prng.split rng)
+        { Policy_gen.default_prefixes with prefixes = (if quick then 200 else 2000) }
+    in
+    let n_probes = if quick then 500 else 5000 in
+    List.map
+      (fun (name, strategy, tunnel_to, replication) ->
+        let placement_rng = Prng.split rng in
+        let authorities = pick_placement topo placement_rng ~k:4 strategy in
+        let config =
+          {
+            Deployment.default_config with
+            cache_capacity = 0 (* every packet misses *);
+            tunnel_to;
+            replication;
+          }
+        in
+        let d = Deployment.build ~config ~policy ~topology:topo ~authority_ids:authorities () in
+        let probe_rng = Prng.split rng in
+        let headers =
+          Traffic.headers_for (Prng.split rng) policy (min n_probes 1000)
+        in
+        let stretches = ref [] in
+        for i = 0 to n_probes - 1 do
+          let ingress = Prng.int probe_rng (Topology.nodes topo) in
+          let h = headers.(i mod Array.length headers) in
+          let o = Deployment.inject d ~now:0. ~ingress h in
+          match (o.Deployment.authority, Action.egress o.Deployment.action) with
+          | Some via, Some egress when ingress <> egress ->
+              stretches := Topology.stretch topo ~src:ingress ~via ~dst:egress :: !stretches
+          | _ -> ()
+        done;
+        let cdf = Cdf.of_list !stretches in
+        let s = Summary.of_list !stretches in
+        { placement = name; stretch = cdf; mean = s.Summary.mean; p95 = s.Summary.p95 })
+      [
+        ("random", `Random, `Primary, 1);
+        ("top-degree", `Degree, `Primary, 1);
+        ("centroid", `Centroid, `Primary, 1);
+        ("k-median", `K_median, `Primary, 1);
+        (* with every partition replicated on every authority and misses
+           tunnelled to the nearest replica, spread-out placement pays *)
+        ("k-median+nearest", `K_median, `Nearest_replica, 4);
+      ]
+
+  let print series =
+    Table.print ~title:"Fig: stretch of miss packets by authority placement"
+      ~header:[ "placement"; "p50"; "mean"; "p95"; "max" ]
+      (List.map
+         (fun s ->
+           [
+             s.placement;
+             Printf.sprintf "%.2f" (Cdf.inverse s.stretch 0.5);
+             Printf.sprintf "%.2f" s.mean;
+             Printf.sprintf "%.2f" s.p95;
+             Printf.sprintf "%.2f" (Cdf.inverse s.stretch 1.0);
+           ])
+         series)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module F_dyn = struct
+  type mode = Lazy_expiry | Strict_flush | Targeted
+
+  type point = {
+    timeout : float;  (** cache hard timeout (lazy mode's staleness bound) *)
+    mode : mode;
+    stale_packets : int;
+    post_update_packets : int;
+    stale_fraction : float;
+    stale_window : float;
+    invalidated : int;  (** cache entries removed by the update *)
+    preserved : int;  (** cache entries that survived it *)
+  }
+
+  (* Flip forwarding decisions (all rules, or a selected subset) so stale
+     cache entries are observable. *)
+  let flipped ?(select = fun _ -> true) policy =
+    let rules =
+      List.map
+        (fun (r : Rule.t) ->
+          if not (select r.Rule.id) then r
+          else
+            let action' =
+              match r.action with
+              | Action.Forward p -> Action.Forward (p + 1)
+              | Action.Count_and_forward p -> Action.Count_and_forward (p + 1)
+              | Action.Drop -> Action.Forward 0
+              | a -> a
+            in
+            Rule.with_action r action')
+        (Classifier.rules policy)
+    in
+    Classifier.create (Classifier.schema policy) rules
+
+  let run_one ~seed ~quick ~timeout ~mode =
+    let rng = Prng.create seed in
+    let policy =
+      Policy_gen.acl (Prng.split rng)
+        { Policy_gen.default_acl with rules = (if quick then 60 else 200); chains = 10 }
+    in
+    let topo = Topology.line 6 () in
+    let config =
+      {
+        Deployment.default_config with
+        cache_capacity = 4096;
+        cache_idle_timeout = None;
+        cache_hard_timeout = Some timeout;
+      }
+    in
+    let d = ref (Deployment.build ~config ~policy ~topology:topo ~authority_ids:[ 1; 2 ] ()) in
+    let profile =
+      {
+        Traffic.default with
+        flows = (if quick then 2_000 else 20_000);
+        rate = 5_000.;
+        distinct_headers = 200;
+        alpha = 1.0;
+        packets_per_flow_mean = 2.0;
+      }
+    in
+    let flows = Traffic.generate (Prng.split rng) policy profile in
+    let stream =
+      List.concat_map
+        (fun (f : Traffic.flow) ->
+          List.init f.packets (fun i ->
+              (f.start +. (float_of_int i *. f.interval), f.header)))
+        flows
+      |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+    in
+    let t_update =
+      (* halfway through the packet stream, so both phases are populated *)
+      match List.rev stream with (t_end, _) :: _ -> t_end /. 2. | [] -> 0.
+    in
+    (* targeted mode updates a quarter of the rules — the realistic
+       incremental change where selective invalidation pays *)
+    let new_policy =
+      match mode with
+      | Targeted -> flipped ~select:(fun id -> id mod 4 = 0) policy
+      | Lazy_expiry | Strict_flush -> flipped policy
+    in
+    let updated = ref false in
+    let invalidated = ref 0 and preserved = ref 0 in
+    let stale = ref 0 and post = ref 0 in
+    let last_stale = ref 0. in
+    let last_expiry = ref 0. in
+    List.iter
+      (fun (t, h) ->
+        if (not !updated) && t >= t_update then begin
+          let old_policy = Deployment.policy !d in
+          d :=
+            Deployment.update_policy
+              ~flush:(mode = Strict_flush)
+              !d ~now:t new_policy;
+          (if mode = Targeted then begin
+             let changed = Deployment.changed_rule_ids ~old_policy new_policy in
+             invalidated :=
+               Deployment.invalidate_origins !d ~origins:(fun o -> List.mem o changed);
+             preserved := Deployment.total_cache_entries !d
+           end);
+          updated := true
+        end;
+        (* idle expiry sweep, as a switch's slow path would run it *)
+        if t -. !last_expiry > timeout /. 8. then begin
+          ignore (Deployment.expire_caches !d ~now:t);
+          last_expiry := t
+        end;
+        let o = Deployment.inject !d ~now:t ~ingress:0 h in
+        if !updated then begin
+          incr post;
+          let expected = Option.value ~default:Action.Drop (Classifier.action new_policy h) in
+          if not (Action.equal o.Deployment.action expected) then begin
+            incr stale;
+            if t -. t_update > !last_stale then last_stale := t -. t_update
+          end
+        end)
+      stream;
+    {
+      timeout;
+      mode;
+      stale_packets = !stale;
+      post_update_packets = !post;
+      stale_fraction =
+        (if !post = 0 then 0. else float_of_int !stale /. float_of_int !post);
+      stale_window = !last_stale;
+      invalidated = !invalidated;
+      preserved = !preserved;
+    }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let timeouts = if quick then [ 0.1; 0.4 ] else [ 0.25; 0.5; 1.0; 2.0; 5.0 ] in
+    List.map (fun timeout -> run_one ~seed ~quick ~timeout ~mode:Lazy_expiry) timeouts
+    @ [
+        run_one ~seed ~quick ~timeout:1.0 ~mode:Targeted;
+        run_one ~seed ~quick ~timeout:1.0 ~mode:Strict_flush;
+      ]
+
+  let print points =
+    Table.print ~title:"Fig: policy-update consistency vs cache timeout"
+      ~header:
+        [ "hard timeout (s)"; "mode"; "stale packets"; "stale %"; "stale window (s)";
+          "cache invalidated/kept" ]
+      (List.map
+         (fun p ->
+           [
+             Printf.sprintf "%.2f" p.timeout;
+             (match p.mode with
+             | Lazy_expiry -> "lazy expiry"
+             | Strict_flush -> "strict flush"
+             | Targeted -> "targeted invalidation");
+             string_of_int p.stale_packets;
+             Table.fmt_pct p.stale_fraction;
+             Printf.sprintf "%.2f" p.stale_window;
+             (match p.mode with
+             | Targeted -> Printf.sprintf "%d/%d" p.invalidated p.preserved
+             | Lazy_expiry | Strict_flush -> "-");
+           ])
+         points)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module A_cut = struct
+  type point = {
+    k : int;
+    best_max : int;
+    best_total : int;
+    src_max : int;  (** always cutting src_ip — an informed fixed choice *)
+    src_total : int;
+    proto_max : int;  (** always cutting proto — a poor fixed choice *)
+    proto_total : int;
+  }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let policy =
+      Policy_gen.acl (Prng.create seed)
+        { Policy_gen.default_acl with rules = (if quick then 150 else 1500); chains = 50 }
+    in
+    let proto_dim = Schema.index (Classifier.schema policy) "proto" in
+    List.map
+      (fun k ->
+        let best = Partitioner.compute ~heuristic:Partitioner.Best_cut policy ~k in
+        let src = Partitioner.compute ~heuristic:(Partitioner.Fixed_dimension 0) policy ~k in
+        let proto =
+          Partitioner.compute ~heuristic:(Partitioner.Fixed_dimension proto_dim) policy ~k
+        in
+        {
+          k;
+          best_max = best.Partitioner.max_entries;
+          best_total = best.Partitioner.total_entries;
+          src_max = src.Partitioner.max_entries;
+          src_total = src.Partitioner.total_entries;
+          proto_max = proto.Partitioner.max_entries;
+          proto_total = proto.Partitioner.total_entries;
+        })
+      (if quick then [ 4; 16 ] else [ 2; 4; 8; 16; 32; 64 ])
+
+  let print points =
+    Table.print ~title:"Ablation: best-cut heuristic vs fixed-dimension cuts"
+      ~header:
+        [ "k"; "best max"; "best total"; "src-only max"; "src-only total";
+          "proto-only max"; "proto-only total" ]
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.k;
+             string_of_int p.best_max;
+             string_of_int p.best_total;
+             string_of_int p.src_max;
+             string_of_int p.src_total;
+             string_of_int p.proto_max;
+             string_of_int p.proto_total;
+           ])
+         points)
+end
+
+module A_splice = struct
+  type t = {
+    rules_sampled : int;
+    splice_mean : float;
+    splice_p95 : float;
+    dependent_mean : float;
+    dependent_p95 : float;
+    worst_dependent : int;
+    worst_splice : int;
+  }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let policy =
+      Policy_gen.acl (Prng.create seed)
+        {
+          Policy_gen.default_acl with
+          rules = (if quick then 120 else 600);
+          chains = (if quick then 10 else 30);
+          chain_depth = 10;
+        }
+    in
+    let rules = Classifier.rules policy in
+    (* Cost per cached flow: splicing installs 1 entry; dependent-set
+       caching installs the rule's whole upward closure. *)
+    let splice_costs =
+      List.map (fun _ -> 1.) rules (* one spliced piece per cached flow *)
+    in
+    let dependent_costs =
+      List.map (fun r -> float_of_int (Splice.dependent_set_cost policy r)) rules
+    in
+    (* Worst-case splice fragmentation: pieces a single rule can shatter
+       into if every piece ends up cached.  Catch-all rules overlapped by
+       hundreds of others fragment combinatorially — computing their exact
+       piece count is both expensive and uninformative, so the statistic
+       covers rules with a bounded blocker set (the table reports the
+       coverage). *)
+    let bounded_blockers (r : Rule.t) =
+      let n =
+        List.length
+          (List.filter (fun r' -> Rule.beats r' r && Rule.overlaps r' r) rules)
+      in
+      n <= 12 && not (Pred.is_any r.pred)
+    in
+    let fragmentation =
+      List.filter_map
+        (fun r ->
+          if bounded_blockers r then Some (List.length (Splice.pieces_of_rule policy r))
+          else None)
+        rules
+    in
+    let s1 = Summary.of_list splice_costs and s2 = Summary.of_list dependent_costs in
+    {
+      rules_sampled = List.length rules;
+      splice_mean = s1.Summary.mean;
+      splice_p95 = s1.Summary.p95;
+      dependent_mean = s2.Summary.mean;
+      dependent_p95 = s2.Summary.p95;
+      worst_dependent = int_of_float (Summary.of_list dependent_costs).Summary.max;
+      worst_splice = List.fold_left max 0 fragmentation;
+    }
+
+  let print t =
+    Table.print ~title:"Ablation: cache cost per flow, splicing vs dependent-set"
+      ~header:[ "metric"; "splice"; "dependent-set" ]
+      [
+        [ "mean entries per cached flow"; Printf.sprintf "%.2f" t.splice_mean;
+          Printf.sprintf "%.2f" t.dependent_mean ];
+        [ "p95"; Printf.sprintf "%.2f" t.splice_p95; Printf.sprintf "%.2f" t.dependent_p95 ];
+        [ "worst case"; string_of_int t.worst_splice; string_of_int t.worst_dependent ];
+      ];
+    Printf.printf "(%d rules; splice worst case counts total pieces of one rule)\n"
+      t.rules_sampled
+end
+
+(* ------------------------------------------------------------------ *)
+
+module E_ctrl = struct
+  type row = { scenario : string; frames : int; bytes : int }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let rng = Prng.create seed in
+    let policy =
+      Policy_gen.acl (Prng.split rng)
+        { Policy_gen.default_acl with rules = (if quick then 200 else 2000); chains = 40 }
+    in
+    let topo_rng = Prng.split rng in
+    let topology =
+      Topology.campus ~rand:(fun () -> Prng.float topo_rng)
+        ~edge_switches:(if quick then 6 else 12) ()
+    in
+    let config =
+      { Deployment.default_config with k = 16; replication = 2; cache_capacity = 256 }
+    in
+    (* blank switches: every byte of configuration crosses the channels *)
+    let d =
+      Deployment.build ~install:false ~config ~policy ~topology ~authority_ids:[ 2; 3; 4 ] ()
+    in
+    let cp = Control_plane.create d in
+    let drive ~from ~until ~step =
+      let t = ref from in
+      while !t <= until do
+        Control_plane.tick cp ~now:!t;
+        t := !t +. step
+      done
+    in
+    let measure f =
+      let f0 = Control_plane.control_frames cp and b0 = Control_plane.control_bytes cp in
+      f ();
+      (Control_plane.control_frames cp - f0, Control_plane.control_bytes cp - b0)
+    in
+    (* 1. initial installation, as really transmitted *)
+    let install_frames, install_bytes =
+      measure (fun () ->
+          Control_plane.push_deployment cp ~now:0.;
+          drive ~from:0.001 ~until:0.2 ~step:0.01)
+    in
+    (* 2. steady state: echoes + stats for a simulated minute *)
+    let horizon = if quick then 10. else 60. in
+    let steady_frames, steady_bytes =
+      measure (fun () -> drive ~from:1. ~until:(1. +. horizon) ~step:0.25)
+    in
+    (* 3. one full policy change, retransmitted *)
+    let policy2 =
+      Policy_gen.acl (Prng.split rng)
+        { Policy_gen.default_acl with rules = (if quick then 200 else 2000); chains = 40 }
+    in
+    let update_frames, update_bytes =
+      measure (fun () ->
+          let _d' = Deployment.update_policy (Control_plane.deployment cp)
+                      ~now:(2. +. horizon) policy2 in
+          (* update_policy recomputes in place on the same switches; the
+             transmission cost is one full push of the new configuration *)
+          Control_plane.push_deployment cp ~now:(2. +. horizon);
+          drive ~from:(2.001 +. horizon) ~until:(2.2 +. horizon) ~step:0.01)
+    in
+    [
+      { scenario = "initial install (partition rules + authority tables)";
+        frames = install_frames; bytes = install_bytes };
+      { scenario = Printf.sprintf "steady state (%.0f s: echo 1 s, stats 5 s)" horizon;
+        frames = steady_frames; bytes = steady_bytes };
+      { scenario = "policy update (full reinstall)";
+        frames = update_frames; bytes = update_bytes };
+    ]
+
+  let print rows =
+    Table.print ~title:"Supplementary: control-plane overhead (encoded frames on the wire)"
+      ~header:[ "scenario"; "frames"; "bytes" ]
+      (List.map
+         (fun r -> [ r.scenario; string_of_int r.frames; Table.fmt_si (float_of_int r.bytes) ])
+         rows)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module E_cache = struct
+  type point = {
+    cache_size : int;
+    hit_rate : float;
+    authority_load : float;
+    evictions : int64;
+  }
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let rng = Prng.create seed in
+    let policy =
+      Policy_gen.acl (Prng.split rng)
+        { Policy_gen.default_acl with rules = (if quick then 150 else 1000); chains = 40 }
+    in
+    let topology = Topology.line 4 () in
+    let profile =
+      {
+        Traffic.default with
+        flows = (if quick then 3_000 else 30_000);
+        rate = 20_000.;
+        alpha = 1.0;
+        distinct_headers = (if quick then 400 else 3_000);
+        packets_per_flow_mean = 3.0;
+        ingresses = [ 0 ];
+      }
+    in
+    let sizes = if quick then [ 4; 32; 256 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ] in
+    List.map
+      (fun cache_size ->
+        let config =
+          { Deployment.default_config with k = 8; cache_capacity = cache_size }
+        in
+        let d = Deployment.build ~config ~policy ~topology ~authority_ids:[ 1; 2 ] () in
+        (* identical workload at every size: same generator seed *)
+        let flows = Traffic.generate (Prng.create (seed + 1)) policy profile in
+        let r = Flowsim.run_difane d flows in
+        let packets = float_of_int (max 1 r.Flowsim.delivered_packets) in
+        let evictions =
+          Array.fold_left
+            (fun acc sw -> Int64.add acc (Tcam.stats (Switch.cache sw)).Tcam.evictions)
+            0L (Deployment.switches d)
+        in
+        {
+          cache_size;
+          hit_rate = float_of_int r.Flowsim.cache_hit_packets /. packets;
+          authority_load =
+            (packets -. float_of_int r.Flowsim.cache_hit_packets) /. packets;
+          evictions;
+        })
+      sizes
+
+  let print points =
+    Table.print ~title:"Supplementary: ingress cache size vs authority load"
+      ~header:[ "cache entries"; "cache hit rate"; "authority load"; "evictions" ]
+      (List.map
+         (fun p ->
+           [
+             string_of_int p.cache_size;
+             Table.fmt_pct p.hit_rate;
+             Table.fmt_pct p.authority_load;
+             Int64.to_string p.evictions;
+           ])
+         points)
+end
+
+(* ------------------------------------------------------------------ *)
+
+let run_all ?(seed = 42) ?(quick = false) () =
+  T1.print (T1.run ~seed ~quick ());
+  F_tput.print (F_tput.run ~seed ~quick ());
+  F_scale.print (F_scale.run ~seed ~quick ());
+  F_delay.print (F_delay.run ~seed ~quick ());
+  F_part.print (F_part.run ~seed ~quick ());
+  F_miss.print (F_miss.run ~seed ~quick ());
+  F_stretch.print (F_stretch.run ~seed ~quick ());
+  F_dyn.print (F_dyn.run ~seed ~quick ());
+  A_cut.print (A_cut.run ~seed ~quick ());
+  A_splice.print (A_splice.run ~seed ~quick ());
+  E_ctrl.print (E_ctrl.run ~seed ~quick ());
+  E_cache.print (E_cache.run ~seed ~quick ())

@@ -1,0 +1,187 @@
+(** The paper's evaluation, experiment by experiment.
+
+    Each submodule reproduces one table or figure of {e Scalable
+    Flow-Based Networking with DIFANE} (SIGCOMM 2010) on the simulated
+    substrate (see DESIGN.md §2 for the substitution table and §4 for the
+    experiment index).  Every [run] is deterministic given its [seed];
+    [quick] shrinks workload sizes for use in the test suite.  [print]
+    renders the same rows the bench harness and EXPERIMENTS.md use. *)
+
+(** Table 1 — characteristics of the evaluation rule sets. *)
+module T1 : sig
+  type row = {
+    label : string;
+    description : string;
+    rules : int;
+    fields : int;
+    depth : int;  (** longest priority-dependency chain *)
+    overlaps : int;  (** overlapping rule pairs *)
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> row list
+  val print : row list -> unit
+end
+
+(** Fig. "Throughput of flow setup": DIFANE (1 authority switch) vs NOX,
+    achieved setup throughput as the offered rate of single-packet flows
+    sweeps past both systems' capacities. *)
+module F_tput : sig
+  type point = {
+    offered_rate : float;
+    difane : Flowsim.result;
+    nox : Flowsim.result;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+(** Fig. "Throughput with multiple authority switches": peak setup
+    throughput as authority switches scale 1→4 (near-linear). *)
+module F_scale : sig
+  type point = { authority_switches : int; throughput : float; per_switch : float }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+(** Fig. "First-packet delay CDF": DIFANE's extra data-plane hop vs NOX's
+    controller round trip, at low load. *)
+module F_delay : sig
+  type t = {
+    difane_delays : Cdf.t;
+    nox_delays : Cdf.t;
+    difane_median : float;
+    nox_median : float;
+    ratio : float;  (** nox median / difane median *)
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> t
+  val print : t -> unit
+end
+
+(** Fig. "TCAM entries vs number of authority switches": partitioning
+    overhead for each Table-1 rule set. *)
+module F_part : sig
+  type point = {
+    label : string;
+    k : int;
+    max_entries : int;  (** biggest per-authority table *)
+    total_entries : int;
+    duplication : float;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+(** Fig. "Cache miss rate vs cache size": spliced wildcard caching vs
+    microflow caching under Zipf traffic. *)
+module F_miss : sig
+  type point = {
+    alpha : float;
+    cache_size : int;
+    wildcard_miss_rate : float;
+    wildcard_opt_miss_rate : float;  (** Belady floor for the same keys *)
+    microflow_miss_rate : float;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+(** Fig. "Stretch CDF": the detour of miss packets through their authority
+    switch under three placement strategies. *)
+module F_stretch : sig
+  type series = { placement : string; stretch : Cdf.t; mean : float; p95 : float }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> series list
+  val print : series list -> unit
+end
+
+(** Fig./§ "Network dynamics": after a policy change, how long stale
+    cached decisions linger as a function of the cache idle timeout
+    (lazy expiry), and that strict flushing removes them entirely. *)
+module F_dyn : sig
+  type mode =
+    | Lazy_expiry  (** stale entries drain via their hard timeout *)
+    | Strict_flush  (** the update flushes every reactive entry *)
+    | Targeted  (** only entries spliced from changed rules are deleted *)
+
+  type point = {
+    timeout : float;  (** cache hard timeout: the lazy mode's staleness bound *)
+    mode : mode;
+    stale_packets : int;  (** packets served with the old policy's action *)
+    post_update_packets : int;
+    stale_fraction : float;
+    stale_window : float;  (** time of last stale packet after the update *)
+    invalidated : int;  (** cache entries removed by a targeted update *)
+    preserved : int;  (** cache entries that survived a targeted update *)
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+(** Ablation: the best-cut split heuristic vs always cutting one fixed
+    dimension (an informed choice, src_ip, and a poor one, proto). *)
+module A_cut : sig
+  type point = {
+    k : int;
+    best_max : int;
+    best_total : int;
+    src_max : int;  (** always cutting src_ip — an informed fixed choice *)
+    src_total : int;
+    proto_max : int;  (** always cutting proto — a poor fixed choice *)
+    proto_total : int;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+(** Ablation: spliced cache cost vs CacheFlow-style dependent-set cost,
+    per cached rule, on a deep-chain ACL. *)
+module A_splice : sig
+  type t = {
+    rules_sampled : int;
+    splice_mean : float;
+    splice_p95 : float;
+    dependent_mean : float;
+    dependent_p95 : float;
+    worst_dependent : int;
+    worst_splice : int;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> t
+  val print : t -> unit
+end
+
+(** Supplementary: control-plane overhead of a DIFANE deployment — the
+    proactive install cost, the steady-state keepalive/statistics load,
+    and the cost of a full policy update, all measured in encoded control
+    frames and bytes. *)
+module E_ctrl : sig
+  type row = { scenario : string; frames : int; bytes : int }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> row list
+  val print : row list -> unit
+end
+
+(** Supplementary: how the ingress cache budget shifts load off the
+    authority switches — hit rate and authority-served misses as the
+    cache size sweeps, under fixed Zipf traffic. *)
+module E_cache : sig
+  type point = {
+    cache_size : int;
+    hit_rate : float;  (** fraction of packets served by ingress caches *)
+    authority_load : float;  (** misses per offered packet *)
+    evictions : int64;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> point list
+  val print : point list -> unit
+end
+
+val run_all : ?seed:int -> ?quick:bool -> unit -> unit
+(** Run and print every experiment in DESIGN.md order. *)

@@ -1,0 +1,106 @@
+type config = {
+  cache_idle_timeout : float option;
+  cache_hard_timeout : float option;
+  cache_mode : [ `Spliced | `Microflow ];
+  max_ttl : int;
+}
+
+let default_config =
+  { cache_idle_timeout = Some 10.; cache_hard_timeout = None; cache_mode = `Spliced;
+    max_ttl = 64 }
+
+type result = {
+  action : Action.t;
+  delivered : bool;
+  trace : int list;
+  encapsulations : int;
+  latency : float;
+  ttl_exceeded : bool;
+}
+
+(* Mutable walk state: the packet's position, hop trace (reversed),
+   remaining TTL and accumulated propagation latency. *)
+type walk = {
+  routing : Routing.t;
+  mutable at : int;
+  mutable rev_trace : int list;
+  mutable ttl : int;
+  mutable latency : float;
+  mutable encaps : int;
+}
+
+let hop w next =
+  match Topology.link_between (Routing.topology w.routing) w.at next with
+  | None -> invalid_arg "Dataplane: next hop is not adjacent"
+  | Some l ->
+      w.latency <- w.latency +. l.Topology.latency;
+      w.at <- next;
+      w.rev_trace <- next :: w.rev_trace;
+      w.ttl <- w.ttl - 1
+
+(* Carry an encapsulated packet to its tunnel endpoint.  Transit switches
+   forward on the underlay tables only — no flow-table lookups. *)
+let tunnel_to w dst =
+  w.encaps <- w.encaps + 1;
+  let rec go () =
+    if w.at = dst then `Arrived
+    else if w.ttl <= 0 then `Ttl_exceeded
+    else
+      match Routing.next_hop w.routing ~from:w.at ~dst with
+      | None -> `Unreachable
+      | Some next ->
+          hop w next;
+          go ()
+  in
+  go ()
+
+let finish w ~action ~delivered ~ttl_exceeded =
+  {
+    action;
+    delivered;
+    trace = List.rev w.rev_trace;
+    encapsulations = w.encaps;
+    latency = w.latency;
+    ttl_exceeded;
+  }
+
+let deliver_action w action =
+  (* a forwarding action tunnels to the egress switch; anything else
+     terminates where we stand *)
+  match Action.egress action with
+  | None -> finish w ~action ~delivered:true ~ttl_exceeded:false
+  | Some egress -> (
+      if egress = w.at then finish w ~action ~delivered:true ~ttl_exceeded:false
+      else
+        match tunnel_to w egress with
+        | `Arrived -> finish w ~action ~delivered:true ~ttl_exceeded:false
+        | `Ttl_exceeded -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:true
+        | `Unreachable -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false)
+
+let packet ?(config = default_config) ~routing ~switch ~now ~ingress header =
+  let w =
+    { routing; at = ingress; rev_trace = [ ingress ]; ttl = config.max_ttl; latency = 0.;
+      encaps = 0 }
+  in
+  let ingress_sw = switch ingress in
+  match Switch.process ingress_sw ~now header with
+  | Switch.Local (action, _) -> deliver_action w action
+  | Switch.Unmatched -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+  | Switch.Tunnel authority -> (
+      if authority = w.at then
+        (* the ingress is the authority's neighbourless corner case: a
+           partition rule pointing at self would be a controller bug *)
+        finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+      else
+        match tunnel_to w authority with
+        | `Ttl_exceeded -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:true
+        | `Unreachable -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+        | `Arrived -> (
+            match Switch.serve_miss ~mode:config.cache_mode (switch authority) ~now header with
+            | None -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+            | Some { Switch.action; cache_rule; origin_id } ->
+                ignore
+                  (Switch.install_cache_rule ?idle_timeout:config.cache_idle_timeout
+                     ?hard_timeout:config.cache_hard_timeout ~origin_id ingress_sw ~now
+                     cache_rule);
+                deliver_action w action))

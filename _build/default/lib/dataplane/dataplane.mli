@@ -1,0 +1,48 @@
+(** The hop-by-hop data plane: encapsulation and per-switch forwarding.
+
+    {!Deployment.inject} computes a packet's fate using shortest paths
+    directly; this module executes the same packet the way the paper's
+    Click switches do — one switch at a time:
+
+    + the ingress switch runs its three-bank lookup;
+    + a miss is {e encapsulated} toward its authority switch and carried
+      there hop by hop on the underlay's next-hop tables ({!Routing}),
+      bypassing flow tables at transit switches (tunnelled packets are
+      only decapsulated at their tunnel endpoint);
+    + the authority switch decapsulates, serves the miss (splice +
+      cache-install back at the ingress), re-encapsulates toward the
+      egress switch;
+    + the egress switch decapsulates and delivers.
+
+    The equivalence [walk = inject] (same action, same latency) is a
+    property test: the shortcut and the faithful executor must agree. *)
+
+type config = {
+  cache_idle_timeout : float option;
+  cache_hard_timeout : float option;
+  cache_mode : [ `Spliced | `Microflow ];
+  max_ttl : int;  (** hop budget; loops or ttl exhaustion drop the packet *)
+}
+
+val default_config : config
+(** 10 s idle timeout, spliced caching, TTL 64. *)
+
+type result = {
+  action : Action.t;  (** what happened to the packet *)
+  delivered : bool;  (** reached its egress (drops at a switch are "delivered" verdicts too — [action = Drop]) *)
+  trace : int list;  (** every switch traversed, in order, ingress first *)
+  encapsulations : int;  (** tunnel headers pushed (0 for a local drop) *)
+  latency : float;  (** propagation along [trace] *)
+  ttl_exceeded : bool;
+}
+
+val packet :
+  ?config:config ->
+  routing:Routing.t ->
+  switch:(int -> Switch.t) ->
+  now:float ->
+  ingress:int ->
+  Header.t ->
+  result
+(** Execute one packet.  Mutates switch state (cache counters and
+    reactive installs) exactly like the real data plane. *)

@@ -1,0 +1,1 @@
+lib/flowspace/header.ml: Array Format Hashtbl Int64 List Schema

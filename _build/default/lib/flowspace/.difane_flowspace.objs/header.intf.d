@@ -1,0 +1,1 @@
+lib/flowspace/header.mli: Format Schema

@@ -1,0 +1,1 @@
+lib/flowspace/pred.ml: Array Float Format Hashtbl Header List Option Printf Schema Ternary

@@ -1,0 +1,1 @@
+lib/flowspace/pred.mli: Format Header Schema Ternary

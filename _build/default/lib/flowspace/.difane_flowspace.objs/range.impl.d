@@ -1,0 +1,1 @@
+lib/flowspace/range.ml: Int64 List Ternary

@@ -1,0 +1,1 @@
+lib/flowspace/range.mli: Ternary

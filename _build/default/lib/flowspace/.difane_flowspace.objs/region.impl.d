@@ -1,0 +1,1 @@
+lib/flowspace/region.ml: Format List Pred Schema

@@ -1,0 +1,1 @@
+lib/flowspace/region.mli: Format Header Pred Schema

@@ -1,0 +1,1 @@
+lib/flowspace/schema.ml: Array Format List Printf String Ternary

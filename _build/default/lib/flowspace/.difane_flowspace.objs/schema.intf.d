@@ -1,0 +1,1 @@
+lib/flowspace/schema.mli: Format

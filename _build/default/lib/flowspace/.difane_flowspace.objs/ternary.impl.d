@@ -1,0 +1,1 @@
+lib/flowspace/ternary.ml: Float Format Hashtbl Int Int64 List Option Printf Seq String

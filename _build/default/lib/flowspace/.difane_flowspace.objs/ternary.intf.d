@@ -1,0 +1,1 @@
+lib/flowspace/ternary.mli: Format

@@ -1,0 +1,47 @@
+type t = { schema : Schema.t; values : int64 array }
+
+let truncate bits v =
+  Int64.logand v (Int64.shift_right_logical Int64.minus_one (64 - bits))
+
+let make schema values =
+  if Array.length values <> Schema.arity schema then
+    invalid_arg "Header.make: arity mismatch";
+  { schema; values = Array.mapi (fun i v -> truncate (Schema.field_bits schema i) v) values }
+
+let of_fields schema assoc =
+  let values =
+    Array.init (Schema.arity schema) (fun i ->
+        match List.assoc_opt (Schema.field_name schema i) assoc with
+        | Some v -> v
+        | None -> 0L)
+  in
+  List.iter (fun (name, _) -> ignore (Schema.index schema name)) assoc;
+  make schema values
+
+let schema t = t.schema
+let field t i = t.values.(i)
+let get t name = t.values.(Schema.index t.schema name)
+let values t = Array.copy t.values
+
+let equal a b =
+  Schema.equal a.schema b.schema && Array.for_all2 Int64.equal a.values b.values
+
+let compare a b =
+  let rec go i =
+    if i >= Array.length a.values then 0
+    else
+      let c = Int64.compare a.values.(i) b.values.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let hash t = Hashtbl.hash t.values
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{";
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%s=%Ld" (Schema.field_name t.schema i) v)
+    t.values;
+  Format.fprintf ppf "}@]"

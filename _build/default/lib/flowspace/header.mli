@@ -1,0 +1,24 @@
+(** Concrete packet headers: one point of the flowspace.
+
+    A header assigns a concrete value to every field of a schema.  This is
+    the thing a switch matches against its TCAM banks. *)
+
+type t
+
+val make : Schema.t -> int64 array -> t
+(** [make schema values] builds a header.  Each value is truncated to its
+    field's width.  @raise Invalid_argument on arity mismatch. *)
+
+val of_fields : Schema.t -> (string * int64) list -> t
+(** Named construction; unnamed fields default to [0].
+    @raise Not_found on an unknown field name. *)
+
+val schema : t -> Schema.t
+val field : t -> int -> int64
+val get : t -> string -> int64
+val values : t -> int64 array
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/openflow/channel.ml: Bytes List Message Queue Schema

@@ -1,0 +1,1 @@
+lib/openflow/channel.mli: Message Schema

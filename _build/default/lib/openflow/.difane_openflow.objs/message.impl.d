@@ -1,0 +1,1 @@
+lib/openflow/message.ml: Action Array Buffer Bytes Format Header Int32 Int64 List Pred Result Rule Schema Ternary

@@ -1,0 +1,1 @@
+lib/openflow/message.mli: Action Bytes Format Header Pred Rule Schema

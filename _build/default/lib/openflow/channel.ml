@@ -1,0 +1,36 @@
+type frame = { arrives : float; bytes : Bytes.t }
+
+type t = {
+  schema : Schema.t;
+  latency : float;
+  queue : frame Queue.t;
+  mutable frames : int;
+  mutable carried : int;
+}
+
+let create schema ~latency =
+  if latency < 0. then invalid_arg "Channel.create: negative latency";
+  { schema; latency; queue = Queue.create (); frames = 0; carried = 0 }
+
+let send t ~now ~xid msg =
+  let bytes = Message.encode ~xid msg in
+  t.frames <- t.frames + 1;
+  t.carried <- t.carried + Bytes.length bytes;
+  Queue.add { arrives = now +. t.latency; bytes } t.queue
+
+let poll t ~now =
+  let rec drain acc =
+    match Queue.peek_opt t.queue with
+    | Some f when f.arrives <= now ->
+        ignore (Queue.pop t.queue);
+        (match Message.decode t.schema f.bytes with
+        | Ok (xid, msg) -> drain ((xid, msg) :: acc)
+        | Error e -> failwith ("Channel.poll: undecodable frame: " ^ e))
+    | Some _ | None -> List.rev acc
+  in
+  drain []
+
+let pending t = Queue.length t.queue
+let frames_carried t = t.frames
+let bytes_carried t = t.carried
+let latency t = t.latency

@@ -1,0 +1,27 @@
+(** A simulated control channel.
+
+    A unidirectional, latency-delayed byte channel between a controller
+    and one switch.  Frames are carried {e encoded} — every message pays
+    the wire codec on both ends, so a deployment driven through channels
+    proves the whole control plane is serialisable, and byte counters
+    give the control-overhead numbers the evaluation reports. *)
+
+type t
+
+val create : Schema.t -> latency:float -> t
+(** @raise Invalid_argument on negative latency. *)
+
+val send : t -> now:float -> xid:int -> Message.t -> unit
+(** Enqueue a frame; it becomes receivable at [now + latency]. *)
+
+val poll : t -> now:float -> (int * Message.t) list
+(** Dequeue (and decode) every frame that has arrived by [now], in send
+    order.  @raise Failure if a frame fails to decode — a channel
+    carrying undecodable bytes is a bug, not a condition to handle. *)
+
+val pending : t -> int
+(** Frames sent but not yet polled (including in-flight ones). *)
+
+val frames_carried : t -> int
+val bytes_carried : t -> int
+val latency : t -> float

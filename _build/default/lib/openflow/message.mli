@@ -1,0 +1,99 @@
+(** The control-plane protocol.
+
+    An OpenFlow-1.0-flavoured message set: the subset DIFANE and the
+    reactive baselines need (flow-mod, packet-in/out, barrier, per-flow
+    stats), plus DIFANE's one extension — the cache-install that an
+    authority switch sends to an ingress switch over the data plane.
+
+    Messages carry a [bank] tag telling the receiving switch which of its
+    three priority banks (cache > authority > partition) the flow-mod
+    targets; in the paper this is encoded in priority ranges, here it is
+    explicit and type-checked. *)
+
+type bank = Cache | Authority | Partition
+
+type flow_mod_command = Add | Delete | Delete_strict
+
+type flow_mod = {
+  command : flow_mod_command;
+  bank : bank;
+  rule : Rule.t;
+  idle_timeout : float option;
+  hard_timeout : float option;
+}
+
+type packet_in = {
+  ingress : int;  (** switch that punted the packet *)
+  header : Header.t;
+  reason : [ `No_match | `Explicit ];
+}
+
+type packet_out = { out_switch : int; out_header : Header.t; action : Action.t }
+
+type stats_request = { table_bank : bank; cookie : int }
+
+type flow_stats = { rule_id : int; packets : int64; bytes : int64; duration : float }
+
+type stats_reply = { request_cookie : int; flows : flow_stats list }
+
+type removed_reason = Idle_timeout | Hard_timeout | Evicted | Deleted
+
+type flow_removed = {
+  removed_rule : int;  (** rule id *)
+  cookie : int;
+      (** opaque value set at install time; DIFANE stores the origin
+          policy-rule id of a spliced cache entry here ([-1] if unset) *)
+  reason : removed_reason;
+  final_packets : int64;
+  final_bytes : int64;
+  lifetime : float;  (** seconds installed *)
+}
+
+type table_transfer = {
+  pid : int;  (** partition id *)
+  region : Pred.t;
+  table_rules : Rule.t list;  (** clipped authority rules, table order *)
+}
+
+type t =
+  | Hello
+  | Echo_request of int
+  | Echo_reply of int
+  | Flow_mod of flow_mod
+  | Packet_in of packet_in
+  | Packet_out of packet_out
+  | Barrier_request of int
+  | Barrier_reply of int
+  | Stats_request of stats_request
+  | Stats_reply of stats_reply
+  | Flow_removed of flow_removed
+      (** switch→controller: a flow entry expired or was evicted, with
+          its final counters — how the controller keeps per-rule counts
+          exact across cache churn *)
+  | Install_partition of table_transfer
+      (** controller→switch: atomically install (or replace) one
+          partition's authority table — the bundle-style transfer the
+          controller uses for initial installation, policy updates and
+          backup replication *)
+  | Drop_partition of int
+      (** controller→switch: remove the authority table for a partition *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Wire format}
+
+    A compact binary framing (16-byte header: version, type, length, xid —
+    same spirit as OpenFlow 1.0) used by the tests to guarantee the
+    control channel is serialisable, and by the simulator to charge
+    realistic message sizes to control links. *)
+
+val encode : xid:int -> t -> Bytes.t
+
+val decode : Schema.t -> Bytes.t -> (int * t, string) result
+(** Returns [(xid, message)].  The schema is needed to rebuild predicates
+    and headers.  Errors on truncated or corrupt frames rather than
+    raising. *)
+
+val wire_size : xid:int -> t -> int
+(** [Bytes.length (encode ~xid t)]. *)

@@ -1,0 +1,65 @@
+(** The DIFANE flowspace partitioner.
+
+    The controller carves the flowspace into [k] disjoint
+    hyper-rectangular regions and gives each to an authority switch.  A
+    rule whose predicate spans several regions is {e split}: each region
+    holds the rule clipped to the region, so per-region tables stay
+    semantically self-contained but the total TCAM count grows.  The
+    partitioner is a decision tree of single-bit cuts (in the spirit of
+    HiCuts): it repeatedly splits the fullest region along the cut that
+    best balances the two halves while duplicating the fewest rules.
+
+    Invariants (property-tested):
+    {ul
+    {- regions are pairwise disjoint and cover the whole flowspace;}
+    {- for every header, looking up the clipped table of the covering
+       region gives exactly the action of the original classifier;}
+    {- every partition's table is non-empty whenever the original
+       classifier is total.}} *)
+
+type partition = {
+  pid : int;
+  region : Pred.t;
+  table : Classifier.t;  (** original rules clipped to [region] *)
+}
+
+type heuristic =
+  | Best_cut  (** per-split search over all fields' next wildcard bit (paper) *)
+  | Fixed_dimension of int  (** always cut the same field — the ablation baseline *)
+
+type t = {
+  partitions : partition list;
+  heuristic : heuristic;
+  source_rules : int;  (** rules in the input classifier *)
+  total_entries : int;  (** sum of clipped-table sizes over all partitions *)
+  max_entries : int;  (** largest partition table *)
+  duplication : float;  (** [total_entries / source_rules] — splitting overhead *)
+}
+
+val compute : ?heuristic:heuristic -> Classifier.t -> k:int -> t
+(** Partition into at most [k] regions ([k >= 1]).  Fewer than [k] regions
+    are returned only when the flowspace cannot be cut further (all
+    wildcard bits exhausted).  @raise Invalid_argument if [k < 1] or the
+    classifier is empty. *)
+
+val compute_bounded :
+  ?heuristic:heuristic -> ?max_partitions:int -> Classifier.t -> max_entries:int -> t
+(** The paper's actual sizing rule: split until {e every} partition's
+    clipped table fits in an authority switch's TCAM budget
+    ([max_entries]), rather than to a fixed region count.  Stops early
+    when an oversized region has no productive cut left (rules that
+    cannot be separated by any bit), or at [max_partitions]
+    (default 4096).  @raise Invalid_argument if [max_entries < 1]. *)
+
+val find : t -> Header.t -> partition
+(** The unique partition whose region contains the header. *)
+
+val partition_rules : t -> assignment:(int -> int) -> Rule.t list
+(** The low-priority partition rules every switch carries: region [pid]
+    maps to [To_authority (assignment pid)].  Rule ids are fresh
+    (>= 1_000_000), priorities all equal (regions are disjoint). *)
+
+val balance : t -> float
+(** [max_entries / (total_entries / k)]: 1.0 is perfectly balanced. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/rule/action.ml: Format Int Printf

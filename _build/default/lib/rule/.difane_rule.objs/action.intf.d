@@ -1,0 +1,1 @@
+lib/rule/action.mli: Format

@@ -1,0 +1,1 @@
+lib/rule/classifier.ml: Action Array Format Hashtbl Int List Option Pred Region Rule Schema

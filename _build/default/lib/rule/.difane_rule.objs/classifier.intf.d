@@ -1,0 +1,1 @@
+lib/rule/classifier.mli: Action Format Header Region Rule Schema

@@ -1,0 +1,1 @@
+lib/rule/equiv.ml: Action Classifier List Option Pred Region Rule Schema

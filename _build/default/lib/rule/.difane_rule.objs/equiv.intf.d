@@ -1,0 +1,1 @@
+lib/rule/equiv.mli: Action Classifier Header Pred Region

@@ -1,0 +1,1 @@
+lib/rule/indexed.ml: Array Classifier Hashtbl Header Int Int64 List Option Pred Rule Ternary

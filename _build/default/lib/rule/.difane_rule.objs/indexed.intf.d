@@ -1,0 +1,1 @@
+lib/rule/indexed.mli: Classifier Header Rule

@@ -1,0 +1,1 @@
+lib/rule/optimize.ml: Action Classifier Equiv Format Int64 List Pred Rule Ternary

@@ -1,0 +1,1 @@
+lib/rule/optimize.mli: Classifier Format

@@ -1,0 +1,1 @@
+lib/rule/policy_io.ml: Action Array Buffer Classifier Fun Int64 List Pred Printf Range Result Rule Schema String Ternary

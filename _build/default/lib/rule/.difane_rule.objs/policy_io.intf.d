@@ -1,0 +1,1 @@
+lib/rule/policy_io.mli: Classifier

@@ -1,0 +1,1 @@
+lib/rule/rule.ml: Action Format Int Pred

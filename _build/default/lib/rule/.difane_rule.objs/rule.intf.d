@@ -1,0 +1,1 @@
+lib/rule/rule.mli: Action Format Header Pred

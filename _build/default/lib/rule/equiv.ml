@@ -1,0 +1,61 @@
+let decision_region c action =
+  let regions =
+    Classifier.rules c
+    |> List.filter (fun (r : Rule.t) -> Action.equal r.action action)
+    |> List.map (Classifier.effective_region c)
+  in
+  List.fold_left Region.union (Region.empty (Classifier.schema c)) regions
+
+let unmatched_region c =
+  Region.diff
+    (Region.full (Classifier.schema c))
+    (Region.of_preds (Classifier.schema c)
+       (List.map (fun (r : Rule.t) -> r.pred) (Classifier.rules c)))
+
+let actions_of c =
+  Classifier.rules c
+  |> List.map (fun (r : Rule.t) -> r.action)
+  |> List.sort_uniq Action.compare
+
+let check_schemas a b =
+  if not (Schema.equal (Classifier.schema a) (Classifier.schema b)) then
+    invalid_arg "Equiv: schema mismatch"
+
+(* The first region (as disjoint pieces) where the two classifiers
+   disagree, or [] when equivalent. *)
+let disagreement a b =
+  check_schemas a b;
+  let actions = List.sort_uniq Action.compare (actions_of a @ actions_of b) in
+  let mismatches =
+    List.concat_map
+      (fun action ->
+        let ra = decision_region a action and rb = decision_region b action in
+        Region.preds (Region.diff ra rb) @ Region.preds (Region.diff rb ra))
+      actions
+  in
+  let unmatched =
+    let ua = unmatched_region a and ub = unmatched_region b in
+    Region.preds (Region.diff ua ub) @ Region.preds (Region.diff ub ua)
+  in
+  mismatches @ unmatched
+
+let equivalent a b = disagreement a b = []
+
+let min_point pred =
+  (* wildcard bits resolve to zero: the smallest header of the region *)
+  Pred.random_point (fun _ -> 0) pred
+
+let counterexample a b =
+  match disagreement a b with [] -> None | piece :: _ -> Some (min_point piece)
+
+let clip c region =
+  let rules =
+    List.filter_map
+      (fun (r : Rule.t) -> Option.map (Rule.with_pred r) (Pred.inter r.pred region))
+      (Classifier.rules c)
+  in
+  Classifier.create (Classifier.schema c) rules
+
+let agree_on a b region =
+  check_schemas a b;
+  equivalent (clip a region) (clip b region)

@@ -1,0 +1,104 @@
+type report = {
+  input_rules : int;
+  output_rules : int;
+  removed_redundant : int;
+  merged_siblings : int;
+}
+
+let remove_redundant c =
+  let dead = Classifier.dead_rules c in
+  List.fold_left (fun acc (r : Rule.t) -> Classifier.remove acc r.id) c dead
+
+(* Two predicates are siblings when they agree on every field except one,
+   where their ternaries differ in exactly one specified bit; the merge
+   wildcards that bit.  Their union is exactly the merged predicate, so
+   replacing both by the merge adds no headers. *)
+let sibling_merge p q =
+  let n = Pred.arity p in
+  let rec scan i found =
+    if i >= n then found
+    else
+      let a = Pred.field p i and b = Pred.field q i in
+      if Ternary.equal a b then scan (i + 1) found
+      else
+        match found with
+        | Some _ -> None (* differ in two fields: not siblings *)
+        | None ->
+            if
+              Ternary.mask a = Ternary.mask b
+              && (let diff = Int64.logxor (Ternary.value a) (Ternary.value b) in
+                  Int64.logand diff (Int64.sub diff 1L) = 0L && diff <> 0L)
+              && Int64.logand (Ternary.mask a)
+                   (Int64.logxor (Ternary.value a) (Ternary.value b))
+                 = Int64.logxor (Ternary.value a) (Ternary.value b)
+            then
+              let bit = Int64.logxor (Ternary.value a) (Ternary.value b) in
+              let merged =
+                Ternary.make ~width:(Ternary.width a)
+                  ~value:(Int64.logand (Ternary.value a) (Int64.lognot bit))
+                  ~mask:(Int64.logand (Ternary.mask a) (Int64.lognot bit))
+              in
+              scan (i + 1) (Some (i, merged))
+            else None
+  in
+  match scan 0 None with
+  | Some (i, merged) -> Some (Pred.with_field p i merged)
+  | None -> None
+
+let merge_pass c =
+  let rules = Classifier.rules c in
+  let apply (r : Rule.t) (q : Rule.t) pred =
+    let c' = Classifier.remove (Classifier.remove c r.id) q.id in
+    Classifier.add c' (Rule.with_pred (Rule.with_id r (min r.id q.id)) pred)
+  in
+  (* find the first mergeable pair whose merge provably changes nothing:
+     equal-priority ties resolve by rule id, so a merge can steal headers
+     from a third same-priority rule sitting between the two — the
+     region-scoped equivalence check rejects those *)
+  let rec find = function
+    | [] -> None
+    | (r : Rule.t) :: rest -> (
+        let candidate =
+          List.find_map
+            (fun (q : Rule.t) ->
+              if q.priority = r.priority && Action.equal q.action r.action then
+                match sibling_merge r.pred q.pred with
+                | Some pred ->
+                    let c' = apply r q pred in
+                    if Equiv.agree_on c c' pred then Some c' else None
+                | None -> None
+              else None)
+            rest
+        in
+        match candidate with Some c' -> Some c' | None -> find rest)
+  in
+  find rules
+
+let merge_siblings c =
+  let rec go c n =
+    if n = 0 then c (* defensive bound: at most one merge per input rule *)
+    else match merge_pass c with None -> c | Some c' -> go c' (n - 1)
+  in
+  go c (Classifier.length c)
+
+let minimise c =
+  let input_rules = Classifier.length c in
+  let rec fixpoint c =
+    let c' = merge_siblings (remove_redundant c) in
+    if Classifier.length c' = Classifier.length c then c' else fixpoint c'
+  in
+  let out = fixpoint c in
+  let after_redundant = Classifier.length (remove_redundant c) in
+  {
+    (* the split between the two mechanisms is approximate when they
+       interact; the totals are exact *)
+    input_rules;
+    output_rules = Classifier.length out;
+    removed_redundant = input_rules - after_redundant;
+    merged_siblings = after_redundant - Classifier.length out;
+  }
+  |> fun report -> (out, report)
+
+let pp_report ppf r =
+  Format.fprintf ppf "%d -> %d rules (%d redundant removed, %d sibling merges)"
+    r.input_rules r.output_rules r.removed_redundant r.merged_siblings

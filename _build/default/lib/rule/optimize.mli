@@ -1,0 +1,38 @@
+(** Equivalence-preserving policy minimisation.
+
+    DIFANE takes caching, not compression, as its answer to TCAM scarcity
+    — but the two compose: fewer authority-table entries mean smaller
+    partitions for free.  This module offers the safe subset of classic
+    TCAM minimisation, every step exact (property-tested against
+    {!Equiv}):
+
+    - {b redundancy removal}: drop rules no header can ever reach
+      (shadowed by one rule, or dead under a combination);
+    - {b sibling merging}: two rules with the same priority and action
+      whose predicates are the two halves of one wildcard bit collapse
+      into one rule — exactly undoing range expansion's blow-up where
+      the ranges were contiguous.
+
+    Counter transparency caveat: merging rules pools their counters, the
+    reason the paper refuses compression for {e cached} rules.  Use this
+    on authored policies before deployment, not on live tables. *)
+
+type report = {
+  input_rules : int;
+  output_rules : int;
+  removed_redundant : int;
+  merged_siblings : int;
+}
+
+val remove_redundant : Classifier.t -> Classifier.t
+(** Drop every rule whose effective region is empty. *)
+
+val merge_siblings : Classifier.t -> Classifier.t
+(** Repeatedly merge same-priority, same-action sibling predicates until
+    a fixed point.  Rule ids of merged rules are the lower of each
+    pair. *)
+
+val minimise : Classifier.t -> Classifier.t * report
+(** [remove_redundant] then [merge_siblings] to a joint fixed point. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/sim/cachesim.ml: Array Float Hashtbl Header Int64 List Pred Splice String Traffic

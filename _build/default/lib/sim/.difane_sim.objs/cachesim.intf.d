@@ -1,0 +1,1 @@
+lib/sim/cachesim.mli: Classifier Header Traffic

@@ -1,0 +1,1 @@
+lib/sim/flowsim.ml: Action Array Deployment Engine Float Hashtbl Int List Nox Option Rule Server Summary Switch Tcam Topology Traffic

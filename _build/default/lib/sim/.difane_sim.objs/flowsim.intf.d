@@ -1,0 +1,1 @@
+lib/sim/flowsim.mli: Deployment Nox Summary Traffic

@@ -1,0 +1,219 @@
+type kind = Wildcard_splice | Microflow
+
+type result = {
+  kind : kind;
+  cache_size : int;
+  lookups : int;
+  misses : int;
+  miss_rate : float;
+  distinct_keys : int;
+}
+
+let packet_stream flows =
+  let packets =
+    List.concat_map
+      (fun (f : Traffic.flow) ->
+        List.init f.packets (fun i ->
+            (f.start +. (float_of_int i *. f.interval), f.header)))
+      flows
+  in
+  let arr = Array.of_list packets in
+  Array.sort (fun (a, _) (b, _) -> Float.compare a b) arr;
+  Array.map snd arr
+
+(* Cache keys are small ints: headers (or spliced pieces) are interned
+   once, so the LRU inner loop is allocation-free. *)
+
+let header_key_table () : (string, int) Hashtbl.t = Hashtbl.create 1024
+
+let header_repr h =
+  let vs = Header.values h in
+  String.concat "," (Array.to_list (Array.map Int64.to_string vs))
+
+let intern tbl repr =
+  match Hashtbl.find_opt tbl repr with
+  | Some k -> k
+  | None ->
+      let k = Hashtbl.length tbl in
+      Hashtbl.add tbl repr k;
+      k
+
+let keys_for kind classifier stream =
+  let tbl = header_key_table () in
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.map
+    (fun h ->
+      let repr = header_repr h in
+      match kind with
+      | Microflow -> intern tbl repr
+      | Wildcard_splice -> (
+          match Hashtbl.find_opt memo repr with
+          | Some k -> k
+          | None ->
+              let k =
+                match Splice.for_header classifier h with
+                | Some piece -> intern tbl (Pred.to_string piece.Splice.pred)
+                | None -> intern tbl ("nomatch:" ^ repr)
+              in
+              Hashtbl.add memo repr k;
+              k))
+    stream
+
+(* LRU over int keys: intrusive doubly-linked list + array index. *)
+module Lru = struct
+  type t = {
+    capacity : int;
+    position : (int, int) Hashtbl.t; (* key -> node *)
+    keys : int array; (* node -> key *)
+    prev : int array;
+    next : int array;
+    mutable head : int; (* most recent node, -1 if empty *)
+    mutable tail : int; (* least recent node *)
+    mutable size : int;
+  }
+
+  let create capacity =
+    {
+      capacity;
+      position = Hashtbl.create (2 * capacity);
+      keys = Array.make capacity (-1);
+      prev = Array.make capacity (-1);
+      next = Array.make capacity (-1);
+      head = -1;
+      tail = -1;
+      size = 0;
+    }
+
+  let unlink t node =
+    let p = t.prev.(node) and n = t.next.(node) in
+    if p >= 0 then t.next.(p) <- n else t.head <- n;
+    if n >= 0 then t.prev.(n) <- p else t.tail <- p
+
+  let push_front t node =
+    t.prev.(node) <- -1;
+    t.next.(node) <- t.head;
+    if t.head >= 0 then t.prev.(t.head) <- node else t.tail <- node;
+    t.head <- node
+
+  (* returns true on hit *)
+  let access t key =
+    match Hashtbl.find_opt t.position key with
+    | Some node ->
+        if t.head <> node then begin
+          unlink t node;
+          push_front t node
+        end;
+        true
+    | None ->
+        let node =
+          if t.size < t.capacity then begin
+            let n = t.size in
+            t.size <- t.size + 1;
+            n
+          end
+          else begin
+            let victim = t.tail in
+            Hashtbl.remove t.position t.keys.(victim);
+            unlink t victim;
+            victim
+          end
+        in
+        t.keys.(node) <- key;
+        Hashtbl.replace t.position key node;
+        push_front t node;
+        false
+end
+
+let run_keys kind ~cache_size keys =
+  if cache_size < 1 then invalid_arg "Cachesim.run: cache_size must be >= 1";
+  let lru = Lru.create cache_size in
+  let misses = ref 0 in
+  Array.iter (fun k -> if not (Lru.access lru k) then incr misses) keys;
+  let distinct =
+    let seen = Hashtbl.create 1024 in
+    Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
+    Hashtbl.length seen
+  in
+  let lookups = Array.length keys in
+  {
+    kind;
+    cache_size;
+    lookups;
+    misses = !misses;
+    miss_rate = (if lookups = 0 then 0. else float_of_int !misses /. float_of_int lookups);
+    distinct_keys = distinct;
+  }
+
+let run kind classifier ~cache_size stream =
+  run_keys kind ~cache_size (keys_for kind classifier stream)
+
+(* Belady's OPT: evict the resident key whose next use lies furthest in
+   the future.  Next-use positions are precomputed by a single backward
+   pass; the eviction scan is linear in the cache size. *)
+let run_opt_keys kind ~cache_size keys =
+  if cache_size < 1 then invalid_arg "Cachesim.run_opt: cache_size must be >= 1";
+  let n = Array.length keys in
+  let next_use = Array.make n max_int in
+  let last_seen = Hashtbl.create 1024 in
+  for i = n - 1 downto 0 do
+    (match Hashtbl.find_opt last_seen keys.(i) with
+    | Some j -> next_use.(i) <- j
+    | None -> next_use.(i) <- max_int);
+    Hashtbl.replace last_seen keys.(i) i
+  done;
+  let resident : (int, int) Hashtbl.t = Hashtbl.create (2 * cache_size) in
+  (* key -> its next use position, kept current as the stream advances *)
+  let misses = ref 0 in
+  Array.iteri
+    (fun i key ->
+      (match Hashtbl.find_opt resident key with
+      | Some _ -> ()
+      | None ->
+          incr misses;
+          if Hashtbl.length resident >= cache_size then begin
+            let victim, _ =
+              Hashtbl.fold
+                (fun k nu (bk, bnu) -> if nu > bnu then (k, nu) else (bk, bnu))
+                resident (-1, min_int)
+            in
+            Hashtbl.remove resident victim
+          end);
+      Hashtbl.replace resident key next_use.(i))
+    keys;
+  let distinct =
+    let seen = Hashtbl.create 1024 in
+    Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
+    Hashtbl.length seen
+  in
+  {
+    kind;
+    cache_size;
+    lookups = n;
+    misses = !misses;
+    miss_rate = (if n = 0 then 0. else float_of_int !misses /. float_of_int n);
+    distinct_keys = distinct;
+  }
+
+let run_opt kind classifier ~cache_size stream =
+  run_opt_keys kind ~cache_size (keys_for kind classifier stream)
+
+let sweep classifier ~cache_sizes stream =
+  let wild_keys = keys_for Wildcard_splice classifier stream in
+  let micro_keys = keys_for Microflow classifier stream in
+  List.map
+    (fun size ->
+      ( size,
+        run_keys Wildcard_splice ~cache_size:size wild_keys,
+        run_keys Microflow ~cache_size:size micro_keys ))
+    cache_sizes
+
+let sweep_with_opt classifier ~cache_sizes stream =
+  let wild_keys = keys_for Wildcard_splice classifier stream in
+  let micro_keys = keys_for Microflow classifier stream in
+  List.map
+    (fun size ->
+      ( size,
+        run_keys Wildcard_splice ~cache_size:size wild_keys,
+        run_opt_keys Wildcard_splice ~cache_size:size wild_keys,
+        run_keys Microflow ~cache_size:size micro_keys ))
+    cache_sizes

@@ -1,0 +1,31 @@
+(** A discrete-event simulation engine.
+
+    A classic event-heap executor: callbacks scheduled at absolute times,
+    executed in time order (FIFO among equal timestamps).  All the timing
+    experiments — flow-setup throughput, first-packet delay, policy-update
+    convergence — run on this engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time, seconds.  Starts at [0.]. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Schedule a callback.  @raise Invalid_argument if [at] is in the past. *)
+
+val after : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule t ~at:(now t +. delay)].  @raise Invalid_argument on a
+    negative delay. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the heap is empty (or the clock passes [until];
+    remaining events stay queued).  The clock advances to each event's
+    timestamp. *)
+
+val pending : t -> int
+(** Events still queued. *)
+
+val processed : t -> int
+(** Events executed so far. *)

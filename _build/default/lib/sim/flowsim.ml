@@ -1,0 +1,251 @@
+type timing = {
+  authority_service : float;
+  controller_service : float;
+  controller_rtt : float;
+  queue_capacity : int;
+  install_latency : float;
+}
+
+let default_timing =
+  {
+    authority_service = 1.25e-6;
+    controller_service = 20e-6;
+    controller_rtt = 10e-3;
+    queue_capacity = 2000;
+    install_latency = 0.;
+  }
+
+type result = {
+  offered_flows : int;
+  completed_flows : int;
+  dropped_flows : int;
+  delivered_packets : int;
+  cache_hit_packets : int;
+  duration : float;
+  setup_throughput : float;
+  first_packet_delay : Summary.t option;
+  delays : float array;
+  miss_delays : float array;
+  stretches : float array;
+  authority_stats : (int * int * int) list;
+}
+
+type acc = {
+  mutable completed : int;
+  mutable dropped : int;
+  mutable delivered : int;
+  mutable cache_hits : int;
+  mutable first_arrival : float;
+  mutable last_arrival : float;
+  mutable first_delivery : float;
+  mutable last_delivery : float;
+  mutable delays : float list;
+  mutable miss_delays : float list;
+  mutable stretches : float list;
+}
+
+let fresh_acc () =
+  {
+    completed = 0;
+    dropped = 0;
+    delivered = 0;
+    cache_hits = 0;
+    first_arrival = infinity;
+    last_arrival = 0.;
+    first_delivery = infinity;
+    last_delivery = 0.;
+    delays = [];
+    miss_delays = [];
+    stretches = [];
+  }
+
+let finish ?(authority_stats = []) acc ~offered =
+  let duration =
+    if acc.last_delivery > acc.first_arrival then acc.last_delivery -. acc.first_arrival
+    else 0.
+  in
+  (* Setup rate over max(arrival window, completion span): at low load the
+     completions track arrivals (throughput = offered); at saturation the
+     completion span stretches to the service capacity, so queued tails
+     neither inflate nor deflate the rate. *)
+  let arrival_window = acc.last_arrival -. acc.first_arrival in
+  let completion_span =
+    if acc.first_delivery < acc.last_delivery then acc.last_delivery -. acc.first_delivery
+    else 0.
+  in
+  let window = Float.max arrival_window completion_span in
+  {
+    offered_flows = offered;
+    completed_flows = acc.completed;
+    dropped_flows = acc.dropped;
+    delivered_packets = acc.delivered;
+    cache_hit_packets = acc.cache_hits;
+    duration;
+    setup_throughput =
+      (if window > 0. then float_of_int acc.completed /. window else 0.);
+    first_packet_delay =
+      (if acc.delays = [] then None else Some (Summary.of_list acc.delays));
+    delays = Array.of_list acc.delays;
+    miss_delays = Array.of_list acc.miss_delays;
+    stretches = Array.of_list acc.stretches;
+    authority_stats;
+  }
+
+let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~cache_hit =
+  let t = Engine.now engine +. extra_latency in
+  acc.delivered <- acc.delivered + 1;
+  if cache_hit then acc.cache_hits <- acc.cache_hits + 1;
+  if t > acc.last_delivery then acc.last_delivery <- t;
+  if t < acc.first_delivery then acc.first_delivery <- t;
+  if is_first then begin
+    acc.completed <- acc.completed + 1;
+    acc.delays <- (t -. arrival) :: acc.delays;
+    if was_miss then acc.miss_delays <- (t -. arrival) :: acc.miss_delays
+  end
+
+let prop topo a b = Option.value ~default:0. (Topology.distance topo a b)
+
+let egress_latency topo ~from action =
+  match Action.egress action with Some e -> prop topo from e | None -> 0.
+
+let run_difane ?(timing = default_timing) d flows =
+  let engine = Engine.create () in
+  let acc = fresh_acc () in
+  let topo = Deployment.topology d in
+  let servers = Hashtbl.create 8 in
+  let server_for auth =
+    match Hashtbl.find_opt servers auth with
+    | Some s -> s
+    | None ->
+        let s =
+          Server.create engine ~service_time:timing.authority_service
+            ~queue_capacity:timing.queue_capacity
+        in
+        Hashtbl.add servers auth s;
+        s
+  in
+  let idle_timeout = (Deployment.config d).Deployment.cache_idle_timeout in
+  let hard_timeout = (Deployment.config d).Deployment.cache_hard_timeout in
+  let process_packet (flow : Traffic.flow) ~is_first =
+    let now = Engine.now engine in
+    let ingress_sw = Deployment.switch d flow.ingress in
+    match Switch.process ingress_sw ~now flow.header with
+    | Switch.Local (action, bank) ->
+        deliver acc engine ~is_first ~arrival:now
+          ~extra_latency:(egress_latency topo ~from:flow.ingress action)
+          ~cache_hit:(bank = Switch.Cache_bank)
+    | Switch.Unmatched -> if is_first then acc.dropped <- acc.dropped + 1
+    | Switch.Tunnel nominal -> (
+        match Deployment.resolve_authority d ~ingress:flow.ingress flow.header ~nominal with
+        | None -> if is_first then acc.dropped <- acc.dropped + 1
+        | Some auth ->
+        let tunnel_latency = prop topo flow.ingress auth in
+        (* the miss packet reaches the authority, then queues for a
+           flow-setup slot *)
+        Engine.after engine ~delay:tunnel_latency (fun () ->
+            let accepted =
+              Server.submit (server_for auth) (fun () ->
+                  let now = Engine.now engine in
+                  match
+                    Switch.serve_miss ~mode:(Deployment.config d).Deployment.cache_mode
+                      (Deployment.switch d auth) ~now flow.header
+                  with
+                  | None -> if is_first then acc.dropped <- acc.dropped + 1
+                  | Some { Switch.action; cache_rule; origin_id } ->
+                      (* the install message travels back to the ingress
+                         and updates its table off the packet's critical
+                         path *)
+                      Engine.after engine ~delay:timing.install_latency (fun () ->
+                          ignore
+                            (Switch.install_cache_rule ?idle_timeout ?hard_timeout
+                               ~origin_id ingress_sw ~now:(Engine.now engine) cache_rule));
+                      (match Action.egress action with
+                      | Some e ->
+                          acc.stretches
+                          <- Topology.stretch topo ~src:flow.ingress ~via:auth ~dst:e
+                             :: acc.stretches
+                      | None -> ());
+                      deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+                        ~extra_latency:(egress_latency topo ~from:auth action)
+                        ~cache_hit:false)
+            in
+            if (not accepted) && is_first then acc.dropped <- acc.dropped + 1))
+  in
+  List.iter
+    (fun (flow : Traffic.flow) ->
+      if flow.start < acc.first_arrival then acc.first_arrival <- flow.start;
+      if flow.start > acc.last_arrival then acc.last_arrival <- flow.start;
+      Engine.schedule engine ~at:flow.start (fun () -> process_packet flow ~is_first:true);
+      for i = 1 to flow.packets - 1 do
+        Engine.schedule engine
+          ~at:(flow.start +. (float_of_int i *. flow.interval))
+          (fun () -> process_packet flow ~is_first:false)
+      done)
+    flows;
+  Engine.run engine;
+  let authority_stats =
+    Hashtbl.fold
+      (fun auth server acc ->
+        (auth, Server.completed server, Server.rejected server) :: acc)
+      servers []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+  in
+  finish ~authority_stats acc ~offered:(List.length flows)
+
+let run_nox ?(timing = default_timing) n flows =
+  let engine = Engine.create () in
+  let acc = fresh_acc () in
+  let controller =
+    Server.create engine ~service_time:timing.controller_service
+      ~queue_capacity:timing.queue_capacity
+  in
+  let topo = Nox.topology n in
+  let process_packet (flow : Traffic.flow) ~is_first =
+    let now = Engine.now engine in
+    let sw = Nox.switch n flow.ingress in
+    match Tcam.lookup (Switch.cache sw) ~now flow.header with
+    | Some r ->
+        deliver acc engine ~is_first ~arrival:now
+          ~extra_latency:(egress_latency topo ~from:flow.ingress r.Rule.action)
+          ~cache_hit:true
+    | None ->
+        (* packet-in: half an RTT to reach the controller, queue + service,
+           half an RTT back with the packet-out, then the data-plane leg *)
+        Engine.after engine ~delay:(timing.controller_rtt /. 2.) (fun () ->
+            let accepted =
+              Server.submit controller (fun () ->
+                  let now = Engine.now engine in
+                  let o = Nox.inject n ~now ~ingress:flow.ingress flow.header in
+                  deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+                    ~extra_latency:
+                      ((timing.controller_rtt /. 2.)
+                      +. egress_latency topo ~from:flow.ingress o.Nox.action)
+                    ~cache_hit:false)
+            in
+            if (not accepted) && is_first then acc.dropped <- acc.dropped + 1)
+  in
+  List.iter
+    (fun (flow : Traffic.flow) ->
+      if flow.start < acc.first_arrival then acc.first_arrival <- flow.start;
+      if flow.start > acc.last_arrival then acc.last_arrival <- flow.start;
+      Engine.schedule engine ~at:flow.start (fun () -> process_packet flow ~is_first:true);
+      for i = 1 to flow.packets - 1 do
+        Engine.schedule engine
+          ~at:(flow.start +. (float_of_int i *. flow.interval))
+          (fun () -> process_packet flow ~is_first:false)
+      done)
+    flows;
+  Engine.run engine;
+  finish acc ~offered:(List.length flows)
+
+let saturation_throughput ?timing ~mode ~workload ~rates () =
+  List.map
+    (fun rate ->
+      let flows = workload ~rate in
+      let result =
+        match mode with
+        | `Difane mk -> run_difane ?timing (mk ()) flows
+        | `Nox mk -> run_nox ?timing (mk ()) flows
+      in
+      (rate, result))
+    rates

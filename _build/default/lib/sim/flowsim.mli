@@ -1,0 +1,77 @@
+(** Flow-level discrete-event simulation of DIFANE and the NOX baseline.
+
+    Replays a {!Traffic.flow} workload against a deployed network with
+    explicit capacity models:
+
+    {ul
+    {- {b DIFANE}: cache hits and already-cached flows forward at line rate
+       (not modelled as a bottleneck); each {e miss} consumes one
+       flow-setup slot at its authority switch — a FIFO {!Server} per
+       authority with service time [authority_service].  Misses arriving
+       to a full authority queue are lost (as in the paper's overload
+       runs).}
+    {- {b NOX}: each miss consumes a slot at the single controller server
+       ([controller_service]) and pays the control-channel RTT.}}
+
+    The timing defaults follow the paper's prototype numbers: an authority
+    switch sustains ~800K flow setups/s (Click data plane), the controller
+    ~50K/s, the controller RTT ~10 ms, data-plane link latencies come from
+    the topology. *)
+
+type timing = {
+  authority_service : float;  (** seconds per miss at an authority switch *)
+  controller_service : float;  (** seconds per packet-in at the controller *)
+  controller_rtt : float;
+  queue_capacity : int;  (** backlog bound per server *)
+  install_latency : float;
+      (** delay between an authority serving a miss and the cache rule
+          becoming active at the ingress switch (flow-mod propagation +
+          table update).  Packets of the flow arriving inside this window
+          still miss — the paper's in-flight-setup effect.  0 models the
+          Click prototype's in-memory tables; hardware TCAMs are
+          milliseconds. *)
+}
+
+val default_timing : timing
+(** 1.25 µs authority service, 20 µs controller service, 10 ms RTT,
+    queue 2000, instantaneous installs. *)
+
+type result = {
+  offered_flows : int;
+  completed_flows : int;  (** first packet delivered *)
+  dropped_flows : int;  (** lost to a full setup queue *)
+  delivered_packets : int;
+  cache_hit_packets : int;
+  duration : float;  (** makespan: last delivery - first arrival *)
+  setup_throughput : float;
+      (** completed flows over the {e arrival} window, so in-flight tails
+          past the last arrival do not deflate the rate *)
+  first_packet_delay : Summary.t option;  (** None when nothing completed *)
+  delays : float array;  (** raw per-flow first-packet delays *)
+  miss_delays : float array;
+      (** first-packet delays of flows whose first packet required setup —
+          the paper's flow-setup RTT *)
+  stretches : float array;  (** per-miss path stretch (DIFANE only) *)
+  authority_stats : (int * int * int) list;
+      (** per-authority-switch [(switch, misses served, misses rejected)],
+          DIFANE only — verifies the load balance behind the scaling
+          figure *)
+}
+
+val run_difane : ?timing:timing -> Deployment.t -> Traffic.flow list -> result
+(** Replay the workload against a DIFANE deployment.  Switch state
+    (caches, counters) is mutated — build a fresh deployment per run. *)
+
+val run_nox : ?timing:timing -> Nox.t -> Traffic.flow list -> result
+(** Replay against the reactive baseline. *)
+
+val saturation_throughput :
+  ?timing:timing ->
+  mode:[ `Difane of unit -> Deployment.t | `Nox of unit -> Nox.t ] ->
+  workload:(rate:float -> Traffic.flow list) ->
+  rates:float list ->
+  unit ->
+  (float * result) list
+(** Sweep offered flow-arrival rates and report the achieved setup
+    throughput at each — the paper's throughput-vs-sending-rate curve.
+    Fresh network state is built for every rate via the thunks. *)

@@ -1,0 +1,61 @@
+type t = {
+  engine : Engine.t;
+  service_time : float;
+  queue_capacity : int;
+  backlog : (unit -> unit) Queue.t;
+  mutable busy : bool;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable completed : int;
+  mutable busy_time : float;
+  mutable started_at : float;
+}
+
+let create engine ~service_time ~queue_capacity =
+  if service_time <= 0. then invalid_arg "Server.create: nonpositive service time";
+  if queue_capacity < 0 then invalid_arg "Server.create: negative capacity";
+  {
+    engine;
+    service_time;
+    queue_capacity;
+    backlog = Queue.create ();
+    busy = false;
+    accepted = 0;
+    rejected = 0;
+    completed = 0;
+    busy_time = 0.;
+    started_at = 0.;
+  }
+
+let rec start_next t =
+  match Queue.take_opt t.backlog with
+  | None -> t.busy <- false
+  | Some job ->
+      t.busy <- true;
+      Engine.after t.engine ~delay:t.service_time (fun () ->
+          t.completed <- t.completed + 1;
+          t.busy_time <- t.busy_time +. t.service_time;
+          job ();
+          start_next t)
+
+let submit t job =
+  if Queue.length t.backlog >= t.queue_capacity && t.busy then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    t.accepted <- t.accepted + 1;
+    if t.accepted = 1 then t.started_at <- Engine.now t.engine;
+    Queue.add job t.backlog;
+    if not t.busy then start_next t;
+    true
+  end
+
+let queue_length t = Queue.length t.backlog
+let accepted t = t.accepted
+let rejected t = t.rejected
+let completed t = t.completed
+
+let utilisation t =
+  let elapsed = Engine.now t.engine -. t.started_at in
+  if elapsed <= 0. then 0. else Float.min 1. (t.busy_time /. elapsed)

@@ -1,0 +1,62 @@
+type t = {
+  lo : float;
+  hi : float;
+  log_scale : bool;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable sum : float;
+  mutable n : int;
+}
+
+let create ?(log_scale = false) ~lo ~hi ~buckets () =
+  if buckets < 1 then invalid_arg "Histogram.create: need at least one bucket";
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  if log_scale && lo <= 0. then invalid_arg "Histogram.create: log scale needs lo > 0";
+  { lo; hi; log_scale; counts = Array.make buckets 0; underflow = 0; overflow = 0;
+    sum = 0.; n = 0 }
+
+let nbuckets t = Array.length t.counts
+
+let index t v =
+  let frac =
+    if t.log_scale then (Float.log v -. Float.log t.lo) /. (Float.log t.hi -. Float.log t.lo)
+    else (v -. t.lo) /. (t.hi -. t.lo)
+  in
+  int_of_float (Float.floor (frac *. float_of_int (nbuckets t)))
+
+let add t v =
+  t.sum <- t.sum +. v;
+  t.n <- t.n + 1;
+  if v < t.lo then t.underflow <- t.underflow + 1
+  else if v >= t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let i = min (nbuckets t - 1) (max 0 (index t v)) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_all t = List.iter (add t)
+let total t = t.n
+let underflow t = t.underflow
+let overflow t = t.overflow
+
+let edge t i =
+  let frac = float_of_int i /. float_of_int (nbuckets t) in
+  if t.log_scale then
+    Float.exp (Float.log t.lo +. (frac *. (Float.log t.hi -. Float.log t.lo)))
+  else t.lo +. (frac *. (t.hi -. t.lo))
+
+let buckets t =
+  List.init (nbuckets t) (fun i -> (edge t i, edge t (i + 1), t.counts.(i)))
+
+let mean t = if t.n = 0 then Float.nan else t.sum /. float_of_int t.n
+
+let pp ppf t =
+  let widest = Array.fold_left max 1 t.counts in
+  List.iter
+    (fun (lo, hi, c) ->
+      let bar = String.make (c * 40 / widest) '#' in
+      Format.fprintf ppf "[%10.4g, %10.4g) %6d %s@." lo hi c bar)
+    (buckets t);
+  if t.underflow > 0 then Format.fprintf ppf "underflow: %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow

@@ -1,0 +1,30 @@
+(** Fixed-bucket histograms, linear or logarithmic.
+
+    Used by the bench harness for delay and stretch distributions where a
+    full CDF is overkill.  Samples outside the configured range land in
+    the two overflow buckets so nothing is silently dropped. *)
+
+type t
+
+val create : ?log_scale:bool -> lo:float -> hi:float -> buckets:int -> unit -> t
+(** [buckets >= 1]; with [log_scale] (default false) bucket edges are
+    geometrically spaced and [lo] must be positive.
+    @raise Invalid_argument on a bad range or bucket count. *)
+
+val add : t -> float -> unit
+val add_all : t -> float list -> unit
+
+val total : t -> int
+(** All samples seen, including overflow. *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val buckets : t -> (float * float * int) list
+(** [(lo, hi, count)] per bucket, in order. *)
+
+val mean : t -> float
+(** Mean of the raw samples (exact, not bucketised); [nan] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** Text rendering with proportional bars. *)

@@ -1,0 +1,53 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Summary.percentile: empty";
+  if q <= 0. then sorted.(0)
+  else if q >= 1. then sorted.(n - 1)
+  else
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let of_array arr =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Summary.of_array: empty";
+  let sorted = Array.copy arr in
+  Array.sort Float.compare sorted;
+  let sum = Array.fold_left ( +. ) 0. sorted in
+  let mean = sum /. float_of_int n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0. sorted
+    /. float_of_int n
+  in
+  {
+    count = n;
+    mean;
+    stddev = Float.sqrt var;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p95 = percentile sorted 0.95;
+    p99 = percentile sorted 0.99;
+  }
+
+let of_list l = of_array (Array.of_list l)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.3g min=%.4g p50=%.4g p90=%.4g p95=%.4g p99=%.4g max=%.4g"
+    t.count t.mean t.stddev t.min t.p50 t.p90 t.p95 t.p99 t.max

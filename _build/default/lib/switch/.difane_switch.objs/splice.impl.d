@@ -1,0 +1,1 @@
+lib/switch/splice.ml: Classifier Hashtbl List Pred Rule

@@ -1,0 +1,1 @@
+lib/switch/splice.mli: Classifier Header Pred Rule

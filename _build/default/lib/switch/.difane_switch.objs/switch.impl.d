@@ -1,0 +1,1 @@
+lib/switch/switch.ml: Action Classifier Format Hashtbl Header Indexed Int Int64 List Message Option Partitioner Pred Rule Schema Splice Tcam Ternary

@@ -1,0 +1,1 @@
+lib/switch/switch.mli: Action Format Header Message Partitioner Rule Tcam

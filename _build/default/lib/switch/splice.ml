@@ -1,0 +1,51 @@
+type piece = { origin : Rule.t; pred : Pred.t }
+
+(* Clip the winner's predicate against each higher-priority overlap,
+   keeping only the disjoint fragment containing the packet.  One
+   hyper-rectangle survives each step, so the walk is linear in the
+   blocker count — materialising the full disjoint cover (which can
+   fragment combinatorially) is never needed.  Pieces spliced from
+   different headers of the same rule may overlap each other, which is
+   harmless: they carry the same action.  Pieces of different rules are
+   always disjoint (each excludes the other's whole predicate). *)
+let for_header table h =
+  match Classifier.first_match table h with
+  | None -> None
+  | Some origin ->
+      let blockers =
+        Classifier.rules table
+        |> List.filter (fun r -> Rule.beats r origin && Rule.overlaps r origin)
+        |> List.map (fun (r : Rule.t) -> r.pred)
+      in
+      let pred =
+        List.fold_left
+          (fun piece b ->
+            if Pred.overlaps piece b then Pred.clip_to_holder piece h b else piece)
+          origin.Rule.pred blockers
+      in
+      Some { origin; pred }
+
+let cache_priority = 0 (* pieces are disjoint; any constant works *)
+
+let cache_rule ~next_id piece =
+  Rule.make ~id:(next_id ()) ~priority:cache_priority piece.pred piece.origin.Rule.action
+
+let pieces_of_rule table (r : Rule.t) =
+  let blockers =
+    Classifier.rules table
+    |> List.filter (fun r' -> Rule.beats r' r && Rule.overlaps r' r)
+    |> List.map (fun (r' : Rule.t) -> r'.pred)
+  in
+  Pred.subtract_all r.pred blockers
+
+let dependent_set_cost table r =
+  (* Transitive closure over direct-dependency edges. *)
+  let seen = Hashtbl.create 16 in
+  let rec visit (r : Rule.t) =
+    if not (Hashtbl.mem seen r.id) then begin
+      Hashtbl.add seen r.id ();
+      List.iter visit (Classifier.direct_dependencies table r)
+    end
+  in
+  visit r;
+  Hashtbl.length seen

@@ -1,0 +1,38 @@
+(** Cache-rule splicing: DIFANE's dependency-aware wildcard caching.
+
+    Caching the rule a packet matched is unsafe when a higher-priority
+    rule overlaps it — the cached copy would steal that rule's packets at
+    the ingress switch.  DIFANE's answer is to cache not the rule but the
+    {e independent piece} of the rule that the packet actually fell into:
+    the rule's predicate clipped to the authority partition, minus every
+    higher-priority overlapping predicate, restricted to the disjoint
+    fragment containing the packet.  Pieces spliced this way never overlap
+    each other (across rules {e and} across partitions), so the ingress
+    cache bank needs no internal priorities and can never corrupt the
+    policy — the correctness property the test suite checks exhaustively. *)
+
+type piece = {
+  origin : Rule.t;  (** the partition-table rule the packet matched *)
+  pred : Pred.t;  (** the independent fragment containing the packet *)
+}
+
+val for_header : Classifier.t -> Header.t -> piece option
+(** [for_header table h]: the independent piece of [table]'s winning rule
+    that contains [h]; [None] when no rule matches.  The piece satisfies
+    [Pred.matches piece.pred h] and overlaps no rule that beats
+    [piece.origin]. *)
+
+val cache_rule : next_id:(unit -> int) -> piece -> Rule.t
+(** Materialise a piece as an installable cache rule carrying the origin's
+    action.  All cache rules get the same priority (pieces are disjoint by
+    construction). *)
+
+val pieces_of_rule : Classifier.t -> Rule.t -> Pred.t list
+(** All independent pieces of one rule (its effective region as disjoint
+    predicates) — used by the ablation bench to count worst-case cache
+    cost per rule. *)
+
+val dependent_set_cost : Classifier.t -> Rule.t -> int
+(** Size of the naive alternative: cache the rule plus every rule in its
+    transitive direct-dependency closure (the CacheFlow "dependent set").
+    The A-SPLICE ablation compares this against splicing. *)

@@ -1,0 +1,293 @@
+type bank_hit = Cache_bank | Authority_bank
+type verdict = Local of Action.t * bank_hit | Tunnel of int | Unmatched
+
+type counters = {
+  cache_hits : int64;
+  authority_hits : int64;
+  tunnelled : int64;
+  unmatched : int64;
+}
+
+type t = {
+  id : int;
+  cache : Tcam.t;
+  mutable authority : (Partitioner.partition * Indexed.t) list;
+      (* each partition table carries a tuple-space index for the hot path *)
+  mutable partition_bank : Rule.t list; (* disjoint regions; order irrelevant *)
+  cache_origin : (int, int) Hashtbl.t; (* cache rule id -> origin rule id *)
+  origin_hits : (int, int64) Hashtbl.t; (* origin rule id -> packets (cache + authority) *)
+  partition_hits : (int, int64) Hashtbl.t; (* partition id -> misses served *)
+  mutable next_cache_id : int;
+  mutable notifications : Message.t list; (* reverse order *)
+  mutable pending_partition : Rule.t list; (* staged until the next barrier *)
+  mutable cache_hits : int64;
+  mutable authority_hits : int64;
+  mutable tunnelled : int64;
+  mutable unmatched : int64;
+}
+
+let cache_rule_base = 2_000_000
+
+let create ~id ~cache_capacity =
+  {
+    id;
+    cache = Tcam.create ~capacity:cache_capacity;
+    authority = [];
+    partition_bank = [];
+    cache_origin = Hashtbl.create 64;
+    origin_hits = Hashtbl.create 64;
+    partition_hits = Hashtbl.create 16;
+    next_cache_id = cache_rule_base + (id * 100_000);
+    notifications = [];
+    pending_partition = [];
+    cache_hits = 0L;
+    authority_hits = 0L;
+    tunnelled = 0L;
+    unmatched = 0L;
+  }
+
+let id t = t.id
+
+let install_partition_rules t rules =
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.action with
+      | Action.To_authority _ -> ()
+      | _ -> invalid_arg "Switch.install_partition_rules: non-partition action")
+    rules;
+  t.partition_bank <- rules
+
+let install_authority t (p : Partitioner.partition) =
+  t.authority <-
+    (p, Indexed.of_classifier p.table)
+    :: List.filter (fun ((q : Partitioner.partition), _) -> q.pid <> p.pid) t.authority
+
+let drop_authority t pid =
+  t.authority <- List.filter (fun ((q : Partitioner.partition), _) -> q.pid <> pid) t.authority
+
+let authority_partitions t = List.map fst t.authority
+
+let bump tbl key n =
+  let prev = Option.value ~default:0L (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (Int64.add prev n)
+
+let apply_flow_mod t ~now (fm : Message.flow_mod) =
+  match (fm.bank, fm.command) with
+  | Message.Cache, Message.Add ->
+      ignore
+        (Tcam.insert ?idle_timeout:fm.idle_timeout ?hard_timeout:fm.hard_timeout t.cache
+           ~now fm.rule)
+  | Message.Cache, (Message.Delete | Message.Delete_strict) ->
+      ignore (Tcam.remove t.cache fm.rule.Rule.id)
+  | (Message.Authority | Message.Partition), _ ->
+      invalid_arg "Switch.apply_flow_mod: authority/partition banks are replaced wholesale"
+
+let handle_control t ~now msg =
+  match msg with
+  | Message.Hello -> [ Message.Hello ]
+  | Message.Echo_request c -> [ Message.Echo_reply c ]
+  | Message.Barrier_request x ->
+      (* barrier semantics: staged partition-bank updates commit as one
+         atomic replacement before the reply goes out *)
+      if t.pending_partition <> [] then begin
+        install_partition_rules t (List.rev t.pending_partition);
+        t.pending_partition <- []
+      end;
+      [ Message.Barrier_reply x ]
+  | Message.Flow_mod fm -> (
+      match (fm.Message.bank, fm.Message.command) with
+      | Message.Cache, _ ->
+          apply_flow_mod t ~now fm;
+          []
+      | Message.Partition, Message.Add ->
+          t.pending_partition <- fm.Message.rule :: t.pending_partition;
+          []
+      | Message.Partition, (Message.Delete | Message.Delete_strict)
+      | Message.Authority, _ ->
+          [])
+  | Message.Stats_request { Message.table_bank = Message.Cache; cookie } ->
+      let flows =
+        List.map
+          (fun (e : Tcam.entry) ->
+            {
+              Message.rule_id = e.rule.Rule.id;
+              packets = e.Tcam.packets;
+              bytes = e.Tcam.bytes;
+              duration = now -. e.Tcam.installed_at;
+            })
+          (Tcam.entries t.cache)
+      in
+      [ Message.Stats_reply { Message.request_cookie = cookie; flows } ]
+  | Message.Stats_request _ -> [ Message.Stats_reply { Message.request_cookie = 0; flows = [] } ]
+  | Message.Install_partition { Message.pid; region; table_rules } ->
+      install_authority t
+        {
+          Partitioner.pid;
+          region;
+          table = Classifier.create (Pred.schema region) table_rules;
+        };
+      []
+  | Message.Drop_partition pid ->
+      drop_authority t pid;
+      []
+  | Message.Echo_reply _ | Message.Barrier_reply _ | Message.Stats_reply _
+  | Message.Packet_in _ | Message.Packet_out _ | Message.Flow_removed _ ->
+      []
+
+let authority_lookup t h =
+  List.find_map
+    (fun ((p : Partitioner.partition), idx) ->
+      if Pred.matches p.region h then
+        Option.map (fun r -> (p, r)) (Indexed.first_match idx h)
+      else None)
+    t.authority
+
+let process t ~now h =
+  match Tcam.lookup t.cache ~now h with
+  | Some r ->
+      t.cache_hits <- Int64.add t.cache_hits 1L;
+      (match Hashtbl.find_opt t.cache_origin r.Rule.id with
+      | Some origin -> bump t.origin_hits origin 1L
+      | None -> ());
+      Local (r.Rule.action, Cache_bank)
+  | None -> (
+      match authority_lookup t h with
+      | Some (_, r) ->
+          t.authority_hits <- Int64.add t.authority_hits 1L;
+          bump t.origin_hits r.Rule.id 1L;
+          Local (r.Rule.action, Authority_bank)
+      | None -> (
+          match List.find_opt (fun (r : Rule.t) -> Rule.matches r h) t.partition_bank with
+          | Some { Rule.action = Action.To_authority a; _ } ->
+              t.tunnelled <- Int64.add t.tunnelled 1L;
+              Tunnel a
+          | Some _ | None ->
+              t.unmatched <- Int64.add t.unmatched 1L;
+              Unmatched))
+
+type miss_reply = { action : Action.t; cache_rule : Rule.t; origin_id : int }
+
+let exact_pred schema h =
+  Pred.make schema
+    (List.init (Schema.arity schema) (fun i ->
+         Ternary.exact ~width:(Schema.field_bits schema i) (Header.field h i)))
+
+let serve_miss ?(mode = `Spliced) t ~now h =
+  ignore now;
+  match
+    List.find_opt
+      (fun ((p : Partitioner.partition), _) -> Pred.matches p.region h)
+      t.authority
+  with
+  | None -> None
+  | Some (p, _) -> (
+      match Splice.for_header p.table h with
+      | None -> None
+      | Some piece ->
+          (* the authority switch forwards this packet itself: count it
+             against the origin rule like any other hit, and against the
+             partition for load rebalancing *)
+          t.authority_hits <- Int64.add t.authority_hits 1L;
+          bump t.origin_hits piece.origin.Rule.id 1L;
+          bump t.partition_hits p.Partitioner.pid 1L;
+          let next_id () =
+            let i = t.next_cache_id in
+            t.next_cache_id <- i + 1;
+            i
+          in
+          let cache_rule =
+            match mode with
+            | `Spliced -> Splice.cache_rule ~next_id piece
+            | `Microflow ->
+                (* exact match on the packet's own header: always safe,
+                   never aggregates *)
+                Rule.make ~id:(next_id ()) ~priority:0
+                  (exact_pred (Classifier.schema p.table) h)
+                  piece.origin.Rule.action
+          in
+          Some
+            { action = piece.origin.Rule.action; cache_rule; origin_id = piece.origin.Rule.id })
+
+let notify_removed t ~now reason (e : Tcam.entry) =
+  let cookie =
+    Option.value ~default:(-1) (Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id)
+  in
+  t.notifications <-
+    Message.Flow_removed
+      {
+        Message.removed_rule = e.Tcam.rule.Rule.id;
+        cookie;
+        reason;
+        final_packets = e.Tcam.packets;
+        final_bytes = e.Tcam.bytes;
+        lifetime = now -. e.Tcam.installed_at;
+      }
+    :: t.notifications
+
+let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id t ~now rule =
+  let evicted = Tcam.insert_or_evict_entries ?idle_timeout ?hard_timeout t.cache ~now rule in
+  let evicted =
+    (* a zero-capacity cache "evicts" the incoming rule itself; that is a
+       bounce, not the removal of an installed entry *)
+    List.filter (fun (e : Tcam.entry) -> e.Tcam.rule.Rule.id <> rule.Rule.id) evicted
+  in
+  List.iter (notify_removed t ~now Message.Evicted) evicted;
+  (match origin_id with
+  | Some origin -> Hashtbl.replace t.cache_origin rule.Rule.id origin
+  | None -> ());
+  let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) evicted in
+  List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
+  rules
+
+let expire_cache t ~now =
+  let gone = Tcam.expire_entries t.cache ~now in
+  List.iter
+    (fun (e : Tcam.entry) ->
+      let reason =
+        match e.Tcam.hard_timeout with
+        | Some d when now -. e.Tcam.installed_at >= d -> Message.Hard_timeout
+        | _ -> Message.Idle_timeout
+      in
+      notify_removed t ~now reason e)
+    gone;
+  let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) gone in
+  List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
+  rules
+
+let drain_notifications t =
+  let n = List.rev t.notifications in
+  t.notifications <- [];
+  n
+
+let cache t = t.cache
+let cache_occupancy t = Tcam.occupancy t.cache
+let origin_of_cache_rule t cid = Hashtbl.find_opt t.cache_origin cid
+
+let partition_load t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.partition_hits []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let aggregate_counters t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.origin_hits []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let counters t =
+  {
+    cache_hits = t.cache_hits;
+    authority_hits = t.authority_hits;
+    tunnelled = t.tunnelled;
+    unmatched = t.unmatched;
+  }
+
+let reset_counters t =
+  t.cache_hits <- 0L;
+  t.authority_hits <- 0L;
+  t.tunnelled <- 0L;
+  t.unmatched <- 0L;
+  Hashtbl.reset t.origin_hits;
+  Hashtbl.reset t.partition_hits
+
+let pp ppf t =
+  Format.fprintf ppf "switch %d: cache %d/%d, %d authority partitions, %d partition rules"
+    t.id (Tcam.occupancy t.cache) (Tcam.capacity t.cache) (List.length t.authority)
+    (List.length t.partition_bank)

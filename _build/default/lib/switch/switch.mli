@@ -1,0 +1,121 @@
+(** The DIFANE data-plane switch.
+
+    Each switch holds three priority banks, consulted in order:
+
+    + {b cache} — reactively installed, bounded TCAM ({!Tcam});
+    + {b authority} — the partitions this switch is authority for
+      (clipped rule tables installed by the controller);
+    + {b partition} — one rule per flowspace region mapping it to that
+      region's authority switch (installed everywhere).
+
+    Processing a header yields a {!verdict}: either the policy action
+    (cache hit, or this switch is the authority for the header's region)
+    or an instruction to tunnel the packet to an authority switch.  When
+    an authority switch serves a miss it also emits the spliced cache rule
+    that the ingress switch should install ({!serve_miss}). *)
+
+type t
+
+type bank_hit = Cache_bank | Authority_bank
+
+type verdict =
+  | Local of Action.t * bank_hit  (** decided here, and by which bank *)
+  | Tunnel of int  (** partition-rule match: send to this authority switch *)
+  | Unmatched  (** no bank matched (non-total policy) *)
+
+val create : id:int -> cache_capacity:int -> t
+val id : t -> int
+
+(** {1 Control-plane installs} *)
+
+val install_partition_rules : t -> Rule.t list -> unit
+(** Replace the partition bank.  Every rule's action must be
+    [To_authority]; @raise Invalid_argument otherwise. *)
+
+val install_authority : t -> Partitioner.partition -> unit
+(** Add (or replace, by partition id) an authority table. *)
+
+val drop_authority : t -> int -> unit
+(** Remove the authority table for a partition id. *)
+
+val authority_partitions : t -> Partitioner.partition list
+
+val apply_flow_mod : t -> now:float -> Message.flow_mod -> unit
+(** OpenFlow-style entry point used by the controller: [Add]/[Delete] on
+    the cache bank ([Authority]/[Partition] banks are replaced wholesale
+    via the functions above; flow-mods to them raise). *)
+
+val handle_control : t -> now:float -> Message.t -> Message.t list
+(** The switch's control-protocol state machine: echo requests get
+    replies; cache-bank flow-mods apply immediately; partition-bank
+    flow-mod adds are {e staged} and committed as one atomic bank
+    replacement by the next barrier (whose reply then acknowledges
+    them); [Install_partition]/[Drop_partition] replace or remove an
+    authority table; stats requests are answered from the cache TCAM's
+    live counters.  Unsolicited replies and data-plane messages yield no
+    response. *)
+
+(** {1 Data plane} *)
+
+val process : t -> now:float -> Header.t -> verdict
+(** One lookup through the three banks, updating cache statistics. *)
+
+type miss_reply = {
+  action : Action.t;  (** the policy action to apply to the packet *)
+  cache_rule : Rule.t;  (** spliced rule the ingress switch should install *)
+  origin_id : int;  (** policy rule the cache rule was spliced from *)
+}
+
+val serve_miss :
+  ?mode:[ `Spliced | `Microflow ] -> t -> now:float -> Header.t -> miss_reply option
+(** Authority-switch path for a tunnelled miss packet: look up the
+    header in this switch's authority tables; return the policy action
+    together with the cache rule for the ingress switch — DIFANE's
+    spliced wildcard piece by default, or an exact-match microflow entry
+    with [~mode:`Microflow] (the Ethane-style ablation).  [None] if this
+    switch is not authority for the header (a misrouted packet). *)
+
+val install_cache_rule :
+  ?idle_timeout:float -> ?hard_timeout:float -> ?origin_id:int -> t -> now:float ->
+  Rule.t -> Rule.t list
+(** Install a (spliced) cache rule, evicting LRU entries when full;
+    returns evictions.  [origin_id] keeps counters attributable.  A hard
+    timeout bounds how long a stale entry can survive a policy change
+    (hits keep postponing an idle timeout indefinitely). *)
+
+val expire_cache : t -> now:float -> Rule.t list
+
+val drain_notifications : t -> Message.t list
+(** Flow-removed notifications queued since the last drain: one per cache
+    entry that expired or was evicted, carrying its final counters.  The
+    control plane forwards these to the controller so per-rule statistics
+    stay exact across cache churn. *)
+
+(** {1 Introspection} *)
+
+val cache : t -> Tcam.t
+val cache_occupancy : t -> int
+
+val origin_of_cache_rule : t -> int -> int option
+(** Map a cache-rule id back to the policy rule it was spliced from —
+    how flow counters stay attributable to original rules
+    (transparency). *)
+
+val aggregate_counters : t -> (int * int64) list
+(** Per-origin-rule packet counts accumulated by this switch's cache bank
+    (including entries since evicted), plus authority-table hits. *)
+
+val partition_load : t -> (int * int64) list
+(** Misses this switch has served per partition id — the measurement the
+    controller's traffic-aware rebalancing consumes (paper §5). *)
+
+type counters = {
+  cache_hits : int64;
+  authority_hits : int64;
+  tunnelled : int64;
+  unmatched : int64;
+}
+
+val counters : t -> counters
+val reset_counters : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,147 @@
+type entry = {
+  rule : Rule.t;
+  installed_at : float;
+  mutable last_hit : float;
+  mutable packets : int64;
+  mutable bytes : int64;
+  idle_timeout : float option;
+  hard_timeout : float option;
+}
+
+type stats = { hits : int64; misses : int64; inserts : int64; evictions : int64 }
+
+type t = {
+  cap : int;
+  mutable table : entry list; (* kept in Rule.compare_priority order *)
+  mutable hits : int64;
+  mutable misses : int64;
+  mutable inserts : int64;
+  mutable evictions : int64;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Tcam.create: negative capacity";
+  { cap = capacity; table = []; hits = 0L; misses = 0L; inserts = 0L; evictions = 0L }
+
+let capacity t = t.cap
+let occupancy t = List.length t.table
+let is_full t = occupancy t >= t.cap
+let entries t = t.table
+let find t id = List.find_opt (fun e -> e.rule.Rule.id = id) t.table
+let mem t id = Option.is_some (find t id)
+
+let insert_sorted table e =
+  let rec go = function
+    | [] -> [ e ]
+    | x :: rest ->
+        if Rule.compare_priority e.rule x.rule <= 0 then e :: x :: rest else x :: go rest
+  in
+  go table
+
+let make_entry ?idle_timeout ?hard_timeout ~now rule =
+  {
+    rule;
+    installed_at = now;
+    last_hit = now;
+    packets = 0L;
+    bytes = 0L;
+    idle_timeout;
+    hard_timeout;
+  }
+
+let insert ?idle_timeout ?hard_timeout t ~now rule =
+  let existed = mem t rule.Rule.id in
+  if (not existed) && is_full t then `Full
+  else begin
+    if existed then t.table <- List.filter (fun e -> e.rule.Rule.id <> rule.Rule.id) t.table;
+    t.table <- insert_sorted t.table (make_entry ?idle_timeout ?hard_timeout ~now rule);
+    t.inserts <- Int64.add t.inserts 1L;
+    if existed then `Replaced else `Ok
+  end
+
+let evict_lru t =
+  match t.table with
+  | [] -> None
+  | first :: _ ->
+      let victim =
+        List.fold_left
+          (fun acc e -> if e.last_hit < acc.last_hit then e else acc)
+          first t.table
+      in
+      t.table <- List.filter (fun e -> e != victim) t.table;
+      t.evictions <- Int64.add t.evictions 1L;
+      Some victim
+
+let insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule =
+  if t.cap = 0 then [ make_entry ~now rule ] (* nothing fits: bounced *)
+  else begin
+    let evicted = ref [] in
+    while (not (mem t rule.Rule.id)) && is_full t do
+      match evict_lru t with
+      | Some e -> evicted := e :: !evicted
+      | None -> ()
+    done;
+    ignore (insert ?idle_timeout ?hard_timeout t ~now rule);
+    List.rev !evicted
+  end
+
+let insert_or_evict ?idle_timeout ?hard_timeout t ~now rule =
+  List.map (fun e -> e.rule) (insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule)
+
+let remove t id =
+  let before = occupancy t in
+  t.table <- List.filter (fun e -> e.rule.Rule.id <> id) t.table;
+  occupancy t < before
+
+let remove_where t f =
+  let before = occupancy t in
+  t.table <- List.filter (fun e -> not (f e.rule)) t.table;
+  before - occupancy t
+
+let clear t = t.table <- []
+
+let expired e ~now =
+  (match e.idle_timeout with Some d -> now -. e.last_hit >= d | None -> false)
+  || match e.hard_timeout with Some d -> now -. e.installed_at >= d | None -> false
+
+let expire_entries t ~now =
+  let gone, kept = List.partition (expired ~now) t.table in
+  t.table <- kept;
+  t.evictions <- Int64.add t.evictions (Int64.of_int (List.length gone));
+  gone
+
+let expire t ~now = List.map (fun e -> e.rule) (expire_entries t ~now)
+
+let lookup t ~now ?(bytes = 64) h =
+  match List.find_opt (fun e -> Rule.matches e.rule h) t.table with
+  | Some e ->
+      e.last_hit <- now;
+      e.packets <- Int64.add e.packets 1L;
+      e.bytes <- Int64.add e.bytes (Int64.of_int bytes);
+      t.hits <- Int64.add t.hits 1L;
+      Some e.rule
+  | None ->
+      t.misses <- Int64.add t.misses 1L;
+      None
+
+let peek t h =
+  Option.map (fun e -> e.rule) (List.find_opt (fun e -> Rule.matches e.rule h) t.table)
+
+let stats t = { hits = t.hits; misses = t.misses; inserts = t.inserts; evictions = t.evictions }
+
+let reset_stats t =
+  t.hits <- 0L;
+  t.misses <- 0L;
+  t.inserts <- 0L;
+  t.evictions <- 0L
+
+let hit_rate t =
+  let total = Int64.add t.hits t.misses in
+  if Int64.equal total 0L then Float.nan
+  else Int64.to_float t.hits /. Int64.to_float total
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>TCAM %d/%d@,%a@]" (occupancy t) t.cap
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf e ->
+         Format.fprintf ppf "%a (pkts=%Ld)" Rule.pp e.rule e.packets))
+    t.table

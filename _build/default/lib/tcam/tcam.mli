@@ -1,0 +1,96 @@
+(** A functional model of a TCAM bank.
+
+    Capacity-bounded, priority-ordered ternary match table with per-entry
+    statistics (packet counts, install/last-hit times) and idle/hard
+    timeouts — the state a hardware switch exposes to DIFANE.  The model
+    is mutable (a switch's table is inherently stateful) but confined:
+    all observation goes through the accessors below.
+
+    Time is a [float] of seconds supplied by the caller (the simulator's
+    clock); the TCAM never reads a wall clock. *)
+
+type t
+
+type entry = {
+  rule : Rule.t;
+  installed_at : float;
+  mutable last_hit : float;
+  mutable packets : int64;
+  mutable bytes : int64;
+  idle_timeout : float option;  (** evict after this much hit silence *)
+  hard_timeout : float option;  (** evict this long after install *)
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 0].  A capacity of [0] models a
+    switch with no TCAM (everything misses). *)
+
+val capacity : t -> int
+val occupancy : t -> int
+val is_full : t -> bool
+val entries : t -> entry list
+(** In table (priority) order. *)
+
+val find : t -> int -> entry option
+(** Entry by rule id. *)
+
+val mem : t -> int -> bool
+
+(** {1 Mutation} *)
+
+val insert :
+  ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
+  [ `Ok | `Replaced | `Full ]
+(** Install a rule.  A rule with the same id replaces the old entry
+    (preserving nothing — OpenFlow flow-mod semantics); [`Full] is
+    returned, and nothing changes, when the table is at capacity. *)
+
+val insert_or_evict :
+  ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
+  Rule.t list
+(** Install, evicting least-recently-hit entries as needed to make room.
+    Returns the evicted rules (empty when none).  This is the reactive
+    cache-install path of DIFANE ingress switches. *)
+
+val insert_or_evict_entries :
+  ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
+  entry list
+(** Like {!insert_or_evict} but returning the full evicted entries, so
+    callers can report final counters (flow-removed notifications). *)
+
+val remove : t -> int -> bool
+(** Remove by rule id; [false] if absent. *)
+
+val remove_where : t -> (Rule.t -> bool) -> int
+(** Remove all entries whose rule satisfies the predicate; returns the
+    number removed. *)
+
+val clear : t -> unit
+
+val expire : t -> now:float -> Rule.t list
+(** Evict every entry whose idle or hard timeout has elapsed at [now];
+    returns the evicted rules. *)
+
+val expire_entries : t -> now:float -> entry list
+(** Like {!expire} but returning the full expired entries. *)
+
+(** {1 Lookup} *)
+
+val lookup : t -> now:float -> ?bytes:int -> Header.t -> Rule.t option
+(** Highest-priority matching entry; bumps its counters and [last_hit].
+    [bytes] defaults to a 64-byte minimum-size packet. *)
+
+val peek : t -> Header.t -> Rule.t option
+(** Like [lookup] but with no statistics side effects. *)
+
+(** {1 Statistics} *)
+
+type stats = { hits : int64; misses : int64; inserts : int64; evictions : int64 }
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val hit_rate : t -> float
+(** Hits over lookups since the last reset; [nan] before any lookup. *)
+
+val pp : Format.formatter -> t -> unit

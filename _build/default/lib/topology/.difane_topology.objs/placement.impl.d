@@ -1,0 +1,1 @@
+lib/topology/placement.ml: Array Float Int List Topology

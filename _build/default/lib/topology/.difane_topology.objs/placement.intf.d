@@ -1,0 +1,1 @@
+lib/topology/placement.mli: Topology

@@ -1,0 +1,1 @@
+lib/topology/routing.ml: Array List Option Topology

@@ -1,0 +1,93 @@
+type t = {
+  topology : Topology.t;
+  next : int array array; (* next.(from).(dst) = neighbour, or -1 *)
+}
+
+(* Deterministic single-source shortest paths: Dijkstra over latency with
+   lexicographic (latency, node id) settling so equal-cost ties always
+   resolve the same way. *)
+let sssp topo src =
+  let n = Topology.nodes topo in
+  let dist = Array.make n infinity in
+  let prev = Array.make n (-1) in
+  let settled = Array.make n false in
+  dist.(src) <- 0.;
+  let rec pick_best best i =
+    if i >= n then best
+    else
+      let best =
+        if settled.(i) then best
+        else
+          match best with
+          | None -> Some i
+          | Some b ->
+              if dist.(i) < dist.(b) || (dist.(i) = dist.(b) && i < b) then Some i
+              else best
+      in
+      pick_best best (i + 1)
+  in
+  let rec loop () =
+    match pick_best None 0 with
+    | None -> ()
+    | Some u when dist.(u) = infinity -> ()
+    | Some u ->
+        settled.(u) <- true;
+        List.iter
+          (fun v ->
+            match Topology.link_between topo u v with
+            | None -> ()
+            | Some l ->
+                let nd = dist.(u) +. l.Topology.latency in
+                if nd < dist.(v) || (nd = dist.(v) && u < prev.(v)) then begin
+                  dist.(v) <- nd;
+                  prev.(v) <- u
+                end)
+          (Topology.neighbors topo u);
+        loop ()
+  in
+  loop ();
+  (dist, prev)
+
+let compute topology =
+  let n = Topology.nodes topology in
+  let next = Array.make_matrix n n (-1) in
+  for src = 0 to n - 1 do
+    let dist, prev = sssp topology src in
+    (* walk each destination's predecessor chain back to src to find the
+       first hop *)
+    for dst = 0 to n - 1 do
+      if dst <> src && dist.(dst) < infinity then begin
+        let rec first_hop v = if prev.(v) = src then v else first_hop prev.(v) in
+        next.(src).(dst) <- first_hop dst
+      end
+    done
+  done;
+  { topology; next }
+
+let topology t = t.topology
+
+let next_hop t ~from ~dst =
+  if from = dst then None
+  else
+    let h = t.next.(from).(dst) in
+    if h < 0 then None else Some h
+
+let path t ~from ~dst =
+  if from = dst then Some [ from ]
+  else
+    let rec go acc v guard =
+      if guard = 0 then None (* defensive: tables should never loop *)
+      else if v = dst then Some (List.rev (dst :: acc))
+      else
+        match next_hop t ~from:v ~dst with
+        | None -> None
+        | Some h -> go (v :: acc) h (guard - 1)
+    in
+    go [] from (Topology.nodes t.topology + 1)
+
+let distance t ~from ~dst =
+  Option.map (Topology.path_latency t.topology) (path t ~from ~dst)
+
+let reachable t ~from ~dst = from = dst || t.next.(from).(dst) >= 0
+let after_link_failure t a b = compute (Topology.without_link t.topology a b)
+let after_node_failure t v = compute (Topology.without_node t.topology v)

@@ -1,0 +1,36 @@
+(** Link-state routing: the underlay DIFANE rides on.
+
+    DIFANE does not invent routing — partition rules tunnel miss packets
+    to authority switches {e over the network's ordinary shortest-path
+    forwarding} (the paper assumes a link-state IGP).  This module is
+    that IGP's product: per-switch next-hop tables computed from the full
+    topology, recomputable after link or node failures.
+
+    Next hops are deterministic (lowest-latency path, ties broken towards
+    the lower node id) so a hop-by-hop walk is reproducible and loop-free. *)
+
+type t
+
+val compute : Topology.t -> t
+(** All-pairs next-hop tables (n single-source Dijkstra runs). *)
+
+val topology : t -> Topology.t
+
+val next_hop : t -> from:int -> dst:int -> int option
+(** The neighbour [from] forwards to for destination [dst]; [None] when
+    [dst] is unreachable; [Some from]... never — [from = dst] yields
+    [None] (already there). *)
+
+val path : t -> from:int -> dst:int -> int list option
+(** The hop-by-hop path the tables produce, endpoints included.  Agrees
+    with {!Topology.shortest_path} in latency. *)
+
+val distance : t -> from:int -> dst:int -> float option
+(** Latency along {!path}. *)
+
+val reachable : t -> from:int -> dst:int -> bool
+
+val after_link_failure : t -> int -> int -> t
+(** Recomputed tables with one link down (the IGP reconverging). *)
+
+val after_node_failure : t -> int -> t

@@ -1,0 +1,90 @@
+(** Network topologies.
+
+    An undirected weighted graph of switches.  DIFANE uses it to pick
+    authority switches, to compute the tunnelling paths of cache-miss
+    packets, and to measure {e stretch} — the detour a miss packet takes
+    through its authority switch relative to the direct path. *)
+
+type t
+
+type link = { src : int; dst : int; latency : float; bandwidth : float }
+(** [latency] in seconds one-way, [bandwidth] in bits/second.  Links are
+    symmetric. *)
+
+val create : nodes:int -> link list -> t
+(** @raise Invalid_argument on endpoints outside [0..nodes-1], self-loops,
+    or duplicate links. *)
+
+val nodes : t -> int
+val links : t -> link list
+val degree : t -> int -> int
+val neighbors : t -> int -> int list
+val link_between : t -> int -> int -> link option
+val is_connected : t -> bool
+
+(** {1 Paths} *)
+
+val shortest_path : t -> int -> int -> int list option
+(** Minimum-latency path as a node list including both endpoints;
+    [Some [v]] when [src = dst]; [None] when unreachable. *)
+
+val path_latency : t -> int list -> float
+(** Sum of link latencies along a node path.
+    @raise Invalid_argument if consecutive nodes are not adjacent. *)
+
+val distance : t -> int -> int -> float option
+(** Latency of the shortest path. *)
+
+val hop_count : t -> int -> int -> int option
+(** Hops (links) on the minimum-latency path. *)
+
+val all_distances : t -> int -> float array
+(** Single-source latencies; [infinity] where unreachable. *)
+
+val stretch : t -> src:int -> via:int -> dst:int -> float
+(** [distance src via + distance via dst) / distance src dst] — the paper's
+    stretch metric for a miss packet detouring through authority switch
+    [via].  [1.0] when [via] is on a shortest path; [infinity] when
+    unreachable; by convention 1.0 when [src = dst]. *)
+
+(** {1 Generators}
+
+    All generators take an explicit [rand] uniform-float source so that
+    experiments are reproducible. *)
+
+val line : int -> ?latency:float -> unit -> t
+val star : int -> ?latency:float -> unit -> t
+(** [star n] has hub [0] and [n-1] spokes. *)
+
+val full_mesh : int -> ?latency:float -> unit -> t
+
+val fat_tree : int -> t
+(** The k-ary fat-tree of data centres ([k] even): [k²/4] core, [k²/2]
+    aggregation, [k²/2] edge switches.  Nodes are numbered core first,
+    then per-pod aggregation and edge. *)
+
+val waxman :
+  rand:(unit -> float) -> nodes:int -> ?alpha:float -> ?beta:float ->
+  ?latency_scale:float -> unit -> t
+(** Waxman random WAN: nodes placed uniformly in the unit square, edge
+    probability [alpha * exp (-d / (beta * sqrt 2))], link latency
+    proportional to Euclidean distance.  A spanning tree over nearest
+    placed neighbours is added first so the result is always connected. *)
+
+val campus : rand:(unit -> float) -> edge_switches:int -> unit -> t
+(** Two-tier campus/enterprise network: 2 core switches (node 0,1), one
+    distribution switch per 4 edge switches, edge switches dual-homed to
+    their distribution pair where possible. *)
+
+(** {1 Failure derivation} *)
+
+val without_link : t -> int -> int -> t
+(** The same topology minus the (undirected) link between two nodes;
+    unchanged when no such link exists.  Node count is preserved. *)
+
+val without_node : t -> int -> t
+(** The same node set with every link touching the node removed — models
+    a dead switch while keeping ids stable.
+    @raise Invalid_argument if the node is out of range. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/policy_gen.ml: Action Classifier Hashtbl Int64 List Option Pred Prng Range Rule Schema Ternary

@@ -1,0 +1,1 @@
+lib/workload/policy_gen.mli: Classifier Prng

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Buffer Fun Header Int64 List Printf Result Schema String Traffic

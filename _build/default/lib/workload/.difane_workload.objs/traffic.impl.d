@@ -1,0 +1,1 @@
+lib/workload/traffic.ml: Array Classifier Float Hashtbl Header List Option Pred Prng Rule Zipf

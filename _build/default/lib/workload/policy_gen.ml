@@ -1,0 +1,202 @@
+type acl_profile = {
+  rules : int;
+  chain_depth : int;
+  chains : int;
+  port_exact_fraction : float;
+  port_range_fraction : float;
+  egresses : int;
+}
+
+let default_acl =
+  {
+    rules = 1000;
+    chain_depth = 5;
+    chains = 40;
+    port_exact_fraction = 0.3;
+    port_range_fraction = 0.05;
+    egresses = 4;
+  }
+
+let random_ternary rng ~width ~min_len ~max_len =
+  let len = min_len + Prng.int rng (max_len - min_len + 1) in
+  let v = Prng.int64_bound rng (Int64.shift_left 1L (width - 1)) in
+  Ternary.prefix ~width (Int64.shift_left v 1) len
+
+(* Extend a prefix by [extra] bits, choosing the new bits at random; the
+   result is strictly more specific, creating a dependency edge. *)
+let deepen rng t extra =
+  let w = Ternary.width t in
+  let cur = Ternary.specified_bits t in
+  let extra = min extra (w - cur) in
+  let rec go t k =
+    if k = 0 then t
+    else
+      match Ternary.first_wildcard_msb t with
+      | None -> t
+      | Some j ->
+          let lo, hi = Option.get (Ternary.split t j) in
+          go (if Prng.bool rng then lo else hi) (k - 1)
+  in
+  go t extra
+
+let random_egress rng egresses = Action.Forward (Prng.int rng (max 1 egresses))
+
+let acl rng profile =
+  let schema = Schema.acl_5tuple in
+  let src = Schema.index schema "src_ip"
+  and dst = Schema.index schema "dst_ip"
+  and dport = Schema.index schema "dst_port"
+  and proto = Schema.index schema "proto" in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
+  let out = ref [] in
+  let emit priority pred action =
+    out := Rule.make ~id:(fresh_id ()) ~priority pred action :: !out
+  in
+  let budget = ref (max 1 (profile.rules - 1)) in
+  let alternate_action rng level =
+    if level mod 2 = 0 then Action.Drop else random_egress rng profile.egresses
+  in
+  (* Port condition for one rule: possibly exact, possibly a TCAM-expanded
+     range (which consumes several budget units), else wildcard. *)
+  let port_terns rng =
+    let u = Prng.float rng in
+    if u < profile.port_range_fraction then begin
+      let lo = Prng.int rng 1024 and span = 1 + Prng.int rng 2000 in
+      let lo = Int64.of_int lo in
+      let hi = Int64.add lo (Int64.of_int span) in
+      Range.to_prefixes ~width:16 lo hi
+    end
+    else if u < profile.port_range_fraction +. profile.port_exact_fraction then
+      [ Ternary.exact ~width:16 (Int64.of_int (Prng.int rng 65536)) ]
+    else [ Ternary.any 16 ]
+  in
+  (* One dependency chain: a stack of progressively more specific rules
+     with alternating actions, the DIFANE-hostile structure. *)
+  let build_chain () =
+    let base_src = random_ternary rng ~width:32 ~min_len:8 ~max_len:12 in
+    let base_dst = random_ternary rng ~width:32 ~min_len:8 ~max_len:12 in
+    let depth = 1 + Prng.int rng profile.chain_depth in
+    let rec level k src_t dst_t =
+      if k >= depth || !budget <= 0 then ()
+      else begin
+        let priority = 10 + (k * 10) in
+        let ports = port_terns rng in
+        List.iter
+          (fun pt ->
+            if !budget > 0 then begin
+              decr budget;
+              let pred =
+                Pred.any schema
+                |> (fun p -> Pred.with_field p src src_t)
+                |> (fun p -> Pred.with_field p dst dst_t)
+                |> (fun p -> Pred.with_field p dport pt)
+                |> fun p ->
+                if Prng.float rng < 0.5 then
+                  Pred.with_field p proto (Ternary.exact ~width:8 (if Prng.bool rng then 6L else 17L))
+                else p
+              in
+              emit priority pred (alternate_action rng k)
+            end)
+          ports;
+        level (k + 1) (deepen rng src_t (2 + Prng.int rng 3)) (deepen rng dst_t (2 + Prng.int rng 3))
+      end
+    in
+    level 0 base_src base_dst
+  in
+  for _ = 1 to profile.chains do
+    if !budget > 0 then build_chain ()
+  done;
+  (* Fill the remaining budget with independent exact-ish rules. *)
+  while !budget > 0 do
+    decr budget;
+    let pred =
+      Pred.any schema
+      |> (fun p -> Pred.with_field p src (random_ternary rng ~width:32 ~min_len:16 ~max_len:28))
+      |> (fun p -> Pred.with_field p dst (random_ternary rng ~width:32 ~min_len:16 ~max_len:28))
+    in
+    emit 5 pred (alternate_action rng (Prng.int rng 2))
+  done;
+  emit 0 (Pred.any schema) Action.Drop;
+  Classifier.create schema !out
+
+type prefix_profile = {
+  prefixes : int;
+  egresses : int;
+  length_weights : (int * float) list;
+}
+
+let default_prefixes =
+  {
+    prefixes = 5000;
+    egresses = 8;
+    length_weights =
+      [ (8, 0.02); (12, 0.05); (16, 0.18); (20, 0.2); (24, 0.45); (28, 0.08); (32, 0.02) ];
+  }
+
+let pick_weighted rng weights =
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+  let target = Prng.float rng *. total in
+  let rec go acc = function
+    | [] -> fst (List.hd weights)
+    | (v, w) :: rest -> if acc +. w >= target then v else go (acc +. w) rest
+  in
+  go 0. weights
+
+let prefix_table rng profile =
+  let schema = Schema.ip_pair in
+  let dst = Schema.index schema "dst_ip" in
+  let seen = Hashtbl.create profile.prefixes in
+  let out = ref [] in
+  let next_id = ref 0 in
+  let n = ref 0 in
+  while !n < profile.prefixes do
+    let len = pick_weighted rng profile.length_weights in
+    let v =
+      if len = 0 then 0L
+      else Int64.shift_left (Prng.int64_bound rng (Int64.shift_left 1L len)) (32 - len)
+    in
+    let key = (v, len) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      incr n;
+      let pred = Pred.with_field (Pred.any schema) dst (Ternary.prefix ~width:32 v len) in
+      let id = !next_id in
+      incr next_id;
+      (* LPM: longer prefixes win, encoded directly as priority. *)
+      out := Rule.make ~id ~priority:len pred (Action.Forward (Prng.int rng profile.egresses)) :: !out
+    end
+  done;
+  let id = !next_id in
+  out := Rule.make ~id ~priority:(-1) (Pred.any schema) (Action.Forward 0) :: !out;
+  Classifier.create schema !out
+
+type named = { label : string; classifier : Classifier.t; description : string }
+
+let evaluation_sets ~seed =
+  let rng = Prng.create seed in
+  let mk label description classifier = { label; classifier; description } in
+  [
+    mk "acl-small"
+      "campus-edge ACL stand-in: 400 rules, shallow chains"
+      (acl (Prng.split rng)
+         { default_acl with rules = 400; chains = 25; chain_depth = 3 });
+    mk "acl-medium"
+      "campus-core ACL stand-in: 2000 rules, depth-6 chains"
+      (acl (Prng.split rng)
+         { default_acl with rules = 2000; chains = 70; chain_depth = 6 });
+    mk "acl-deep"
+      "ClassBench-style ACL: 4000 rules, depth-10 chains"
+      (acl (Prng.split rng)
+         { default_acl with rules = 4000; chains = 100; chain_depth = 10 });
+    mk "prefix-5k"
+      "ISP VPN stand-in: 5000 destination prefixes"
+      (prefix_table (Prng.split rng) default_prefixes);
+    mk "prefix-20k"
+      "backbone routing stand-in: 20000 destination prefixes"
+      (prefix_table (Prng.split rng) { default_prefixes with prefixes = 20000 });
+  ]

@@ -1,0 +1,56 @@
+(** Synthetic policy generators.
+
+    Stand-ins for the proprietary rule sets of the paper's evaluation
+    (campus-network ACLs, ISP VPN/routing tables).  Both generators expose
+    the structural knobs the DIFANE results depend on: rule count, overlap
+    structure, and dependency-chain depth.  See DESIGN.md §2 for the
+    substitution argument. *)
+
+(** {1 ClassBench-style ACLs} *)
+
+type acl_profile = {
+  rules : int;  (** total rule budget (including the default rule) *)
+  chain_depth : int;  (** target length of priority-dependency chains *)
+  chains : int;  (** number of distinct dependency chains *)
+  port_exact_fraction : float;  (** rules with an exact dst-port condition *)
+  port_range_fraction : float;
+      (** rules with a dst-port {e range} condition, TCAM-expanded into
+          multiple entries (the classic range blow-up) *)
+  egresses : int;  (** forwarding actions are spread over this many egress ids *)
+}
+
+val default_acl : acl_profile
+(** 1000 rules, depth 5, 40 chains, 30% exact ports, 5% ranges, 4 egresses. *)
+
+val acl : Prng.t -> acl_profile -> Classifier.t
+(** Five-tuple ACL over {!Schema.acl_5tuple}, closed with a default-deny
+    rule.  Rule count is [rules] up to range-expansion rounding. *)
+
+(** {1 Prefix routing tables} *)
+
+type prefix_profile = {
+  prefixes : int;
+  egresses : int;
+  length_weights : (int * float) list;
+      (** prefix-length histogram, e.g. [(16, 0.1); (24, 0.6); ...] *)
+}
+
+val default_prefixes : prefix_profile
+(** 5000 prefixes with a backbone-like length mix peaking at /24 and /16. *)
+
+val prefix_table : Prng.t -> prefix_profile -> Classifier.t
+(** Destination-IP longest-prefix-match table over {!Schema.ip_pair},
+    encoded with priority = prefix length, closed with a default route. *)
+
+(** {1 Named rule sets (evaluation Table 1)} *)
+
+type named = {
+  label : string;
+  classifier : Classifier.t;
+  description : string;
+}
+
+val evaluation_sets : seed:int -> named list
+(** The rule sets used throughout the evaluation: three ACLs of increasing
+    size/depth standing in for campus networks, and two prefix tables
+    standing in for ISP VPNs. *)

@@ -1,0 +1,97 @@
+let version_line = "# difane-trace v1"
+
+let schema_line schema =
+  let fields =
+    Schema.fields schema |> Array.to_list
+    |> List.map (fun (f : Schema.field) -> Printf.sprintf "%s/%d" f.name f.bits)
+  in
+  "# schema: " ^ String.concat "," fields
+
+let to_string schema flows =
+  let buf = Buffer.create (64 * (List.length flows + 2)) in
+  Buffer.add_string buf version_line;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (schema_line schema);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (f : Traffic.flow) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %.9f %d %.9f" f.flow_id f.ingress f.start f.packets
+           f.interval);
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (Int64.to_string v))
+        (Header.values f.header);
+      Buffer.add_char buf '\n')
+    flows;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let parse_line schema lineno line =
+  match String.split_on_char ' ' (String.trim line) with
+  | flow_id :: ingress :: start :: packets :: interval :: fields ->
+      let fail what = Error (Printf.sprintf "line %d: bad %s" lineno what) in
+      let int s what = match int_of_string_opt s with Some v -> Ok v | None -> fail what in
+      let flt s what = match float_of_string_opt s with Some v -> Ok v | None -> fail what in
+      let* flow_id = int flow_id "flow id" in
+      let* ingress = int ingress "ingress" in
+      let* start = flt start "start time" in
+      let* packets = int packets "packet count" in
+      let* interval = flt interval "interval" in
+      if List.length fields <> Schema.arity schema then fail "field count"
+      else
+        let* values =
+          List.fold_left
+            (fun acc s ->
+              let* acc = acc in
+              match Int64.of_string_opt s with
+              | Some v -> Ok (v :: acc)
+              | None -> fail "field value")
+            (Ok []) fields
+        in
+        let header = Header.make schema (Array.of_list (List.rev values)) in
+        Ok { Traffic.flow_id; ingress; start; packets; interval; header }
+  | _ -> Error (Printf.sprintf "line %d: truncated record" lineno)
+
+let strip_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+let of_string schema text =
+  let lines = List.map strip_cr (String.split_on_char '\n' text) in
+  match lines with
+  | v :: s :: rest ->
+      if String.trim v <> version_line then Error "not a difane-trace v1 file"
+      else if String.trim s <> schema_line schema then
+        Error
+          (Printf.sprintf "schema mismatch: trace has %S, expected %S" (String.trim s)
+             (schema_line schema))
+      else
+        let rec go lineno acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest ->
+              let t = String.trim line in
+              if t = "" || String.length t > 0 && t.[0] = '#' then go (lineno + 1) acc rest
+              else
+                let* flow = parse_line schema lineno line in
+                go (lineno + 1) (flow :: acc) rest
+        in
+        go 3 [] rest
+  | _ -> Error "not a difane-trace v1 file"
+
+let save path schema flows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string schema flows))
+
+let load path schema =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      of_string schema text)

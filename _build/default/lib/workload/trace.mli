@@ -1,0 +1,25 @@
+(** Flow-trace serialisation.
+
+    A plain-text, line-oriented format for flow workloads so experiments
+    can replay the {e same} trace across runs, configurations, and
+    systems — the role the paper's two-day IXP packet trace plays in its
+    cache experiments.  The format embeds the schema, so loading against
+    a different header layout fails loudly rather than misparsing.
+
+    Format (one record per line, [#] comments ignored):
+    {v
+    # difane-trace v1
+    # schema: src_ip/32,dst_ip/32
+    <flow_id> <ingress> <start> <packets> <interval> <field0> <field1> ...
+    v} *)
+
+val to_string : Schema.t -> Traffic.flow list -> string
+
+val of_string : Schema.t -> string -> (Traffic.flow list, string) result
+(** Errors on version/schema mismatch, truncated records, or unparsable
+    fields, with a line number in the message. *)
+
+val save : string -> Schema.t -> Traffic.flow list -> unit
+(** Write to a file.  @raise Sys_error on I/O failure. *)
+
+val load : string -> Schema.t -> (Traffic.flow list, string) result

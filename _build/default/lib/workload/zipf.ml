@@ -1,0 +1,40 @@
+type t = { n : int; alpha : float; cum : float array (* cum.(k-1) = cdf k *) }
+
+let create ~n ~alpha =
+  if n < 1 then invalid_arg "Zipf.create: n must be positive";
+  if alpha < 0. then invalid_arg "Zipf.create: alpha must be >= 0";
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  for k = 1 to n do
+    total := !total +. (1. /. Float.pow (float_of_int k) alpha);
+    cum.(k - 1) <- !total
+  done;
+  for k = 0 to n - 1 do
+    cum.(k) <- cum.(k) /. !total
+  done;
+  cum.(n - 1) <- 1.0;
+  { n; alpha; cum }
+
+let n t = t.n
+let alpha t = t.alpha
+
+let search t target =
+  (* least index with cum >= target *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) >= target then hi := mid else lo := mid + 1
+  done;
+  !lo + 1
+
+let draw t rng = search t (Prng.float rng)
+
+let pmf t k =
+  if k < 1 || k > t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if k = 1 then t.cum.(0) else t.cum.(k - 1) -. t.cum.(k - 2)
+
+let cdf t k =
+  if k < 1 || k > t.n then invalid_arg "Zipf.cdf: rank out of range";
+  t.cum.(k - 1)
+
+let head_mass t q = search t q

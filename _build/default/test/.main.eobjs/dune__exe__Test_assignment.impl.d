@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Assignment Float List Partitioner Policy_gen Prng QCheck2 Schema Test_util

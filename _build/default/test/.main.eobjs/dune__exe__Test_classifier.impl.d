@@ -1,0 +1,1 @@
+test/test_classifier.ml: Action Alcotest Classifier Header Int Int64 List Option Pred QCheck2 Region Rule Schema Test_util

@@ -1,0 +1,1 @@
+test/test_control_plane.ml: Action Alcotest Assignment Channel Classifier Control_plane Deployment Header Int64 List Message Option Partitioner Pred Prng Rule Schema Switch Test_util Topology

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Action Alcotest Classifier Dataplane Deployment Float Header Int64 List Prng Routing Schema Test_util Topology

@@ -1,0 +1,1 @@
+test/test_deployment.ml: Action Alcotest Array Classifier Deployment Header Int64 List Option Prng QCheck2 Schema String Switch Test_util Topology

@@ -1,0 +1,1 @@
+test/test_equiv.ml: Action Alcotest Classifier Equiv Header Int64 List Partitioner QCheck2 Region Rule Schema Test_util

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cdf Experiments Float Flowsim Int List Test_util

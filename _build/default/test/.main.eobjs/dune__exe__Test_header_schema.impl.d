@@ -1,0 +1,1 @@
+test/test_header_schema.ml: Action Alcotest Array Header List Schema Test_util

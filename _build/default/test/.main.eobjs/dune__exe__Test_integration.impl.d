@@ -1,0 +1,1 @@
+test/test_integration.ml: Action Alcotest Array Classifier Control_plane Deployment Flowsim Int64 List Option Policy_gen Prng QCheck2 Switch Test_util Topology Traffic

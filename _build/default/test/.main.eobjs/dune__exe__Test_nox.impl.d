@@ -1,0 +1,1 @@
+test/test_nox.ml: Action Alcotest Classifier Header Int64 List Nox Option QCheck2 Rule Schema Test_util Topology

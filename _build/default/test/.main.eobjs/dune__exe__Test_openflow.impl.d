@@ -1,0 +1,1 @@
+test/test_openflow.ml: Action Alcotest Bytes Header Int64 List Message Pred QCheck2 Rule Schema Test_util

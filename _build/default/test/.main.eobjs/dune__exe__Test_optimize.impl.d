@@ -1,0 +1,1 @@
+test/test_optimize.ml: Action Alcotest Classifier Equiv Int64 List Optimize Pred QCheck2 Rule Schema Ternary Test_util

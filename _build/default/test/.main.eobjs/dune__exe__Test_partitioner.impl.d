@@ -1,0 +1,1 @@
+test/test_partitioner.ml: Action Alcotest Classifier Header Int64 List Option Partitioner Policy_gen Pred Prng QCheck2 Region Rule Schema Test_util

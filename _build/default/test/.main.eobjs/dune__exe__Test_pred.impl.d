@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Header Int64 List Pred QCheck2 Schema Test_util

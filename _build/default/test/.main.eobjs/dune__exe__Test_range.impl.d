@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Int64 List QCheck2 Range Ternary Test_util

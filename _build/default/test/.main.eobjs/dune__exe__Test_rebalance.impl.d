@@ -1,0 +1,1 @@
+test/test_rebalance.ml: Action Alcotest Assignment Classifier Deployment Float Header Int64 List Partitioner Policy_gen Pred Prng QCheck2 Region Schema Test_util Topology

@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Header Int64 List Pred QCheck2 Region Schema Test_util

@@ -1,0 +1,1 @@
+test/test_replication.ml: Action Alcotest Assignment Classifier Deployment Header Int Int64 List Option Partitioner Prng QCheck2 Schema Switch Test_util Topology

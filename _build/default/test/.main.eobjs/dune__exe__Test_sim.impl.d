@@ -1,0 +1,1 @@
+test/test_sim.ml: Action Alcotest Array Cachesim Classifier Deployment Engine Float Flowsim Header Int64 List Nox Prng QCheck2 Schema Server Summary Test_util Topology Traffic

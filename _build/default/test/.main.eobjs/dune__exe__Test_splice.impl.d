@@ -1,0 +1,1 @@
+test/test_splice.ml: Action Alcotest Classifier Header Int64 List Option Pred QCheck2 Region Rule Schema Splice Test_util

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Cdf Float List QCheck2 String Summary Table Test_util

@@ -1,0 +1,1 @@
+test/test_switch.ml: Action Alcotest Classifier Header Int64 List Message Option Partitioner Pred QCheck2 Rule Schema Switch Test_util

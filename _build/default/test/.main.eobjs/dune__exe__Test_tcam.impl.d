@@ -1,0 +1,1 @@
+test/test_tcam.ml: Action Alcotest Classifier Header Int64 List Option Pred QCheck2 Rule Schema Tcam Test_util

@@ -1,0 +1,1 @@
+test/test_tcam_model.ml: Action Header Int Int64 List Option Pred QCheck2 Rule Schema Tcam Test_util

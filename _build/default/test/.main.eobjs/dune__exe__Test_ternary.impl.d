@@ -1,0 +1,1 @@
+test/test_ternary.ml: Alcotest Int64 List QCheck2 String Ternary Test_util

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Int List Placement Prng QCheck2 Test_util Topology

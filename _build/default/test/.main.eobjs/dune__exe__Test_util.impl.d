@@ -1,0 +1,1 @@
+test/test_util.ml: Action Alcotest Header Int64 List Pred QCheck2 QCheck_alcotest Schema String Ternary

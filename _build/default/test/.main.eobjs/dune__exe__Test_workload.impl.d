@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Classifier Float Header Int List Option Policy_gen Prng Rule Schema Test_util Traffic Zipf

@@ -1,0 +1,88 @@
+open Test_util
+
+let s2 = Schema.tiny2
+
+let policy = Policy_gen.acl (Prng.create 3) { Policy_gen.default_acl with rules = 150 }
+let ignore_s2 = ignore s2
+
+let test_greedy_covers_all () =
+  ignore_s2;
+  let part = Partitioner.compute policy ~k:8 in
+  let a = Assignment.greedy part ~authority_switches:[ 10; 20; 30 ] in
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      let sw = Assignment.switch_for a p.pid in
+      if not (List.mem sw [ 10; 20; 30 ]) then Alcotest.fail "assigned outside pool")
+    part.Partitioner.partitions;
+  let total =
+    List.fold_left (fun acc sw -> acc + List.length (Assignment.partitions_of a sw)) 0
+      [ 10; 20; 30 ]
+  in
+  check Alcotest.int "every partition placed once" (List.length part.Partitioner.partitions) total
+
+let test_balance () =
+  let part = Partitioner.compute policy ~k:16 in
+  let a = Assignment.greedy part ~authority_switches:[ 0; 1; 2; 3 ] in
+  check Alcotest.bool "reasonably balanced" true (Assignment.imbalance a < 1.6)
+
+let test_custom_weights () =
+  let part = Partitioner.compute policy ~k:4 in
+  let pids = List.map (fun (p : Partitioner.partition) -> p.pid) part.Partitioner.partitions in
+  (* one hot partition: it must sit alone on one switch *)
+  let weights = List.map (fun pid -> (pid, if pid = List.hd pids then 1000. else 1.)) pids in
+  let a = Assignment.greedy ~weights part ~authority_switches:[ 0; 1 ] in
+  let hot_switch = Assignment.switch_for a (List.hd pids) in
+  check Alcotest.int "hot partition isolated" 1
+    (List.length (Assignment.partitions_of a hot_switch))
+
+let test_reassign () =
+  let part = Partitioner.compute policy ~k:8 in
+  let a = Assignment.greedy part ~authority_switches:[ 0; 1; 2 ] in
+  let orphaned = Assignment.partitions_of a 1 in
+  let a' = Assignment.reassign a ~failed:1 in
+  check (Alcotest.list Alcotest.int) "failed switch empty" [] (Assignment.partitions_of a' 1);
+  List.iter
+    (fun pid ->
+      let sw = Assignment.switch_for a' pid in
+      if sw = 1 then Alcotest.fail "orphan still on failed switch";
+      if not (List.mem sw [ 0; 2 ]) then Alcotest.fail "orphan misplaced")
+    orphaned;
+  (* survivors keep their partitions *)
+  List.iter
+    (fun pid ->
+      if Assignment.switch_for a pid <> 1 then
+        check Alcotest.int "unchanged" (Assignment.switch_for a pid) (Assignment.switch_for a' pid))
+    (List.map (fun (p : Partitioner.partition) -> p.pid) part.Partitioner.partitions)
+
+let test_single_authority_errors () =
+  let part = Partitioner.compute policy ~k:2 in
+  (try
+     ignore (Assignment.greedy part ~authority_switches:[]);
+     Alcotest.fail "empty pool accepted"
+   with Invalid_argument _ -> ());
+  let a = Assignment.greedy part ~authority_switches:[ 5 ] in
+  try
+    ignore (Assignment.reassign a ~failed:5);
+    Alcotest.fail "reassign with no survivors accepted"
+  with Invalid_argument _ -> ()
+
+let prop_loads_sum =
+  qt ~count:40 "loads sum to total weight" QCheck2.Gen.(int_range 1 20) (fun k ->
+      let part = Partitioner.compute policy ~k in
+      let a = Assignment.greedy part ~authority_switches:[ 0; 1; 2 ] in
+      let total = List.fold_left (fun acc (_, l) -> acc +. l) 0. (Assignment.loads a) in
+      let expected = float_of_int part.Partitioner.total_entries in
+      Float.abs (total -. expected) < 1e-6)
+
+let suite =
+  [
+    ( "assignment",
+      [
+        tc "greedy places every partition" test_greedy_covers_all;
+        tc "balance" test_balance;
+        tc "custom weights" test_custom_weights;
+        tc "reassign on failure" test_reassign;
+        tc "degenerate pools" test_single_authority_errors;
+        prop_loads_sum;
+      ] );
+  ]

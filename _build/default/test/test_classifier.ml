@@ -1,0 +1,205 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+(* The worked example used throughout: a firewall with one broad accept
+   shadow-chained under narrower rules. *)
+let firewall =
+  Classifier.of_specs s2
+    [
+      (40, [ ("f1", "00000001"); ("f2", "xxxxxxxx") ], Action.Drop);
+      (30, [ ("f1", "0000000x"); ("f2", "1xxxxxxx") ], Action.Forward 1);
+      (20, [ ("f1", "000000xx") ], Action.Forward 2);
+      (10, [], Action.Drop);
+    ]
+
+let test_first_match () =
+  check (Alcotest.option action) "top rule" (Some Action.Drop) (Classifier.action firewall (h 1 0));
+  check (Alcotest.option action) "second" (Some (Action.Forward 1))
+    (Classifier.action firewall (h 0 128));
+  check (Alcotest.option action) "third" (Some (Action.Forward 2))
+    (Classifier.action firewall (h 2 0));
+  check (Alcotest.option action) "default" (Some Action.Drop)
+    (Classifier.action firewall (h 200 0))
+
+let test_priority_order () =
+  (* f1=1, f2=128 matches rules 0,1,2,3; rule 0 must win. *)
+  match Classifier.first_match firewall (h 1 128) with
+  | Some r -> check Alcotest.int "highest priority wins" 0 r.Rule.id
+  | None -> Alcotest.fail "no match"
+
+let test_tie_break () =
+  let c =
+    Classifier.of_specs s2
+      [ (5, [], Action.Forward 1); (5, [], Action.Forward 2) ]
+  in
+  check (Alcotest.option action) "lower id wins ties" (Some (Action.Forward 1))
+    (Classifier.action c (h 0 0))
+
+let test_duplicate_ids () =
+  let r1 = Rule.make ~id:0 ~priority:1 (Pred.any s2) Action.Drop in
+  try
+    ignore (Classifier.create s2 [ r1; r1 ]);
+    Alcotest.fail "duplicate ids accepted"
+  with Invalid_argument _ -> ()
+
+let test_total () =
+  check Alcotest.bool "firewall total" true (Classifier.is_total firewall);
+  let partial = Classifier.of_specs s2 [ (5, [ ("f1", "1xxxxxxx") ], Action.Drop) ] in
+  check Alcotest.bool "partial not total" false (Classifier.is_total partial);
+  let made_total = Classifier.default_deny partial in
+  check Alcotest.bool "default_deny totalises" true (Classifier.is_total made_total);
+  check (Alcotest.option action) "unmatched now dropped" (Some Action.Drop)
+    (Classifier.action made_total (h 0 0));
+  check Alcotest.int "idempotent on total" (Classifier.length firewall)
+    (Classifier.length (Classifier.default_deny firewall))
+
+let test_add_remove () =
+  let c = Classifier.remove firewall 0 in
+  check Alcotest.int "removed" 3 (Classifier.length c);
+  check (Alcotest.option action) "next rule exposed" (Some (Action.Forward 2))
+    (Classifier.action c (h 1 0));
+  let c = Classifier.add c (Rule.make ~id:9 ~priority:99 (Pred.any s2) (Action.Forward 7)) in
+  check (Alcotest.option action) "new top" (Some (Action.Forward 7)) (Classifier.action c (h 1 0))
+
+let test_shadowing () =
+  let c =
+    Classifier.of_specs s2
+      [
+        (20, [ ("f1", "0xxxxxxx") ], Action.Drop);
+        (10, [ ("f1", "00xxxxxx") ], Action.Forward 1);
+        (5, [ ("f1", "1xxxxxxx") ], Action.Forward 2);
+      ]
+  in
+  let shadowed = Classifier.shadowed c in
+  check Alcotest.int "one shadowed" 1 (List.length shadowed);
+  check Alcotest.int "rule 1 shadowed" 1 (List.hd shadowed).Rule.id;
+  let cleaned = Classifier.remove_shadowed c in
+  check Alcotest.int "cleaned length" 2 (Classifier.length cleaned)
+
+let test_dead_rules () =
+  (* Rule killed only by the union of two earlier rules: not syntactically
+     shadowed but still dead. *)
+  let c =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "0xxxxxxx"); ("f2", "0000_0000") ], Action.Drop);
+        (20, [ ("f1", "1xxxxxxx"); ("f2", "0000_0000") ], Action.Drop);
+        (10, [ ("f2", "0000_0000") ], Action.Forward 1);
+      ]
+  in
+  check Alcotest.int "no single-rule shadow" 0 (List.length (Classifier.shadowed c));
+  let dead = Classifier.dead_rules c in
+  check Alcotest.int "one dead" 1 (List.length dead);
+  check Alcotest.int "rule 2 dead" 2 (List.hd dead).Rule.id
+
+let test_effective_region () =
+  let r3 = Option.get (Classifier.find firewall 2) in
+  let eff = Classifier.effective_region firewall r3 in
+  (* headers decided by rule 2: f1 in 0..3 minus rule0 (f1=1) minus
+     rule1 (f1 in {0,1} & f2>=128) *)
+  check Alcotest.bool "f1=2 kept" true (Region.matches eff (h 2 128));
+  check Alcotest.bool "f1=1 stolen" false (Region.matches eff (h 1 77));
+  check Alcotest.bool "f1=0 hi f2 stolen" false (Region.matches eff (h 0 128));
+  check Alcotest.bool "f1=0 lo f2 kept" true (Region.matches eff (h 0 0))
+
+let test_dependency_depth () =
+  check Alcotest.int "firewall chain" 4 (Classifier.dependency_depth firewall);
+  let flat =
+    Classifier.of_specs s2
+      [
+        (10, [ ("f1", "00000000") ], Action.Drop);
+        (10, [ ("f1", "00000001") ], Action.Forward 1);
+        (10, [ ("f1", "00000010") ], Action.Forward 2);
+      ]
+  in
+  check Alcotest.int "independent rules depth 1" 1 (Classifier.dependency_depth flat)
+
+let test_direct_dependencies () =
+  (* In the firewall, rule 2 depends on rules 0 and 1 directly. *)
+  let r2 = Option.get (Classifier.find firewall 2) in
+  let deps = Classifier.direct_dependencies firewall r2 |> List.map (fun r -> r.Rule.id) in
+  check (Alcotest.list Alcotest.int) "deps of rule2" [ 0; 1 ] (List.sort Int.compare deps);
+  (* An indirect-only ancestor is not a direct dependency: rule C's overlap
+     with A is entirely inside B which sits between them. *)
+  let c =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "000000xx") ], Action.Drop);
+        (20, [ ("f1", "0000xxxx") ], Action.Forward 1);
+        (10, [ ("f1", "00xxxxxx") ], Action.Forward 2);
+      ]
+  in
+  let bottom = Option.get (Classifier.find c 2) in
+  let deps = Classifier.direct_dependencies c bottom |> List.map (fun r -> r.Rule.id) in
+  check (Alcotest.list Alcotest.int) "only the covering middle rule" [ 1 ]
+    (List.sort Int.compare deps)
+
+let test_overlap_count () =
+  check Alcotest.int "firewall overlaps" 6 (Classifier.overlap_count firewall)
+
+(* --- properties --- *)
+
+let gen_action =
+  QCheck2.Gen.(oneofl [ Action.Drop; Action.Forward 1; Action.Forward 2; Action.Count_and_forward 1 ])
+
+let gen_classifier =
+  let open QCheck2.Gen in
+  let* n = int_range 1 8 in
+  let* specs =
+    list_repeat n (triple (int_bound 15) gen_pred_tiny2 gen_action)
+  in
+  let rules = List.mapi (fun i (pr, pd, a) -> Rule.make ~id:i ~priority:pr pd a) specs in
+  return (Classifier.create s2 rules)
+
+let prop_effective_region_decides =
+  qt "effective region = headers the rule decides"
+    QCheck2.Gen.(pair gen_classifier gen_header_tiny2)
+    (fun (c, pt) ->
+      match Classifier.first_match c pt with
+      | None ->
+          List.for_all
+            (fun r -> not (Region.matches (Classifier.effective_region c r) pt))
+            (Classifier.rules c)
+      | Some winner ->
+          List.for_all
+            (fun (r : Rule.t) ->
+              Region.matches (Classifier.effective_region c r) pt = (r.id = winner.Rule.id))
+            (Classifier.rules c))
+
+let prop_remove_shadowed_semantics =
+  qt "remove_shadowed preserves semantics"
+    QCheck2.Gen.(pair gen_classifier gen_header_tiny2)
+    (fun (c, pt) ->
+      let a = Classifier.action c pt and b = Classifier.action (Classifier.remove_shadowed c) pt in
+      (match (a, b) with
+      | None, None -> true
+      | Some x, Some y -> Action.equal x y
+      | _ -> false))
+
+let prop_default_deny_total =
+  qt "default_deny is total" gen_classifier (fun c ->
+      Classifier.is_total (Classifier.default_deny c))
+
+let suite =
+  [
+    ( "classifier",
+      [
+        tc "first match" test_first_match;
+        tc "priority order" test_priority_order;
+        tc "equal-priority tie break" test_tie_break;
+        tc "duplicate ids rejected" test_duplicate_ids;
+        tc "totality / default deny" test_total;
+        tc "add / remove" test_add_remove;
+        tc "shadowing" test_shadowing;
+        tc "dead rules (combination kill)" test_dead_rules;
+        tc "effective region" test_effective_region;
+        tc "dependency depth" test_dependency_depth;
+        tc "direct dependencies" test_direct_dependencies;
+        tc "overlap count" test_overlap_count;
+        prop_effective_region_decides;
+        prop_remove_shadowed_semantics;
+        prop_default_deny_total;
+      ] );
+  ]

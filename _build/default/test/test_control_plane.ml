@@ -1,0 +1,255 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let policy =
+  Classifier.of_specs s2
+    [
+      (20, [ ("f1", "00000001") ], Action.Drop);
+      (10, [ ("f1", "0xxxxxxx") ], Action.Forward 3);
+      (0, [], Action.Drop);
+    ]
+
+(* --- channel --- *)
+
+let test_channel_latency () =
+  let ch = Channel.create s2 ~latency:0.5 in
+  Channel.send ch ~now:0. ~xid:1 Message.Hello;
+  check Alcotest.int "in flight" 0 (List.length (Channel.poll ch ~now:0.4));
+  let arrived = Channel.poll ch ~now:0.5 in
+  check Alcotest.int "arrived" 1 (List.length arrived);
+  check Alcotest.int "xid preserved" 1 (fst (List.hd arrived));
+  check Alcotest.int "drained" 0 (Channel.pending ch)
+
+let test_channel_order_and_counters () =
+  let ch = Channel.create s2 ~latency:0.1 in
+  Channel.send ch ~now:0. ~xid:1 (Message.Echo_request 1);
+  Channel.send ch ~now:0.01 ~xid:2 (Message.Echo_request 2);
+  let msgs = Channel.poll ch ~now:1. in
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2 ] (List.map fst msgs);
+  check Alcotest.int "frames" 2 (Channel.frames_carried ch);
+  check Alcotest.bool "bytes counted" true (Channel.bytes_carried ch >= 32)
+
+(* --- switch control handler --- *)
+
+let test_handle_echo_barrier () =
+  let sw = Switch.create ~id:0 ~cache_capacity:8 in
+  (match Switch.handle_control sw ~now:0. (Message.Echo_request 7) with
+  | [ Message.Echo_reply 7 ] -> ()
+  | _ -> Alcotest.fail "echo mishandled");
+  match Switch.handle_control sw ~now:0. (Message.Barrier_request 3) with
+  | [ Message.Barrier_reply 3 ] -> ()
+  | _ -> Alcotest.fail "barrier mishandled"
+
+let test_handle_stats () =
+  let sw = Switch.create ~id:0 ~cache_capacity:8 in
+  let r = Rule.make ~id:5 ~priority:1 (Pred.any s2) (Action.Forward 1) in
+  ignore (Switch.install_cache_rule sw ~now:0. r);
+  ignore (Switch.process sw ~now:1. (h 1 1));
+  ignore (Switch.process sw ~now:2. (h 2 2));
+  match
+    Switch.handle_control sw ~now:10.
+      (Message.Stats_request { Message.table_bank = Message.Cache; cookie = 42 })
+  with
+  | [ Message.Stats_reply { Message.request_cookie = 42; flows = [ f ] } ] ->
+      check Alcotest.int "rule id" 5 f.Message.rule_id;
+      check Alcotest.int64 "packets" 2L f.Message.packets;
+      check (Alcotest.float 1e-9) "duration" 10. f.Message.duration
+  | _ -> Alcotest.fail "stats mishandled"
+
+let test_handle_flow_mod () =
+  let sw = Switch.create ~id:0 ~cache_capacity:8 in
+  let r = Rule.make ~id:5 ~priority:1 (Pred.any s2) Action.Drop in
+  let fm command =
+    Message.Flow_mod
+      { Message.command; bank = Message.Cache; rule = r; idle_timeout = None;
+        hard_timeout = None }
+  in
+  check Alcotest.int "add silent" 0 (List.length (Switch.handle_control sw ~now:0. (fm Message.Add)));
+  check Alcotest.int "added" 1 (Switch.cache_occupancy sw);
+  ignore (Switch.handle_control sw ~now:0. (fm Message.Delete));
+  check Alcotest.int "deleted" 0 (Switch.cache_occupancy sw)
+
+(* --- control plane --- *)
+
+let build_cp ?(config = Control_plane.default_config) () =
+  let d =
+    Deployment.build
+      ~config:{ Deployment.default_config with replication = 2; k = 4 }
+      ~policy ~topology:(Topology.line 5 ()) ~authority_ids:[ 1; 3 ] ()
+  in
+  (d, Control_plane.create ~config d)
+
+let drive cp ~from ~until ~step =
+  let t = ref from in
+  while !t <= until do
+    Control_plane.tick cp ~now:!t;
+    t := !t +. step
+  done
+
+let test_echo_keeps_alive () =
+  let _, cp = build_cp () in
+  drive cp ~from:0. ~until:20. ~step:0.25;
+  check (Alcotest.list Alcotest.int) "nothing failed" [] (Control_plane.failed_switches cp)
+
+let test_failure_detection_and_failover () =
+  let d, cp = build_cp () in
+  ignore d;
+  Control_plane.kill_switch cp 1;
+  drive cp ~from:0. ~until:20. ~step:0.25;
+  check (Alcotest.list Alcotest.int) "switch 1 declared dead" [ 1 ]
+    (Control_plane.failed_switches cp);
+  (* failover happened: 3 is the only authority now *)
+  check (Alcotest.list Alcotest.int) "authority failover" [ 3 ]
+    (Deployment.authority_ids (Control_plane.deployment cp));
+  (* and the deployment still enforces the policy *)
+  let rng = Prng.create 3 in
+  let probes = List.init 100 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "post-failover semantics" true
+    (Deployment.semantically_equal (Control_plane.deployment cp) probes)
+
+let test_stats_aggregation () =
+  let d, cp = build_cp () in
+  (* create traffic so an ingress cache holds spliced entries with hits *)
+  let o = Deployment.inject d ~now:0. ~ingress:0 (h 2 0) in
+  check Alcotest.bool "cached" true (Option.is_some o.Deployment.installed);
+  ignore (Deployment.inject d ~now:0.1 ~ingress:0 (h 2 0));
+  ignore (Deployment.inject d ~now:0.2 ~ingress:0 (h 2 0));
+  drive cp ~from:1. ~until:12. ~step:0.5;
+  let counters = Control_plane.rule_counters cp in
+  (* rule 1 (the broad forward) decided that flow; counters must attribute
+     the cache hits to it *)
+  match List.assoc_opt 1 counters with
+  | Some n -> check Alcotest.bool "packets attributed" true (Int64.compare n 2L >= 0)
+  | None -> Alcotest.failf "no counter for origin rule 1 (got %d entries)" (List.length counters)
+
+let test_targeted_invalidation () =
+  let d, cp = build_cp () in
+  ignore (Deployment.inject d ~now:0. ~ingress:0 (h 2 0));
+  check Alcotest.bool "entry cached" true (Deployment.total_cache_entries d > 0);
+  let sent = Control_plane.delete_cached_origin cp ~now:1. ~origin_id:1 in
+  check Alcotest.bool "deletions sent" true (sent > 0);
+  (* deliver the deletions *)
+  drive cp ~from:1.001 ~until:1.1 ~step:0.01;
+  check Alcotest.int "cache emptied" 0 (Deployment.total_cache_entries d)
+
+let test_push_deployment () =
+  (* blank switches, configuration delivered purely as encoded messages *)
+  let d =
+    Deployment.build ~install:false
+      ~config:{ Deployment.default_config with replication = 2; k = 4 }
+      ~policy ~topology:(Topology.line 5 ()) ~authority_ids:[ 1; 3 ] ()
+  in
+  (* nothing installed yet: packets are unmatched *)
+  (match Switch.process (Deployment.switch d 0) ~now:0. (h 2 0) with
+  | Switch.Unmatched -> ()
+  | _ -> Alcotest.fail "blank switch matched something");
+  let cp = Control_plane.create d in
+  Control_plane.push_deployment cp ~now:0.;
+  drive cp ~from:0.001 ~until:0.2 ~step:0.01;
+  (* all banks installed via messages: full DIFANE semantics *)
+  let rng = Prng.create 21 in
+  let probes = List.init 200 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "message-driven install is faithful" true
+    (Deployment.semantically_equal d probes);
+  (* every partition table reached both replicas *)
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      let holders =
+        List.filter
+          (fun i ->
+            List.exists
+              (fun (q : Partitioner.partition) -> q.pid = p.pid)
+              (Switch.authority_partitions (Deployment.switch d i)))
+          [ 0; 1; 2; 3; 4 ]
+      in
+      check Alcotest.int "two replicas hold the table" 2 (List.length holders))
+    (Deployment.partitioner d).Partitioner.partitions;
+  check Alcotest.bool "frames were spent" true (Control_plane.control_frames cp > 10)
+
+let test_partition_transfer_codec () =
+  let part = Partitioner.compute policy ~k:2 in
+  let p = List.hd part.Partitioner.partitions in
+  let msg =
+    Message.Install_partition
+      { Message.pid = p.pid; region = p.region; table_rules = Classifier.rules p.table }
+  in
+  (match Message.decode s2 (Message.encode ~xid:5 msg) with
+  | Ok (5, msg') -> check Alcotest.bool "transfer roundtrip" true (Message.equal msg msg')
+  | _ -> Alcotest.fail "transfer decode failed");
+  match Message.decode s2 (Message.encode ~xid:6 (Message.Drop_partition 3)) with
+  | Ok (6, Message.Drop_partition 3) -> ()
+  | _ -> Alcotest.fail "drop_partition roundtrip failed"
+
+let test_control_overhead_counted () =
+  let _, cp = build_cp () in
+  drive cp ~from:0. ~until:5. ~step:0.5;
+  check Alcotest.bool "frames flowed" true (Control_plane.control_frames cp > 0);
+  check Alcotest.bool "bytes counted" true
+    (Control_plane.control_bytes cp > Control_plane.control_frames cp)
+
+let test_auto_rebalance () =
+  let policy =
+    Classifier.of_specs s2
+      [
+        (10, [ ("f1", "0xxxxxxx") ], Action.Forward 3);
+        (10, [ ("f1", "1xxxxxxx") ], Action.Forward 3);
+        (0, [], Action.Drop);
+      ]
+  in
+  let d =
+    Deployment.build
+      ~config:{ Deployment.default_config with k = 4; cache_capacity = 0 }
+      ~policy ~topology:(Topology.line 5 ()) ~authority_ids:[ 1; 3 ] ()
+  in
+  let cp =
+    Control_plane.create
+      ~config:{ Control_plane.default_config with rebalance_interval = Some 1.0 }
+      d
+  in
+  (* skewed traffic into one flowspace corner *)
+  for i = 0 to 199 do
+    ignore (Deployment.inject d ~now:0. ~ingress:0 (h (i mod 16) (i mod 8)))
+  done;
+  drive cp ~from:0. ~until:3. ~step:0.25;
+  check Alcotest.bool "rebalanced at least once" true (Control_plane.rebalances cp >= 1);
+  let d' = Control_plane.deployment cp in
+  (* the hottest partition now sits alone on its authority *)
+  let loads = Deployment.measured_partition_loads d' in
+  let hot_pid, _ =
+    List.fold_left (fun (bp, bl) (p, l) -> if l > bl then (p, l) else (bp, bl)) (-1, -1.) loads
+  in
+  let host = Assignment.switch_for (Deployment.assignment d') hot_pid in
+  check (Alcotest.list Alcotest.int) "hot partition isolated" [ hot_pid ]
+    (Assignment.partitions_of (Deployment.assignment d') host);
+  (* semantics intact after the automated move *)
+  let rng = Prng.create 8 in
+  let probes = List.init 150 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "still faithful" true (Deployment.semantically_equal d' probes)
+
+let suite =
+  [
+    ( "channel",
+      [
+        tc "latency" test_channel_latency;
+        tc "order and counters" test_channel_order_and_counters;
+      ] );
+    ( "switch control",
+      [
+        tc "echo / barrier" test_handle_echo_barrier;
+        tc "stats from live counters" test_handle_stats;
+        tc "cache flow-mods" test_handle_flow_mod;
+      ] );
+    ( "control plane",
+      [
+        tc "healthy switches stay alive" test_echo_keeps_alive;
+        tc "failure detection triggers failover" test_failure_detection_and_failover;
+        tc "stats aggregate to origin rules" test_stats_aggregation;
+        tc "targeted cache invalidation" test_targeted_invalidation;
+        tc "control overhead counted" test_control_overhead_counted;
+        tc "push deployment over channels" test_push_deployment;
+        tc "partition transfer codec" test_partition_transfer_codec;
+        tc "automatic load rebalance" test_auto_rebalance;
+      ] );
+  ]

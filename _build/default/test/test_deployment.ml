@@ -1,0 +1,177 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let policy =
+  Classifier.of_specs s2
+    [
+      (30, [ ("f1", "00000001") ], Action.Drop);
+      (20, [ ("f1", "000000xx"); ("f2", "1xxxxxxx") ], Action.Forward 4);
+      (10, [ ("f1", "0xxxxxxx") ], Action.Forward 3);
+      (0, [], Action.Drop);
+    ]
+
+(* line topology 0-1-2-3-4, authorities at 1 and 3 *)
+let build ?(config = Deployment.default_config) () =
+  Deployment.build ~config ~policy ~topology:(Topology.line 5 ())
+    ~authority_ids:[ 1; 3 ] ()
+
+let test_build_installs () =
+  let d = build () in
+  (* every switch has partition rules; only authorities have tables *)
+  Array.iteri
+    (fun i sw ->
+      let n_auth = List.length (Switch.authority_partitions sw) in
+      if List.mem i [ 1; 3 ] then (
+        if n_auth = 0 then Alcotest.failf "authority %d has no partitions" i)
+      else check Alcotest.int "non-authority empty" 0 n_auth)
+    (Deployment.switches d)
+
+let test_first_packet_path () =
+  let d = build () in
+  let o = Deployment.inject d ~now:0. ~ingress:0 (h 2 0) in
+  check action "action" (Action.Forward 3) o.Deployment.action;
+  check Alcotest.bool "was a miss" false o.Deployment.cache_hit;
+  check Alcotest.bool "visited an authority" true (Option.is_some o.Deployment.authority);
+  check Alcotest.bool "installed a cache rule" true (Option.is_some o.Deployment.installed);
+  (* the path detours through the authority on its way to egress 3 *)
+  let auth = Option.get o.Deployment.authority in
+  check Alcotest.bool "path passes authority" true (List.mem auth o.Deployment.path);
+  check Alcotest.int "path starts at ingress" 0 (List.hd o.Deployment.path)
+
+let test_second_packet_cut_through () =
+  let d = build () in
+  ignore (Deployment.inject d ~now:0. ~ingress:0 (h 2 0));
+  let o = Deployment.inject d ~now:0.1 ~ingress:0 (h 2 0) in
+  check Alcotest.bool "cache hit" true o.Deployment.cache_hit;
+  check (Alcotest.option Alcotest.int) "no authority" None o.Deployment.authority;
+  check (Alcotest.list Alcotest.int) "direct path" [ 0; 1; 2; 3 ] o.Deployment.path
+
+let test_drop_stays_local () =
+  let d = build () in
+  let o = Deployment.inject d ~now:0. ~ingress:0 (h 1 0) in
+  check action "dropped" Action.Drop o.Deployment.action;
+  (* the drop verdict happens at the authority; the packet dies there *)
+  check Alcotest.bool "no egress leg" true (List.length o.Deployment.path <= 3)
+
+let test_semantics_random_probes () =
+  let d = build () in
+  let rng = Prng.create 77 in
+  let probes =
+    List.init 300 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256))
+  in
+  check Alcotest.bool "all probes agree with policy" true
+    (Deployment.semantically_equal d probes)
+
+let test_cache_timeout_expiry () =
+  let config =
+    { Deployment.default_config with cache_idle_timeout = Some 1.0; cache_capacity = 10 }
+  in
+  let d = build ~config () in
+  ignore (Deployment.inject d ~now:0. ~ingress:0 (h 2 0));
+  check Alcotest.bool "cached" true (Deployment.total_cache_entries d > 0);
+  let expired = Deployment.expire_caches d ~now:5. in
+  check Alcotest.bool "expired" true (expired > 0);
+  check Alcotest.int "caches empty" 0 (Deployment.total_cache_entries d)
+
+let test_update_policy () =
+  let d = build () in
+  ignore (Deployment.inject d ~now:0. ~ingress:0 (h 2 0));
+  (* flip the broad rule's action *)
+  let policy' =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "00000001") ], Action.Drop);
+        (10, [ ("f1", "0xxxxxxx") ], Action.Forward 2);
+        (0, [], Action.Drop);
+      ]
+  in
+  let d' = Deployment.update_policy d ~now:1. policy' in
+  check Alcotest.int "caches flushed" 0 (Deployment.total_cache_entries d');
+  let o = Deployment.inject d' ~now:2. ~ingress:0 (h 2 0) in
+  check action "new action" (Action.Forward 2) o.Deployment.action
+
+let test_failover () =
+  let d = build () in
+  let d' = Deployment.fail_authority d 1 in
+  check (Alcotest.list Alcotest.int) "one authority left" [ 3 ]
+    (Deployment.authority_ids d');
+  (* all partitions now served by 3; semantics intact *)
+  let rng = Prng.create 5 in
+  let probes = List.init 100 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "still correct" true (Deployment.semantically_equal d' probes);
+  (* and every miss goes to switch 3 *)
+  Deployment.flush_caches d';
+  let o = Deployment.inject d' ~now:0. ~ingress:0 (h 2 0) in
+  check (Alcotest.option Alcotest.int) "authority 3" (Some 3) o.Deployment.authority;
+  try
+    ignore (Deployment.fail_authority d' 3);
+    Alcotest.fail "last authority failover accepted"
+  with Invalid_argument _ -> ()
+
+let test_authority_tcam_budget () =
+  (* plenty of budget: builds fine *)
+  let generous = { Deployment.default_config with authority_tcam = Some 1000 } in
+  ignore
+    (Deployment.build ~config:generous ~policy ~topology:(Topology.line 5 ())
+       ~authority_ids:[ 1; 3 ] ());
+  (* impossible budget: rejected with guidance, not deployed broken *)
+  let tiny = { Deployment.default_config with authority_tcam = Some 1 } in
+  try
+    ignore
+      (Deployment.build ~config:tiny ~policy ~topology:(Topology.line 5 ())
+         ~authority_ids:[ 1; 3 ] ());
+    Alcotest.fail "undersized TCAM accepted"
+  with Invalid_argument msg ->
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    check Alcotest.bool "mentions the remedy" true (contains msg "compute_bounded")
+
+let test_bad_build () =
+  (try
+     ignore
+       (Deployment.build ~policy ~topology:(Topology.line 3 ()) ~authority_ids:[] ());
+     Alcotest.fail "no authorities accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Deployment.build ~policy ~topology:(Topology.line 3 ()) ~authority_ids:[ 9 ] ());
+    Alcotest.fail "out-of-range authority accepted"
+  with Invalid_argument _ -> ()
+
+(* property: DIFANE vs centralized classifier on arbitrary header streams,
+   including cache reuse between packets *)
+let prop_end_to_end_equivalence =
+  qt ~count:60 "deployment = classifier for whole packet streams"
+    QCheck2.Gen.(list_size (int_range 1 60) gen_header_tiny2)
+    (fun headers ->
+      let d = build () in
+      List.for_all
+        (fun hd ->
+          let o = Deployment.inject d ~now:0. ~ingress:0 hd in
+          match Classifier.action policy hd with
+          | Some a -> Action.equal a o.Deployment.action
+          | None -> false)
+        headers)
+
+let suite =
+  [
+    ( "deployment",
+      [
+        tc "build installs banks" test_build_installs;
+        tc "first packet detours via authority" test_first_packet_path;
+        tc "second packet cuts through" test_second_packet_cut_through;
+        tc "drop handled at authority" test_drop_stays_local;
+        tc "random probe equivalence" test_semantics_random_probes;
+        tc "cache timeout expiry" test_cache_timeout_expiry;
+        tc "policy update is consistent" test_update_policy;
+        tc "authority failover" test_failover;
+        tc "authority TCAM budget" test_authority_tcam_budget;
+        tc "build validation" test_bad_build;
+        prop_end_to_end_equivalence;
+      ] );
+  ]

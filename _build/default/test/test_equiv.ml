@@ -1,0 +1,131 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let firewall =
+  Classifier.of_specs s2
+    [
+      (30, [ ("f1", "00000001") ], Action.Drop);
+      (20, [ ("f1", "000000xx"); ("f2", "1xxxxxxx") ], Action.Forward 1);
+      (10, [ ("f1", "0xxxxxxx") ], Action.Forward 2);
+      (0, [], Action.Drop);
+    ]
+
+let test_self_equivalent () =
+  check Alcotest.bool "reflexive" true (Equiv.equivalent firewall firewall)
+
+let test_priority_encoding_irrelevant () =
+  (* same semantics, different priority numbers *)
+  let renumbered =
+    Classifier.of_specs s2
+      [
+        (400, [ ("f1", "00000001") ], Action.Drop);
+        (30, [ ("f1", "000000xx"); ("f2", "1xxxxxxx") ], Action.Forward 1);
+        (7, [ ("f1", "0xxxxxxx") ], Action.Forward 2);
+        (1, [], Action.Drop);
+      ]
+  in
+  check Alcotest.bool "equivalent" true (Equiv.equivalent firewall renumbered)
+
+let test_shadow_elimination_equivalent () =
+  let shadowy =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "0xxxxxxx") ], Action.Drop);
+        (20, [ ("f1", "00xxxxxx") ], Action.Forward 1);
+        (* shadowed *)
+        (0, [], Action.Forward 2);
+      ]
+  in
+  check Alcotest.bool "remove_shadowed preserves semantics" true
+    (Equiv.equivalent shadowy (Classifier.remove_shadowed shadowy))
+
+let test_detects_difference () =
+  let tweaked =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "00000001") ], Action.Drop);
+        (20, [ ("f1", "000000xx"); ("f2", "1xxxxxxx") ], Action.Forward 1);
+        (10, [ ("f1", "0xxxxxxx") ], Action.Forward 9);
+        (* different egress *)
+        (0, [], Action.Drop);
+      ]
+  in
+  check Alcotest.bool "not equivalent" false (Equiv.equivalent firewall tweaked);
+  match Equiv.counterexample firewall tweaked with
+  | None -> Alcotest.fail "expected a counterexample"
+  | Some w ->
+      let a = Classifier.action firewall w and b = Classifier.action tweaked w in
+      check Alcotest.bool "witness disagrees" false (a = b)
+
+let test_unmatched_matters () =
+  let partial = Classifier.of_specs s2 [ (1, [ ("f1", "1xxxxxxx") ], Action.Drop) ] in
+  let total = Classifier.default_deny partial in
+  (* they agree on matched headers but differ on the unmatched half *)
+  check Alcotest.bool "partial <> totalised" false (Equiv.equivalent partial total);
+  check Alcotest.bool "unmatched region nonempty" false
+    (Region.is_empty (Equiv.unmatched_region partial));
+  check Alcotest.bool "total policy has empty unmatched" true
+    (Region.is_empty (Equiv.unmatched_region total))
+
+let test_decision_region () =
+  let r = Equiv.decision_region firewall (Action.Forward 1) in
+  check Alcotest.bool "decided header in" true (Region.matches r (h 0 128));
+  check Alcotest.bool "stolen header out" true (not (Region.matches r (h 1 128)));
+  check Alcotest.bool "other action out" true (not (Region.matches r (h 4 0)))
+
+let test_agree_on_partition () =
+  let part = Partitioner.compute firewall ~k:4 in
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      check Alcotest.bool "clipped table agrees inside its region" true
+        (Equiv.agree_on firewall p.table p.region))
+    part.Partitioner.partitions
+
+let test_schema_mismatch () =
+  let other = Classifier.of_specs Schema.ip_pair [ (1, [], Action.Drop) ] in
+  try
+    ignore (Equiv.equivalent firewall other);
+    Alcotest.fail "schema mismatch accepted"
+  with Invalid_argument _ -> ()
+
+(* property: Equiv agrees with exhaustive point sampling *)
+let gen_small_classifier =
+  let open QCheck2.Gen in
+  let* n = int_range 1 5 in
+  let* specs =
+    list_repeat n
+      (triple (int_bound 8) gen_pred_tiny2 (oneofl [ Action.Drop; Action.Forward 1 ]))
+  in
+  let rules = List.mapi (fun i (pr, pd, a) -> Rule.make ~id:i ~priority:pr pd a) specs in
+  return (Classifier.create s2 rules)
+
+let prop_equiv_matches_sampling =
+  qt ~count:60 "equivalent <-> no sampled disagreement (+witness validity)"
+    QCheck2.Gen.(triple gen_small_classifier gen_small_classifier
+                   (list_size (return 64) gen_header_tiny2))
+    (fun (a, b, samples) ->
+      match Equiv.counterexample a b with
+      | Some w ->
+          (* exact check found a difference: the witness must disagree *)
+          Classifier.action a w <> Classifier.action b w
+      | None ->
+          (* exact equivalence: no sampled point may disagree *)
+          List.for_all (fun pt -> Classifier.action a pt = Classifier.action b pt) samples)
+
+let suite =
+  [
+    ( "equiv",
+      [
+        tc "reflexive" test_self_equivalent;
+        tc "priority renumbering" test_priority_encoding_irrelevant;
+        tc "shadow elimination" test_shadow_elimination_equivalent;
+        tc "detects differences with witness" test_detects_difference;
+        tc "unmatched region counts" test_unmatched_matters;
+        tc "decision region" test_decision_region;
+        tc "partition tables agree on their regions" test_agree_on_partition;
+        tc "schema mismatch rejected" test_schema_mismatch;
+        prop_equiv_matches_sampling;
+      ] );
+  ]

@@ -1,0 +1,116 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let message = Alcotest.testable Message.pp Message.equal
+
+let roundtrip msg =
+  let buf = Message.encode ~xid:42 msg in
+  match Message.decode s2 buf with
+  | Ok (xid, msg') ->
+      check Alcotest.int "xid" 42 xid;
+      check message "message" msg msg'
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let sample_rule =
+  Rule.make ~id:17 ~priority:9 (Pred.of_strings s2 [ ("f1", "01xx_xx10") ]) (Action.Forward 3)
+
+let test_simple_roundtrips () =
+  List.iter roundtrip
+    [
+      Message.Hello;
+      Message.Echo_request 7;
+      Message.Echo_reply 7;
+      Message.Barrier_request 3;
+      Message.Barrier_reply 3;
+    ]
+
+let test_flow_mod_roundtrip () =
+  List.iter roundtrip
+    [
+      Message.Flow_mod
+        { command = Message.Add; bank = Message.Cache; rule = sample_rule;
+          idle_timeout = Some 10.; hard_timeout = None };
+      Message.Flow_mod
+        { command = Message.Delete_strict; bank = Message.Partition;
+          rule = Rule.make ~id:1 ~priority:0 (Pred.any s2) (Action.To_authority 9);
+          idle_timeout = None; hard_timeout = Some 0.5 };
+    ]
+
+let test_packet_roundtrips () =
+  roundtrip (Message.Packet_in { ingress = 4; header = h 10 20; reason = `No_match });
+  roundtrip (Message.Packet_out { out_switch = 2; out_header = h 1 2; action = Action.Drop })
+
+let test_stats_roundtrips () =
+  roundtrip (Message.Stats_request { table_bank = Message.Authority; cookie = 77 });
+  roundtrip
+    (Message.Stats_reply
+       {
+         request_cookie = 77;
+         flows =
+           [
+             { Message.rule_id = 1; packets = 100L; bytes = 6400L; duration = 1.5 };
+             { Message.rule_id = 2; packets = 0L; bytes = 0L; duration = 0. };
+           ];
+       })
+
+let test_decode_garbage () =
+  let bad b = match Message.decode s2 b with Ok _ -> false | Error _ -> true in
+  check Alcotest.bool "empty" true (bad (Bytes.create 0));
+  check Alcotest.bool "short" true (bad (Bytes.create 3));
+  let frame = Message.encode ~xid:1 Message.Hello in
+  let truncated = Bytes.sub frame 0 (Bytes.length frame - 1) in
+  check Alcotest.bool "truncated" true (bad truncated);
+  let corrupt = Bytes.copy frame in
+  Bytes.set_uint8 corrupt 0 99;
+  check Alcotest.bool "bad version" true (bad corrupt);
+  let extended = Bytes.cat frame (Bytes.make 4 '\x00') in
+  check Alcotest.bool "trailing bytes" true (bad extended)
+
+let test_wire_size () =
+  let msg = Message.Packet_in { ingress = 4; header = h 10 20; reason = `No_match } in
+  check Alcotest.int "size matches encode" (Bytes.length (Message.encode ~xid:0 msg))
+    (Message.wire_size ~xid:0 msg);
+  check Alcotest.bool "frames have 16-byte header" true (Message.wire_size ~xid:0 Message.Hello = 16)
+
+let gen_message =
+  let open QCheck2.Gen in
+  let gen_rule =
+    let* pd = gen_pred_tiny2 in
+    let* pr = int_bound 100 in
+    let* idr = int_bound 1000 in
+    let* act = oneofl [ Action.Drop; Action.Forward 2; Action.To_authority 5 ] in
+    return (Rule.make ~id:idr ~priority:pr pd act)
+  in
+  oneof
+    [
+      return Message.Hello;
+      (int_bound 1000 >|= fun c -> Message.Echo_request c);
+      (int_bound 1000 >|= fun c -> Message.Barrier_request c);
+      ( pair gen_rule (oneofl [ Message.Cache; Message.Authority; Message.Partition ])
+      >|= fun (r, bank) ->
+        Message.Flow_mod
+          { command = Message.Add; bank; rule = r; idle_timeout = Some 1.; hard_timeout = None } );
+      (gen_header_tiny2 >|= fun hd -> Message.Packet_in { ingress = 1; header = hd; reason = `No_match });
+    ]
+
+let prop_roundtrip =
+  qt "encode/decode roundtrip" gen_message (fun msg ->
+      match Message.decode s2 (Message.encode ~xid:5 msg) with
+      | Ok (5, msg') -> Message.equal msg msg'
+      | _ -> false)
+
+let suite =
+  [
+    ( "openflow",
+      [
+        tc "simple roundtrips" test_simple_roundtrips;
+        tc "flow-mod roundtrips" test_flow_mod_roundtrip;
+        tc "packet in/out roundtrips" test_packet_roundtrips;
+        tc "stats roundtrips" test_stats_roundtrips;
+        tc "garbage rejection" test_decode_garbage;
+        tc "wire size" test_wire_size;
+        prop_roundtrip;
+      ] );
+  ]

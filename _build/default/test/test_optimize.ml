@@ -1,0 +1,130 @@
+(* Policy minimisation: exact, equivalence-preserving. *)
+
+open Test_util
+
+let s2 = Schema.tiny2
+
+let test_remove_redundant () =
+  let c =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "0xxxxxxx") ], Action.Drop);
+        (20, [ ("f1", "00xxxxxx") ], Action.Forward 1);
+        (* shadowed *)
+        (10, [], Action.Forward 2);
+      ]
+  in
+  let c' = Optimize.remove_redundant c in
+  check Alcotest.int "one removed" 2 (Classifier.length c');
+  check Alcotest.bool "equivalent" true (Equiv.equivalent c c')
+
+let test_merge_siblings_basic () =
+  (* two halves of a /7 written as two /8s *)
+  let c =
+    Classifier.of_specs s2
+      [
+        (10, [ ("f1", "0000101x"); ("f2", "1xxxxxxx") ], Action.Drop);
+        (10, [ ("f1", "00001010") ], Action.Forward 1);
+        (10, [ ("f1", "00001011") ], Action.Forward 1);
+        (0, [], Action.Drop);
+      ]
+  in
+  (* rules 1+2 are siblings but rule 0 (same priority, earlier id) steals
+     part of their union: the guard must still allow the merge because
+     rule 0 keeps winning on its region either way *)
+  let c' = Optimize.merge_siblings c in
+  check Alcotest.bool "equivalent" true (Equiv.equivalent c c');
+  check Alcotest.int "merged" 3 (Classifier.length c')
+
+let test_merge_blocked_when_unsafe () =
+  (* same-priority middle rule with a between id: merging 0 and 2 would
+     let the merged (id 0) rule steal the middle rule's headers *)
+  let c =
+    Classifier.create s2
+      [
+        Rule.make ~id:0 ~priority:5 (Pred.of_strings s2 [ ("f1", "00000010") ]) (Action.Forward 1);
+        Rule.make ~id:1 ~priority:5
+          (Pred.of_strings s2 [ ("f1", "0000001x"); ("f2", "1xxxxxxx") ])
+          Action.Drop;
+        Rule.make ~id:2 ~priority:5 (Pred.of_strings s2 [ ("f1", "00000011") ]) (Action.Forward 1);
+      ]
+  in
+  let c' = Optimize.merge_siblings c in
+  check Alcotest.bool "still equivalent" true (Equiv.equivalent c c');
+  (* the unsafe merge must have been rejected *)
+  check Alcotest.int "no merge" 3 (Classifier.length c')
+
+let test_range_reexpansion_merges () =
+  (* a contiguous aligned port range expanded to prefixes, written as
+     sibling exact matches: minimisation folds them back *)
+  let rules =
+    List.mapi
+      (fun i v ->
+        Rule.make ~id:i ~priority:5
+          (Pred.of_fields s2 [ ("f1", Ternary.exact ~width:8 (Int64.of_int v)) ])
+          (Action.Forward 1))
+      [ 8; 9; 10; 11 ]
+  in
+  let c = Classifier.create s2 rules in
+  let c', report = Optimize.minimise c in
+  check Alcotest.bool "equivalent" true (Equiv.equivalent c c');
+  check Alcotest.int "folded to one prefix" 1 (Classifier.length c');
+  check Alcotest.int "three merges" 3 report.Optimize.merged_siblings
+
+let test_report () =
+  let c =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "0xxxxxxx") ], Action.Drop);
+        (20, [ ("f1", "00xxxxxx") ], Action.Forward 1);
+        (* shadowed *)
+        (10, [ ("f1", "10000000") ], Action.Forward 2);
+        (10, [ ("f1", "10000001") ], Action.Forward 2);
+        (0, [], Action.Drop);
+      ]
+  in
+  let c', report = Optimize.minimise c in
+  check Alcotest.int "input" 5 report.Optimize.input_rules;
+  check Alcotest.int "output" 3 report.Optimize.output_rules;
+  check Alcotest.int "redundant" 1 report.Optimize.removed_redundant;
+  check Alcotest.int "merged" 1 report.Optimize.merged_siblings;
+  check Alcotest.bool "equivalent" true (Equiv.equivalent c c')
+
+let gen_policy =
+  let open QCheck2.Gen in
+  let* n = int_range 1 8 in
+  let* specs =
+    list_repeat n
+      (triple (int_bound 6) gen_pred_tiny2 (oneofl [ Action.Drop; Action.Forward 1 ]))
+  in
+  let rules = List.mapi (fun i (pr, pd, a) -> Rule.make ~id:i ~priority:pr pd a) specs in
+  return (Classifier.create s2 rules)
+
+let prop_minimise_preserves =
+  qt ~count:60 "minimise preserves semantics exactly" gen_policy (fun c ->
+      let c', report = Optimize.minimise c in
+      Equiv.equivalent c c'
+      && report.Optimize.output_rules <= report.Optimize.input_rules
+      && report.Optimize.output_rules = Classifier.length c')
+
+let prop_minimise_idempotent =
+  qt ~count:30 "minimise is idempotent" gen_policy (fun c ->
+      let c', _ = Optimize.minimise c in
+      let c'', report = Optimize.minimise c' in
+      Classifier.length c' = Classifier.length c''
+      && report.Optimize.removed_redundant = 0
+      && report.Optimize.merged_siblings = 0)
+
+let suite =
+  [
+    ( "optimize",
+      [
+        tc "remove redundant" test_remove_redundant;
+        tc "merge siblings" test_merge_siblings_basic;
+        tc "unsafe merges rejected" test_merge_blocked_when_unsafe;
+        tc "range re-expansion folds" test_range_reexpansion_merges;
+        tc "report" test_report;
+        prop_minimise_preserves;
+        prop_minimise_idempotent;
+      ] );
+  ]

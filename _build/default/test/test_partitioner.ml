@@ -1,0 +1,153 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let quad_policy =
+  (* four disjoint quadrant rules + default *)
+  Classifier.of_specs s2
+    [
+      (10, [ ("f1", "0xxxxxxx"); ("f2", "0xxxxxxx") ], Action.Forward 1);
+      (10, [ ("f1", "0xxxxxxx"); ("f2", "1xxxxxxx") ], Action.Forward 2);
+      (10, [ ("f1", "1xxxxxxx"); ("f2", "0xxxxxxx") ], Action.Forward 3);
+      (10, [ ("f1", "1xxxxxxx"); ("f2", "1xxxxxxx") ], Action.Drop);
+    ]
+
+let deep_policy = Policy_gen.acl (Prng.create 17) { Policy_gen.default_acl with rules = 200 }
+
+let regions_disjoint_cover parts schema =
+  let region = Region.of_preds schema (List.map (fun (p : Partitioner.partition) -> p.region) parts) in
+  let covers = Region.equal_sets region (Region.full schema) in
+  let rec disjoint = function
+    | [] -> true
+    | (p : Partitioner.partition) :: rest ->
+        List.for_all (fun (q : Partitioner.partition) -> not (Pred.overlaps p.region q.region)) rest
+        && disjoint rest
+  in
+  covers && disjoint parts
+
+let test_k1 () =
+  let r = Partitioner.compute quad_policy ~k:1 in
+  check Alcotest.int "one partition" 1 (List.length r.partitions);
+  check Alcotest.int "all rules" 4 r.total_entries;
+  check (Alcotest.float 1e-9) "no duplication" 1.0 r.duplication
+
+let test_k4_quadrants () =
+  let r = Partitioner.compute quad_policy ~k:4 in
+  check Alcotest.int "four partitions" 4 (List.length r.partitions);
+  (* disjoint rules split perfectly: one rule per partition *)
+  check Alcotest.int "max 1 per partition" 1 r.max_entries;
+  check Alcotest.bool "disjoint cover" true
+    (regions_disjoint_cover r.partitions s2)
+
+let test_find () =
+  let r = Partitioner.compute quad_policy ~k:4 in
+  let p = Partitioner.find r (h 200 10) in
+  check Alcotest.bool "region contains header" true (Pred.matches p.region (h 200 10));
+  (* the partition's table decides the header like the original policy *)
+  check (Alcotest.option action) "same action" (Classifier.action quad_policy (h 200 10))
+    (Classifier.action p.table (h 200 10))
+
+let test_partition_rules () =
+  let r = Partitioner.compute quad_policy ~k:4 in
+  let rules = Partitioner.partition_rules r ~assignment:(fun pid -> 100 + pid) in
+  check Alcotest.int "one per partition" 4 (List.length rules);
+  List.iter
+    (fun (rl : Rule.t) ->
+      match rl.action with
+      | Action.To_authority a ->
+          if a < 100 || a > 103 then Alcotest.fail "wrong assignment"
+      | _ -> Alcotest.fail "partition rule must tunnel")
+    rules
+
+let test_monotone_entries () =
+  (* more partitions -> per-partition max shrinks, total grows slowly *)
+  let r1 = Partitioner.compute deep_policy ~k:1 in
+  let r8 = Partitioner.compute deep_policy ~k:8 in
+  let r32 = Partitioner.compute deep_policy ~k:32 in
+  check Alcotest.bool "max decreases" true (r8.max_entries < r1.max_entries);
+  check Alcotest.bool "max decreases more" true (r32.max_entries <= r8.max_entries);
+  check Alcotest.bool "total grows" true (r32.total_entries >= r1.total_entries);
+  check Alcotest.bool "duplication bounded" true (r32.duplication < 3.0)
+
+let test_fixed_dimension_worse () =
+  (* the ablation: cutting only dimension 0 cannot beat best-cut balance *)
+  let best = Partitioner.compute deep_policy ~k:16 in
+  let fixed =
+    Partitioner.compute ~heuristic:(Partitioner.Fixed_dimension 0) deep_policy ~k:16
+  in
+  check Alcotest.bool "best-cut max <= fixed max" true
+    (best.max_entries <= fixed.max_entries)
+
+let test_k_too_large () =
+  (* tiny classifier, huge k: partitioner must stop when bits run out *)
+  let c = Classifier.of_specs s2 [ (1, [], Action.Drop) ] in
+  let r = Partitioner.compute c ~k:10 in
+  check Alcotest.bool "stops gracefully" true (List.length r.partitions <= 10);
+  check Alcotest.bool "still covers" true (regions_disjoint_cover r.partitions s2)
+
+let test_invalid () =
+  (try
+     ignore (Partitioner.compute quad_policy ~k:0);
+     Alcotest.fail "k=0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Partitioner.compute (Classifier.create s2 []) ~k:1);
+    Alcotest.fail "empty classifier accepted"
+  with Invalid_argument _ -> ()
+
+(* --- properties --- *)
+
+let gen_policy =
+  let open QCheck2.Gen in
+  let* n = int_range 1 10 in
+  let* specs = list_repeat n (pair (int_bound 10) gen_pred_tiny2) in
+  let rules = List.mapi (fun i (pr, pd) -> Rule.make ~id:i ~priority:pr pd (Action.Forward i)) specs in
+  return (Classifier.create s2 rules)
+
+let prop_disjoint_cover =
+  qt ~count:60 "partitions disjoint and cover"
+    QCheck2.Gen.(pair gen_policy (int_range 1 9))
+    (fun (c, k) ->
+      let r = Partitioner.compute c ~k in
+      regions_disjoint_cover r.partitions s2)
+
+let prop_semantics_preserved =
+  qt ~count:60 "clipped lookup = original lookup"
+    QCheck2.Gen.(triple gen_policy (int_range 1 9) gen_header_tiny2)
+    (fun (c, k, pt) ->
+      let r = Partitioner.compute c ~k in
+      let p = Partitioner.find r pt in
+      let lhs = Option.map (fun (x : Rule.t) -> x.action) (Classifier.first_match p.table pt) in
+      let rhs = Option.map (fun (x : Rule.t) -> x.action) (Classifier.first_match c pt) in
+      (match (lhs, rhs) with
+      | None, None -> true
+      | Some a, Some b -> Action.equal a b
+      | _ -> false))
+
+let prop_total_entries_consistent =
+  qt ~count:60 "metrics agree with partitions"
+    QCheck2.Gen.(pair gen_policy (int_range 1 9))
+    (fun (c, k) ->
+      let r = Partitioner.compute c ~k in
+      let sizes = List.map (fun (p : Partitioner.partition) -> Classifier.length p.table) r.partitions in
+      r.total_entries = List.fold_left ( + ) 0 sizes
+      && r.max_entries = List.fold_left max 0 sizes)
+
+let suite =
+  [
+    ( "partitioner",
+      [
+        tc "k=1 identity" test_k1;
+        tc "quadrants split cleanly" test_k4_quadrants;
+        tc "find and local semantics" test_find;
+        tc "partition rules" test_partition_rules;
+        tc "entries vs k monotonicity" test_monotone_entries;
+        tc "fixed-dimension ablation is worse" test_fixed_dimension_worse;
+        tc "k larger than splittable" test_k_too_large;
+        tc "invalid inputs" test_invalid;
+        prop_disjoint_cover;
+        prop_semantics_preserved;
+        prop_total_entries_consistent;
+      ] );
+  ]

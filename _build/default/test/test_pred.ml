@@ -1,0 +1,141 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let p fields = Pred.of_strings s2 fields
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let test_any () =
+  let a = Pred.any s2 in
+  check Alcotest.bool "matches everything" true (Pred.matches a (h 3 200));
+  check Alcotest.bool "is_any" true (Pred.is_any a);
+  check Alcotest.int "size_log2" 16 (Pred.size_log2 a)
+
+let test_of_fields_default_wild () =
+  let q = p [ ("f1", "00000001") ] in
+  check Alcotest.bool "f2 wild" true (Pred.matches q (h 1 255));
+  check Alcotest.bool "f1 constrained" false (Pred.matches q (h 2 255))
+
+let test_named_errors () =
+  (try
+     ignore (Pred.of_strings s2 [ ("nope", "xxxxxxxx") ]);
+     Alcotest.fail "unknown field accepted"
+   with Not_found -> ());
+  try
+    ignore (Pred.of_strings s2 [ ("f1", "xxx") ]);
+    Alcotest.fail "width mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let test_inter_subsumes () =
+  let a = p [ ("f1", "1xxxxxxx") ] and b = p [ ("f2", "0xxxxxxx") ] in
+  (match Pred.inter a b with
+  | None -> Alcotest.fail "orthogonal fields must intersect"
+  | Some i ->
+      check Alcotest.bool "point in" true (Pred.matches i (h 128 0));
+      check Alcotest.bool "point out" false (Pred.matches i (h 0 0)));
+  check Alcotest.bool "any subsumes" true (Pred.subsumes (Pred.any s2) a);
+  check Alcotest.bool "a not subsume any" false (Pred.subsumes a (Pred.any s2));
+  check (Alcotest.option pred) "disjoint fields" None
+    (Pred.inter (p [ ("f1", "1xxxxxxx") ]) (p [ ("f1", "0xxxxxxx") ]))
+
+let test_subtract_tuple () =
+  (* full - {f1=1xxxxxxx, f2=1xxxxxxx} leaves the L-shape. *)
+  let a = Pred.any s2 and b = p [ ("f1", "1xxxxxxx"); ("f2", "1xxxxxxx") ] in
+  let pieces = Pred.subtract a b in
+  check Alcotest.int "two pieces" 2 (List.length pieces);
+  let covered pt = List.exists (fun q -> Pred.matches q pt) pieces in
+  check Alcotest.bool "corner removed" false (covered (h 255 255));
+  check Alcotest.bool "left kept" true (covered (h 0 255));
+  check Alcotest.bool "bottom kept" true (covered (h 255 0));
+  check Alcotest.bool "origin kept" true (covered (h 0 0))
+
+let test_split () =
+  let a = Pred.any s2 in
+  match Pred.split a 0 7 with
+  | None -> Alcotest.fail "split failed"
+  | Some (lo, hi) ->
+      check Alcotest.bool "lo side" true (Pred.matches lo (h 0 9));
+      check Alcotest.bool "hi side" true (Pred.matches hi (h 200 9));
+      check Alcotest.bool "disjoint" false (Pred.overlaps lo hi)
+
+let test_enumerate () =
+  let q = p [ ("f1", "000000x1"); ("f2", "0000000x") ] in
+  let hs = Pred.enumerate q in
+  check Alcotest.int "4 points" 4 (List.length hs);
+  List.iter (fun x -> check Alcotest.bool "inside" true (Pred.matches q x)) hs
+
+(* --- properties --- *)
+
+let prop_inter_sound =
+  qt "pred inter = set intersection"
+    QCheck2.Gen.(triple gen_pred_tiny2 gen_pred_tiny2 gen_header_tiny2)
+    (fun (a, b, pt) ->
+      let lhs = match Pred.inter a b with None -> false | Some i -> Pred.matches i pt in
+      lhs = (Pred.matches a pt && Pred.matches b pt))
+
+let prop_subtract_exact =
+  qt "pred subtract = set difference"
+    QCheck2.Gen.(triple gen_pred_tiny2 gen_pred_tiny2 gen_header_tiny2)
+    (fun (a, b, pt) ->
+      let pieces = Pred.subtract a b in
+      List.exists (fun q -> Pred.matches q pt) pieces
+      = (Pred.matches a pt && not (Pred.matches b pt)))
+
+let prop_subtract_disjoint =
+  qt "pred subtract pieces disjoint"
+    QCheck2.Gen.(pair gen_pred_tiny2 gen_pred_tiny2)
+    (fun (a, b) ->
+      let pieces = Pred.subtract a b in
+      let rec ok = function
+        | [] -> true
+        | x :: rest -> List.for_all (fun y -> not (Pred.overlaps x y)) rest && ok rest
+      in
+      ok pieces)
+
+let prop_subtract_all_exact =
+  qt "subtract_all = difference of union"
+    QCheck2.Gen.(triple gen_pred_tiny2 (list_size (int_bound 4) gen_pred_tiny2) gen_header_tiny2)
+    (fun (a, bs, pt) ->
+      let pieces = Pred.subtract_all a bs in
+      List.exists (fun q -> Pred.matches q pt) pieces
+      = (Pred.matches a pt && not (List.exists (fun b -> Pred.matches b pt) bs)))
+
+let prop_diff_nonempty_agrees =
+  qt "diff_nonempty <-> subtract_all nonempty"
+    QCheck2.Gen.(pair gen_pred_tiny2 (list_size (int_bound 5) gen_pred_tiny2))
+    (fun (a, bs) -> Pred.diff_nonempty a bs = (Pred.subtract_all a bs <> []))
+
+let prop_clip_to_holder =
+  qt "clip_to_holder keeps the header, avoids the blocker"
+    QCheck2.Gen.(triple gen_pred_tiny2 gen_pred_tiny2 gen_header_tiny2)
+    (fun (a, b, h) ->
+      if not (Pred.matches a h) || Pred.matches b h then true
+      else
+        let piece = Pred.clip_to_holder a h b in
+        Pred.matches piece h && (not (Pred.overlaps piece b)) && Pred.subsumes a piece)
+
+let prop_subsumes_definition =
+  qt "subsumes agrees with sampled membership"
+    QCheck2.Gen.(triple gen_pred_tiny2 gen_pred_tiny2 gen_header_tiny2)
+    (fun (a, b, pt) ->
+      (not (Pred.subsumes a b)) || (not (Pred.matches b pt)) || Pred.matches a pt)
+
+let suite =
+  [
+    ( "pred",
+      [
+        tc "any" test_any;
+        tc "named fields default to wildcard" test_of_fields_default_wild;
+        tc "named construction errors" test_named_errors;
+        tc "inter / subsumes" test_inter_subsumes;
+        tc "tuple subtraction" test_subtract_tuple;
+        tc "split" test_split;
+        tc "enumerate" test_enumerate;
+        prop_inter_sound;
+        prop_subtract_exact;
+        prop_subtract_disjoint;
+        prop_subtract_all_exact;
+        prop_diff_nonempty_agrees;
+        prop_clip_to_holder;
+        prop_subsumes_definition;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+(* Bounded partitioning and traffic-measured rebalancing (paper §5). *)
+
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let policy = Policy_gen.acl (Prng.create 8) { Policy_gen.default_acl with rules = 250 }
+
+(* --- compute_bounded --- *)
+
+let test_bounded_fits () =
+  let budget = 40 in
+  let r = Partitioner.compute_bounded policy ~max_entries:budget in
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      if Classifier.length p.table > budget then
+        Alcotest.failf "partition %d has %d entries (budget %d)" p.pid
+          (Classifier.length p.table) budget)
+    r.Partitioner.partitions;
+  check Alcotest.bool "uses several partitions" true
+    (List.length r.Partitioner.partitions > 1)
+
+let test_bounded_minimal_when_it_fits () =
+  let r = Partitioner.compute_bounded policy ~max_entries:10_000 in
+  check Alcotest.int "single partition suffices" 1 (List.length r.Partitioner.partitions)
+
+let test_bounded_cap () =
+  let r = Partitioner.compute_bounded ~max_partitions:4 policy ~max_entries:1 in
+  check Alcotest.bool "capped" true (List.length r.Partitioner.partitions <= 4)
+
+let test_bounded_invalid () =
+  try
+    ignore (Partitioner.compute_bounded policy ~max_entries:0);
+    Alcotest.fail "max_entries=0 accepted"
+  with Invalid_argument _ -> ()
+
+let prop_bounded_still_covers =
+  qt ~count:20 "bounded partitions still tile the flowspace"
+    QCheck2.Gen.(int_range 5 60)
+    (fun budget ->
+      let small =
+        Policy_gen.acl (Prng.create budget) { Policy_gen.default_acl with rules = 80 }
+      in
+      let r = Partitioner.compute_bounded small ~max_entries:budget in
+      let region =
+        Region.of_preds (Classifier.schema small)
+          (List.map (fun (p : Partitioner.partition) -> p.region) r.Partitioner.partitions)
+      in
+      Region.equal_sets region (Region.full (Classifier.schema small)))
+
+(* --- measured loads and rebalance --- *)
+
+let tiny_policy =
+  Classifier.of_specs s2
+    [
+      (10, [ ("f1", "0xxxxxxx") ], Action.Forward 3);
+      (10, [ ("f1", "1xxxxxxx") ], Action.Forward 3);
+      (0, [], Action.Drop);
+    ]
+
+let build () =
+  let config = { Deployment.default_config with k = 4; cache_capacity = 0 } in
+  Deployment.build ~config ~policy:tiny_policy ~topology:(Topology.line 5 ())
+    ~authority_ids:[ 1; 3 ] ()
+
+let test_measured_loads () =
+  let d = build () in
+  (* hammer one corner of the flowspace: that partition gets the load *)
+  for i = 0 to 99 do
+    ignore (Deployment.inject d ~now:0. ~ingress:0 (h (i mod 16) (i mod 8)))
+  done;
+  let loads = Deployment.measured_partition_loads d in
+  check Alcotest.int "every partition listed" 4 (List.length loads);
+  let total = List.fold_left (fun acc (_, l) -> acc +. l) 0. loads in
+  check (Alcotest.float 1e-9) "all misses measured" 100. total;
+  let hottest = List.fold_left (fun acc (_, l) -> Float.max acc l) 0. loads in
+  check Alcotest.bool "load is skewed" true (hottest >= 99.)
+
+let test_rebalance_moves_hot_partition () =
+  let d = build () in
+  for i = 0 to 99 do
+    ignore (Deployment.inject d ~now:0. ~ingress:0 (h (i mod 16) (i mod 8)))
+  done;
+  let loads = Deployment.measured_partition_loads d in
+  let hot_pid, _ = List.fold_left (fun (bp, bl) (p, l) -> if l > bl then (p, l) else (bp, bl)) (-1, -1.) loads in
+  let d' = Deployment.rebalance d ~loads in
+  (* the hot partition must sit alone on its authority switch *)
+  let host = Assignment.switch_for (Deployment.assignment d') hot_pid in
+  check (Alcotest.list Alcotest.int) "hot partition isolated" [ hot_pid ]
+    (Assignment.partitions_of (Deployment.assignment d') host);
+  (* semantics survive the move *)
+  let rng = Prng.create 3 in
+  let probes = List.init 200 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "still correct" true (Deployment.semantically_equal d' probes)
+
+let test_rebalance_keeps_partitions () =
+  let d = build () in
+  let before = (Deployment.partitioner d).Partitioner.partitions in
+  let d' = Deployment.rebalance d ~loads:(List.map (fun (p : Partitioner.partition) -> (p.pid, 1.)) before) in
+  let after = (Deployment.partitioner d').Partitioner.partitions in
+  check Alcotest.int "same partition count" (List.length before) (List.length after);
+  List.iter2
+    (fun (a : Partitioner.partition) (b : Partitioner.partition) ->
+      check Alcotest.bool "same regions" true (Pred.equal a.region b.region))
+    before after
+
+let suite =
+  [
+    ( "bounded partitioning",
+      [
+        tc "fits the budget" test_bounded_fits;
+        tc "minimal when everything fits" test_bounded_minimal_when_it_fits;
+        tc "partition cap respected" test_bounded_cap;
+        tc "invalid budget rejected" test_bounded_invalid;
+        prop_bounded_still_covers;
+      ] );
+    ( "rebalance",
+      [
+        tc "measured loads" test_measured_loads;
+        tc "hot partition isolated" test_rebalance_moves_hot_partition;
+        tc "partitions unchanged" test_rebalance_keeps_partitions;
+      ] );
+  ]

@@ -1,0 +1,129 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let p fields = Pred.of_strings s2 fields
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let quadrant f1 f2 = p [ ("f1", f1); ("f2", f2) ]
+
+let test_empty_full () =
+  check Alcotest.bool "empty" true (Region.is_empty (Region.empty s2));
+  check Alcotest.bool "full matches" true (Region.matches (Region.full s2) (h 1 2));
+  check Alcotest.bool "full nonempty" false (Region.is_empty (Region.full s2))
+
+let test_union_inter () =
+  let top = Region.of_pred (quadrant "xxxxxxxx" "1xxxxxxx") in
+  let right = Region.of_pred (quadrant "1xxxxxxx" "xxxxxxxx") in
+  let u = Region.union top right in
+  check Alcotest.bool "in top" true (Region.matches u (h 0 255));
+  check Alcotest.bool "in right" true (Region.matches u (h 255 0));
+  check Alcotest.bool "outside" false (Region.matches u (h 0 0));
+  let i = Region.inter top right in
+  check Alcotest.bool "in corner" true (Region.matches i (h 255 255));
+  check Alcotest.bool "not in top-left" false (Region.matches i (h 0 255))
+
+let test_diff_cover () =
+  let d = Region.diff (Region.full s2) (Region.of_pred (quadrant "1xxxxxxx" "1xxxxxxx")) in
+  check Alcotest.bool "corner gone" false (Region.matches d (h 255 255));
+  check Alcotest.bool "rest stays" true (Region.matches d (h 0 0));
+  (* quadrants tile the space *)
+  let quads =
+    Region.of_preds s2
+      [
+        quadrant "0xxxxxxx" "0xxxxxxx";
+        quadrant "0xxxxxxx" "1xxxxxxx";
+        quadrant "1xxxxxxx" "0xxxxxxx";
+        quadrant "1xxxxxxx" "1xxxxxxx";
+      ]
+  in
+  check Alcotest.bool "tiles cover" true (Region.equal_sets quads (Region.full s2))
+
+let test_subsumes () =
+  let half = Region.of_pred (quadrant "1xxxxxxx" "xxxxxxxx") in
+  let corner = Region.of_pred (quadrant "1xxxxxxx" "1xxxxxxx") in
+  check Alcotest.bool "half ⊇ corner" true (Region.subsumes half corner);
+  check Alcotest.bool "corner ⊉ half" false (Region.subsumes corner half);
+  check Alcotest.bool "full ⊇ anything" true (Region.subsumes (Region.full s2) half)
+
+let test_compact () =
+  let r = Region.of_preds s2 [ quadrant "1xxxxxxx" "1xxxxxxx"; quadrant "1xxxxxxx" "xxxxxxxx" ] in
+  let c = Region.compact r in
+  check Alcotest.int "one pred left" 1 (List.length (Region.preds c));
+  check Alcotest.bool "same set" true (Region.equal_sets r c)
+
+let test_size_upper () =
+  let r = Region.of_preds s2 [ quadrant "1xxxxxxx" "xxxxxxxx"; quadrant "0xxxxxxx" "xxxxxxxx" ] in
+  check (Alcotest.float 0.0) "disjoint size exact" 65536.0 (Region.size_upper r)
+
+let test_size_exact () =
+  (* two overlapping halves cover 3/4 of the 16-bit space *)
+  let r =
+    Region.of_preds s2
+      [ quadrant "1xxxxxxx" "xxxxxxxx"; quadrant "xxxxxxxx" "1xxxxxxx" ]
+  in
+  check (Alcotest.float 0.0) "upper bound double-counts" 65536.0 (Region.size_upper r);
+  check (Alcotest.float 0.0) "exact" 49152.0 (Region.size_exact r);
+  let d = Region.disjointify r in
+  let rec disjoint = function
+    | [] -> true
+    | p :: rest -> List.for_all (fun q -> not (Pred.overlaps p q)) rest && disjoint rest
+  in
+  check Alcotest.bool "disjointified" true (disjoint (Region.preds d));
+  check Alcotest.bool "same set" true (Region.equal_sets r d)
+
+(* --- properties --- *)
+
+let gen_region =
+  QCheck2.Gen.(list_size (int_bound 4) gen_pred_tiny2 >|= Region.of_preds s2)
+
+let prop_diff_exact =
+  qt "diff = set difference"
+    QCheck2.Gen.(triple gen_region gen_region gen_header_tiny2)
+    (fun (a, b, pt) ->
+      Region.matches (Region.diff a b) pt
+      = (Region.matches a pt && not (Region.matches b pt)))
+
+let prop_inter_exact =
+  qt "inter = set intersection"
+    QCheck2.Gen.(triple gen_region gen_region gen_header_tiny2)
+    (fun (a, b, pt) ->
+      Region.matches (Region.inter a b) pt = (Region.matches a pt && Region.matches b pt))
+
+let prop_compact_preserves =
+  qt "compact preserves the set"
+    QCheck2.Gen.(pair gen_region gen_header_tiny2)
+    (fun (a, pt) -> Region.matches (Region.compact a) pt = Region.matches a pt)
+
+let prop_disjointify_preserves =
+  qt "disjointify preserves the set"
+    QCheck2.Gen.(pair gen_region gen_header_tiny2)
+    (fun (a, pt) -> Region.matches (Region.disjointify a) pt = Region.matches a pt)
+
+let prop_size_exact_bounded =
+  qt "size_exact <= size_upper" gen_region (fun a ->
+      Region.size_exact a <= Region.size_upper a +. 1e-6)
+
+let prop_subsumes_diff =
+  qt "subsumes a b <-> diff b a empty"
+    QCheck2.Gen.(pair gen_region gen_region)
+    (fun (a, b) -> Region.subsumes a b = Region.is_empty (Region.diff b a))
+
+let suite =
+  [
+    ( "region",
+      [
+        tc "empty / full" test_empty_full;
+        tc "union / inter" test_union_inter;
+        tc "diff and exact cover" test_diff_cover;
+        tc "subsumes" test_subsumes;
+        tc "compact" test_compact;
+        tc "size_upper on disjoint preds" test_size_upper;
+        tc "size_exact and disjointify" test_size_exact;
+        prop_diff_exact;
+        prop_inter_exact;
+        prop_compact_preserves;
+        prop_disjointify_preserves;
+        prop_size_exact_bounded;
+        prop_subsumes_diff;
+      ] );
+  ]

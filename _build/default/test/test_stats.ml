@@ -1,0 +1,92 @@
+open Test_util
+
+let test_summary_basics () =
+  let s = Summary.of_list [ 1.; 2.; 3.; 4.; 5. ] in
+  check Alcotest.int "count" 5 s.Summary.count;
+  check (Alcotest.float 1e-9) "mean" 3. s.Summary.mean;
+  check (Alcotest.float 1e-9) "min" 1. s.Summary.min;
+  check (Alcotest.float 1e-9) "max" 5. s.Summary.max;
+  check (Alcotest.float 1e-9) "p50" 3. s.Summary.p50
+
+let test_summary_single () =
+  let s = Summary.of_list [ 7. ] in
+  check (Alcotest.float 1e-9) "p99 of singleton" 7. s.Summary.p99;
+  check (Alcotest.float 1e-9) "stddev" 0. s.Summary.stddev
+
+let test_summary_empty () =
+  try
+    ignore (Summary.of_list []);
+    Alcotest.fail "empty accepted"
+  with Invalid_argument _ -> ()
+
+let test_percentile_interpolation () =
+  let sorted = [| 0.; 10. |] in
+  check (Alcotest.float 1e-9) "midpoint" 5. (Summary.percentile sorted 0.5);
+  check (Alcotest.float 1e-9) "q0" 0. (Summary.percentile sorted 0.);
+  check (Alcotest.float 1e-9) "q1" 10. (Summary.percentile sorted 1.)
+
+let test_cdf () =
+  let c = Cdf.of_list [ 1.; 2.; 2.; 4. ] in
+  check (Alcotest.float 1e-9) "at 0" 0. (Cdf.at c 0.);
+  check (Alcotest.float 1e-9) "at 2" 0.75 (Cdf.at c 2.);
+  check (Alcotest.float 1e-9) "at 100" 1.0 (Cdf.at c 100.);
+  check (Alcotest.float 1e-9) "inverse 0.5" 2. (Cdf.inverse c 0.5);
+  check (Alcotest.float 1e-9) "inverse 1.0" 4. (Cdf.inverse c 1.0);
+  let series = Cdf.series ~points:4 c in
+  check Alcotest.int "series length" 4 (List.length series);
+  check (Alcotest.float 1e-9) "series ends at max" 4. (fst (List.nth series 3))
+
+let prop_cdf_monotone =
+  qt "cdf is monotone"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 30) (float_bound_inclusive 100.))
+        (pair (float_bound_inclusive 100.) (float_bound_inclusive 100.)))
+    (fun (samples, (a, b)) ->
+      let c = Cdf.of_list samples in
+      let lo = Float.min a b and hi = Float.max a b in
+      Cdf.at c lo <= Cdf.at c hi)
+
+let prop_summary_bounds =
+  qt "percentiles ordered"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.))
+    (fun samples ->
+      let s = Summary.of_list samples in
+      s.Summary.min <= s.Summary.p50
+      && s.Summary.p50 <= s.Summary.p90
+      && s.Summary.p90 <= s.Summary.p95
+      && s.Summary.p95 <= s.Summary.p99
+      && s.Summary.p99 <= s.Summary.max)
+
+let test_table_render () =
+  let out =
+    Table.render ~header:[ "name"; "value" ] [ [ "alpha"; "1" ]; [ "beta"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  check Alcotest.int "3+ lines" 4 (List.length lines);
+  (* all lines same width *)
+  let widths = List.map String.length lines in
+  check Alcotest.bool "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_formatting () =
+  check Alcotest.string "pct" "87.3%" (Table.fmt_pct 0.873);
+  check Alcotest.string "si M" "1.50M" (Table.fmt_si 1.5e6);
+  check Alcotest.string "si k" "20.0k" (Table.fmt_si 20_000.);
+  check Alcotest.string "si plain" "350" (Table.fmt_si 350.)
+
+let suite =
+  [
+    ( "stats",
+      [
+        tc "summary basics" test_summary_basics;
+        tc "summary singleton" test_summary_single;
+        tc "summary empty rejected" test_summary_empty;
+        tc "percentile interpolation" test_percentile_interpolation;
+        tc "cdf" test_cdf;
+        tc "table rendering" test_table_render;
+        tc "number formatting" test_formatting;
+        prop_cdf_monotone;
+        prop_summary_bounds;
+      ] );
+  ]

@@ -1,0 +1,169 @@
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+
+let policy =
+  Classifier.of_specs s2
+    [
+      (20, [ ("f1", "00000001") ], Action.Drop);
+      (10, [ ("f1", "000000xx") ], Action.Forward 1);
+      (0, [], Action.Forward 2);
+    ]
+
+(* A two-partition world: f1 < 128 and f1 >= 128. *)
+let setup () =
+  let part = Partitioner.compute policy ~k:2 in
+  let auth = Switch.create ~id:7 ~cache_capacity:10 in
+  let ingress = Switch.create ~id:0 ~cache_capacity:10 in
+  let prules = Partitioner.partition_rules part ~assignment:(fun _ -> 7) in
+  Switch.install_partition_rules ingress prules;
+  Switch.install_partition_rules auth prules;
+  List.iter (fun p -> Switch.install_authority auth p) part.Partitioner.partitions;
+  (ingress, auth)
+
+let test_miss_tunnels () =
+  let ingress, _ = setup () in
+  match Switch.process ingress ~now:0. (h 2 0) with
+  | Switch.Tunnel 7 -> ()
+  | _ -> Alcotest.fail "expected tunnel to authority 7"
+
+let test_authority_serves_locally () =
+  let _, auth = setup () in
+  match Switch.process auth ~now:0. (h 2 0) with
+  | Switch.Local (a, Switch.Authority_bank) -> check action "authority action" (Action.Forward 1) a
+  | _ -> Alcotest.fail "expected local authority hit"
+
+let test_serve_miss_and_cache () =
+  let ingress, auth = setup () in
+  let reply = Option.get (Switch.serve_miss auth ~now:0. (h 2 0)) in
+  check action "action" (Action.Forward 1) reply.Switch.action;
+  check Alcotest.int "origin" 1 reply.Switch.origin_id;
+  ignore
+    (Switch.install_cache_rule ~origin_id:reply.Switch.origin_id ingress ~now:0.
+       reply.Switch.cache_rule);
+  (* second packet of the flow hits the cache *)
+  (match Switch.process ingress ~now:1. (h 2 0) with
+  | Switch.Local (a, Switch.Cache_bank) -> check action "cached action" (Action.Forward 1) a
+  | _ -> Alcotest.fail "expected cache hit");
+  (* the cached piece must NOT swallow the higher-priority drop rule *)
+  match Switch.process ingress ~now:1. (h 1 0) with
+  | Switch.Tunnel _ -> ()
+  | Switch.Local _ -> Alcotest.fail "cache stole a higher-priority header"
+  | Switch.Unmatched -> Alcotest.fail "unmatched"
+
+let test_misrouted_miss () =
+  let ingress, _ = setup () in
+  (* ingress is not an authority: serve_miss must refuse *)
+  check Alcotest.bool "not authority" true
+    (Option.is_none (Switch.serve_miss ingress ~now:0. (h 2 0)))
+
+let test_counters_and_origins () =
+  let ingress, auth = setup () in
+  let reply = Option.get (Switch.serve_miss auth ~now:0. (h 2 0)) in
+  ignore
+    (Switch.install_cache_rule ~origin_id:reply.Switch.origin_id ingress ~now:0.
+       reply.Switch.cache_rule);
+  ignore (Switch.process ingress ~now:1. (h 2 0));
+  ignore (Switch.process ingress ~now:2. (h 2 0));
+  check (Alcotest.option Alcotest.int) "origin mapping" (Some 1)
+    (Switch.origin_of_cache_rule ingress reply.Switch.cache_rule.Rule.id);
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int64)) "aggregated"
+    [ (1, 2L) ]
+    (Switch.aggregate_counters ingress);
+  let c = Switch.counters ingress in
+  check Alcotest.int64 "cache hits" 2L c.Switch.cache_hits
+
+let test_cache_expiry () =
+  let ingress, auth = setup () in
+  let reply = Option.get (Switch.serve_miss auth ~now:0. (h 2 0)) in
+  ignore
+    (Switch.install_cache_rule ~idle_timeout:5. ~origin_id:reply.Switch.origin_id ingress
+       ~now:0. reply.Switch.cache_rule);
+  check Alcotest.int "cached" 1 (Switch.cache_occupancy ingress);
+  ignore (Switch.expire_cache ingress ~now:10.);
+  check Alcotest.int "expired" 0 (Switch.cache_occupancy ingress);
+  (* origin mapping cleaned up *)
+  check (Alcotest.option Alcotest.int) "origin gone" None
+    (Switch.origin_of_cache_rule ingress reply.Switch.cache_rule.Rule.id);
+  match Switch.process ingress ~now:11. (h 2 0) with
+  | Switch.Tunnel _ -> ()
+  | _ -> Alcotest.fail "expired entry should miss again"
+
+let test_partition_bank_validation () =
+  let sw = Switch.create ~id:0 ~cache_capacity:4 in
+  try
+    Switch.install_partition_rules sw
+      [ Rule.make ~id:1 ~priority:0 (Pred.any s2) Action.Drop ];
+    Alcotest.fail "non-tunnel partition rule accepted"
+  with Invalid_argument _ -> ()
+
+let test_flow_mod_banks () =
+  let sw = Switch.create ~id:0 ~cache_capacity:4 in
+  let r = Rule.make ~id:5 ~priority:1 (Pred.any s2) Action.Drop in
+  Switch.apply_flow_mod sw ~now:0.
+    { Message.command = Message.Add; bank = Message.Cache; rule = r;
+      idle_timeout = None; hard_timeout = None };
+  check Alcotest.int "cache add" 1 (Switch.cache_occupancy sw);
+  Switch.apply_flow_mod sw ~now:0.
+    { Message.command = Message.Delete; bank = Message.Cache; rule = r;
+      idle_timeout = None; hard_timeout = None };
+  check Alcotest.int "cache delete" 0 (Switch.cache_occupancy sw);
+  try
+    Switch.apply_flow_mod sw ~now:0.
+      { Message.command = Message.Add; bank = Message.Authority; rule = r;
+        idle_timeout = None; hard_timeout = None };
+    Alcotest.fail "authority flow-mod accepted"
+  with Invalid_argument _ -> ()
+
+let test_partition_load_counting () =
+  let _, auth = setup () in
+  ignore (Switch.serve_miss auth ~now:0. (h 2 0));
+  ignore (Switch.serve_miss auth ~now:0. (h 2 0));
+  ignore (Switch.serve_miss auth ~now:0. (h 200 0));
+  let loads = Switch.partition_load auth in
+  let total = List.fold_left (fun acc (_, n) -> Int64.add acc n) 0L loads in
+  check Alcotest.int64 "three misses counted" 3L total;
+  Switch.reset_counters auth;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int64)) "reset clears" []
+    (Switch.partition_load auth)
+
+(* property: after any sequence of miss-serve-and-install, the ingress
+   switch never returns an action that disagrees with the policy *)
+let prop_cache_never_lies =
+  qt ~count:100 "cache never changes policy semantics"
+    QCheck2.Gen.(list_size (int_range 1 40) gen_header_tiny2)
+    (fun headers ->
+      let ingress, auth = setup () in
+      List.for_all
+        (fun hd ->
+          let expected = Option.get (Classifier.action policy hd) in
+          match Switch.process ingress ~now:0. hd with
+          | Switch.Local (a, _) -> Action.equal a expected
+          | Switch.Unmatched -> false
+          | Switch.Tunnel _ -> (
+              match Switch.serve_miss auth ~now:0. hd with
+              | None -> false
+              | Some reply ->
+                  ignore
+                    (Switch.install_cache_rule ~origin_id:reply.Switch.origin_id ingress
+                       ~now:0. reply.Switch.cache_rule);
+                  Action.equal reply.Switch.action expected))
+        headers)
+
+let suite =
+  [
+    ( "switch",
+      [
+        tc "miss tunnels to authority" test_miss_tunnels;
+        tc "authority serves locally" test_authority_serves_locally;
+        tc "serve miss + reactive cache" test_serve_miss_and_cache;
+        tc "misrouted miss refused" test_misrouted_miss;
+        tc "counters and origin attribution" test_counters_and_origins;
+        tc "cache expiry" test_cache_expiry;
+        tc "partition bank validation" test_partition_bank_validation;
+        tc "flow-mod bank handling" test_flow_mod_banks;
+        tc "partition load counting" test_partition_load_counting;
+        prop_cache_never_lies;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+(* Model-based testing of the TCAM: random operation sequences executed
+   against both the real table and a deliberately naive reference model;
+   every observable must agree at every step. *)
+
+open Test_util
+
+let s2 = Schema.tiny2
+
+(* The reference: a plain list of entries with the same semantics,
+   written for obviousness rather than speed. *)
+module Model = struct
+  type entry = {
+    rule : Rule.t;
+    installed_at : float;
+    mutable last_hit : float;
+    mutable packets : int64;
+    idle : float option;
+    hard : float option;
+  }
+
+  type t = { cap : int; mutable entries : entry list }
+
+  let create cap = { cap; entries = [] }
+
+  let sorted t =
+    List.stable_sort (fun a b -> Rule.compare_priority a.rule b.rule) t.entries
+
+  let insert t ~now ?idle ?hard rule =
+    let existed = List.exists (fun e -> e.rule.Rule.id = rule.Rule.id) t.entries in
+    if existed then
+      t.entries <- List.filter (fun e -> e.rule.Rule.id <> rule.Rule.id) t.entries;
+    if existed || List.length t.entries < t.cap then begin
+      t.entries <-
+        { rule; installed_at = now; last_hit = now; packets = 0L; idle; hard } :: t.entries;
+      true
+    end
+    else false
+
+  let lookup t ~now h =
+    match List.find_opt (fun e -> Rule.matches e.rule h) (sorted t) with
+    | Some e ->
+        e.last_hit <- now;
+        e.packets <- Int64.add e.packets 1L;
+        Some e.rule.Rule.id
+    | None -> None
+
+  let expire t ~now =
+    let dead e =
+      (match e.idle with Some d -> now -. e.last_hit >= d | None -> false)
+      || match e.hard with Some d -> now -. e.installed_at >= d | None -> false
+    in
+    let gone = List.filter dead t.entries in
+    t.entries <- List.filter (fun e -> not (dead e)) t.entries;
+    List.map (fun e -> e.rule.Rule.id) gone |> List.sort Int.compare
+
+  let remove t id =
+    let before = List.length t.entries in
+    t.entries <- List.filter (fun e -> e.rule.Rule.id <> id) t.entries;
+    List.length t.entries < before
+
+  let occupancy t = List.length t.entries
+end
+
+type op =
+  | Insert of int * int * string * bool * bool (* id, priority, f1 bits, idle?, hard? *)
+  | Lookup of int
+  | Expire
+  | Remove of int
+  | Advance of float
+
+let gen_op =
+  let open QCheck2.Gen in
+  let bits = string_size ~gen:(oneofl [ '0'; '1'; 'x' ]) (return 8) in
+  oneof
+    [
+      (let* id = int_bound 15 in
+       let* pr = int_bound 7 in
+       let* b = bits in
+       let* idle = bool in
+       let* hard = bool in
+       return (Insert (id, pr, b, idle, hard)));
+      (int_bound 255 >|= fun v -> Lookup v);
+      return Expire;
+      (int_bound 15 >|= fun id -> Remove id);
+      (float_bound_inclusive 3. >|= fun dt -> Advance dt);
+    ]
+
+let run_ops ops =
+  let real = Tcam.create ~capacity:6 in
+  let model = Model.create 6 in
+  let clock = ref 0. in
+  List.for_all
+    (fun op ->
+      match op with
+      | Advance dt ->
+          clock := !clock +. dt;
+          true
+      | Insert (id, priority, b, idle, hard) ->
+          let rule =
+            Rule.make ~id ~priority
+              (Pred.of_strings s2 [ ("f1", b) ])
+              Action.Drop
+          in
+          let idle = if idle then Some 1.5 else None in
+          let hard = if hard then Some 4.0 else None in
+          let real_ok =
+            match Tcam.insert ?idle_timeout:idle ?hard_timeout:hard real ~now:!clock rule with
+            | `Ok | `Replaced -> true
+            | `Full -> false
+          in
+          let model_ok = Model.insert model ~now:!clock ?idle ?hard rule in
+          real_ok = model_ok && Tcam.occupancy real = Model.occupancy model
+      | Lookup v ->
+          let h = Header.make s2 [| Int64.of_int v; 0L |] in
+          let a = Option.map (fun (r : Rule.t) -> r.id) (Tcam.lookup real ~now:!clock h) in
+          let b = Model.lookup model ~now:!clock h in
+          a = b
+      | Expire ->
+          let a =
+            Tcam.expire real ~now:!clock
+            |> List.map (fun (r : Rule.t) -> r.id)
+            |> List.sort Int.compare
+          in
+          let b = Model.expire model ~now:!clock in
+          a = b && Tcam.occupancy real = Model.occupancy model
+      | Remove id -> Tcam.remove real id = Model.remove model id)
+    ops
+
+let prop_model_agreement =
+  qt ~count:300 "TCAM agrees with the naive reference on random op sequences"
+    QCheck2.Gen.(list_size (int_range 1 60) gen_op)
+    run_ops
+
+let suite = [ ("tcam model", [ prop_model_agreement ]) ]

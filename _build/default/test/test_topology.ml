@@ -1,0 +1,160 @@
+open Test_util
+
+let mk ~nodes links =
+  Topology.create ~nodes
+    (List.map
+       (fun (a, b, lat) -> { Topology.src = a; dst = b; latency = lat; bandwidth = 1e9 })
+       links)
+
+(* A diamond: 0-1-3 is longer than 0-2-3. *)
+let diamond = mk ~nodes:4 [ (0, 1, 3.); (1, 3, 3.); (0, 2, 1.); (2, 3, 1.); (1, 2, 1.) ]
+
+let test_validation () =
+  (try
+     ignore (mk ~nodes:2 [ (0, 2, 1.) ]);
+     Alcotest.fail "out-of-range endpoint accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (mk ~nodes:2 [ (0, 0, 1.) ]);
+     Alcotest.fail "self loop accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (mk ~nodes:2 [ (0, 1, 1.); (1, 0, 2.) ]);
+    Alcotest.fail "duplicate link accepted"
+  with Invalid_argument _ -> ()
+
+let test_shortest_path () =
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "min latency path"
+    (Some [ 0; 2; 3 ])
+    (Topology.shortest_path diamond 0 3);
+  check (Alcotest.option (Alcotest.float 1e-9)) "distance" (Some 2.)
+    (Topology.distance diamond 0 3);
+  check (Alcotest.option Alcotest.int) "hops" (Some 2) (Topology.hop_count diamond 0 3);
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "self" (Some [ 1 ])
+    (Topology.shortest_path diamond 1 1)
+
+let test_disconnected () =
+  let g = mk ~nodes:3 [ (0, 1, 1.) ] in
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "unreachable" None
+    (Topology.shortest_path g 0 2);
+  check Alcotest.bool "not connected" false (Topology.is_connected g);
+  check Alcotest.bool "diamond connected" true (Topology.is_connected diamond)
+
+let test_path_latency () =
+  check (Alcotest.float 1e-9) "sum" 6. (Topology.path_latency diamond [ 0; 1; 3 ]);
+  try
+    ignore (Topology.path_latency diamond [ 0; 3 ]);
+    Alcotest.fail "non-adjacent accepted"
+  with Invalid_argument _ -> ()
+
+let test_stretch () =
+  (* via node 2 (on the shortest path): stretch 1 *)
+  check (Alcotest.float 1e-9) "on-path via" 1.0 (Topology.stretch diamond ~src:0 ~via:2 ~dst:3);
+  (* via node 1: best 0→1 is 0-2-1 (2), best 1→3 is 1-2-3 (2): (2+2)/2 *)
+  check (Alcotest.float 1e-9) "detour via" 2.0 (Topology.stretch diamond ~src:0 ~via:1 ~dst:3);
+  check (Alcotest.float 1e-9) "src=dst" 1.0 (Topology.stretch diamond ~src:2 ~via:0 ~dst:2)
+
+let test_generators () =
+  let line = Topology.line 5 () in
+  check Alcotest.int "line nodes" 5 (Topology.nodes line);
+  check (Alcotest.option Alcotest.int) "line hop count" (Some 4) (Topology.hop_count line 0 4);
+  let star = Topology.star 6 () in
+  check Alcotest.int "star hub degree" 5 (Topology.degree star 0);
+  check (Alcotest.option Alcotest.int) "spoke-spoke" (Some 2) (Topology.hop_count star 1 5);
+  let mesh = Topology.full_mesh 4 () in
+  check Alcotest.int "mesh links" 6 (List.length (Topology.links mesh));
+  let ft = Topology.fat_tree 4 in
+  check Alcotest.int "fat-tree k=4 nodes" 20 (Topology.nodes ft);
+  check Alcotest.bool "fat-tree connected" true (Topology.is_connected ft);
+  check Alcotest.int "fat-tree links" 32 (List.length (Topology.links ft))
+
+let test_random_generators () =
+  let rng = Prng.create 42 in
+  let rand () = Prng.float rng in
+  let w = Topology.waxman ~rand ~nodes:30 () in
+  check Alcotest.int "waxman nodes" 30 (Topology.nodes w);
+  check Alcotest.bool "waxman connected" true (Topology.is_connected w);
+  let c = Topology.campus ~rand ~edge_switches:10 () in
+  check Alcotest.bool "campus connected" true (Topology.is_connected c);
+  check Alcotest.int "campus nodes" (2 + 3 + 10) (Topology.nodes c)
+
+(* --- placement --- *)
+
+let test_placement_strategies () =
+  let rng = Prng.create 9 in
+  let rand () = Prng.float rng in
+  let topo = Topology.waxman ~rand ~nodes:40 () in
+  let k = 4 in
+  let score p = Placement.mean_nearest_distance topo p in
+  let km = Placement.k_median topo ~k in
+  check Alcotest.int "k nodes" k (List.length km);
+  check Alcotest.int "distinct" k (List.length (List.sort_uniq Int.compare km));
+  (* greedy k-median must beat the non-interacting strategies on its own
+     objective for this graph *)
+  check Alcotest.bool "beats centroid picks" true
+    (score km <= score (Placement.centroid topo ~k) +. 1e-12);
+  check Alcotest.bool "beats degree picks" true
+    (score km <= score (Placement.by_degree topo ~k) +. 1e-12);
+  check Alcotest.bool "beats random picks" true
+    (score km <= score (Placement.random ~rand topo ~k) +. 1e-12)
+
+let test_placement_objective_monotone () =
+  let topo = Topology.line 10 () in
+  (* more authorities never hurt the objective *)
+  let s2 = Placement.mean_nearest_distance topo (Placement.k_median topo ~k:2) in
+  let s4 = Placement.mean_nearest_distance topo (Placement.k_median topo ~k:4) in
+  check Alcotest.bool "monotone" true (s4 <= s2);
+  (* full coverage: objective 0 when every node is an authority *)
+  check (Alcotest.float 1e-12) "all nodes" 0.
+    (Placement.mean_nearest_distance topo (Placement.k_median topo ~k:10))
+
+let test_placement_validation () =
+  let topo = Topology.line 4 () in
+  (try
+     ignore (Placement.k_median topo ~k:0);
+     Alcotest.fail "k=0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Placement.by_degree topo ~k:9);
+     Alcotest.fail "k>n accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Placement.mean_nearest_distance topo []);
+    Alcotest.fail "empty placement accepted"
+  with Invalid_argument _ -> ()
+
+let prop_triangle_inequality =
+  qt "stretch >= 1 for all via"
+    QCheck2.Gen.(triple (int_bound 3) (int_bound 3) (int_bound 3))
+    (fun (s, v, d) -> Topology.stretch diamond ~src:s ~via:v ~dst:d >= 1.0 -. 1e-9)
+
+let prop_waxman_connected =
+  qt ~count:20 "waxman always connected" QCheck2.Gen.(int_range 2 60) (fun n ->
+      let rng = Prng.create n in
+      let rand () = Prng.float rng in
+      Topology.is_connected (Topology.waxman ~rand ~nodes:n ()))
+
+let prop_dijkstra_symmetric =
+  qt ~count:50 "undirected distances are symmetric"
+    QCheck2.Gen.(pair (int_bound 3) (int_bound 3))
+    (fun (a, b) -> Topology.distance diamond a b = Topology.distance diamond b a)
+
+let suite =
+  [
+    ( "topology",
+      [
+        tc "link validation" test_validation;
+        tc "shortest path" test_shortest_path;
+        tc "disconnected graphs" test_disconnected;
+        tc "path latency" test_path_latency;
+        tc "stretch metric" test_stretch;
+        tc "deterministic generators" test_generators;
+        tc "random generators" test_random_generators;
+        tc "placement strategies" test_placement_strategies;
+        tc "placement objective monotone" test_placement_objective_monotone;
+        tc "placement validation" test_placement_validation;
+        prop_triangle_inequality;
+        prop_waxman_connected;
+        prop_dijkstra_symmetric;
+      ] );
+  ]

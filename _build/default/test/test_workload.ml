@@ -1,0 +1,229 @@
+open Test_util
+
+(* --- prng --- *)
+
+let test_prng_determinism () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.int64 a) (Prng.int64 b)
+  done;
+  let c = Prng.create 8 in
+  check Alcotest.bool "different seed differs" true (Prng.int64 (Prng.create 7) <> Prng.int64 c)
+
+let test_prng_bounds () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of bounds";
+    let f = Prng.float rng in
+    if f < 0. || f >= 1. then Alcotest.fail "float out of bounds"
+  done
+
+let test_prng_uniformity () =
+  let rng = Prng.create 3 in
+  let buckets = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let i = Prng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let expected = float_of_int n /. 10. in
+      if Float.abs (float_of_int c -. expected) > expected *. 0.1 then
+        Alcotest.fail "bucket deviates > 10%")
+    buckets
+
+let test_exponential_mean () =
+  let rng = Prng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.exponential rng ~rate:4.
+  done;
+  let mean = !sum /. float_of_int n in
+  if Float.abs (mean -. 0.25) > 0.01 then
+    Alcotest.failf "exponential mean %f too far from 0.25" mean
+
+let test_sampling () =
+  let rng = Prng.create 9 in
+  let arr = Array.init 10 (fun i -> i) in
+  let s = Prng.sample_without_replacement rng 5 arr in
+  check Alcotest.int "five" 5 (List.length s);
+  check Alcotest.int "distinct" 5 (List.length (List.sort_uniq Int.compare s));
+  try
+    ignore (Prng.sample_without_replacement rng 11 arr);
+    Alcotest.fail "oversample accepted"
+  with Invalid_argument _ -> ()
+
+(* --- zipf --- *)
+
+let test_zipf_pmf () =
+  let z = Zipf.create ~n:3 ~alpha:1.0 in
+  (* weights 1, 1/2, 1/3 -> total 11/6 *)
+  check (Alcotest.float 1e-9) "pmf 1" (6. /. 11.) (Zipf.pmf z 1);
+  check (Alcotest.float 1e-9) "pmf 2" (3. /. 11.) (Zipf.pmf z 2);
+  check (Alcotest.float 1e-9) "pmf 3" (2. /. 11.) (Zipf.pmf z 3);
+  check (Alcotest.float 1e-9) "cdf 3" 1.0 (Zipf.cdf z 3)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:4 ~alpha:0.0 in
+  check (Alcotest.float 1e-9) "uniform pmf" 0.25 (Zipf.pmf z 3)
+
+let test_zipf_draw_skew () =
+  let z = Zipf.create ~n:100 ~alpha:1.2 in
+  let rng = Prng.create 11 in
+  let counts = Array.make 101 0 in
+  let n = 30_000 in
+  for _ = 1 to n do
+    let k = Zipf.draw z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  check Alcotest.bool "rank1 most popular" true (counts.(1) > counts.(2));
+  let empirical = float_of_int counts.(1) /. float_of_int n in
+  if Float.abs (empirical -. Zipf.pmf z 1) > 0.02 then
+    Alcotest.failf "rank-1 frequency %f vs pmf %f" empirical (Zipf.pmf z 1)
+
+let test_head_mass () =
+  let z = Zipf.create ~n:1000 ~alpha:1.0 in
+  let k = Zipf.head_mass z 0.5 in
+  check Alcotest.bool "half the mass in few ranks" true (k < 100);
+  check Alcotest.bool "cdf reaches target" true (Zipf.cdf z k >= 0.5);
+  check Alcotest.bool "minimal" true (k = 1 || Zipf.cdf z (k - 1) < 0.5)
+
+(* --- policy generators --- *)
+
+let test_acl_shape () =
+  let rng = Prng.create 21 in
+  let c = Policy_gen.acl rng { Policy_gen.default_acl with rules = 300 } in
+  let n = Classifier.length c in
+  check Alcotest.bool "about 300 rules" true (n >= 250 && n <= 330);
+  check Alcotest.bool "total" true (Classifier.is_total c);
+  check Alcotest.bool "has chains" true (Classifier.dependency_depth c >= 3)
+
+let test_acl_determinism () =
+  let mk () = Policy_gen.acl (Prng.create 33) { Policy_gen.default_acl with rules = 100 } in
+  let a = mk () and b = mk () in
+  check Alcotest.int "same size" (Classifier.length a) (Classifier.length b);
+  List.iter2
+    (fun r1 r2 ->
+      if not (Rule.equal r1 r2) then Alcotest.fail "generator not deterministic")
+    (Classifier.rules a) (Classifier.rules b)
+
+let test_prefix_table () =
+  let rng = Prng.create 5 in
+  let c = Policy_gen.prefix_table rng { Policy_gen.default_prefixes with prefixes = 500 } in
+  check Alcotest.int "500 + default" 501 (Classifier.length c);
+  check Alcotest.bool "total" true (Classifier.is_total c);
+  (* LPM: all rules match only on dst_ip; any header must resolve *)
+  let h = Header.of_fields Schema.ip_pair [ ("dst_ip", 0x0A000001L) ] in
+  check Alcotest.bool "lookup works" true (Option.is_some (Classifier.action c h))
+
+let test_prefix_determinism () =
+  let mk () =
+    Policy_gen.prefix_table (Prng.create 44)
+      { Policy_gen.default_prefixes with prefixes = 200 }
+  in
+  let a = mk () and b = mk () in
+  List.iter2
+    (fun r1 r2 -> if not (Rule.equal r1 r2) then Alcotest.fail "prefix gen not deterministic")
+    (Classifier.rules a) (Classifier.rules b)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 5 in
+  let child = Prng.split parent in
+  let a = List.init 20 (fun _ -> Prng.int64 parent) in
+  let b = List.init 20 (fun _ -> Prng.int64 child) in
+  check Alcotest.bool "streams differ" true (a <> b);
+  (* copy reproduces the remaining stream exactly *)
+  let c1 = Prng.create 9 in
+  ignore (Prng.int64 c1);
+  let c2 = Prng.copy c1 in
+  check Alcotest.int64 "copy replays" (Prng.int64 c1) (Prng.int64 c2)
+
+let test_evaluation_sets () =
+  let sets = Policy_gen.evaluation_sets ~seed:1 in
+  check Alcotest.int "five sets" 5 (List.length sets);
+  List.iter
+    (fun (s : Policy_gen.named) ->
+      check Alcotest.bool (s.label ^ " nonempty") true (Classifier.length s.classifier > 0))
+    sets
+
+(* --- traffic --- *)
+
+let small_policy =
+  Policy_gen.acl (Prng.create 99) { Policy_gen.default_acl with rules = 50; chains = 5 }
+
+let test_headers_for () =
+  let rng = Prng.create 2 in
+  let hs = Traffic.headers_for rng small_policy 64 in
+  check Alcotest.int "population" 64 (Array.length hs);
+  Array.iter
+    (fun h ->
+      if Option.is_none (Classifier.action small_policy h) then
+        Alcotest.fail "header escapes total policy")
+    hs
+
+let test_generate_flows () =
+  let rng = Prng.create 4 in
+  let profile =
+    { Traffic.default with flows = 500; distinct_headers = 40; ingresses = [ 0; 1; 2 ] }
+  in
+  let flows = Traffic.generate rng small_policy profile in
+  check Alcotest.int "count" 500 (List.length flows);
+  let sorted = List.for_all2 (fun a b -> a.Traffic.start <= b.Traffic.start)
+      (List.filteri (fun i _ -> i < 499) flows)
+      (List.tl flows)
+  in
+  check Alcotest.bool "sorted by start" true sorted;
+  List.iter
+    (fun f ->
+      if not (List.mem f.Traffic.ingress [ 0; 1; 2 ]) then Alcotest.fail "bad ingress";
+      if f.Traffic.packets < 1 then Alcotest.fail "empty flow")
+    flows
+
+let test_zipf_popularity () =
+  let rng = Prng.create 4 in
+  let profile =
+    { Traffic.default with flows = 5000; distinct_headers = 100; alpha = 1.2 }
+  in
+  let flows = Traffic.generate rng small_policy profile in
+  let weights = Traffic.offered_headers flows in
+  let counts = List.map snd weights |> List.sort (fun a b -> Int.compare b a) in
+  let top = List.hd counts in
+  let total = List.fold_left ( + ) 0 counts in
+  check Alcotest.bool "skewed" true (float_of_int top /. float_of_int total > 0.1)
+
+let suite =
+  [
+    ( "prng",
+      [
+        tc "determinism" test_prng_determinism;
+        tc "bounds" test_prng_bounds;
+        tc "uniformity" test_prng_uniformity;
+        tc "exponential mean" test_exponential_mean;
+        tc "sampling" test_sampling;
+        tc "split and copy" test_prng_split_independent;
+      ] );
+    ( "zipf",
+      [
+        tc "pmf/cdf" test_zipf_pmf;
+        tc "alpha=0 uniform" test_zipf_uniform;
+        tc "draw skew" test_zipf_draw_skew;
+        tc "head mass" test_head_mass;
+      ] );
+    ( "policy_gen",
+      [
+        tc "acl shape" test_acl_shape;
+        tc "acl determinism" test_acl_determinism;
+        tc "prefix table" test_prefix_table;
+        tc "prefix determinism" test_prefix_determinism;
+        tc "evaluation sets" test_evaluation_sets;
+      ] );
+    ( "traffic",
+      [
+        tc "header population" test_headers_for;
+        tc "flow generation" test_generate_flows;
+        tc "zipf popularity" test_zipf_popularity;
+      ] );
+  ]
