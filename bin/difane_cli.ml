@@ -105,8 +105,17 @@ let check_cmd =
   let doc = "Analyse a policy file: totality, dependency depth, shadowed/dead rules." in
   Cmd.v (Cmd.info "check" ~doc) Term.(const run $ policy_arg)
 
+let faults_arg =
+  let doc =
+    "Run the simulation under a seeded fault plan with this control-frame loss rate \
+     (0..1): cache-install messages are dropped at the rate, the first authority \
+     switch crashes a quarter of the way into the run and restarts at the half-way \
+     mark, and misses with no live replica degrade to the controller path."
+  in
+  Arg.(value & opt (some float) None & info [ "faults" ] ~docv:"LOSS" ~doc)
+
 let deploy_cmd =
-  let run policy_file topo_spec auths k cache flows alpha seed =
+  let run policy_file topo_spec auths k cache flows alpha faults seed =
     let policy = load_policy_or_die policy_file in
     try
       let topology = parse_topology ~seed topo_spec in
@@ -136,7 +145,22 @@ let deploy_cmd =
         }
       in
       let workload = Traffic.generate rng policy profile in
-      let r = Flowsim.run_difane d workload in
+      let fault_plan =
+        Option.map
+          (fun loss ->
+            let span = float_of_int flows /. profile.Traffic.rate in
+            let victim = List.hd authority_ids in
+            Fault.plan ~seed
+              ~link:(Fault.lossy_link loss)
+              ~events:
+                [
+                  Fault.Crash { switch = victim; at = span /. 4. };
+                  Fault.Restart { switch = victim; at = span /. 2. };
+                ]
+              ())
+          faults
+      in
+      let r = Flowsim.run_difane ?faults:fault_plan d workload in
       Printf.printf "simulated %d flows (%d packets) over %.2f s\n" r.Flowsim.offered_flows
         r.Flowsim.delivered_packets r.Flowsim.duration;
       Printf.printf "cache hit rate : %s\n"
@@ -151,7 +175,14 @@ let deploy_cmd =
       if Array.length r.Flowsim.stretches > 0 then begin
         let s = Summary.of_array r.Flowsim.stretches in
         Printf.printf "miss stretch   : mean %.2f, p95 %.2f\n" s.Summary.mean s.Summary.p95
-      end
+      end;
+      Option.iter
+        (fun loss ->
+          Printf.printf
+            "faults (%s loss): %d installs lost, %d packets served degraded, %d flows dropped\n"
+            (Table.fmt_pct loss) r.Flowsim.install_drops r.Flowsim.degraded_packets
+            r.Flowsim.dropped_flows)
+        faults
     with Invalid_argument e ->
       Printf.eprintf "error: %s\n" e;
       exit 1
@@ -160,7 +191,7 @@ let deploy_cmd =
   Cmd.v (Cmd.info "deploy" ~doc)
     Term.(
       const run $ policy_arg $ topology_arg $ authorities_arg $ k_arg $ cache_arg
-      $ flows_arg $ alpha_arg $ seed_arg)
+      $ flows_arg $ alpha_arg $ faults_arg $ seed_arg)
 
 let partition_cmd =
   let run policy_file k max_entries =
@@ -242,6 +273,8 @@ let experiments =
         Experiments.E_ctrl.print (Experiments.E_ctrl.run ~seed ~quick ()));
     experiment "cache-sweep" "Ingress cache size vs authority load" (fun ~seed ~quick ->
         Experiments.E_cache.print (Experiments.E_cache.run ~seed ~quick ()));
+    experiment "chaos" "Fault-injection sweep: frame loss vs recovery" (fun ~seed ~quick ->
+        Experiments.E_chaos.print (Experiments.E_chaos.run ~seed ~quick ()));
     experiment "all" "Run every experiment in DESIGN.md order" (fun ~seed ~quick ->
         Experiments.run_all ~seed ~quick ());
     check_cmd;

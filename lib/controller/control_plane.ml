@@ -8,6 +8,9 @@ type config = {
   echo_miss_limit : int;
   stats_interval : float;
   rebalance_interval : float option;
+  retx_timeout : float;
+  retx_backoff : float;
+  retx_limit : int;
 }
 
 let default_config =
@@ -17,15 +20,37 @@ let default_config =
     echo_miss_limit = 3;
     stats_interval = 5.0;
     rebalance_interval = None;
+    retx_timeout = 0.1;
+    retx_backoff = 2.0;
+    retx_limit = 6;
   }
 
 type port = {
   to_switch : Channel.t;
   to_controller : Channel.t;
   mutable alive : bool; (* the real device still responds *)
+  mutable link_up : bool; (* the control link carries frames *)
   mutable outstanding_echo : bool;
   mutable missed_echoes : int;
   mutable declared_dead : bool;
+}
+
+(* One unacknowledged state-changing request: retransmitted with
+   exponential backoff until acked, given up, or its switch dies. *)
+type pending_req = {
+  req_msg : Message.t;
+  mutable next_retry : float;
+  mutable interval : float;
+  mutable retries : int;
+}
+
+type loss_stats = {
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  reordered : int;
+  decode_errors : int;
+  link_dropped : int;
 }
 
 type t = {
@@ -35,38 +60,73 @@ type t = {
   retired : (int, int64) Hashtbl.t; (* origin -> packets of removed entries *)
   live : (int * int, int * int64) Hashtbl.t;
       (* (switch, cache rule id) -> (origin, packets): latest stats snapshot *)
+  pending : (int * int, pending_req) Hashtbl.t; (* (switch, xid) -> request *)
+  demoted : (int, unit) Hashtbl.t; (* dead authorities awaiting restoration *)
+  mutable fault_events : Fault.event list; (* future events, time order *)
   mutable last_echo : float;
   mutable last_stats : float;
   mutable last_rebalance : float;
   mutable rebalances : int;
   mutable failed : int list; (* reverse failure order *)
   mutable next_xid : int;
+  mutable retransmissions : int;
+  mutable giveups : int;
+  mutable cancelled : int;
+  mutable link_dropped : int;
+  mutable degraded_handled : int64; (* packet-in misses served while degraded *)
+  mutable log : (float * string) list; (* reverse order *)
 }
 
-let create ?(config = default_config) deployment =
+let record t ~now fmt =
+  Printf.ksprintf
+    (fun s ->
+      t.log <- (now, s) :: t.log;
+      Log.info (fun m -> m "t=%.3f %s" now s))
+    fmt
+
+let create ?(config = default_config) ?faults deployment =
   let schema = Classifier.schema (Deployment.policy deployment) in
   let n = Array.length (Deployment.switches deployment) in
+  let injector i =
+    match faults with
+    | None -> None
+    | Some plan -> Some (Fault.injector plan ~channel:i)
+  in
   {
     deployment;
     config;
     ports =
-      Array.init n (fun _ ->
+      Array.init n (fun i ->
           {
-            to_switch = Channel.create schema ~latency:config.channel_latency;
-            to_controller = Channel.create schema ~latency:config.channel_latency;
+            to_switch =
+              Channel.create ?fault:(injector (2 * i)) schema
+                ~latency:config.channel_latency;
+            to_controller =
+              Channel.create ?fault:(injector ((2 * i) + 1)) schema
+                ~latency:config.channel_latency;
             alive = true;
+            link_up = true;
             outstanding_echo = false;
             missed_echoes = 0;
             declared_dead = false;
           });
     retired = Hashtbl.create 64;
     live = Hashtbl.create 64;
+    pending = Hashtbl.create 64;
+    demoted = Hashtbl.create 4;
+    fault_events = (match faults with None -> [] | Some p -> p.Fault.events);
     last_echo = neg_infinity;
     last_stats = neg_infinity;
     last_rebalance = neg_infinity;
     rebalances = 0;
     failed = [];
     next_xid = 1;
+    retransmissions = 0;
+    giveups = 0;
+    cancelled = 0;
+    link_dropped = 0;
+    degraded_handled = 0L;
+    log = [];
   }
 
 let deployment t = t.deployment
@@ -76,21 +136,53 @@ let xid t =
   t.next_xid <- x + 1;
   x
 
-let send_to_switch t i ~now msg =
-  Channel.send t.ports.(i).to_switch ~now ~xid:(xid t) msg
+let transmit t i ~now ~xid msg =
+  let port = t.ports.(i) in
+  if port.link_up then Channel.send port.to_switch ~now ~xid msg
+  else t.link_dropped <- t.link_dropped + 1
+
+let send_to_switch t i ~now msg = transmit t i ~now ~xid:(xid t) msg
+
+(* Reliable path: remember the request under its xid and retransmit until
+   the switch acknowledges it (flow-mods, barriers and partition
+   transfers all answer with their xid). *)
+let send_reliable t i ~now msg =
+  let x = xid t in
+  transmit t i ~now ~xid:x msg;
+  Hashtbl.replace t.pending (i, x)
+    {
+      req_msg = msg;
+      next_retry = now +. t.config.retx_timeout;
+      interval = t.config.retx_timeout;
+      retries = 0;
+    }
+
+let cancel_pending t i =
+  let victims =
+    Hashtbl.fold (fun (j, x) _ acc -> if j = i then (j, x) :: acc else acc) t.pending []
+  in
+  List.iter (fun k -> Hashtbl.remove t.pending k) victims;
+  t.cancelled <- t.cancelled + List.length victims;
+  List.length victims
 
 let declare_dead t ~now i =
-  ignore now;
   let port = t.ports.(i) in
   if not port.declared_dead then begin
     port.declared_dead <- true;
     t.failed <- i :: t.failed;
-    Log.warn (fun m -> m "switch %d missed %d echoes; declared dead" i t.config.echo_miss_limit);
+    record t ~now "switch %d missed %d echoes; declared dead" i t.config.echo_miss_limit;
+    (* a dead device cannot serve tunnelled misses either *)
+    Deployment.mark_unreachable t.deployment i;
+    let dropped = cancel_pending t i in
+    if dropped > 0 then record t ~now "cancelled %d in-flight requests to switch %d" dropped i;
     (* Authority failover, if the dead switch held that duty and a
        survivor exists to take it. *)
     let auths = Deployment.authority_ids t.deployment in
-    if List.mem i auths && List.length auths > 1 then
-      t.deployment <- Deployment.fail_authority t.deployment i
+    if List.mem i auths && List.length auths > 1 then begin
+      t.deployment <- Deployment.fail_authority t.deployment i;
+      Hashtbl.replace t.demoted i ();
+      record t ~now "authority %d demoted; backups promoted" i
+    end
   end
 
 (* Aggregate a stats reply: refresh the live snapshot of this switch's
@@ -106,19 +198,92 @@ let absorb_stats t i (reply : Message.stats_reply) =
       | Some origin -> Hashtbl.replace t.live (i, f.rule_id) (origin, f.packets))
     reply.Message.flows
 
-let process_reply t ~now i (_xid, msg) =
+let config_for_switch t i =
+  let d = t.deployment in
+  let partitioner = Deployment.partitioner d in
+  let assignment = Deployment.assignment d in
+  let prules =
+    Partitioner.partition_rules partitioner ~assignment:(Assignment.switch_for assignment)
+  in
+  let tables =
+    List.map
+      (fun pid ->
+        List.find
+          (fun (p : Partitioner.partition) -> p.pid = pid)
+          partitioner.Partitioner.partitions)
+      (Assignment.hosted_by assignment i)
+  in
+  (prules, tables)
+
+let push_switch t i ~now =
+  let prules, tables = config_for_switch t i in
+  List.iter
+    (fun rule ->
+      send_reliable t i ~now
+        (Message.Flow_mod
+           { Message.command = Message.Add; bank = Message.Partition; rule;
+             idle_timeout = None; hard_timeout = None }))
+    prules;
+  send_reliable t i ~now (Message.Barrier_request i);
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      send_reliable t i ~now
+        (Message.Install_partition
+           { Message.pid = p.pid; region = p.region;
+             table_rules = Classifier.rules p.table }))
+    tables
+
+(* Take a switch back into service: clear liveness state, rejoin the
+   authority pool if failover had demoted it, and re-push its whole
+   configuration reliably.  Shared by scheduled restarts and by the
+   recovery from a premature death declaration. *)
+let recover t ~now i =
   let port = t.ports.(i) in
+  port.missed_echoes <- 0;
+  port.outstanding_echo <- false;
+  Deployment.mark_reachable t.deployment i;
+  if port.declared_dead then begin
+    port.declared_dead <- false;
+    t.failed <- List.filter (fun j -> j <> i) t.failed
+  end;
+  if Hashtbl.mem t.demoted i then begin
+    Hashtbl.remove t.demoted i;
+    t.deployment <- Deployment.restore_authority t.deployment i;
+    record t ~now "authority %d restored to the pool" i
+  end;
+  push_switch t i ~now
+
+let process_reply t ~now i (x, msg) =
+  let port = t.ports.(i) in
+  (* any response carrying a tracked xid retires its request *)
+  if x <> 0 then Hashtbl.remove t.pending (i, x);
   match msg with
   | Message.Echo_reply _ ->
-      port.outstanding_echo <- false;
-      port.missed_echoes <- 0
+      if port.declared_dead then begin
+        (* the declaration was premature (lost echoes, not a dead
+           device): take the switch back *)
+        record t ~now "switch %d answered an echo after being declared dead; recovering" i;
+        recover t ~now i
+      end
+      else begin
+        port.outstanding_echo <- false;
+        port.missed_echoes <- 0
+      end
   | Message.Stats_reply reply -> absorb_stats t i reply
-  | Message.Barrier_reply _ | Message.Hello -> ()
-  | Message.Packet_in _ ->
-      (* DIFANE's whole point: switches do not punt packets; a packet-in
-         here would indicate a misconfigured bank.  Ignore but count as a
-         miss of the invariant in debug builds. *)
-      ignore now
+  | Message.Barrier_reply _ | Message.Hello | Message.Ack _ -> ()
+  | Message.Packet_in p ->
+      (* DIFANE's whole point: switches do not punt packets.  A packet-in
+         only appears in degraded mode — every replica of the packet's
+         partition is dead — and then the controller answers it NOX-style
+         from the policy itself. *)
+      let action =
+        Option.value ~default:Action.Drop
+          (Classifier.action (Deployment.policy t.deployment) p.Message.header)
+      in
+      t.degraded_handled <- Int64.add t.degraded_handled 1L;
+      transmit t i ~now ~xid:0
+        (Message.Packet_out
+           { Message.out_switch = i; out_header = p.Message.header; action })
   | Message.Flow_removed f ->
       (* final counters from an expired/evicted cache entry: retire them
          so nothing is lost to churn, and drop the live snapshot *)
@@ -134,45 +299,91 @@ let process_reply t ~now i (_xid, msg) =
       ()
 
 let push_deployment t ~now =
-  let d = t.deployment in
-  let partitioner = Deployment.partitioner d in
-  let assignment = Deployment.assignment d in
-  let prules =
-    Partitioner.partition_rules partitioner ~assignment:(Assignment.switch_for assignment)
-  in
   Array.iteri
-    (fun i port ->
-      if not port.declared_dead then begin
-        List.iter
-          (fun rule ->
-            send_to_switch t i ~now
-              (Message.Flow_mod
-                 { Message.command = Message.Add; bank = Message.Partition; rule;
-                   idle_timeout = None; hard_timeout = None }))
-          prules;
-        send_to_switch t i ~now (Message.Barrier_request i);
-        List.iter
-          (fun pid ->
-            let p =
-              List.find
-                (fun (p : Partitioner.partition) -> p.pid = pid)
-                partitioner.Partitioner.partitions
-            in
-            send_to_switch t i ~now
-              (Message.Install_partition
-                 { Message.pid = p.pid; region = p.region;
-                   table_rules = Classifier.rules p.table }))
-          (Assignment.hosted_by assignment i)
-      end)
+    (fun i port -> if not port.declared_dead then push_switch t i ~now)
     t.ports
 
+(* ---- fault events ---- *)
+
+let crash_switch t ~now i =
+  let port = t.ports.(i) in
+  port.alive <- false;
+  (* the device loses every bank and counter the moment it dies *)
+  Switch.reset (Deployment.switch t.deployment i);
+  Deployment.mark_unreachable t.deployment i;
+  record t ~now "switch %d crashed (state lost)" i
+
+let restart_switch t ~now i =
+  t.ports.(i).alive <- true;
+  (* the device rebooted blank: recover re-pushes its partition bank and
+     whatever authority tables the current assignment gives it, all with
+     retransmission tracking *)
+  recover t ~now i;
+  record t ~now "switch %d restarted; resync pushed" i
+
+let set_link t ~now i up =
+  t.ports.(i).link_up <- up;
+  record t ~now "control link to switch %d %s" i (if up then "restored" else "down")
+
+let apply_fault_events t ~now =
+  let rec go = function
+    | ev :: rest when Fault.event_time ev <= now ->
+        (match ev with
+        | Fault.Crash { switch; _ } -> crash_switch t ~now switch
+        | Fault.Restart { switch; _ } -> restart_switch t ~now switch
+        | Fault.Link_down { switch; _ } -> set_link t ~now switch false
+        | Fault.Link_up { switch; _ } -> set_link t ~now switch true);
+        go rest
+    | rest -> t.fault_events <- rest
+  in
+  go t.fault_events
+
+(* ---- retransmission ---- *)
+
+let retransmit_due t ~now =
+  (* sorted for a deterministic retransmission order regardless of hash
+     internals: the fault plan's reproducibility depends on it *)
+  let due =
+    Hashtbl.fold
+      (fun (i, x) req acc -> if req.next_retry <= now then ((i, x), req) :: acc else acc)
+      t.pending []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun ((i, x), req) ->
+      let port = t.ports.(i) in
+      if port.declared_dead then begin
+        Hashtbl.remove t.pending (i, x);
+        t.cancelled <- t.cancelled + 1
+      end
+      else if req.retries >= t.config.retx_limit then begin
+        Hashtbl.remove t.pending (i, x);
+        t.giveups <- t.giveups + 1;
+        record t ~now "gave up on xid %d to switch %d after %d retransmissions" x i
+          req.retries
+      end
+      else begin
+        transmit t i ~now ~xid:x req.req_msg;
+        req.retries <- req.retries + 1;
+        req.interval <- req.interval *. t.config.retx_backoff;
+        req.next_retry <- now +. req.interval;
+        t.retransmissions <- t.retransmissions + 1
+      end)
+    due
+
 let tick t ~now =
+  (* 0. scheduled faults fire first: they shape everything below *)
+  apply_fault_events t ~now;
   (* 1. periodic echoes with failure detection *)
   if now -. t.last_echo >= t.config.echo_interval then begin
     t.last_echo <- now;
     Array.iteri
       (fun i port ->
-        if not port.declared_dead then begin
+        if port.declared_dead then
+          (* keep probing a declared-dead switch: a reply proves the
+             declaration premature and triggers recovery *)
+          send_to_switch t i ~now (Message.Echo_request i)
+        else begin
           if port.outstanding_echo then begin
             port.missed_echoes <- port.missed_echoes + 1;
             if port.missed_echoes >= t.config.echo_miss_limit then declare_dead t ~now i
@@ -205,15 +416,17 @@ let tick t ~now =
       end
   | _ -> ());
   (* 3. deliver controller->switch frames; collect switch responses and
-        any queued asynchronous notifications (flow-removed) *)
+        any queued asynchronous notifications (flow-removed).  A downed
+        link kills arriving frames on the wire in both directions. *)
   Array.iteri
     (fun i port ->
       let frames = Channel.poll port.to_switch ~now in
-      if port.alive then begin
+      if not port.link_up then t.link_dropped <- t.link_dropped + List.length frames
+      else if port.alive then begin
         List.iter
           (fun (x, msg) ->
             let responses =
-              Switch.handle_control (Deployment.switch t.deployment i) ~now msg
+              Switch.handle_control ~xid:x (Deployment.switch t.deployment i) ~now msg
             in
             List.iter (fun r -> Channel.send port.to_controller ~now ~xid:x r) responses)
           frames;
@@ -225,8 +438,12 @@ let tick t ~now =
   (* 4. deliver switch->controller frames *)
   Array.iteri
     (fun i port ->
-      List.iter (process_reply t ~now i) (Channel.poll port.to_controller ~now))
-    t.ports
+      let replies = Channel.poll port.to_controller ~now in
+      if not port.link_up then t.link_dropped <- t.link_dropped + List.length replies
+      else List.iter (process_reply t ~now i) replies)
+    t.ports;
+  (* 5. retransmit what the lossy channels have not delivered *)
+  retransmit_due t ~now
 
 let rebalances t = t.rebalances
 
@@ -252,7 +469,7 @@ let delete_cached_origin t ~now ~origin_id =
           (fun (e : Tcam.entry) ->
             if Switch.origin_of_cache_rule sw e.Tcam.rule.Rule.id = Some origin_id then begin
               incr deleted;
-              send_to_switch t i ~now
+              send_reliable t i ~now
                 (Message.Flow_mod
                    {
                      Message.command = Message.Delete;
@@ -267,6 +484,20 @@ let delete_cached_origin t ~now ~origin_id =
     t.ports;
   !deleted
 
+(* A policy change driven through the control plane: the deployment
+   re-partitions and reinstalls its tables, and every cache entry spliced
+   from a changed rule is deleted with reliable flow-mods — strict
+   consistency that survives lossy channels and failovers racing the
+   deletions. *)
+let update_policy t ~now ?(strict = true) policy =
+  let old_policy = Deployment.policy t.deployment in
+  let changed = Deployment.changed_rule_ids ~old_policy policy in
+  t.deployment <- Deployment.update_policy ~flush:false t.deployment ~now policy;
+  if strict then
+    List.iter (fun id -> ignore (delete_cached_origin t ~now ~origin_id:id)) changed;
+  record t ~now "policy updated: %d rules changed%s" (List.length changed)
+    (if strict then ", strict deletions sent" else "")
+
 let control_frames t =
   Array.fold_left
     (fun acc p -> acc + Channel.frames_carried p.to_switch + Channel.frames_carried p.to_controller)
@@ -277,5 +508,35 @@ let control_bytes t =
     (fun acc p -> acc + Channel.bytes_carried p.to_switch + Channel.bytes_carried p.to_controller)
     0 t.ports
 
+let loss_stats t =
+  Array.fold_left
+    (fun acc p ->
+      let add (s : Channel.stats) acc =
+        {
+          acc with
+          dropped = acc.dropped + s.Channel.dropped;
+          duplicated = acc.duplicated + s.Channel.duplicated;
+          corrupted = acc.corrupted + s.Channel.corrupted;
+          reordered = acc.reordered + s.Channel.reordered;
+          decode_errors = acc.decode_errors + s.Channel.decode_errors;
+        }
+      in
+      add (Channel.stats p.to_switch) (add (Channel.stats p.to_controller) acc))
+    { dropped = 0; duplicated = 0; corrupted = 0; reordered = 0; decode_errors = 0;
+      link_dropped = t.link_dropped }
+    t.ports
+
+let retransmissions t = t.retransmissions
+let giveups t = t.giveups
+let cancelled t = t.cancelled
+let pending_requests t = Hashtbl.length t.pending
+let degraded_handled t = t.degraded_handled
+let fault_log t = List.rev t.log
+
 (* Test hook: make a switch stop responding (device death). *)
 let kill_switch t i = t.ports.(i).alive <- false
+
+(* Test hook: enqueue a message on the switch->controller channel as if
+   the device had sent it (exercises e.g. the degraded packet-in path). *)
+let inject_packet_in t ~now i msg =
+  Channel.send t.ports.(i).to_controller ~now ~xid:0 msg

@@ -10,7 +10,16 @@
       to {e original policy rule ids} so per-rule counters survive
       splicing and eviction (the transparency property);
     - {b cache management}: explicit deletion of cache entries by origin
-      rule (used by strict policy updates).
+      rule (used by strict policy updates);
+    - {b reliability}: every state-changing request (flow-mod, barrier,
+      partition transfer) is xid-tracked and retransmitted with
+      exponential backoff until the switch acknowledges it.  Paired with
+      the switch side's per-xid idempotency, installs converge over
+      channels that drop, duplicate, corrupt and reorder frames;
+    - {b recovery}: scheduled {!Fault.event}s (crash/restart, link flap)
+      are applied during {!tick}; a restarted switch is resynced from
+      scratch and, if failover had demoted it, rejoins the authority
+      pool.
 
     All traffic crosses the channels encoded, so the byte/frame counters
     here are the control-plane overhead of the deployment. *)
@@ -26,15 +35,23 @@ type config = {
       (** when set, the controller periodically re-places partitions on
           the authorities using the measured per-partition miss load
           (paper §5's load rebalancing, automated) *)
+  retx_timeout : float;  (** first retransmission after this long unacked *)
+  retx_backoff : float;  (** interval multiplier per retransmission *)
+  retx_limit : int;  (** retransmissions before giving a request up *)
 }
 
 val default_config : config
-(** 1 ms channels, 1 s echoes, 3 misses, 5 s stats, no auto-rebalance. *)
+(** 1 ms channels, 1 s echoes, 3 misses, 5 s stats, no auto-rebalance,
+    retransmit after 100 ms doubling up to 6 attempts. *)
 
 val rebalances : t -> int
 (** Automatic rebalances performed so far. *)
 
-val create : ?config:config -> Deployment.t -> t
+val create : ?config:config -> ?faults:Fault.plan -> Deployment.t -> t
+(** With [faults], every channel gets its own deterministic fault stream
+    from the plan (switch [i]'s controller→switch channel is fault
+    channel [2i], the reverse direction [2i+1]) and the plan's scheduled
+    events fire during {!tick}. *)
 
 val deployment : t -> Deployment.t
 (** The current deployment (changes after failover). *)
@@ -46,12 +63,14 @@ val push_deployment : t -> now:float -> unit
     gets its tables as [Install_partition] transfers.  The switches apply
     everything as the frames arrive (during subsequent {!tick}s).  This
     is the message-driven equivalent of [Deployment.build]'s direct
-    installation — pair it with [Deployment.build ~install:false]. *)
+    installation — pair it with [Deployment.build ~install:false].  All
+    of it is sent reliably (tracked + retransmitted). *)
 
 val tick : t -> now:float -> unit
-(** Advance the control plane to [now]: emit due echoes and stats
-    requests, deliver due frames in both directions, process replies, and
-    run failure detection (possibly failing over authorities).  Call it
+(** Advance the control plane to [now]: fire due fault events, emit due
+    echoes and stats requests, deliver due frames in both directions,
+    process replies, run failure detection (possibly failing over
+    authorities), and retransmit unacknowledged requests.  Call it
     periodically from the simulation loop; it is idempotent within a
     tick period. *)
 
@@ -62,6 +81,13 @@ val rule_counters : t -> (int * int64) list
 val failed_switches : t -> int list
 (** Switches declared dead so far (in failure order). *)
 
+val update_policy : t -> now:float -> ?strict:bool -> Classifier.t -> unit
+(** Install a new policy: the deployment re-partitions and the tables
+    move in place; with [strict] (default) every cache entry spliced
+    from a changed rule is then deleted via reliable flow-mods, so the
+    strict-consistency guarantee holds even when the deletions race a
+    lossy channel or an authority failover. *)
+
 val delete_cached_origin : t -> now:float -> origin_id:int -> int
 (** Send cache-bank deletions for every cached piece spliced from this
     policy rule, across all switches; returns entries deleted.  This is
@@ -71,7 +97,61 @@ val control_frames : t -> int
 val control_bytes : t -> int
 (** Total control-plane traffic so far, both directions. *)
 
+(** {1 Faults and reliability} *)
+
+type loss_stats = {
+  dropped : int;  (** frames the fault injector swallowed *)
+  duplicated : int;
+  corrupted : int;
+  reordered : int;
+  decode_errors : int;  (** frames discarded at decode (corruption) *)
+  link_dropped : int;  (** frames killed by an administratively-down link *)
+}
+
+val loss_stats : t -> loss_stats
+(** Aggregated over every channel in both directions. *)
+
+val retransmissions : t -> int
+val giveups : t -> int
+(** Requests abandoned after [retx_limit] retransmissions. *)
+
+val cancelled : t -> int
+(** In-flight requests dropped because their switch was declared dead. *)
+
+val pending_requests : t -> int
+(** Requests still awaiting acknowledgement — 0 once installs converge. *)
+
+val degraded_handled : t -> int64
+(** Packet-in misses the controller answered NOX-style because every
+    replica of the packet's partition was dead (degraded mode). *)
+
+val fault_log : t -> (float * string) list
+(** Timestamped record of fault events, failovers, give-ups and
+    recoveries, in time order — the replayable event sequence a seeded
+    run reproduces exactly. *)
+
+val crash_switch : t -> now:float -> int -> unit
+(** The device dies losing all state ({!Switch.reset}); tunnelled misses
+    to it start failing immediately.  Failure detection will declare it
+    dead after [echo_miss_limit] missed echoes (triggering authority
+    failover) unless it restarts first. *)
+
+val restart_switch : t -> now:float -> int -> unit
+(** The device comes back blank: liveness state clears, it rejoins the
+    authority pool if failover had demoted it, and the controller
+    re-pushes its whole configuration reliably (state resync). *)
+
+val set_link : t -> now:float -> int -> bool -> unit
+(** Administratively flap the control link: while down, frames already
+    in flight and new sends in both directions are dropped (and
+    counted); the data plane is unaffected. *)
+
 val kill_switch : t -> int -> unit
 (** Test hook: the device stops responding to control messages (its
     data plane may keep running on stale state).  Failure detection will
     notice after [echo_miss_limit] missed echoes. *)
+
+val inject_packet_in : t -> now:float -> int -> Message.t -> unit
+(** Test hook: enqueue a message on switch [i]'s switch→controller
+    channel as if the device had sent it (used to exercise the degraded
+    packet-in path without a full simulation). *)

@@ -38,6 +38,9 @@ type t = {
   authority_ids : int list;
   config : config;
   unreachable : (int, unit) Hashtbl.t;
+  degraded_count : int ref;
+      (* misses served via the controller path because no replica of
+         their partition was alive; shared across functional updates *)
   mutable last_new_installs : int;
   mutable last_new_primary_installs : int;
 }
@@ -116,7 +119,7 @@ let build ?(config = default_config) ?(install : bool = true) ~policy ~topology
   in
   let d =
     { policy; topology; switches; partitioner; assignment; authority_ids; config;
-      unreachable = Hashtbl.create 4; last_new_installs = 0;
+      unreachable = Hashtbl.create 4; degraded_count = ref 0; last_new_installs = 0;
       last_new_primary_installs = 0 }
   in
   (match config.authority_tcam with
@@ -184,6 +187,7 @@ type outcome = {
   cache_hit : bool;
   authority : int option;
   installed : Rule.t option;
+  degraded : bool;
 }
 
 let leg topo a b =
@@ -204,6 +208,36 @@ let deliver topo ~from action =
       | Some (p, l) -> (p, l)
       | None -> ([ from ], 0.))
 
+let exact_pred schema h =
+  Pred.make schema
+    (List.init (Schema.arity schema) (fun i ->
+         Ternary.exact ~width:(Schema.field_bits schema i) (Header.field h i)))
+
+(* Degraded mode: every replica of the header's partition is dead, so the
+   miss falls back to the controller (NOX-style reactive setup).  The
+   controller knows the policy, decides the packet, and installs an
+   exact-match entry at the ingress so the rest of the flow stays in the
+   data plane.  Counted separately — a run under total authority loss
+   reports degraded throughput instead of wedging. *)
+let controller_fallback d ~now ~ingress h =
+  incr d.degraded_count;
+  let sw = d.switches.(ingress) in
+  let action = Option.value ~default:Action.Drop (Classifier.action d.policy h) in
+  let origin =
+    Option.map (fun (r : Rule.t) -> r.Rule.id) (Classifier.first_match d.policy h)
+  in
+  let rule =
+    Rule.make ~id:(Switch.fresh_cache_id sw) ~priority:0
+      (exact_pred (Classifier.schema d.policy) h)
+      action
+  in
+  ignore
+    (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
+       ?hard_timeout:d.config.cache_hard_timeout ?origin_id:origin sw ~now rule);
+  let path, latency = deliver d.topology ~from:ingress action in
+  { action; path; latency; cache_hit = false; authority = None;
+    installed = Some rule; degraded = true }
+
 let inject d ~now ~ingress h =
   let sw = d.switches.(ingress) in
   match Switch.process sw ~now h with
@@ -216,26 +250,27 @@ let inject d ~now ~ingress h =
         cache_hit = (bank = Switch.Cache_bank);
         authority = (if bank = Switch.Authority_bank then Some ingress else None);
         installed = None;
+        degraded = false;
       }
   | Switch.Tunnel nominal -> (
       match resolve_authority d ~ingress h ~nominal with
       | None ->
-          (* no live replica holds this partition: the miss is lost *)
-          { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
-            authority = None; installed = None }
+          (* no live replica holds this partition *)
+          controller_fallback d ~now ~ingress h
       | Some auth -> (
       let to_auth = leg d.topology ingress auth in
       match to_auth with
       | None ->
           { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
-            authority = None; installed = None }
+            authority = None; installed = None; degraded = false }
       | Some (p1, l1) -> (
           match Switch.serve_miss ~mode:d.config.cache_mode d.switches.(auth) ~now h with
           | None ->
-              (* misrouted: authority lost its partition (e.g. after failover
-                 with stale partition rules); drop, as hardware would *)
-              { action = Action.Drop; path = p1; latency = l1; cache_hit = false;
-                authority = Some auth; installed = None }
+              (* misrouted: the authority lost its partition (e.g. a crash
+                 wiped it, or failover left stale partition rules); rescue
+                 the packet through the controller rather than dropping *)
+              let o = controller_fallback d ~now ~ingress h in
+              { o with path = join p1 o.path; latency = l1 +. o.latency }
           | Some { Switch.action; cache_rule; origin_id } ->
               ignore
                 (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
@@ -248,10 +283,11 @@ let inject d ~now ~ingress h =
                 cache_hit = false;
                 authority = Some auth;
                 installed = Some cache_rule;
+                degraded = false;
               })))
   | Switch.Unmatched ->
       { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
-        authority = None; installed = None }
+        authority = None; installed = None; degraded = false }
 
 let expire_caches d ~now =
   Array.fold_left (fun acc sw -> acc + List.length (Switch.expire_cache sw ~now)) 0 d.switches
@@ -314,6 +350,22 @@ let fail_authority d failed =
   (* same policy, same partitions: pre-installed backup tables stay valid *)
   install_all ~fresh_tables:false d';
   d'
+
+let restore_authority d i =
+  if List.mem i d.authority_ids then d
+  else begin
+    Log.info (fun m -> m "authority %d rejoins the pool; re-placing partitions" i);
+    let authority_ids = List.sort Int.compare (i :: d.authority_ids) in
+    let assignment =
+      Assignment.greedy ?weights:(assignment_weights d.config d.partitioner)
+        ~replication:d.config.replication d.partitioner ~authority_switches:authority_ids
+    in
+    let d' = { d with assignment; authority_ids } in
+    install_all ~fresh_tables:false d';
+    d'
+  end
+
+let degraded_misses d = !(d.degraded_count)
 
 let measured_partition_loads d =
   let totals = Hashtbl.create 16 in

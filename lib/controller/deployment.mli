@@ -85,11 +85,19 @@ type outcome = {
   cache_hit : bool;  (** decided by the ingress cache bank *)
   authority : int option;  (** authority switch visited, when missed *)
   installed : Rule.t option;  (** cache rule installed at the ingress *)
+  degraded : bool;
+      (** served via the controller fallback because no replica of the
+          header's partition was alive — NOX-style reactive setup, the
+          mode a run degrades to instead of wedging *)
 }
 
 val inject : t -> now:float -> ingress:int -> Header.t -> outcome
 (** Walk one packet through the network, mutating switch state (cache
-    counters and reactive installs) exactly as DIFANE would. *)
+    counters and reactive installs) exactly as DIFANE would.  When every
+    replica of the header's partition is unreachable the miss is served
+    degraded: the controller answers from the policy directly and
+    installs an exact-match entry at the ingress (see {!outcome.degraded}
+    and {!degraded_misses}). *)
 
 val expire_caches : t -> now:float -> int
 (** Run cache timeouts on every switch; returns entries expired. *)
@@ -111,7 +119,8 @@ val mark_unreachable : t -> int -> unit
     device down), {e before} any controller reaction.  With replication
     >= 2 a miss then falls back to the partition's backup replica purely
     in the data plane — the paper's zero-controller failover.  Without a
-    live replica the miss is dropped (and counted). *)
+    live replica the miss degrades to the controller path (see
+    {!inject}). *)
 
 val mark_reachable : t -> int -> unit
 
@@ -139,6 +148,16 @@ val fail_authority : t -> int -> t
     partition rules.  The failed switch keeps forwarding cached flows but
     no longer serves misses.
     @raise Invalid_argument when it was the only authority. *)
+
+val restore_authority : t -> int -> t
+(** Undo a {!fail_authority}: the switch (restarted, blank) rejoins the
+    authority pool, partitions are re-placed over the enlarged set and
+    the deltas installed.  A no-op when the switch is already in the
+    pool. *)
+
+val degraded_misses : t -> int
+(** Misses served via the controller fallback (no live replica) since
+    [build] — the separate accounting the fault experiments report. *)
 
 val last_new_authority_installs : t -> int
 (** Authority tables newly pushed to a switch by the most recent

@@ -183,5 +183,34 @@ module E_cache : sig
   val print : point list -> unit
 end
 
+(** Supplementary: the chaos sweep — frame loss rate vs recovery.  Each
+    point replays the same seeded scenario (two of three authority
+    switches crash mid-run and later restart, traffic probes before,
+    during and after) over control channels that drop, duplicate,
+    corrupt and reorder frames at the given rate, and reports the
+    failure-detection and resync-convergence times, the retransmission
+    work, the degraded (controller-served) misses while no replica was
+    alive, and whether the final state recovered exactly.  The 10%-loss
+    point is replayed end to end to verify seed-for-seed
+    reproducibility. *)
+module E_chaos : sig
+  type row = {
+    loss : float;
+    dropped : int;  (** frames lost in flight (injector + downed links) *)
+    corrupted : int;
+    decode_errors : int;
+    retransmissions : int;
+    giveups : int;
+    detect_time : float;  (** crash -> declared dead (echo detection) *)
+    converge_time : float;  (** last restart -> no pending requests *)
+    degraded : int;  (** misses served by the controller fallback *)
+    recovered : bool;  (** semantics intact and nothing pending at the end *)
+    replay_identical : bool;  (** same seed reproduced the same event log *)
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> row list
+  val print : row list -> unit
+end
+
 val run_all : ?seed:int -> ?quick:bool -> unit -> unit
 (** Run and print every experiment in DESIGN.md order. *)

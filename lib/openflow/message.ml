@@ -47,6 +47,7 @@ type t =
   | Flow_removed of flow_removed
   | Install_partition of table_transfer
   | Drop_partition of int
+  | Ack of int
 
 let equal_flow_mod a b =
   a.command = b.command && a.bank = b.bank && Rule.equal a.rule b.rule
@@ -59,7 +60,8 @@ let equal a b =
   | Echo_request x, Echo_request y
   | Echo_reply x, Echo_reply y
   | Barrier_request x, Barrier_request y
-  | Barrier_reply x, Barrier_reply y ->
+  | Barrier_reply x, Barrier_reply y
+  | Ack x, Ack y ->
       x = y
   | Flow_mod x, Flow_mod y -> equal_flow_mod x y
   | Packet_in x, Packet_in y ->
@@ -78,7 +80,7 @@ let equal a b =
   | Drop_partition x, Drop_partition y -> x = y
   | ( ( Hello | Echo_request _ | Echo_reply _ | Flow_mod _ | Packet_in _ | Packet_out _
       | Barrier_request _ | Barrier_reply _ | Stats_request _ | Stats_reply _
-      | Flow_removed _ | Install_partition _ | Drop_partition _ ),
+      | Flow_removed _ | Install_partition _ | Drop_partition _ | Ack _ ),
       _ ) ->
       false
 
@@ -105,6 +107,7 @@ let pp ppf = function
   | Install_partition t ->
       Format.fprintf ppf "install_partition(P%d,%d rules)" t.pid (List.length t.table_rules)
   | Drop_partition pid -> Format.fprintf ppf "drop_partition(P%d)" pid
+  | Ack x -> Format.fprintf ppf "ack(%d)" x
   | Flow_removed f ->
       Format.fprintf ppf "flow_removed(#%d,%s,%Ld pkts)" f.removed_rule
         (match f.reason with
@@ -132,6 +135,7 @@ let type_code = function
   | Flow_removed _ -> 11
   | Install_partition _ -> 30
   | Drop_partition _ -> 31
+  | Ack _ -> 32
 
 module W = struct
   let u8 b v = Buffer.add_uint8 b (v land 0xff)
@@ -330,6 +334,7 @@ let encode_body b = function
       W.u32 b (List.length t.table_rules);
       List.iter (encode_rule b) t.table_rules
   | Drop_partition pid -> W.u32 b pid
+  | Ack x -> W.u32 b x
   | Flow_removed f ->
       W.u32 b f.removed_rule;
       W.u32 b (f.cookie land 0x7fffffff);
@@ -343,6 +348,17 @@ let encode_body b = function
       W.u64 b f.final_bytes;
       W.f64 b f.lifetime
 
+(* FNV-1a over the frame, treating the checksum slot (bytes 8..15) as
+   zero.  Not cryptographic — it only needs to catch the simulator's
+   fault injector flipping bytes in flight. *)
+let checksum buf =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Bytes.length buf - 1 do
+    let byte = if i >= 8 && i < 16 then 0 else Bytes.get_uint8 buf i in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
+  done;
+  !h
+
 let encode ~xid t =
   let body = Buffer.create 64 in
   encode_body body t;
@@ -351,10 +367,12 @@ let encode ~xid t =
   W.u8 frame (type_code t);
   W.u16 frame (Buffer.length body + 16);
   W.u32 frame xid;
-  (* 8 bytes reserved/cookie to reach a 16-byte header *)
+  (* 8 bytes of checksum to reach a 16-byte header; filled in below *)
   W.u64 frame 0L;
   Buffer.add_buffer frame body;
-  Buffer.to_bytes frame
+  let bytes = Buffer.to_bytes frame in
+  Bytes.set_int64_be bytes 8 (checksum bytes);
+  bytes
 
 let decode schema buf =
   let r = R.create buf in
@@ -366,7 +384,11 @@ let decode schema buf =
     if len <> Bytes.length buf then Error "length mismatch"
     else
       let* xid = R.u32 r in
-      let* _reserved = R.u64 r in
+      let* stored_sum = R.u64 r in
+      let* () =
+        if Int64.equal stored_sum (checksum buf) then Ok ()
+        else Error "checksum mismatch"
+      in
       let* msg =
         match ty with
         | 0 -> Ok Hello
@@ -464,6 +486,9 @@ let decode schema buf =
         | 31 ->
             let* pid = R.u32 r in
             Ok (Drop_partition pid)
+        | 32 ->
+            let* x = R.u32 r in
+            Ok (Ack x)
         | _ -> Error "unknown message type"
       in
       if r.R.pos <> Bytes.length buf then Error "trailing bytes"

@@ -77,16 +77,26 @@ type t =
           backup replication *)
   | Drop_partition of int
       (** controller→switch: remove the authority table for a partition *)
+  | Ack of int
+      (** switch→controller: positive acknowledgement of a state-changing
+          request ([Flow_mod]/[Install_partition]/[Drop_partition]) that
+          has no reply of its own, carrying the request's xid — what the
+          controller's retransmission machinery keys on when the control
+          channel is lossy *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 
 (** {1 Wire format}
 
-    A compact binary framing (16-byte header: version, type, length, xid —
-    same spirit as OpenFlow 1.0) used by the tests to guarantee the
-    control channel is serialisable, and by the simulator to charge
-    realistic message sizes to control links. *)
+    A compact binary framing (16-byte header: version, type, length, xid,
+    and an FNV-1a checksum of the rest of the frame — same spirit as
+    OpenFlow 1.0) used by the tests to guarantee the control channel is
+    serialisable, and by the simulator to charge realistic message sizes
+    to control links.  The checksum means a byte flipped in flight is
+    {e detected} at decode time (it cannot silently install a different
+    rule), so a lossy channel can drop-and-count corrupt frames and rely
+    on retransmission. *)
 
 val encode : xid:int -> t -> Bytes.t
 

@@ -28,6 +28,8 @@ type result = {
   miss_delays : float array;
   stretches : float array;
   authority_stats : (int * int * int) list;
+  degraded_packets : int;
+  install_drops : int;
 }
 
 type acc = {
@@ -42,6 +44,8 @@ type acc = {
   mutable delays : float list;
   mutable miss_delays : float list;
   mutable stretches : float list;
+  mutable degraded : int;
+  mutable install_drops : int;
 }
 
 let fresh_acc () =
@@ -57,6 +61,8 @@ let fresh_acc () =
     delays = [];
     miss_delays = [];
     stretches = [];
+    degraded = 0;
+    install_drops = 0;
   }
 
 let finish ?(authority_stats = []) acc ~offered =
@@ -89,6 +95,8 @@ let finish ?(authority_stats = []) acc ~offered =
     miss_delays = Array.of_list acc.miss_delays;
     stretches = Array.of_list acc.stretches;
     authority_stats;
+    degraded_packets = acc.degraded;
+    install_drops = acc.install_drops;
   }
 
 let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~cache_hit =
@@ -108,7 +116,7 @@ let prop topo a b = Option.value ~default:0. (Topology.distance topo a b)
 let egress_latency topo ~from action =
   match Action.egress action with Some e -> prop topo from e | None -> 0.
 
-let run_difane ?(timing = default_timing) d flows =
+let run_difane ?(timing = default_timing) ?faults d flows =
   let engine = Engine.create () in
   let acc = fresh_acc () in
   let topo = Deployment.topology d in
@@ -124,8 +132,61 @@ let run_difane ?(timing = default_timing) d flows =
         Hashtbl.add servers auth s;
         s
   in
+  (* the degraded path's controller, created only if a miss ever needs it *)
+  let controller = ref None in
+  let controller_server () =
+    match !controller with
+    | Some s -> s
+    | None ->
+        let s =
+          Server.create engine ~service_time:timing.controller_service
+            ~queue_capacity:timing.queue_capacity
+        in
+        controller := Some s;
+        s
+  in
+  (* Fault plan hooks: install messages cross the same lossy fabric as
+     the control plane, so each draws an independent Bernoulli from the
+     plan's seed; scheduled crash/restart and link flaps drive the
+     data-plane reachability model. *)
+  let install_rng, install_drop =
+    match faults with
+    | None -> (Prng.create 0, 0.)
+    | Some (p : Fault.plan) -> (Prng.create (p.Fault.seed lxor 0x51ab), p.Fault.link.Fault.drop)
+  in
+  (match faults with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun ev ->
+          Engine.schedule engine ~at:(Fault.event_time ev) (fun () ->
+              match ev with
+              | Fault.Crash { switch; _ } | Fault.Link_down { switch; _ } ->
+                  Deployment.mark_unreachable d switch
+              | Fault.Restart { switch; _ } | Fault.Link_up { switch; _ } ->
+                  Deployment.mark_reachable d switch))
+        p.Fault.events);
   let idle_timeout = (Deployment.config d).Deployment.cache_idle_timeout in
   let hard_timeout = (Deployment.config d).Deployment.cache_hard_timeout in
+  (* No live replica for the header's partition: fall back to the
+     controller, NOX-style — half an RTT up, a controller service slot
+     (where [Deployment.inject] answers from the policy and installs the
+     reactive microflow at the ingress), half an RTT back. *)
+  let serve_degraded (flow : Traffic.flow) ~is_first =
+    Engine.after engine ~delay:(timing.controller_rtt /. 2.) (fun () ->
+        let accepted =
+          Server.submit (controller_server ()) (fun () ->
+              let now = Engine.now engine in
+              let o = Deployment.inject d ~now ~ingress:flow.ingress flow.header in
+              acc.degraded <- acc.degraded + 1;
+              deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+                ~extra_latency:
+                  ((timing.controller_rtt /. 2.)
+                  +. egress_latency topo ~from:flow.ingress o.Deployment.action)
+                ~cache_hit:false)
+        in
+        if (not accepted) && is_first then acc.dropped <- acc.dropped + 1)
+  in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
     let ingress_sw = Deployment.switch d flow.ingress in
@@ -137,7 +198,7 @@ let run_difane ?(timing = default_timing) d flows =
     | Switch.Unmatched -> if is_first then acc.dropped <- acc.dropped + 1
     | Switch.Tunnel nominal -> (
         match Deployment.resolve_authority d ~ingress:flow.ingress flow.header ~nominal with
-        | None -> if is_first then acc.dropped <- acc.dropped + 1
+        | None -> serve_degraded flow ~is_first
         | Some auth ->
         let tunnel_latency = prop topo flow.ingress auth in
         (* the miss packet reaches the authority, then queues for a
@@ -154,11 +215,16 @@ let run_difane ?(timing = default_timing) d flows =
                   | Some { Switch.action; cache_rule; origin_id } ->
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
-                         path *)
-                      Engine.after engine ~delay:timing.install_latency (fun () ->
-                          ignore
-                            (Switch.install_cache_rule ?idle_timeout ?hard_timeout
-                               ~origin_id ingress_sw ~now:(Engine.now engine) cache_rule));
+                         path — unless the lossy fabric eats it, in which
+                         case later packets of the flow miss again and
+                         retrigger the install (the recovery path) *)
+                      if install_drop > 0. && Prng.float install_rng < install_drop then
+                        acc.install_drops <- acc.install_drops + 1
+                      else
+                        Engine.after engine ~delay:timing.install_latency (fun () ->
+                            ignore
+                              (Switch.install_cache_rule ?idle_timeout ?hard_timeout
+                                 ~origin_id ingress_sw ~now:(Engine.now engine) cache_rule));
                       (match Action.egress action with
                       | Some e ->
                           acc.stretches

@@ -56,11 +56,28 @@ type result = {
       (** per-authority-switch [(switch, misses served, misses rejected)],
           DIFANE only — verifies the load balance behind the scaling
           figure *)
+  degraded_packets : int;
+      (** packets served through the controller fallback because no
+          replica of their partition was alive (fault runs only) *)
+  install_drops : int;
+      (** cache-install messages lost to the fault plan's lossy fabric;
+          the affected flow keeps missing until a later packet
+          retriggers the install *)
 }
 
-val run_difane : ?timing:timing -> Deployment.t -> Traffic.flow list -> result
+val run_difane :
+  ?timing:timing -> ?faults:Fault.plan -> Deployment.t -> Traffic.flow list -> result
 (** Replay the workload against a DIFANE deployment.  Switch state
-    (caches, counters) is mutated — build a fresh deployment per run. *)
+    (caches, counters) is mutated — build a fresh deployment per run.
+
+    With [faults], the plan's scheduled events drive the data-plane
+    reachability model (crash/link-down marks the switch unreachable,
+    restart/link-up restores it), each cache-install message is dropped
+    with the plan's link drop probability (deterministically, from the
+    plan's seed), and misses with no live replica take the degraded
+    controller path — [controller_rtt/2] up, a [controller_service]
+    slot, [controller_rtt/2] back, with an exact-match entry installed
+    at the ingress — instead of being lost. *)
 
 val run_nox : ?timing:timing -> Nox.t -> Traffic.flow list -> result
 (** Replay against the reactive baseline. *)

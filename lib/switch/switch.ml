@@ -20,6 +20,14 @@ type t = {
   mutable next_cache_id : int;
   mutable notifications : Message.t list; (* reverse order *)
   mutable pending_partition : Rule.t list; (* staged until the next barrier *)
+  mutable partition_committed : bool;
+      (* a barrier has committed the partition bank: adds arriving after
+         it (retransmissions whose first copy was lost) merge directly
+         instead of staging for a barrier that will never come *)
+  seen_xids : (int, Message.t list) Hashtbl.t;
+      (* xid -> responses already sent: retransmitted requests are
+         re-acked, not re-applied *)
+  seen_order : int Queue.t; (* xid admission order, for pruning *)
   mutable cache_hits : int64;
   mutable authority_hits : int64;
   mutable tunnelled : int64;
@@ -40,6 +48,9 @@ let create ~id ~cache_capacity =
     next_cache_id = cache_rule_base + (id * 100_000);
     notifications = [];
     pending_partition = [];
+    partition_committed = false;
+    seen_xids = Hashtbl.create 64;
+    seen_order = Queue.create ();
     cache_hits = 0L;
     authority_hits = 0L;
     tunnelled = 0L;
@@ -55,7 +66,8 @@ let install_partition_rules t rules =
       | Action.To_authority _ -> ()
       | _ -> invalid_arg "Switch.install_partition_rules: non-partition action")
     rules;
-  t.partition_bank <- rules
+  t.partition_bank <- rules;
+  t.partition_committed <- true
 
 let install_authority t (p : Partitioner.partition) =
   t.authority <-
@@ -82,7 +94,26 @@ let apply_flow_mod t ~now (fm : Message.flow_mod) =
   | (Message.Authority | Message.Partition), _ ->
       invalid_arg "Switch.apply_flow_mod: authority/partition banks are replaced wholesale"
 
-let handle_control t ~now msg =
+(* Replay memory: how many acknowledged xids a switch remembers.  A
+   retransmission arriving after its xid was pruned would be re-applied —
+   the cap just bounds memory; at the control plane's retransmission
+   limits the window is never approached. *)
+let seen_cap = 8192
+
+let remember t xid responses =
+  if not (Hashtbl.mem t.seen_xids xid) then begin
+    Queue.add xid t.seen_order;
+    if Queue.length t.seen_order > seen_cap then
+      Hashtbl.remove t.seen_xids (Queue.pop t.seen_order)
+  end;
+  Hashtbl.replace t.seen_xids xid responses
+
+(* acknowledge state-changing requests that have no reply of their own,
+   so a controller on a lossy channel can stop retransmitting; xid 0
+   marks an untracked (fire-and-forget) request *)
+let ack xid = if xid = 0 then [] else [ Message.Ack xid ]
+
+let dispatch_control t ~now ~xid msg =
   match msg with
   | Message.Hello -> [ Message.Hello ]
   | Message.Echo_request c -> [ Message.Echo_reply c ]
@@ -93,18 +124,34 @@ let handle_control t ~now msg =
         install_partition_rules t (List.rev t.pending_partition);
         t.pending_partition <- []
       end;
+      (* even an empty commit closes the installation: adds whose frames
+         were all lost arrive later as retransmissions and must merge *)
+      t.partition_committed <- true;
       [ Message.Barrier_reply x ]
   | Message.Flow_mod fm -> (
       match (fm.Message.bank, fm.Message.command) with
       | Message.Cache, _ ->
           apply_flow_mod t ~now fm;
-          []
+          ack xid
       | Message.Partition, Message.Add ->
-          t.pending_partition <- fm.Message.rule :: t.pending_partition;
-          []
+          (if t.partition_committed then
+             (* the barrier that closed this batch already passed (the
+                original frame was lost; this is its retransmission):
+                merge into the live bank — regions are disjoint and rule
+                ids stable, so replace-by-id converges *)
+             match fm.Message.rule.Rule.action with
+             | Action.To_authority _ ->
+                 t.partition_bank <-
+                   fm.Message.rule
+                   :: List.filter
+                        (fun (r : Rule.t) -> r.Rule.id <> fm.Message.rule.Rule.id)
+                        t.partition_bank
+             | _ -> ()
+           else t.pending_partition <- fm.Message.rule :: t.pending_partition);
+          ack xid
       | Message.Partition, (Message.Delete | Message.Delete_strict)
       | Message.Authority, _ ->
-          [])
+          ack xid)
   | Message.Stats_request { Message.table_bank = Message.Cache; cookie } ->
       let flows =
         List.map
@@ -126,13 +173,26 @@ let handle_control t ~now msg =
           region;
           table = Classifier.create (Pred.schema region) table_rules;
         };
-      []
+      ack xid
   | Message.Drop_partition pid ->
       drop_authority t pid;
-      []
+      ack xid
   | Message.Echo_reply _ | Message.Barrier_reply _ | Message.Stats_reply _
-  | Message.Packet_in _ | Message.Packet_out _ | Message.Flow_removed _ ->
+  | Message.Packet_in _ | Message.Packet_out _ | Message.Flow_removed _
+  | Message.Ack _ ->
       []
+
+let handle_control ?(xid = 0) t ~now msg =
+  (* idempotency per xid: a duplicate (retransmitted or channel-duplicated)
+     request is answered from memory without re-applying its effect — a
+     replayed barrier must not commit rules staged since, a replayed
+     partition add must not double a rule *)
+  match (if xid = 0 then None else Hashtbl.find_opt t.seen_xids xid) with
+  | Some responses -> responses
+  | None ->
+      let responses = dispatch_control t ~now ~xid msg in
+      if xid <> 0 then remember t xid responses;
+      responses
 
 let authority_lookup t h =
   List.find_map
@@ -253,6 +313,31 @@ let expire_cache t ~now =
   let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) gone in
   List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
   rules
+
+(* Crash semantics: the device reboots blank.  Every bank, staged update,
+   counter and the xid replay memory are gone; the id and cache capacity
+   (hardware) survive.  The controller is expected to resync afterwards. *)
+let reset t =
+  Tcam.clear t.cache;
+  t.authority <- [];
+  t.partition_bank <- [];
+  t.pending_partition <- [];
+  t.partition_committed <- false;
+  Hashtbl.reset t.cache_origin;
+  Hashtbl.reset t.origin_hits;
+  Hashtbl.reset t.partition_hits;
+  Hashtbl.reset t.seen_xids;
+  Queue.clear t.seen_order;
+  t.notifications <- [];
+  t.cache_hits <- 0L;
+  t.authority_hits <- 0L;
+  t.tunnelled <- 0L;
+  t.unmatched <- 0L
+
+let fresh_cache_id t =
+  let i = t.next_cache_id in
+  t.next_cache_id <- i + 1;
+  i
 
 let drain_notifications t =
   let n = List.rev t.notifications in

@@ -45,15 +45,32 @@ val apply_flow_mod : t -> now:float -> Message.flow_mod -> unit
     the cache bank ([Authority]/[Partition] banks are replaced wholesale
     via the functions above; flow-mods to them raise). *)
 
-val handle_control : t -> now:float -> Message.t -> Message.t list
+val handle_control : ?xid:int -> t -> now:float -> Message.t -> Message.t list
 (** The switch's control-protocol state machine: echo requests get
     replies; cache-bank flow-mods apply immediately; partition-bank
     flow-mod adds are {e staged} and committed as one atomic bank
     replacement by the next barrier (whose reply then acknowledges
     them); [Install_partition]/[Drop_partition] replace or remove an
-    authority table; stats requests are answered from the cache TCAM's
-    live counters.  Unsolicited replies and data-plane messages yield no
-    response. *)
+    authority table and are acknowledged with [Ack xid]; stats requests
+    are answered from the cache TCAM's live counters.  Unsolicited
+    replies and data-plane messages yield no response.
+
+    The handler is {e idempotent per xid} (when [xid <> 0]): a request
+    whose xid was already processed — a controller retransmission or a
+    channel duplicate — returns the original responses without
+    re-applying its effect.  [xid = 0] (the default) marks an untracked
+    request: no dedup, no ack. *)
+
+val reset : t -> unit
+(** Crash semantics: the device reboots blank — all three banks, staged
+    partition updates, counters, notifications and the xid replay memory
+    are cleared.  Identity and cache capacity survive.  Pair with a
+    controller-side resync ({!Control_plane.restart_switch}). *)
+
+val fresh_cache_id : t -> int
+(** Allocate a cache-rule id from this switch's id space — used by
+    controller-path (degraded-mode) reactive installs, which build the
+    cache rule outside {!serve_miss}. *)
 
 (** {1 Data plane} *)
 

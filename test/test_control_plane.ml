@@ -71,6 +71,69 @@ let test_handle_flow_mod () =
   ignore (Switch.handle_control sw ~now:0. (fm Message.Delete));
   check Alcotest.int "deleted" 0 (Switch.cache_occupancy sw)
 
+let test_xid_dedup () =
+  let sw = Switch.create ~id:0 ~cache_capacity:8 in
+  let prule = Rule.make ~id:1 ~priority:0 (Pred.any s2) (Action.To_authority 1) in
+  let fm =
+    Message.Flow_mod
+      { Message.command = Message.Add; bank = Message.Partition; rule = prule;
+        idle_timeout = None; hard_timeout = None }
+  in
+  (* a tracked partition add is acked; its replay is re-acked from memory *)
+  (match Switch.handle_control ~xid:5 sw ~now:0. fm with
+  | [ Message.Ack 5 ] -> ()
+  | _ -> Alcotest.fail "partition add not acked");
+  (match Switch.handle_control ~xid:5 sw ~now:0. fm with
+  | [ Message.Ack 5 ] -> ()
+  | _ -> Alcotest.fail "replay not re-acked");
+  (match Switch.handle_control ~xid:6 sw ~now:0. (Message.Barrier_request 1) with
+  | [ Message.Barrier_reply 1 ] -> ()
+  | _ -> Alcotest.fail "barrier mishandled");
+  (* the duplicate add was suppressed: the bank works and holds one rule *)
+  (match Switch.process sw ~now:0. (h 2 0) with
+  | Switch.Tunnel 1 -> ()
+  | _ -> Alcotest.fail "partition bank not committed");
+  (* replaying an Install_partition must not duplicate the table *)
+  let part = Partitioner.compute policy ~k:2 in
+  let p = List.hd part.Partitioner.partitions in
+  let ip =
+    Message.Install_partition
+      { Message.pid = p.pid; region = p.region; table_rules = Classifier.rules p.table }
+  in
+  (match Switch.handle_control ~xid:7 sw ~now:0. ip with
+  | [ Message.Ack 7 ] -> ()
+  | _ -> Alcotest.fail "install not acked");
+  ignore (Switch.handle_control ~xid:7 sw ~now:0. ip);
+  check Alcotest.int "one authority table despite replay" 1
+    (List.length (Switch.authority_partitions sw))
+
+let test_straggler_add_merges_after_barrier () =
+  (* a partition add whose first copy was lost arrives (as a
+     retransmission) after the barrier committed the rest of the batch:
+     it must merge into the live bank, not wait for a barrier that will
+     never come *)
+  let sw = Switch.create ~id:0 ~cache_capacity:8 in
+  let prule id f1 =
+    Rule.make ~id ~priority:0
+      (Pred.make s2 [ Ternary.exact ~width:8 (Int64.of_int f1); Ternary.any 8 ])
+      (Action.To_authority 1)
+  in
+  let fm rule =
+    Message.Flow_mod
+      { Message.command = Message.Add; bank = Message.Partition; rule;
+        idle_timeout = None; hard_timeout = None }
+  in
+  ignore (Switch.handle_control ~xid:1 sw ~now:0. (fm (prule 0 7)));
+  ignore (Switch.handle_control ~xid:2 sw ~now:0. (Message.Barrier_request 9));
+  (* the straggler (xid 3 was lost in flight the first time) *)
+  ignore (Switch.handle_control ~xid:3 sw ~now:1. (fm (prule 1 9)));
+  (match Switch.process sw ~now:1. (Header.make s2 [| 9L; 0L |]) with
+  | Switch.Tunnel 1 -> ()
+  | _ -> Alcotest.fail "straggler add never reached the partition bank");
+  match Switch.process sw ~now:1. (Header.make s2 [| 7L; 0L |]) with
+  | Switch.Tunnel 1 -> ()
+  | _ -> Alcotest.fail "committed rule lost by the merge"
+
 (* --- control plane --- *)
 
 let build_cp ?(config = Control_plane.default_config) () =
@@ -189,6 +252,99 @@ let test_control_overhead_counted () =
   check Alcotest.bool "bytes counted" true
     (Control_plane.control_bytes cp > Control_plane.control_frames cp)
 
+(* --- reliability under faults --- *)
+
+let blank_deployment () =
+  Deployment.build ~install:false
+    ~config:{ Deployment.default_config with replication = 2; k = 4 }
+    ~policy ~topology:(Topology.line 5 ()) ~authority_ids:[ 1; 3 ] ()
+
+let test_lossy_push_converges () =
+  (* a 25% frame-loss channel (with duplication, corruption, jitter and
+     reordering riding along): retransmission must still converge the
+     full configuration, exactly *)
+  let d = blank_deployment () in
+  let faults = Fault.plan ~seed:11 ~link:(Fault.lossy_link ~jitter:2e-3 0.25) () in
+  let cp =
+    Control_plane.create
+      ~config:{ Control_plane.default_config with retx_timeout = 0.02 }
+      ~faults d
+  in
+  Control_plane.push_deployment cp ~now:0.;
+  drive cp ~from:0.005 ~until:3. ~step:0.005;
+  let stats = Control_plane.loss_stats cp in
+  check Alcotest.bool "channel really was lossy" true (stats.Control_plane.dropped > 0);
+  check Alcotest.bool "retransmissions happened" true
+    (Control_plane.retransmissions cp > 0);
+  check Alcotest.int "every request eventually acked" 0
+    (Control_plane.pending_requests cp);
+  check Alcotest.int "nothing abandoned" 0 (Control_plane.giveups cp);
+  let rng = Prng.create 21 in
+  let probes = List.init 200 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "converged configuration is exact" true
+    (Deployment.semantically_equal d probes)
+
+let test_crash_restart_resync () =
+  let d = blank_deployment () in
+  let cp = Control_plane.create d in
+  Control_plane.push_deployment cp ~now:0.;
+  drive cp ~from:0.001 ~until:0.5 ~step:0.01;
+  check Alcotest.bool "authority installed" true
+    (Switch.authority_partitions (Deployment.switch d 1) <> []);
+  (* the device dies losing all state, then comes back blank *)
+  Control_plane.crash_switch cp ~now:1. 1;
+  check (Alcotest.list Alcotest.int) "crash wiped the banks" []
+    (List.map (fun (p : Partitioner.partition) -> p.pid)
+       (Switch.authority_partitions (Deployment.switch d 1)));
+  drive cp ~from:1.01 ~until:2. ~step:0.05;
+  Control_plane.restart_switch cp ~now:2. 1;
+  drive cp ~from:2.001 ~until:3. ~step:0.01;
+  (* resync restored everything *)
+  check Alcotest.bool "authority tables back after resync" true
+    (Switch.authority_partitions (Deployment.switch d 1) <> []);
+  check (Alcotest.list Alcotest.int) "not counted as failed" []
+    (Control_plane.failed_switches cp);
+  let rng = Prng.create 4 in
+  let probes = List.init 200 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "semantics restored" true (Deployment.semantically_equal d probes)
+
+let test_premature_death_recovers () =
+  (* echo losses can declare a live switch dead; the next answered probe
+     must take it back (and restore its authority duty) *)
+  let d = blank_deployment () in
+  let cp = Control_plane.create d in
+  Control_plane.push_deployment cp ~now:0.;
+  drive cp ~from:0.001 ~until:0.5 ~step:0.01;
+  (* simulate the false positive directly: down the control link long
+     enough for detection, then restore it *)
+  Control_plane.set_link cp ~now:1. 1 false;
+  drive cp ~from:1.01 ~until:8. ~step:0.25;
+  check (Alcotest.list Alcotest.int) "declared dead while link down" [ 1 ]
+    (Control_plane.failed_switches cp);
+  check (Alcotest.list Alcotest.int) "demoted" [ 3 ]
+    (Deployment.authority_ids (Control_plane.deployment cp));
+  Control_plane.set_link cp ~now:8.5 1 true;
+  drive cp ~from:8.51 ~until:15. ~step:0.25;
+  check (Alcotest.list Alcotest.int) "recovered on the next echo" []
+    (Control_plane.failed_switches cp);
+  check (Alcotest.list Alcotest.int) "authority restored" [ 1; 3 ]
+    (Deployment.authority_ids (Control_plane.deployment cp))
+
+let test_degraded_packet_in_answered () =
+  (* with every replica of a partition dead, a switch that punts the
+     packet to the controller gets a NOX-style packet-out back *)
+  let d = blank_deployment () in
+  let cp = Control_plane.create d in
+  Control_plane.push_deployment cp ~now:0.;
+  drive cp ~from:0.001 ~until:0.5 ~step:0.01;
+  check Alcotest.int64 "no degraded traffic yet" 0L (Control_plane.degraded_handled cp);
+  (* switch 0 reports a miss it cannot tunnel anywhere *)
+  Control_plane.inject_packet_in cp ~now:1. 0
+    (Message.Packet_in { Message.ingress = 0; header = h 2 0; reason = `No_match });
+  drive cp ~from:1.001 ~until:1.2 ~step:0.01;
+  check Alcotest.int64 "controller answered the miss" 1L
+    (Control_plane.degraded_handled cp)
+
 let test_auto_rebalance () =
   let policy =
     Classifier.of_specs s2
@@ -240,6 +396,8 @@ let suite =
         tc "echo / barrier" test_handle_echo_barrier;
         tc "stats from live counters" test_handle_stats;
         tc "cache flow-mods" test_handle_flow_mod;
+        tc "duplicate xids suppressed" test_xid_dedup;
+        tc "straggler add merges after barrier" test_straggler_add_merges_after_barrier;
       ] );
     ( "control plane",
       [
@@ -251,5 +409,12 @@ let suite =
         tc "push deployment over channels" test_push_deployment;
         tc "partition transfer codec" test_partition_transfer_codec;
         tc "automatic load rebalance" test_auto_rebalance;
+      ] );
+    ( "reliability",
+      [
+        tc "lossy push converges exactly" test_lossy_push_converges;
+        tc "crash/restart resyncs state" test_crash_restart_resync;
+        tc "premature death declaration recovers" test_premature_death_recovers;
+        tc "degraded packet-in answered NOX-style" test_degraded_packet_in_answered;
       ] );
   ]

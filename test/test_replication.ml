@@ -128,11 +128,76 @@ let test_data_plane_failover () =
 let test_data_plane_failover_without_backups () =
   let d = build ~replication:1 () in
   Deployment.flush_caches d;
-  (* kill every authority: misses must be dropped, not crash *)
+  (* kill every authority: misses degrade to the controller path
+     (NOX-style reactive setup) instead of being lost *)
   List.iter (fun a -> Deployment.mark_unreachable d a) (Deployment.authority_ids d);
   let o = Deployment.inject d ~now:0. ~ingress:0 (h 2 0) in
-  check action "miss lost" Action.Drop o.Deployment.action;
-  check (Alcotest.option Alcotest.int) "no authority reached" None o.Deployment.authority
+  check action "policy action still applied" (Action.Forward 3) o.Deployment.action;
+  check (Alcotest.option Alcotest.int) "no authority reached" None o.Deployment.authority;
+  check Alcotest.bool "flagged degraded" true o.Deployment.degraded;
+  check Alcotest.bool "controller installed a microflow entry" true
+    (Option.is_some o.Deployment.installed);
+  check Alcotest.int "degraded miss counted" 1 (Deployment.degraded_misses d);
+  (* the reactive exact-match entry absorbs the repeat *)
+  let o2 = Deployment.inject d ~now:0.1 ~ingress:0 (h 2 0) in
+  check Alcotest.bool "repeat hits the cache" true o2.Deployment.cache_hit;
+  check Alcotest.bool "repeat is not degraded" false o2.Deployment.degraded;
+  check Alcotest.int "no second degraded miss" 1 (Deployment.degraded_misses d)
+
+let test_strict_update_failover_race () =
+  (* an authority dies while a strict policy update's deletion flow-mods
+     are still in flight: the promoted backup must serve the NEW policy,
+     and no live switch may keep a cache entry spliced from the changed
+     rule *)
+  let policy2 =
+    Classifier.of_specs s2
+      [
+        (30, [ ("f1", "00000001") ], Action.Drop);
+        (10, [ ("f1", "0xxxxxxx") ], Action.Forward 2);
+        (0, [], Action.Drop);
+      ]
+  in
+  let d =
+    Deployment.build
+      ~config:{ Deployment.default_config with replication = 2; k = 4 }
+      ~policy ~topology:(Topology.line 5 ()) ~authority_ids:[ 1; 3 ] ()
+  in
+  let cp = Control_plane.create d in
+  (* warm a cache entry spliced from the rule that is about to change *)
+  let o = Deployment.inject d ~now:0. ~ingress:0 (h 2 0) in
+  check action "old policy action" (Action.Forward 3) o.Deployment.action;
+  let changed = Deployment.changed_rule_ids ~old_policy:policy policy2 in
+  check Alcotest.bool "update really changes a rule" true (changed <> []);
+  Control_plane.update_policy cp ~now:1. policy2;
+  (* the victim dies before any deletion aimed at it can be acked *)
+  let victim = List.hd (Deployment.authority_ids (Control_plane.deployment cp)) in
+  Control_plane.kill_switch cp victim;
+  let t = ref 1.001 in
+  while !t < 10. do
+    Control_plane.tick cp ~now:!t;
+    t := !t +. 0.05
+  done;
+  check (Alcotest.list Alcotest.int) "victim declared dead" [ victim ]
+    (Control_plane.failed_switches cp);
+  let d' = Control_plane.deployment cp in
+  (* no live switch holds a cache entry spliced from a changed rule *)
+  Array.iteri
+    (fun i sw ->
+      if i <> victim then
+        List.iter
+          (fun (e : Tcam.entry) ->
+            match Switch.origin_of_cache_rule sw e.Tcam.rule.Rule.id with
+            | Some o when List.mem o changed ->
+                Alcotest.failf "switch %d kept a stale entry from rule %d" i o
+            | _ -> ())
+          (Tcam.entries (Switch.cache sw)))
+    (Deployment.switches d');
+  (* a fresh miss is served by a surviving replica under the new policy *)
+  let o2 = Deployment.inject d' ~now:10. ~ingress:0 (h 2 0) in
+  check action "new policy action served" (Action.Forward 2) o2.Deployment.action;
+  match o2.Deployment.authority with
+  | Some a when a = victim -> Alcotest.fail "miss served by the dead authority"
+  | _ -> ()
 
 let prop_reassign_keeps_replication =
   qt ~count:30 "reassign restores the replication factor"
@@ -162,6 +227,7 @@ let suite =
         tc "hosted_by counts replicas" test_hosted_by;
         tc "data-plane failover to backup" test_data_plane_failover;
         tc "data-plane failover without backups" test_data_plane_failover_without_backups;
+        tc "strict update racing authority failover" test_strict_update_failover_race;
         prop_reassign_keeps_replication;
       ] );
   ]
