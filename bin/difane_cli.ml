@@ -108,14 +108,45 @@ let check_cmd =
 let faults_arg =
   let doc =
     "Run the simulation under a seeded fault plan with this control-frame loss rate \
-     (0..1): cache-install messages are dropped at the rate, the first authority \
-     switch crashes a quarter of the way into the run and restarts at the half-way \
-     mark, and misses with no live replica degrade to the controller path."
+     (0..1): the deployment is first pushed over lossy control channels (reliably, \
+     with retransmission), then during the traffic run cache-install messages are \
+     dropped at the rate, the first authority switch crashes a quarter of the way \
+     into the run and restarts at the half-way mark, and misses with no live \
+     replica degrade to the controller path."
   in
   Arg.(value & opt (some float) None & info [ "faults" ] ~docv:"LOSS" ~doc)
 
+(* reliable-channel timers (PR-1 machinery), threaded into Control_plane *)
+let echo_interval_arg =
+  let doc = "Controller echo-probe interval in seconds (liveness detection)." in
+  Arg.(value & opt (some float) None & info [ "echo-interval" ] ~docv:"S" ~doc)
+
+let retx_timeout_arg =
+  let doc = "Seconds before the first retransmission of an unacked request." in
+  Arg.(value & opt (some float) None & info [ "retx-timeout" ] ~docv:"S" ~doc)
+
+let retx_backoff_arg =
+  let doc = "Retransmission interval multiplier (exponential backoff factor)." in
+  Arg.(value & opt (some float) None & info [ "retx-backoff" ] ~docv:"X" ~doc)
+
+let retx_limit_arg =
+  let doc = "Retransmissions before a request is given up." in
+  Arg.(value & opt (some int) None & info [ "retx-limit" ] ~docv:"N" ~doc)
+
+let cp_config_of_flags echo_interval retx_timeout retx_backoff retx_limit =
+  let d = Control_plane.default_config in
+  {
+    d with
+    Control_plane.echo_interval =
+      Option.value ~default:d.Control_plane.echo_interval echo_interval;
+    retx_timeout = Option.value ~default:d.Control_plane.retx_timeout retx_timeout;
+    retx_backoff = Option.value ~default:d.Control_plane.retx_backoff retx_backoff;
+    retx_limit = Option.value ~default:d.Control_plane.retx_limit retx_limit;
+  }
+
 let deploy_cmd =
-  let run policy_file topo_spec auths k cache flows alpha faults seed =
+  let run policy_file topo_spec auths k cache flows alpha faults seed echo_interval
+      retx_timeout retx_backoff retx_limit =
     let policy = load_policy_or_die policy_file in
     try
       let topology = parse_topology ~seed topo_spec in
@@ -123,7 +154,12 @@ let deploy_cmd =
       let config =
         { Deployment.default_config with k; cache_capacity = cache; balance = `Volume }
       in
-      let d = Deployment.build ~config ~policy ~topology ~authority_ids () in
+      (* with faults the switches start blank and the configuration is
+         pushed over the lossy control channels below — the realistic path *)
+      let d =
+        Deployment.build ~config ~install:(faults = None) ~policy ~topology
+          ~authority_ids ()
+      in
       let part = Deployment.partitioner d in
       Printf.printf "deployed %d rules as %d partitions over authorities %s\n"
         part.Partitioner.source_rules
@@ -160,6 +196,42 @@ let deploy_cmd =
               ())
           faults
       in
+      (* control-plane phase: push the configuration reliably over the
+         lossy channels before traffic starts, and report that work *)
+      Option.iter
+        (fun plan ->
+          let cp_config =
+            cp_config_of_flags echo_interval retx_timeout retx_backoff retx_limit
+          in
+          let cp =
+            Control_plane.create ~config:cp_config
+              ~faults:{ plan with Fault.events = [] }
+              d
+          in
+          Control_plane.push_deployment cp ~now:0.;
+          let step = 0.01 and horizon = 60.0 in
+          let t = ref 0. in
+          while
+            !t < horizon
+            && not
+                 (Control_plane.pending_requests cp = 0
+                 && Control_plane.in_flight cp = 0)
+          do
+            t := !t +. step;
+            Control_plane.tick cp ~now:!t
+          done;
+          let s = Control_plane.loss_stats cp in
+          Printf.printf "control push   : converged in %.2f s simulated\n" !t;
+          Printf.printf
+            "  frames lost %d, corrupt %d, decode errors %d, duplicated %d, reordered %d\n"
+            (s.Control_plane.dropped + s.Control_plane.link_dropped)
+            s.Control_plane.corrupted s.Control_plane.decode_errors
+            s.Control_plane.duplicated s.Control_plane.reordered;
+          Printf.printf "  retransmissions %d, give-ups %d, still pending %d\n"
+            (Control_plane.retransmissions cp)
+            (Control_plane.giveups cp)
+            (Control_plane.pending_requests cp))
+        fault_plan;
       let r = Flowsim.run_difane ?faults:fault_plan d workload in
       Printf.printf "simulated %d flows (%d packets) over %.2f s\n" r.Flowsim.offered_flows
         r.Flowsim.delivered_packets r.Flowsim.duration;
@@ -179,9 +251,13 @@ let deploy_cmd =
       Option.iter
         (fun loss ->
           Printf.printf
-            "faults (%s loss): %d installs lost, %d packets served degraded, %d flows dropped\n"
+            "faults (%s loss): %d installs lost, %d packets served degraded, %d flows \
+             dropped\n"
             (Table.fmt_pct loss) r.Flowsim.install_drops r.Flowsim.degraded_packets
-            r.Flowsim.dropped_flows)
+            r.Flowsim.dropped_flows;
+          Printf.printf "  degraded misses %d (controller-served), outage drops %d\n"
+            (Deployment.degraded_misses d)
+            r.Flowsim.outage_drops)
         faults
     with Invalid_argument e ->
       Printf.eprintf "error: %s\n" e;
@@ -191,7 +267,8 @@ let deploy_cmd =
   Cmd.v (Cmd.info "deploy" ~doc)
     Term.(
       const run $ policy_arg $ topology_arg $ authorities_arg $ k_arg $ cache_arg
-      $ flows_arg $ alpha_arg $ faults_arg $ seed_arg)
+      $ flows_arg $ alpha_arg $ faults_arg $ seed_arg $ echo_interval_arg
+      $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg)
 
 let partition_cmd =
   let run policy_file k max_entries =
@@ -247,6 +324,85 @@ let optimize_cmd =
   in
   Cmd.v (Cmd.info "optimize" ~doc) Term.(const run $ policy_arg $ output_arg)
 
+(* ---- fault experiments with CI-checkable invariants ---- *)
+
+let check_arg =
+  let doc =
+    "Exit nonzero unless the run upholds the fault-tolerance invariants: zero \
+     give-ups, zero duplicate installs and zero stale-epoch acceptances (ha), full \
+     recovery, and bit-identical seeded replay."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let chaos_cmd =
+  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check =
+    let rows =
+      Experiments.E_chaos.run ~seed ~quick ?echo_interval ?retx_timeout ?retx_backoff
+        ?retx_limit ()
+    in
+    Experiments.E_chaos.print rows;
+    if check then begin
+      let failures =
+        List.concat_map
+          (fun (r : Experiments.E_chaos.row) ->
+            let at msg = Printf.sprintf "%s at %s loss" msg (Table.fmt_pct r.loss) in
+            (if r.giveups > 0 then [ at (Printf.sprintf "%d give-ups" r.giveups) ] else [])
+            @ (if not r.recovered then [ at "did not recover" ] else [])
+            @ if not r.replay_identical then [ at "replay diverged" ] else [])
+          rows
+      in
+      match failures with
+      | [] -> print_endline "chaos check: all invariants hold"
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "chaos check FAILED: %s\n" f) fs;
+          exit 1
+    end
+  in
+  let doc = "Fault-injection sweep: frame loss vs recovery." in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ seed_arg $ quick_arg $ echo_interval_arg $ retx_timeout_arg
+      $ retx_backoff_arg $ retx_limit_arg $ check_arg)
+
+let ha_cmd =
+  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check =
+    let rows =
+      Experiments.E_ha.run ~seed ~quick ?echo_interval ?retx_timeout ?retx_backoff
+        ?retx_limit ()
+    in
+    Experiments.E_ha.print rows;
+    if check then begin
+      let failures =
+        List.concat_map
+          (fun (r : Experiments.E_ha.row) ->
+            let at msg = Printf.sprintf "%s at %s loss" msg (Table.fmt_pct r.loss) in
+            (if r.giveups > 0 then [ at (Printf.sprintf "%d give-ups" r.giveups) ] else [])
+            @ (if r.dup_installs > 0 then
+                 [ at (Printf.sprintf "%d duplicate installs" r.dup_installs) ]
+               else [])
+            @ (if r.stale_accepted > 0 then
+                 [ at (Printf.sprintf "%d stale-epoch frames accepted" r.stale_accepted) ]
+               else [])
+            @ (if not r.recovered then [ at "did not recover" ] else [])
+            @ if not r.replay_identical then [ at "replay diverged" ] else [])
+          rows
+      in
+      match failures with
+      | [] -> print_endline "ha check: all invariants hold"
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "ha check FAILED: %s\n" f) fs;
+          exit 1
+    end
+  in
+  let doc =
+    "Controller high-availability sweep: leader crash, journal-replay takeover, \
+     split-brain fencing."
+  in
+  Cmd.v (Cmd.info "ha" ~doc)
+    Term.(
+      const run $ seed_arg $ quick_arg $ echo_interval_arg $ retx_timeout_arg
+      $ retx_backoff_arg $ retx_limit_arg $ check_arg)
+
 let experiments =
   [
     experiment "table1" "Rule-set characteristics (Table 1)" (fun ~seed ~quick ->
@@ -273,8 +429,8 @@ let experiments =
         Experiments.E_ctrl.print (Experiments.E_ctrl.run ~seed ~quick ()));
     experiment "cache-sweep" "Ingress cache size vs authority load" (fun ~seed ~quick ->
         Experiments.E_cache.print (Experiments.E_cache.run ~seed ~quick ()));
-    experiment "chaos" "Fault-injection sweep: frame loss vs recovery" (fun ~seed ~quick ->
-        Experiments.E_chaos.print (Experiments.E_chaos.run ~seed ~quick ()));
+    chaos_cmd;
+    ha_cmd;
     experiment "all" "Run every experiment in DESIGN.md order" (fun ~seed ~quick ->
         Experiments.run_all ~seed ~quick ());
     check_cmd;

@@ -56,6 +56,10 @@ type loss_stats = {
 type t = {
   mutable deployment : Deployment.t;
   config : config;
+  mutable epoch : int; (* master epoch stamped on every frame; 0 = unfenced *)
+  mutable deposed : bool; (* a reply carried a newer epoch: we lost mastership *)
+  journal : (at:float -> Journal.entry -> unit) option;
+      (* write-ahead journal sink; the cluster passes a fenced appender *)
   ports : port array;
   retired : (int, int64) Hashtbl.t; (* origin -> packets of removed entries *)
   live : (int * int, int * int64) Hashtbl.t;
@@ -84,17 +88,23 @@ let record t ~now fmt =
       Log.info (fun m -> m "t=%.3f %s" now s))
     fmt
 
-let create ?(config = default_config) ?faults deployment =
+let create ?(config = default_config) ?faults ?(epoch = 0) ?journal ?(channel_offset = 0)
+    ?(demoted = []) ?(presumed_dead = []) deployment =
   let schema = Classifier.schema (Deployment.policy deployment) in
   let n = Array.length (Deployment.switches deployment) in
   let injector i =
     match faults with
     | None -> None
-    | Some plan -> Some (Fault.injector plan ~channel:i)
+    | Some plan -> Some (Fault.injector plan ~channel:(channel_offset + i))
   in
+  let demoted_tbl = Hashtbl.create 4 in
+  List.iter (fun i -> Hashtbl.replace demoted_tbl i ()) demoted;
   {
     deployment;
     config;
+    epoch;
+    deposed = false;
+    journal;
     ports =
       Array.init n (fun i ->
           {
@@ -108,18 +118,18 @@ let create ?(config = default_config) ?faults deployment =
             link_up = true;
             outstanding_echo = false;
             missed_echoes = 0;
-            declared_dead = false;
+            declared_dead = List.mem i presumed_dead;
           });
     retired = Hashtbl.create 64;
     live = Hashtbl.create 64;
     pending = Hashtbl.create 64;
-    demoted = Hashtbl.create 4;
+    demoted = demoted_tbl;
     fault_events = (match faults with None -> [] | Some p -> p.Fault.events);
     last_echo = neg_infinity;
     last_stats = neg_infinity;
     last_rebalance = neg_infinity;
     rebalances = 0;
-    failed = [];
+    failed = List.rev presumed_dead;
     next_xid = 1;
     retransmissions = 0;
     giveups = 0;
@@ -130,6 +140,14 @@ let create ?(config = default_config) ?faults deployment =
   }
 
 let deployment t = t.deployment
+let epoch t = t.epoch
+let deposed t = t.deposed
+
+let demoted_authorities t =
+  Hashtbl.fold (fun i () acc -> i :: acc) t.demoted [] |> List.sort Int.compare
+
+let journal_entry t ~now e =
+  match t.journal with None -> () | Some append -> append ~at:now e
 
 let xid t =
   let x = t.next_xid in
@@ -138,7 +156,7 @@ let xid t =
 
 let transmit t i ~now ~xid msg =
   let port = t.ports.(i) in
-  if port.link_up then Channel.send port.to_switch ~now ~xid msg
+  if port.link_up then Channel.send port.to_switch ~now ~xid ~epoch:t.epoch msg
   else t.link_dropped <- t.link_dropped + 1
 
 let send_to_switch t i ~now msg = transmit t i ~now ~xid:(xid t) msg
@@ -171,6 +189,7 @@ let declare_dead t ~now i =
     port.declared_dead <- true;
     t.failed <- i :: t.failed;
     record t ~now "switch %d missed %d echoes; declared dead" i t.config.echo_miss_limit;
+    journal_entry t ~now (Journal.Declared_dead i);
     (* a dead device cannot serve tunnelled misses either *)
     Deployment.mark_unreachable t.deployment i;
     let dropped = cancel_pending t i in
@@ -181,7 +200,8 @@ let declare_dead t ~now i =
     if List.mem i auths && List.length auths > 1 then begin
       t.deployment <- Deployment.fail_authority t.deployment i;
       Hashtbl.replace t.demoted i ();
-      record t ~now "authority %d demoted; backups promoted" i
+      record t ~now "authority %d demoted; backups promoted" i;
+      journal_entry t ~now (Journal.Fail_authority i)
     end
   end
 
@@ -244,12 +264,14 @@ let recover t ~now i =
   Deployment.mark_reachable t.deployment i;
   if port.declared_dead then begin
     port.declared_dead <- false;
-    t.failed <- List.filter (fun j -> j <> i) t.failed
+    t.failed <- List.filter (fun j -> j <> i) t.failed;
+    journal_entry t ~now (Journal.Recovered i)
   end;
   if Hashtbl.mem t.demoted i then begin
     Hashtbl.remove t.demoted i;
     t.deployment <- Deployment.restore_authority t.deployment i;
-    record t ~now "authority %d restored to the pool" i
+    record t ~now "authority %d restored to the pool" i;
+    journal_entry t ~now (Journal.Restore_authority i)
   end;
   push_switch t i ~now
 
@@ -332,7 +354,11 @@ let apply_fault_events t ~now =
         | Fault.Crash { switch; _ } -> crash_switch t ~now switch
         | Fault.Restart { switch; _ } -> restart_switch t ~now switch
         | Fault.Link_down { switch; _ } -> set_link t ~now switch false
-        | Fault.Link_up { switch; _ } -> set_link t ~now switch true);
+        | Fault.Link_up { switch; _ } -> set_link t ~now switch true
+        | Fault.Controller_crash _ | Fault.Controller_restart _ ->
+            (* controller replica lifecycle is the cluster's business; a
+               standalone control plane has no replicas to lose *)
+            ());
         go rest
     | rest -> t.fault_events <- rest
   in
@@ -371,7 +397,64 @@ let retransmit_due t ~now =
       end)
     due
 
+(* Deliver controller->switch frames to the (shared) switch devices and
+   queue their responses.  This is transport, not mastership: a deposed
+   controller's in-flight frames still reach the switch — which fences
+   them by epoch — and their acks still come back. *)
+let deliver_to_switches t ~now =
+  Array.iteri
+    (fun i port ->
+      let frames = Channel.poll port.to_switch ~now in
+      if not port.link_up then t.link_dropped <- t.link_dropped + List.length frames
+      else if port.alive then begin
+        let sw = Deployment.switch t.deployment i in
+        List.iter
+          (fun (x, frame_epoch, msg) ->
+            let responses = Switch.handle_control ~xid:x ~epoch:frame_epoch sw ~now msg in
+            List.iter
+              (fun r ->
+                (* replies carry the switch's current epoch: how a deposed
+                   leader learns a newer master exists *)
+                Channel.send port.to_controller ~now ~xid:x ~epoch:(Switch.epoch sw) r)
+              responses)
+          frames;
+        List.iter
+          (fun n -> Channel.send port.to_controller ~now ~xid:0 ~epoch:(Switch.epoch sw) n)
+          (Switch.drain_notifications sw)
+      end)
+    t.ports
+
+let depose t ~now observed =
+  if not t.deposed then begin
+    t.deposed <- true;
+    let dropped = Hashtbl.length t.pending in
+    Hashtbl.reset t.pending;
+    t.cancelled <- t.cancelled + dropped;
+    record t ~now "fenced: observed epoch %d above own %d; deposed (dropped %d pending)"
+      observed t.epoch dropped
+  end
+
+(* The controller process stopped (crash): it masters nothing from now
+   on, but frames it already put on the wire still deliver — the cluster
+   keeps ticking a halted control plane as pure transport. *)
+let halt t ~now =
+  if not t.deposed then begin
+    t.deposed <- true;
+    let dropped = Hashtbl.length t.pending in
+    Hashtbl.reset t.pending;
+    t.cancelled <- t.cancelled + dropped;
+    record t ~now "controller process stopped (%d pending dropped)" dropped
+  end
+
 let tick t ~now =
+  if t.deposed then begin
+    (* A deposed controller is transport only: frames already in flight
+       deliver (and get fenced), replies drain, nothing new is sent and
+       no duty — echoes, stats, failure detection, retransmission — runs. *)
+    deliver_to_switches t ~now;
+    Array.iter (fun port -> ignore (Channel.poll port.to_controller ~now)) t.ports
+  end
+  else begin
   (* 0. scheduled faults fire first: they shape everything below *)
   apply_fault_events t ~now;
   (* 1. periodic echoes with failure detection *)
@@ -412,38 +495,30 @@ let tick t ~now =
       let loads = Deployment.measured_partition_loads t.deployment in
       if List.exists (fun (_, l) -> l > 0.) loads then begin
         t.deployment <- Deployment.rebalance t.deployment ~loads;
-        t.rebalances <- t.rebalances + 1
+        t.rebalances <- t.rebalances + 1;
+        journal_entry t ~now (Journal.Rebalance loads)
       end
   | _ -> ());
   (* 3. deliver controller->switch frames; collect switch responses and
         any queued asynchronous notifications (flow-removed).  A downed
         link kills arriving frames on the wire in both directions. *)
-  Array.iteri
-    (fun i port ->
-      let frames = Channel.poll port.to_switch ~now in
-      if not port.link_up then t.link_dropped <- t.link_dropped + List.length frames
-      else if port.alive then begin
-        List.iter
-          (fun (x, msg) ->
-            let responses =
-              Switch.handle_control ~xid:x (Deployment.switch t.deployment i) ~now msg
-            in
-            List.iter (fun r -> Channel.send port.to_controller ~now ~xid:x r) responses)
-          frames;
-        List.iter
-          (fun n -> Channel.send port.to_controller ~now ~xid:0 n)
-          (Switch.drain_notifications (Deployment.switch t.deployment i))
-      end)
-    t.ports;
-  (* 4. deliver switch->controller frames *)
+  deliver_to_switches t ~now;
+  (* 4. deliver switch->controller frames.  A reply carrying an epoch
+        above our own means a newer master exists: stop mastering. *)
   Array.iteri
     (fun i port ->
       let replies = Channel.poll port.to_controller ~now in
       if not port.link_up then t.link_dropped <- t.link_dropped + List.length replies
-      else List.iter (process_reply t ~now i) replies)
+      else
+        List.iter
+          (fun (x, reply_epoch, msg) ->
+            if t.epoch > 0 && reply_epoch > t.epoch then depose t ~now reply_epoch
+            else process_reply t ~now i (x, msg))
+          replies)
     t.ports;
   (* 5. retransmit what the lossy channels have not delivered *)
   retransmit_due t ~now
+  end
 
 let rebalances t = t.rebalances
 
@@ -492,6 +567,7 @@ let delete_cached_origin t ~now ~origin_id =
 let update_policy t ~now ?(strict = true) policy =
   let old_policy = Deployment.policy t.deployment in
   let changed = Deployment.changed_rule_ids ~old_policy policy in
+  journal_entry t ~now (Journal.Policy_update { rules = Classifier.rules policy; strict });
   t.deployment <- Deployment.update_policy ~flush:false t.deployment ~now policy;
   if strict then
     List.iter (fun id -> ignore (delete_cached_origin t ~now ~origin_id:id)) changed;
@@ -530,6 +606,11 @@ let retransmissions t = t.retransmissions
 let giveups t = t.giveups
 let cancelled t = t.cancelled
 let pending_requests t = Hashtbl.length t.pending
+
+let in_flight t =
+  Array.fold_left
+    (fun acc p -> acc + Channel.pending p.to_switch + Channel.pending p.to_controller)
+    0 t.ports
 let degraded_handled t = t.degraded_handled
 let fault_log t = List.rev t.log
 

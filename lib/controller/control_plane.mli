@@ -47,11 +47,53 @@ val default_config : config
 val rebalances : t -> int
 (** Automatic rebalances performed so far. *)
 
-val create : ?config:config -> ?faults:Fault.plan -> Deployment.t -> t
+val create :
+  ?config:config ->
+  ?faults:Fault.plan ->
+  ?epoch:int ->
+  ?journal:(at:float -> Journal.entry -> unit) ->
+  ?channel_offset:int ->
+  ?demoted:int list ->
+  ?presumed_dead:int list ->
+  Deployment.t ->
+  t
 (** With [faults], every channel gets its own deterministic fault stream
     from the plan (switch [i]'s controller→switch channel is fault
-    channel [2i], the reverse direction [2i+1]) and the plan's scheduled
-    events fire during {!tick}. *)
+    channel [channel_offset + 2i], the reverse direction
+    [channel_offset + 2i + 1]) and the plan's scheduled events fire
+    during {!tick} (controller crash/restart events are ignored — they
+    are the {!Cluster}'s business).
+
+    The remaining options serve replicated controllers:
+    - [epoch] (default 0 = unfenced) is stamped on every outgoing frame;
+    - [journal] receives a {!Journal.entry} for every state-changing
+      decision (liveness verdicts, failovers, restorations, policy
+      updates, rebalances) — the cluster passes a fenced appender;
+    - [demoted] and [presumed_dead] seed the failover bookkeeping when a
+      standby takes over from a rebuilt deployment: [presumed_dead]
+      switches start declared-dead (the echo machinery keeps probing
+      them, so a live one recovers), [demoted] ones rejoin the authority
+      pool when they answer again. *)
+
+val epoch : t -> int
+
+val deposed : t -> bool
+(** A reply frame carried an epoch above our own: a newer master exists.
+    A deposed control plane stops mastering — {!tick} only drains
+    channels (in-flight frames still deliver and get fenced switch-side),
+    sends nothing, and runs no failure detection. *)
+
+val demoted_authorities : t -> int list
+(** Authorities failed over away from and not yet restored (sorted) —
+    with {!failed_switches}, the state a standby needs to seed
+    [demoted]/[presumed_dead] at takeover. *)
+
+val halt : t -> now:float -> unit
+(** The controller process stopped (crash): drop every pending request
+    and stop mastering, exactly like being deposed — except nothing was
+    learned from the network.  Frames already on the wire still deliver
+    during subsequent {!tick}s (the cluster keeps ticking a halted
+    control plane as pure transport). *)
 
 val deployment : t -> Deployment.t
 (** The current deployment (changes after failover). *)
@@ -120,6 +162,10 @@ val cancelled : t -> int
 
 val pending_requests : t -> int
 (** Requests still awaiting acknowledgement — 0 once installs converge. *)
+
+val in_flight : t -> int
+(** Frames sitting on this control plane's channels in either direction
+    (sent but not yet polled). *)
 
 val degraded_handled : t -> int64
 (** Packet-in misses the controller answered NOX-style because every

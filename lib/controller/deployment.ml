@@ -365,6 +365,24 @@ let restore_authority d i =
     d'
   end
 
+(* A standby controller rebuilds deployment state by replaying the
+   journal over a *model* deployment (scratch switches, same static
+   inputs).  Taking over, it adopts the *physical* network of the
+   deployment it replaces: the real switch array, reachability table and
+   degraded counter — shared mutable state that records physical facts —
+   while keeping the replayed policy, partitioner and assignment (the
+   controller decisions the journal is authoritative for).  The new
+   leader then re-pushes its configuration reliably; switch-side
+   idempotency makes any divergence converge without duplicate installs. *)
+let adopt ~model ~network =
+  {
+    model with
+    switches = network.switches;
+    topology = network.topology;
+    unreachable = network.unreachable;
+    degraded_count = network.degraded_count;
+  }
+
 let degraded_misses d = !(d.degraded_count)
 
 let measured_partition_loads d =

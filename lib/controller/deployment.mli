@@ -155,6 +155,18 @@ val restore_authority : t -> int -> t
     the deltas installed.  A no-op when the switch is already in the
     pool. *)
 
+val adopt : model:t -> network:t -> t
+(** Controller takeover: [model] is a deployment a standby rebuilt by
+    journal replay over scratch switches; [network] is the deployment
+    wired to the physical network.  The result keeps [model]'s controller
+    decisions (policy, partitioner, assignment, authority pool) and
+    [network]'s physical state (the switch array, reachability table and
+    degraded counter — shared mutable references, so physical facts keep
+    accumulating in place).  Pair with a reliable
+    {!Control_plane.push_deployment}: switch-side xid idempotency and
+    replace-by-id banks make the re-push converge without duplicate
+    installs. *)
+
 val degraded_misses : t -> int
 (** Misses served via the controller fallback (no live replica) since
     [build] — the separate accounting the fault experiments report. *)

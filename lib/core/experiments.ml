@@ -963,6 +963,19 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+(* Shared by the fault experiments: the reliable-channel timers the CLI
+   exposes (--echo-interval and the --retx flags), defaulting to the
+   tight values the chaos scenarios have always run with. *)
+let reliability_config ?(echo_interval = 1.0) ?(retx_timeout = 0.05)
+    ?(retx_backoff = 2.0) ?(retx_limit = 8) () =
+  {
+    Control_plane.default_config with
+    echo_interval;
+    retx_timeout;
+    retx_backoff;
+    retx_limit;
+  }
+
 module E_chaos = struct
   type row = {
     loss : float;
@@ -989,7 +1002,7 @@ module E_chaos = struct
   let restart_b = 7.0
   let horizon = 14.0
 
-  let scenario ~seed ~quick ~loss =
+  let scenario ~cp_config ~seed ~quick ~loss =
     let rng = Prng.create seed in
     let policy =
       Policy_gen.acl (Prng.split rng)
@@ -1014,9 +1027,6 @@ module E_chaos = struct
             Fault.Restart { switch = b; at = restart_b };
           ]
         ()
-    in
-    let cp_config =
-      { Control_plane.default_config with retx_timeout = 0.05; retx_limit = 8 }
     in
     let cp = Control_plane.create ~config:cp_config ~faults d in
     let probes =
@@ -1074,15 +1084,19 @@ module E_chaos = struct
       },
       Control_plane.fault_log cp )
 
-  let run ?(seed = 42) ?(quick = false) () =
+  let run ?(seed = 42) ?(quick = false) ?echo_interval ?retx_timeout ?retx_backoff
+      ?retx_limit () =
+    let cp_config =
+      reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
+    in
     let rates = if quick then [ 0.0; 0.10 ] else [ 0.0; 0.05; 0.10; 0.20 ] in
     List.map
       (fun loss ->
-        let row, log1 = scenario ~seed ~quick ~loss in
+        let row, log1 = scenario ~cp_config ~seed ~quick ~loss in
         (* the reproducibility claim, checked where it matters most: the
            acceptance scenario's 10% loss point is replayed end to end *)
         if Float.equal loss 0.10 then begin
-          let _, log2 = scenario ~seed ~quick ~loss in
+          let _, log2 = scenario ~cp_config ~seed ~quick ~loss in
           { row with replay_identical = log1 = log2 }
         end
         else { row with replay_identical = true })
@@ -1115,6 +1129,182 @@ end
 
 (* ------------------------------------------------------------------ *)
 
+module E_ha = struct
+  type row = {
+    loss : float;
+    dropped : int;
+    retransmissions : int;
+    giveups : int;
+    takeover1 : float;
+    takeover2 : float;
+    replayed : int;
+    snapshots : int;
+    dup_installs : int;
+    stale_rejected : int;
+    stale_accepted : int;
+    fenced_appends : int;
+    degraded : int;
+    recovered : bool;
+    replay_identical : bool;
+  }
+
+  (* The high-availability gauntlet, all from one seed.  Two of the three
+     authority switches crash early; in the middle of deploying a policy
+     update the leader process dies, so a standby rebuilds the exact
+     deployment from the journal and takes over at epoch 2; the switches
+     restart and get resynced; the crashed controller returns as a
+     standby; then the *new* leader is partitioned away (not crashed) —
+     the returned controller wins the next election at epoch 3 while the
+     isolated one keeps mastering until the switches fence it (the
+     split-brain case).  Probes run before, between and after. *)
+  let crash_a = 1.5
+  let crash_b = 1.8
+  let update_at = 2.8
+  let leader_crash = 3.0
+  let restart_a = 8.5
+  let restart_b = 8.8
+  let leader_restart = 9.5
+  let isolate_at = 10.5
+  let horizon = 16.0
+
+  let scenario ~cp_config ~seed ~quick ~loss =
+    let rng = Prng.create seed in
+    let policy =
+      Policy_gen.acl (Prng.split rng)
+        { Policy_gen.default_acl with rules = (if quick then 80 else 400); chains = 20 }
+    in
+    let policy' = F_dyn.flipped ~select:(fun id -> id mod 4 = 0) policy in
+    let topology = Topology.line 6 () in
+    let dconfig =
+      { Deployment.default_config with k = 8; replication = 2; cache_capacity = 128 }
+    in
+    let faults =
+      Fault.plan ~seed ~controllers:3
+        ~link:(if loss > 0. then Fault.lossy_link ~jitter:2e-3 loss else Fault.ideal_link)
+        ~events:
+          [
+            Fault.Crash { switch = 3; at = crash_a };
+            Fault.Crash { switch = 4; at = crash_b };
+            Fault.Controller_crash { controller = 0; at = leader_crash };
+            Fault.Restart { switch = 3; at = restart_a };
+            Fault.Restart { switch = 4; at = restart_b };
+            Fault.Controller_restart { controller = 0; at = leader_restart };
+          ]
+        ()
+    in
+    let config = { Cluster.default_config with snapshot_every = 8; cp = cp_config } in
+    let cl =
+      Cluster.create ~config ~faults ~dconfig ~policy ~topology ~authority_ids:[ 1; 3; 4 ] ()
+    in
+    let probes =
+      Array.to_list (Traffic.headers_for (Prng.split rng) policy (if quick then 100 else 300))
+    in
+    let inject_batch ~now =
+      let d = Cluster.deployment cl in
+      Deployment.flush_caches d;
+      List.iter (fun h -> ignore (Deployment.inject d ~now ~ingress:0 h)) probes
+    in
+    let step = 0.02 in
+    Cluster.push_deployment cl ~now:0.;
+    let updated = ref false in
+    let isolated = ref false in
+    let t = ref step in
+    while !t <= horizon do
+      let now = !t in
+      Cluster.tick cl ~now;
+      if (not !updated) && now >= update_at then begin
+        Cluster.update_policy cl ~now policy';
+        updated := true
+      end;
+      if (not !isolated) && now >= isolate_at then begin
+        Cluster.isolate cl ~now 1 true;
+        isolated := true
+      end;
+      List.iter
+        (fun batch_at -> if now -. step < batch_at && batch_at <= now then inject_batch ~now)
+        [ 1.0; 2.5; 5.5; 13.5 ];
+      t := !t +. step
+    done;
+    let d = Cluster.deployment cl in
+    let stats = Cluster.loss_stats cl in
+    let latencies = Cluster.takeover_latencies cl in
+    let nth_latency n = match List.nth_opt latencies n with Some l -> l | None -> nan in
+    let recovered =
+      Cluster.takeovers cl = 2
+      && Cluster.leader cl = 0
+      && Cluster.pending_requests cl = 0
+      && Control_plane.failed_switches (Cluster.leader_cp cl) = []
+      && Deployment.semantically_equal d probes
+    in
+    ( {
+        loss;
+        dropped = stats.Control_plane.dropped + stats.Control_plane.link_dropped;
+        retransmissions = Cluster.retransmissions cl;
+        giveups = Cluster.giveups cl;
+        takeover1 = nth_latency 0;
+        takeover2 = nth_latency 1;
+        replayed = Cluster.entries_replayed cl;
+        snapshots = Cluster.snapshots cl;
+        dup_installs = Cluster.duplicate_installs cl;
+        stale_rejected = Cluster.stale_rejected cl;
+        stale_accepted = Cluster.stale_accepted cl;
+        fenced_appends = Cluster.fenced_appends cl;
+        degraded = Deployment.degraded_misses d;
+        recovered;
+        replay_identical = false;
+      },
+      (Cluster.cluster_log cl, Bytes.to_string (Journal.encode (Cluster.journal cl))) )
+
+  let run ?(seed = 42) ?(quick = false) ?echo_interval ?retx_timeout ?retx_backoff
+      ?retx_limit () =
+    let cp_config =
+      reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
+    in
+    let rates = if quick then [ 0.0; 0.10 ] else [ 0.0; 0.05; 0.10; 0.20 ] in
+    List.map
+      (fun loss ->
+        let row, trace1 = scenario ~cp_config ~seed ~quick ~loss in
+        (* the acceptance criterion: the same seed must replay the whole
+           run bit-identically — cluster event log and journal bytes *)
+        if Float.equal loss 0.10 then begin
+          let _, trace2 = scenario ~cp_config ~seed ~quick ~loss in
+          { row with replay_identical = trace1 = trace2 }
+        end
+        else { row with replay_identical = true })
+      rates
+
+  let print rows =
+    Table.print
+      ~title:
+        "Supplementary: controller HA sweep (leader crash + split brain vs frame loss)"
+      ~header:
+        [ "loss"; "frames lost"; "retx"; "giveups"; "takeover1 (s)"; "takeover2 (s)";
+          "replayed"; "snaps"; "dup installs"; "stale rej"; "stale acc"; "fenced";
+          "degraded"; "recovered"; "replay" ]
+      (List.map
+         (fun r ->
+           [
+             Table.fmt_pct r.loss;
+             string_of_int r.dropped;
+             string_of_int r.retransmissions;
+             string_of_int r.giveups;
+             Printf.sprintf "%.2f" r.takeover1;
+             Printf.sprintf "%.2f" r.takeover2;
+             string_of_int r.replayed;
+             string_of_int r.snapshots;
+             string_of_int r.dup_installs;
+             string_of_int r.stale_rejected;
+             string_of_int r.stale_accepted;
+             string_of_int r.fenced_appends;
+             string_of_int r.degraded;
+             (if r.recovered then "yes" else "NO");
+             (if r.replay_identical then "identical" else "DIVERGED");
+           ])
+         rows)
+end
+
+(* ------------------------------------------------------------------ *)
+
 let run_all ?(seed = 42) ?(quick = false) () =
   T1.print (T1.run ~seed ~quick ());
   F_tput.print (F_tput.run ~seed ~quick ());
@@ -1128,4 +1318,5 @@ let run_all ?(seed = 42) ?(quick = false) () =
   A_splice.print (A_splice.run ~seed ~quick ());
   E_ctrl.print (E_ctrl.run ~seed ~quick ());
   E_cache.print (E_cache.run ~seed ~quick ());
-  E_chaos.print (E_chaos.run ~seed ~quick ())
+  E_chaos.print (E_chaos.run ~seed ~quick ());
+  E_ha.print (E_ha.run ~seed ~quick ())

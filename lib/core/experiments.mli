@@ -208,7 +208,65 @@ module E_chaos : sig
     replay_identical : bool;  (** same seed reproduced the same event log *)
   }
 
-  val run : ?seed:int -> ?quick:bool -> unit -> row list
+  val run :
+    ?seed:int ->
+    ?quick:bool ->
+    ?echo_interval:float ->
+    ?retx_timeout:float ->
+    ?retx_backoff:float ->
+    ?retx_limit:int ->
+    unit ->
+    row list
+  (** The reliability timers default to the chaos tuning (1 s echoes,
+      retransmit after 50 ms doubling up to 8 attempts) and are the knobs
+      the CLI's [--echo-interval]/[--retx-*] flags thread through. *)
+
+  val print : row list -> unit
+end
+
+(** Supplementary: the controller high-availability sweep.  One seeded
+    scenario per loss rate: a 3-replica controller cluster deploys,
+    two authority switches crash, and mid-way through pushing a policy
+    update the leader process dies — a standby rebuilds the deployment
+    from the shared journal (snapshot + replay) and takes over at epoch
+    2.  After the switches restart and the crashed controller returns,
+    the {e new} leader is partitioned away: the next election seats
+    epoch 3 while the isolated leader keeps mastering until the
+    switches' epoch fencing deposes it (split brain).  Reported per
+    point: both takeover latencies, journal entries replayed and
+    snapshots taken, the duplicate-install and stale-epoch audits (both
+    must show zero accepted), fenced journal appends, degraded misses,
+    and whether the same seed replays bit-identically (event log +
+    journal bytes, checked at the 10% point). *)
+module E_ha : sig
+  type row = {
+    loss : float;
+    dropped : int;
+    retransmissions : int;
+    giveups : int;
+    takeover1 : float;  (** leader crash -> standby seated (s) *)
+    takeover2 : float;  (** leader isolated -> next leader seated (s) *)
+    replayed : int;  (** journal entries replayed across both takeovers *)
+    snapshots : int;
+    dup_installs : int;  (** duplicate ids across all switch banks; must be 0 *)
+    stale_rejected : int;  (** stale-epoch frames the switches fenced *)
+    stale_accepted : int;  (** fencing violations; must be 0 *)
+    fenced_appends : int;  (** journal writes refused from stale leaders *)
+    degraded : int;
+    recovered : bool;
+    replay_identical : bool;
+  }
+
+  val run :
+    ?seed:int ->
+    ?quick:bool ->
+    ?echo_interval:float ->
+    ?retx_timeout:float ->
+    ?retx_backoff:float ->
+    ?retx_limit:int ->
+    unit ->
+    row list
+
   val print : row list -> unit
 end
 

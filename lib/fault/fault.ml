@@ -32,24 +32,34 @@ type event =
   | Restart of { switch : int; at : float }
   | Link_down of { switch : int; at : float }
   | Link_up of { switch : int; at : float }
+  | Controller_crash of { controller : int; at : float }
+  | Controller_restart of { controller : int; at : float }
 
 let event_time = function
-  | Crash { at; _ } | Restart { at; _ } | Link_down { at; _ } | Link_up { at; _ } -> at
+  | Crash { at; _ } | Restart { at; _ } | Link_down { at; _ } | Link_up { at; _ }
+  | Controller_crash { at; _ } | Controller_restart { at; _ } ->
+      at
 
 let pp_event ppf = function
   | Crash { switch; at } -> Format.fprintf ppf "t=%.3f crash(sw%d)" at switch
   | Restart { switch; at } -> Format.fprintf ppf "t=%.3f restart(sw%d)" at switch
   | Link_down { switch; at } -> Format.fprintf ppf "t=%.3f link_down(sw%d)" at switch
   | Link_up { switch; at } -> Format.fprintf ppf "t=%.3f link_up(sw%d)" at switch
+  | Controller_crash { controller; at } ->
+      Format.fprintf ppf "t=%.3f controller_crash(c%d)" at controller
+  | Controller_restart { controller; at } ->
+      Format.fprintf ppf "t=%.3f controller_restart(c%d)" at controller
 
-type plan = { seed : int; link : link; events : event list }
+type plan = { seed : int; link : link; events : event list; controllers : int }
 
-let plan ?(seed = 42) ?(link = ideal_link) ?(events = []) () =
+let plan ?(seed = 42) ?(link = ideal_link) ?(events = []) ?(controllers = 1) () =
+  if controllers < 1 then invalid_arg "Fault.plan: controllers < 1";
   {
     seed;
     link;
     events =
       List.stable_sort (fun a b -> Float.compare (event_time a) (event_time b)) events;
+    controllers;
   }
 
 type injector = { link : link; rng : Prng.t }

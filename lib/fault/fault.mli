@@ -44,15 +44,28 @@ type event =
       (** control link flaps down: frames in either direction die on the
           wire (the device itself keeps running on its installed state) *)
   | Link_up of { switch : int; at : float }
+  | Controller_crash of { controller : int; at : float }
+      (** a controller replica dies losing its in-memory state; if it was
+          the leader, the surviving replicas elect a new one which
+          rebuilds the deployment from the journal ({!Cluster}).  Ignored
+          by a single [Control_plane]. *)
+  | Controller_restart of { controller : int; at : float }
+      (** the replica rejoins as a standby (snapshot-load + replay) *)
 
 val event_time : event -> float
 val pp_event : Format.formatter -> event -> unit
 
-type plan = { seed : int; link : link; events : event list }
+type plan = {
+  seed : int;
+  link : link;
+  events : event list;
+  controllers : int;  (** controller replicas (default 1: no replication) *)
+}
 
-val plan : ?seed:int -> ?link:link -> ?events:event list -> unit -> plan
+val plan : ?seed:int -> ?link:link -> ?events:event list -> ?controllers:int -> unit -> plan
 (** Build a plan; [events] are sorted by time.  Defaults: seed 42,
-    {!ideal_link}, no events. *)
+    {!ideal_link}, no events, 1 controller.
+    @raise Invalid_argument when [controllers < 1]. *)
 
 (** {1 Per-channel injection} *)
 

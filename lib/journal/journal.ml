@@ -1,0 +1,262 @@
+type entry =
+  | Build of { policy : Rule.t list; authority_ids : int list }
+  | Policy_update of { rules : Rule.t list; strict : bool }
+  | Fail_authority of int
+  | Restore_authority of int
+  | Declared_dead of int
+  | Recovered of int
+  | Rebalance of (int * float) list
+  | Epoch of { epoch : int; leader : int }
+
+let equal_rules a b =
+  List.length a = List.length b && List.for_all2 Rule.equal a b
+
+let equal_entry a b =
+  match (a, b) with
+  | Build x, Build y ->
+      equal_rules x.policy y.policy && x.authority_ids = y.authority_ids
+  | Policy_update x, Policy_update y ->
+      equal_rules x.rules y.rules && x.strict = y.strict
+  | Fail_authority x, Fail_authority y
+  | Restore_authority x, Restore_authority y
+  | Declared_dead x, Declared_dead y
+  | Recovered x, Recovered y ->
+      x = y
+  | Rebalance x, Rebalance y -> x = y
+  | Epoch x, Epoch y -> x.epoch = y.epoch && x.leader = y.leader
+  | ( ( Build _ | Policy_update _ | Fail_authority _ | Restore_authority _
+      | Declared_dead _ | Recovered _ | Rebalance _ | Epoch _ ),
+      _ ) ->
+      false
+
+let pp_entry ppf = function
+  | Build { policy; authority_ids } ->
+      Format.fprintf ppf "build(%d rules, auths %a)" (List.length policy)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        authority_ids
+  | Policy_update { rules; strict } ->
+      Format.fprintf ppf "policy_update(%d rules%s)" (List.length rules)
+        (if strict then ", strict" else "")
+  | Fail_authority s -> Format.fprintf ppf "fail_authority(sw%d)" s
+  | Restore_authority s -> Format.fprintf ppf "restore_authority(sw%d)" s
+  | Declared_dead s -> Format.fprintf ppf "declared_dead(sw%d)" s
+  | Recovered s -> Format.fprintf ppf "recovered(sw%d)" s
+  | Rebalance loads -> Format.fprintf ppf "rebalance(%d loads)" (List.length loads)
+  | Epoch { epoch; leader } -> Format.fprintf ppf "epoch(%d, leader c%d)" epoch leader
+
+type record = { seq : int; at : float; snap : bool; entry : entry }
+
+type t = {
+  mutable base : record list;  (* snapshot, replay order *)
+  mutable tail : record list;  (* appended since, reverse order *)
+  mutable next_seq : int;
+}
+
+let create () = { base = []; tail = []; next_seq = 0 }
+
+let append t ~at entry =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.tail <- { seq; at; snap = false; entry } :: t.tail;
+  seq
+
+let length t = List.length t.base + List.length t.tail
+let tail_length t = List.length t.tail
+
+let snapshot t ~at entries =
+  t.base <-
+    List.map
+      (fun entry ->
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        { seq; at; snap = true; entry })
+      entries;
+  t.tail <- []
+
+let records t = t.base @ List.rev t.tail
+
+let entries t = List.map (fun r -> (r.seq, r.at, r.entry)) (records t)
+
+let replay t f = List.iter (fun r -> f r.entry) (records t)
+
+let equal a b =
+  let ra = records a and rb = records b in
+  List.length ra = List.length rb
+  && List.for_all2
+       (fun x y ->
+         x.seq = y.seq && x.at = y.at && x.snap = y.snap && equal_entry x.entry y.entry)
+       ra rb
+
+(* ---- binary codec ----
+
+   Per-record framing, same discipline as the control-plane wire format:
+
+     magic u8 | kind u8 | flags u8 | len u32 | seq u32 | at f64 | checksum u64 | body
+
+   [len] is the whole record; the FNV-1a checksum covers the record with
+   its own slot (bytes 19..26) zeroed — {!Message.fnv1a}'s hole. *)
+
+let magic = 0xd1
+let header_len = 1 + 1 + 1 + 4 + 4 + 8 + 8
+let checksum_off = 1 + 1 + 1 + 4 + 4 + 8
+
+module W = struct
+  let u8 b v = Buffer.add_uint8 b (v land 0xff)
+  let u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+  let u64 b v = Buffer.add_int64_be b v
+  let f64 b v = u64 b (Int64.bits_of_float v)
+end
+
+let kind_code = function
+  | Build _ -> 0
+  | Policy_update _ -> 1
+  | Fail_authority _ -> 2
+  | Restore_authority _ -> 3
+  | Declared_dead _ -> 4
+  | Recovered _ -> 5
+  | Rebalance _ -> 6
+  | Epoch _ -> 7
+
+let encode_body b = function
+  | Build { policy; authority_ids } ->
+      W.u32 b (List.length authority_ids);
+      List.iter (W.u32 b) authority_ids;
+      Buffer.add_bytes b (Message.rules_to_bytes policy)
+  | Policy_update { rules; strict } ->
+      W.u8 b (if strict then 1 else 0);
+      Buffer.add_bytes b (Message.rules_to_bytes rules)
+  | Fail_authority s | Restore_authority s | Declared_dead s | Recovered s -> W.u32 b s
+  | Rebalance loads ->
+      W.u32 b (List.length loads);
+      List.iter
+        (fun (pid, w) ->
+          W.u32 b pid;
+          W.f64 b w)
+        loads
+  | Epoch { epoch; leader } ->
+      W.u32 b epoch;
+      W.u32 b leader
+
+let encode_record r =
+  let body = Buffer.create 64 in
+  encode_body body r.entry;
+  let frame = Buffer.create (Buffer.length body + header_len) in
+  W.u8 frame magic;
+  W.u8 frame (kind_code r.entry);
+  W.u8 frame (if r.snap then 1 else 0);
+  W.u32 frame (Buffer.length body + header_len);
+  W.u32 frame r.seq;
+  W.f64 frame r.at;
+  W.u64 frame 0L;
+  Buffer.add_buffer frame body;
+  let bytes = Buffer.to_bytes frame in
+  Bytes.set_int64_be bytes checksum_off (Message.fnv1a ~hole:(checksum_off, 8) bytes);
+  bytes
+
+let encode t =
+  let b = Buffer.create 1024 in
+  List.iter (fun r -> Buffer.add_bytes b (encode_record r)) (records t);
+  Buffer.to_bytes b
+
+let ( let* ) = Result.bind
+
+(* positioned reads over the whole buffer *)
+let need buf pos n =
+  if pos + n > Bytes.length buf then Error "truncated journal" else Ok ()
+
+let read_u8 buf pos =
+  let* () = need buf pos 1 in
+  Ok (Bytes.get_uint8 buf pos)
+
+let read_u32 buf pos =
+  let* () = need buf pos 4 in
+  Ok (Int32.to_int (Bytes.get_int32_be buf pos) land 0xffffffff)
+
+let read_f64 buf pos =
+  let* () = need buf pos 8 in
+  Ok (Int64.float_of_bits (Bytes.get_int64_be buf pos))
+
+let decode_body schema kind body =
+  match kind with
+  | 0 ->
+      let* n = read_u32 body 0 in
+      let rec ids i acc =
+        if i >= n then Ok (List.rev acc)
+        else
+          let* v = read_u32 body (4 + (4 * i)) in
+          ids (i + 1) (v :: acc)
+      in
+      let* authority_ids = ids 0 [] in
+      let off = 4 + (4 * n) in
+      let* () = need body off 0 in
+      let rest = Bytes.sub body off (Bytes.length body - off) in
+      let* policy = Message.rules_of_bytes schema rest in
+      Ok (Build { policy; authority_ids })
+  | 1 ->
+      let* s = read_u8 body 0 in
+      let rest = Bytes.sub body 1 (Bytes.length body - 1) in
+      let* rules = Message.rules_of_bytes schema rest in
+      Ok (Policy_update { rules; strict = s <> 0 })
+  | 2 | 3 | 4 | 5 ->
+      let* s = read_u32 body 0 in
+      if Bytes.length body <> 4 then Error "bad switch-entry length"
+      else
+        Ok
+          (match kind with
+          | 2 -> Fail_authority s
+          | 3 -> Restore_authority s
+          | 4 -> Declared_dead s
+          | _ -> Recovered s)
+  | 6 ->
+      let* n = read_u32 body 0 in
+      if Bytes.length body <> 4 + (12 * n) then Error "bad rebalance length"
+      else
+        let rec loads i acc =
+          if i >= n then Ok (Rebalance (List.rev acc))
+          else
+            let off = 4 + (12 * i) in
+            let* pid = read_u32 body off in
+            let* w = read_f64 body (off + 4) in
+            loads (i + 1) ((pid, w) :: acc)
+        in
+        loads 0 []
+  | 7 ->
+      let* epoch = read_u32 body 0 in
+      let* leader = read_u32 body 4 in
+      if Bytes.length body <> 8 then Error "bad epoch-entry length"
+      else Ok (Epoch { epoch; leader })
+  | _ -> Error "unknown journal entry kind"
+
+let decode schema buf =
+  let rec go pos acc =
+    if pos = Bytes.length buf then Ok (List.rev acc)
+    else
+      let* m = read_u8 buf pos in
+      if m <> magic then Error "bad journal magic"
+      else
+        let* kind = read_u8 buf (pos + 1) in
+        let* flags = read_u8 buf (pos + 2) in
+        let* len = read_u32 buf (pos + 3) in
+        if len < header_len then Error "bad record length"
+        else
+          let* () = need buf pos len in
+          let record = Bytes.sub buf pos len in
+          let stored = Bytes.get_int64_be record checksum_off in
+          if not (Int64.equal stored (Message.fnv1a ~hole:(checksum_off, 8) record))
+          then Error "journal checksum mismatch"
+          else
+            let* seq = read_u32 record 7 in
+            let* at = read_f64 record 11 in
+            let body = Bytes.sub record header_len (len - header_len) in
+            let* entry = decode_body schema kind body in
+            go (pos + len) ({ seq; at; snap = flags land 1 = 1; entry } :: acc)
+  in
+  let* rs = go 0 [] in
+  let t = create () in
+  let base, tail = List.partition (fun r -> r.snap) rs in
+  t.base <- base;
+  t.tail <- List.rev tail;
+  t.next_seq <- List.fold_left (fun m r -> max m (r.seq + 1)) 0 rs;
+  Ok t

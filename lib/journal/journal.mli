@@ -1,0 +1,78 @@
+(** The controller's write-ahead journal.
+
+    Replicated controllers need the standby to reconstruct the leader's
+    {e exact} deployment state at takeover.  Rather than replicating the
+    deployment object (big, and full of derived state), the leader
+    journals every {e decision} — the initial build, policy updates,
+    authority failovers and restorations, liveness verdicts, rebalances,
+    epoch bumps — as deterministic, replayable entries.  Replaying the
+    journal through the same deployment code rebuilds the same state:
+    the journal is the ground truth, the deployment is its cache.
+
+    Entries are kept in two segments: a {e snapshot} base (a compacted
+    entry list that summarises everything before it) and the tail of
+    entries appended since.  Snapshotting periodically keeps replay cost
+    bounded; a snapshot is itself just entries, so replay code does not
+    distinguish the two.
+
+    The binary codec frames every record with a magic byte, sequence
+    number, timestamp and an FNV-1a checksum (the same framing discipline
+    as {!Message}'s wire format), so a journal round-trips through bytes
+    and a corrupted record is detected, not silently replayed.  Encoding
+    is canonical: two runs that made the same decisions encode to
+    byte-identical journals — the E-HA experiment's replay check. *)
+
+type entry =
+  | Build of { policy : Rule.t list; authority_ids : int list }
+      (** initial deployment: the policy and the authority pool *)
+  | Policy_update of { rules : Rule.t list; strict : bool }
+  | Fail_authority of int  (** authority failover away from this switch *)
+  | Restore_authority of int  (** a demoted switch rejoined the pool *)
+  | Declared_dead of int  (** liveness verdict (non-authority switches too) *)
+  | Recovered of int  (** a declared-dead switch answered again *)
+  | Rebalance of (int * float) list
+      (** partition re-placement from these measured per-partition loads *)
+  | Epoch of { epoch : int; leader : int }
+      (** leader election: [leader] took over at [epoch] *)
+
+val equal_entry : entry -> entry -> bool
+val pp_entry : Format.formatter -> entry -> unit
+
+type t
+
+val create : unit -> t
+
+val append : t -> at:float -> entry -> int
+(** Record a decision; returns its sequence number (monotonic from 0,
+    surviving snapshots). *)
+
+val length : t -> int
+(** Records currently held (snapshot base + tail). *)
+
+val tail_length : t -> int
+(** Records appended since the last snapshot — what {!snapshot} resets. *)
+
+val snapshot : t -> at:float -> entry list -> unit
+(** Replace everything recorded so far with [entries], a compacted
+    summary of the state they rebuilt (produced by the leader from its
+    live state).  Sequence numbers keep counting — a snapshot compacts
+    history, it does not rewrite it. *)
+
+val entries : t -> (int * float * entry) list
+(** All records in replay order, as [(seq, at, entry)]. *)
+
+val replay : t -> (entry -> unit) -> unit
+(** Apply every entry in order — snapshot base first, then the tail. *)
+
+val equal : t -> t -> bool
+
+(** {1 Binary codec} *)
+
+val encode : t -> Bytes.t
+(** Canonical bytes: deterministic in the record sequence. *)
+
+val decode : Schema.t -> Bytes.t -> (t, string) result
+(** Rebuild a journal from {!encode}'s output.  Errors (rather than
+    raising) on truncation, bad magic, unknown kinds, or a record whose
+    checksum does not match — a corrupt journal must never be silently
+    replayed. *)

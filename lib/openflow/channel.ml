@@ -53,8 +53,8 @@ let corrupt_copy token bytes =
   end;
   b
 
-let send t ~now ~xid msg =
-  let bytes = Message.encode ~xid msg in
+let send t ~now ~xid ?epoch msg =
+  let bytes = Message.encode ~xid ?epoch msg in
   t.frames <- t.frames + 1;
   t.carried <- t.carried + Bytes.length bytes;
   match t.fault with
@@ -92,7 +92,7 @@ let poll t ~now =
   List.fold_left
     (fun acc f ->
       match Message.decode t.schema f.bytes with
-      | Ok (xid, msg) -> (xid, msg) :: acc
+      | Ok (xid, epoch, msg) -> (xid, epoch, msg) :: acc
       | Error _ ->
           (* an undecodable frame is a survivable network condition, not a
              crash: count it and let retransmission recover the payload *)

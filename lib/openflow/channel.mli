@@ -28,14 +28,15 @@ type stats = {
 val create : ?fault:Fault.injector -> Schema.t -> latency:float -> t
 (** @raise Invalid_argument on negative latency. *)
 
-val send : t -> now:float -> xid:int -> Message.t -> unit
+val send : t -> now:float -> xid:int -> ?epoch:int -> Message.t -> unit
 (** Enqueue a frame; it becomes receivable at [now + latency] (plus any
-    injected jitter), or never, if the injector drops it. *)
+    injected jitter), or never, if the injector drops it.  [epoch]
+    defaults to [0] (unfenced). *)
 
-val poll : t -> now:float -> (int * Message.t) list
+val poll : t -> now:float -> (int * int * Message.t) list
 (** Dequeue (and decode) every frame that has arrived by [now], oldest
-    arrival first.  Undecodable frames are silently dropped and counted
-    in [stats.decode_errors]. *)
+    arrival first, as [(xid, epoch, message)].  Undecodable frames are
+    silently dropped and counted in [stats.decode_errors]. *)
 
 val pending : t -> int
 (** Frames sent but not yet polled (including in-flight ones). *)

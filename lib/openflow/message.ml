@@ -119,7 +119,7 @@ let pp ppf = function
 
 (* ---- wire format ---- *)
 
-let version = 0x01
+let version = 0x02
 
 let type_code = function
   | Hello -> 0
@@ -348,30 +348,35 @@ let encode_body b = function
       W.u64 b f.final_bytes;
       W.f64 b f.lifetime
 
-(* FNV-1a over the frame, treating the checksum slot (bytes 8..15) as
-   zero.  Not cryptographic — it only needs to catch the simulator's
-   fault injector flipping bytes in flight. *)
-let checksum buf =
+(* FNV-1a over a buffer, treating [hole] (an [(offset, length)] window,
+   e.g. a frame's checksum slot) as zero.  Not cryptographic — it only
+   needs to catch the simulator's fault injector flipping bytes in
+   flight, and it doubles as the journal's record checksum. *)
+let fnv1a ?hole buf =
+  let lo, hi = match hole with None -> (0, 0) | Some (off, len) -> (off, off + len) in
   let h = ref 0xcbf29ce484222325L in
   for i = 0 to Bytes.length buf - 1 do
-    let byte = if i >= 8 && i < 16 then 0 else Bytes.get_uint8 buf i in
+    let byte = if i >= lo && i < hi then 0 else Bytes.get_uint8 buf i in
     h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
   done;
   !h
 
-let encode ~xid t =
+let checksum buf = fnv1a ~hole:(12, 8) buf
+
+let encode ~xid ?(epoch = 0) t =
   let body = Buffer.create 64 in
   encode_body body t;
-  let frame = Buffer.create (Buffer.length body + 16) in
+  let frame = Buffer.create (Buffer.length body + 20) in
   W.u8 frame version;
   W.u8 frame (type_code t);
-  W.u16 frame (Buffer.length body + 16);
+  W.u16 frame (Buffer.length body + 20);
   W.u32 frame xid;
-  (* 8 bytes of checksum to reach a 16-byte header; filled in below *)
+  W.u32 frame epoch;
+  (* 8 bytes of checksum to reach a 20-byte header; filled in below *)
   W.u64 frame 0L;
   Buffer.add_buffer frame body;
   let bytes = Buffer.to_bytes frame in
-  Bytes.set_int64_be bytes 8 (checksum bytes);
+  Bytes.set_int64_be bytes 12 (checksum bytes);
   bytes
 
 let decode schema buf =
@@ -384,6 +389,7 @@ let decode schema buf =
     if len <> Bytes.length buf then Error "length mismatch"
     else
       let* xid = R.u32 r in
+      let* epoch = R.u32 r in
       let* stored_sum = R.u64 r in
       let* () =
         if Int64.equal stored_sum (checksum buf) then Ok ()
@@ -492,6 +498,26 @@ let decode schema buf =
         | _ -> Error "unknown message type"
       in
       if r.R.pos <> Bytes.length buf then Error "trailing bytes"
-      else Ok (xid, msg)
+      else Ok (xid, epoch, msg)
 
-let wire_size ~xid t = Bytes.length (encode ~xid t)
+let wire_size ~xid ?epoch t = Bytes.length (encode ~xid ?epoch t)
+
+(* ---- rule-list codec, shared with the journal ---- *)
+
+let rules_to_bytes rules =
+  let b = Buffer.create 256 in
+  W.u32 b (List.length rules);
+  List.iter (encode_rule b) rules;
+  Buffer.to_bytes b
+
+let rules_of_bytes schema buf =
+  let r = R.create buf in
+  let* count = R.u32 r in
+  let rec go i acc =
+    if i >= count then Ok (List.rev acc)
+    else
+      let* rule = decode_rule schema r in
+      go (i + 1) (rule :: acc)
+  in
+  let* rules = go 0 [] in
+  if r.R.pos <> Bytes.length buf then Error "trailing bytes" else Ok rules

@@ -89,21 +89,39 @@ val pp : Format.formatter -> t -> unit
 
 (** {1 Wire format}
 
-    A compact binary framing (16-byte header: version, type, length, xid,
-    and an FNV-1a checksum of the rest of the frame — same spirit as
-    OpenFlow 1.0) used by the tests to guarantee the control channel is
-    serialisable, and by the simulator to charge realistic message sizes
-    to control links.  The checksum means a byte flipped in flight is
-    {e detected} at decode time (it cannot silently install a different
-    rule), so a lossy channel can drop-and-count corrupt frames and rely
-    on retransmission. *)
+    A compact binary framing (20-byte header: version, type, length, xid,
+    the sender's {e epoch}, and an FNV-1a checksum of the rest of the
+    frame — same spirit as OpenFlow 1.0) used by the tests to guarantee
+    the control channel is serialisable, and by the simulator to charge
+    realistic message sizes to control links.  The checksum means a byte
+    flipped in flight is {e detected} at decode time (it cannot silently
+    install a different rule), so a lossy channel can drop-and-count
+    corrupt frames and rely on retransmission.
 
-val encode : xid:int -> t -> Bytes.t
+    The epoch implements {e fencing} for replicated controllers: every
+    control frame carries the sending master's epoch, a switch rejects
+    frames from a stale epoch, and replies always carry the switch's
+    current epoch so a deposed leader learns it lost.  Epoch [0] means
+    "unfenced" (single-controller deployments never reject). *)
 
-val decode : Schema.t -> Bytes.t -> (int * t, string) result
-(** Returns [(xid, message)].  The schema is needed to rebuild predicates
-    and headers.  Errors on truncated or corrupt frames rather than
-    raising. *)
+val encode : xid:int -> ?epoch:int -> t -> Bytes.t
+(** [epoch] defaults to [0] (unfenced). *)
 
-val wire_size : xid:int -> t -> int
-(** [Bytes.length (encode ~xid t)]. *)
+val decode : Schema.t -> Bytes.t -> (int * int * t, string) result
+(** Returns [(xid, epoch, message)].  The schema is needed to rebuild
+    predicates and headers.  Errors on truncated or corrupt frames rather
+    than raising. *)
+
+val wire_size : xid:int -> ?epoch:int -> t -> int
+(** [Bytes.length (encode ~xid ?epoch t)]. *)
+
+val fnv1a : ?hole:int * int -> Bytes.t -> int64
+(** FNV-1a hash of a buffer, with an optional [(offset, length)] window
+    treated as zero (where the checksum itself is stored).  Shared with
+    the journal's record framing. *)
+
+val rules_to_bytes : Rule.t list -> Bytes.t
+
+val rules_of_bytes : Schema.t -> Bytes.t -> (Rule.t list, string) result
+(** Length-prefixed rule-list codec built on the frame codec's rule
+    encoding — the journal uses it to persist policies and tables. *)

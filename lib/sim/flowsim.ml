@@ -30,6 +30,7 @@ type result = {
   authority_stats : (int * int * int) list;
   degraded_packets : int;
   install_drops : int;
+  outage_drops : int;
 }
 
 type acc = {
@@ -46,6 +47,7 @@ type acc = {
   mutable stretches : float list;
   mutable degraded : int;
   mutable install_drops : int;
+  mutable outage : int;
 }
 
 let fresh_acc () =
@@ -63,6 +65,7 @@ let fresh_acc () =
     stretches = [];
     degraded = 0;
     install_drops = 0;
+    outage = 0;
   }
 
 let finish ?(authority_stats = []) acc ~offered =
@@ -97,6 +100,7 @@ let finish ?(authority_stats = []) acc ~offered =
     authority_stats;
     degraded_packets = acc.degraded;
     install_drops = acc.install_drops;
+    outage_drops = acc.outage;
   }
 
 let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~cache_hit =
@@ -154,6 +158,11 @@ let run_difane ?(timing = default_timing) ?faults d flows =
     | None -> (Prng.create 0, 0.)
     | Some (p : Fault.plan) -> (Prng.create (p.Fault.seed lxor 0x51ab), p.Fault.link.Fault.drop)
   in
+  (* Live controller replicas: while every one is down, the degraded
+     (NOX-style fallback) path has no one to answer it. *)
+  let controllers_up =
+    ref (match faults with None -> 1 | Some (p : Fault.plan) -> p.Fault.controllers)
+  in
   (match faults with
   | None -> ()
   | Some p ->
@@ -164,7 +173,9 @@ let run_difane ?(timing = default_timing) ?faults d flows =
               | Fault.Crash { switch; _ } | Fault.Link_down { switch; _ } ->
                   Deployment.mark_unreachable d switch
               | Fault.Restart { switch; _ } | Fault.Link_up { switch; _ } ->
-                  Deployment.mark_reachable d switch))
+                  Deployment.mark_reachable d switch
+              | Fault.Controller_crash _ -> decr controllers_up
+              | Fault.Controller_restart _ -> incr controllers_up))
         p.Fault.events);
   let idle_timeout = (Deployment.config d).Deployment.cache_idle_timeout in
   let hard_timeout = (Deployment.config d).Deployment.cache_hard_timeout in
@@ -173,6 +184,13 @@ let run_difane ?(timing = default_timing) ?faults d flows =
      (where [Deployment.inject] answers from the policy and installs the
      reactive microflow at the ingress), half an RTT back. *)
   let serve_degraded (flow : Traffic.flow) ~is_first =
+    if !controllers_up <= 0 then begin
+      (* total controller outage on top of total replica loss: the packet
+         has nowhere to go — the one genuinely fatal combination *)
+      acc.outage <- acc.outage + 1;
+      if is_first then acc.dropped <- acc.dropped + 1
+    end
+    else
     Engine.after engine ~delay:(timing.controller_rtt /. 2.) (fun () ->
         let accepted =
           Server.submit (controller_server ()) (fun () ->

@@ -63,6 +63,10 @@ type result = {
       (** cache-install messages lost to the fault plan's lossy fabric;
           the affected flow keeps missing until a later packet
           retriggers the install *)
+  outage_drops : int;
+      (** packets that needed the degraded controller path while {e every}
+          controller replica was down ([Controller_crash] events) — the
+          one combination DIFANE cannot survive, reported separately *)
 }
 
 val run_difane :
@@ -77,7 +81,10 @@ val run_difane :
     plan's seed), and misses with no live replica take the degraded
     controller path — [controller_rtt/2] up, a [controller_service]
     slot, [controller_rtt/2] back, with an exact-match entry installed
-    at the ingress — instead of being lost. *)
+    at the ingress — instead of being lost.  [Controller_crash] /
+    [Controller_restart] events track how many of the plan's
+    [controllers] replicas are up: while none is, degraded misses are
+    dropped and counted in [outage_drops]. *)
 
 val run_nox : ?timing:timing -> Nox.t -> Traffic.flow list -> result
 (** Replay against the reactive baseline. *)

@@ -28,6 +28,10 @@ type t = {
       (* xid -> responses already sent: retransmitted requests are
          re-acked, not re-applied *)
   seen_order : int Queue.t; (* xid admission order, for pruning *)
+  mutable epoch : int;
+      (* highest master epoch seen; 0 = unfenced (single controller) *)
+  mutable stale_rejected : int; (* frames refused for carrying an old epoch *)
+  mutable stale_accepted : int; (* must stay 0: the fencing invariant *)
   mutable cache_hits : int64;
   mutable authority_hits : int64;
   mutable tunnelled : int64;
@@ -51,6 +55,9 @@ let create ~id ~cache_capacity =
     partition_committed = false;
     seen_xids = Hashtbl.create 64;
     seen_order = Queue.create ();
+    epoch = 0;
+    stale_rejected = 0;
+    stale_accepted = 0;
     cache_hits = 0L;
     authority_hits = 0L;
     tunnelled = 0L;
@@ -78,6 +85,7 @@ let drop_authority t pid =
   t.authority <- List.filter (fun ((q : Partitioner.partition), _) -> q.pid <> pid) t.authority
 
 let authority_partitions t = List.map fst t.authority
+let partition_rules t = t.partition_bank
 
 let bump tbl key n =
   let prev = Option.value ~default:0L (Hashtbl.find_opt tbl key) in
@@ -182,17 +190,39 @@ let dispatch_control t ~now ~xid msg =
   | Message.Ack _ ->
       []
 
-let handle_control ?(xid = 0) t ~now msg =
-  (* idempotency per xid: a duplicate (retransmitted or channel-duplicated)
-     request is answered from memory without re-applying its effect — a
-     replayed barrier must not commit rules staged since, a replayed
-     partition add must not double a rule *)
-  match (if xid = 0 then None else Hashtbl.find_opt t.seen_xids xid) with
-  | Some responses -> responses
-  | None ->
-      let responses = dispatch_control t ~now ~xid msg in
-      if xid <> 0 then remember t xid responses;
-      responses
+let handle_control ?(xid = 0) ?(epoch = 0) t ~now msg =
+  (* Epoch fencing (replicated controllers).  A frame from a newer master
+     moves the switch forward — and clears the xid replay memory, because
+     the new master allocates xids from its own space.  A frame from an
+     older (deposed) master is refused without being applied, but still
+     acked: replies carry the switch's current epoch, which is how the
+     deposed leader learns it lost.  Epoch 0 frames are unfenced
+     (single-controller deployments) and always accepted. *)
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    Hashtbl.reset t.seen_xids;
+    Queue.clear t.seen_order;
+    (* abandon the deposed master's open install transaction: its staged
+       partition adds must not leak into the new master's batch (the new
+       batch replaces the bank wholesale at its own barrier) *)
+    t.pending_partition <- [];
+    t.partition_committed <- false
+  end;
+  if epoch <> 0 && epoch < t.epoch then begin
+    t.stale_rejected <- t.stale_rejected + 1;
+    ack xid
+  end
+  else
+    (* idempotency per xid: a duplicate (retransmitted or channel-duplicated)
+       request is answered from memory without re-applying its effect — a
+       replayed barrier must not commit rules staged since, a replayed
+       partition add must not double a rule *)
+    match (if xid = 0 then None else Hashtbl.find_opt t.seen_xids xid) with
+    | Some responses -> responses
+    | None ->
+        let responses = dispatch_control t ~now ~xid msg in
+        if xid <> 0 then remember t xid responses;
+        responses
 
 let authority_lookup t h =
   List.find_map
@@ -328,6 +358,9 @@ let reset t =
   Hashtbl.reset t.partition_hits;
   Hashtbl.reset t.seen_xids;
   Queue.clear t.seen_order;
+  t.epoch <- 0;
+  t.stale_rejected <- 0;
+  t.stale_accepted <- 0;
   t.notifications <- [];
   t.cache_hits <- 0L;
   t.authority_hits <- 0L;
@@ -344,6 +377,9 @@ let drain_notifications t =
   t.notifications <- [];
   n
 
+let epoch t = t.epoch
+let stale_rejected t = t.stale_rejected
+let stale_accepted t = t.stale_accepted
 let cache t = t.cache
 let cache_occupancy t = Tcam.occupancy t.cache
 let origin_of_cache_rule t cid = Hashtbl.find_opt t.cache_origin cid

@@ -40,12 +40,16 @@ val drop_authority : t -> int -> unit
 
 val authority_partitions : t -> Partitioner.partition list
 
+val partition_rules : t -> Rule.t list
+(** The committed partition bank (staged rules excluded) — used by the
+    HA experiment's duplicate-install audit. *)
+
 val apply_flow_mod : t -> now:float -> Message.flow_mod -> unit
 (** OpenFlow-style entry point used by the controller: [Add]/[Delete] on
     the cache bank ([Authority]/[Partition] banks are replaced wholesale
     via the functions above; flow-mods to them raise). *)
 
-val handle_control : ?xid:int -> t -> now:float -> Message.t -> Message.t list
+val handle_control : ?xid:int -> ?epoch:int -> t -> now:float -> Message.t -> Message.t list
 (** The switch's control-protocol state machine: echo requests get
     replies; cache-bank flow-mods apply immediately; partition-bank
     flow-mod adds are {e staged} and committed as one atomic bank
@@ -59,7 +63,29 @@ val handle_control : ?xid:int -> t -> now:float -> Message.t -> Message.t list
     whose xid was already processed — a controller retransmission or a
     channel duplicate — returns the original responses without
     re-applying its effect.  [xid = 0] (the default) marks an untracked
-    request: no dedup, no ack. *)
+    request: no dedup, no ack.
+
+    It is also {e epoch-fenced} (when [epoch <> 0]): a frame carrying an
+    epoch older than the highest this switch has seen is refused without
+    being applied (counted in {!stale_rejected}) but still acked, so the
+    deposed master's retransmission machinery terminates — and since
+    every reply frame carries the switch's current epoch, the deposed
+    master learns it lost.  A frame from a {e newer} epoch advances the
+    switch, clears the xid replay memory (the new master allocates xids
+    from its own space) and abandons any staged partition updates (the
+    deposed master's open transaction must not leak into the new
+    master's batch).  [epoch = 0] (the default) is unfenced:
+    single-controller deployments never reject. *)
+
+val epoch : t -> int
+(** Highest master epoch seen since the last {!reset} (0 = unfenced). *)
+
+val stale_rejected : t -> int
+(** Control frames refused for carrying a stale epoch. *)
+
+val stale_accepted : t -> int
+(** Stale-epoch frames that were nonetheless applied — the fencing
+    invariant is that this is always 0; the E-HA experiment asserts it. *)
 
 val reset : t -> unit
 (** Crash semantics: the device reboots blank — all three banks, staged

@@ -19,7 +19,8 @@ let test_channel_latency () =
   check Alcotest.int "in flight" 0 (List.length (Channel.poll ch ~now:0.4));
   let arrived = Channel.poll ch ~now:0.5 in
   check Alcotest.int "arrived" 1 (List.length arrived);
-  check Alcotest.int "xid preserved" 1 (fst (List.hd arrived));
+  (let x, _, _ = List.hd arrived in
+   check Alcotest.int "xid preserved" 1 x);
   check Alcotest.int "drained" 0 (Channel.pending ch)
 
 let test_channel_order_and_counters () =
@@ -27,7 +28,7 @@ let test_channel_order_and_counters () =
   Channel.send ch ~now:0. ~xid:1 (Message.Echo_request 1);
   Channel.send ch ~now:0.01 ~xid:2 (Message.Echo_request 2);
   let msgs = Channel.poll ch ~now:1. in
-  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2 ] (List.map fst msgs);
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2 ] (List.map (fun (x, _, _) -> x) msgs);
   check Alcotest.int "frames" 2 (Channel.frames_carried ch);
   check Alcotest.bool "bytes counted" true (Channel.bytes_carried ch >= 32)
 
@@ -239,10 +240,10 @@ let test_partition_transfer_codec () =
       { Message.pid = p.pid; region = p.region; table_rules = Classifier.rules p.table }
   in
   (match Message.decode s2 (Message.encode ~xid:5 msg) with
-  | Ok (5, msg') -> check Alcotest.bool "transfer roundtrip" true (Message.equal msg msg')
+  | Ok (5, _, msg') -> check Alcotest.bool "transfer roundtrip" true (Message.equal msg msg')
   | _ -> Alcotest.fail "transfer decode failed");
   match Message.decode s2 (Message.encode ~xid:6 (Message.Drop_partition 3)) with
-  | Ok (6, Message.Drop_partition 3) -> ()
+  | Ok (6, _, Message.Drop_partition 3) -> ()
   | _ -> Alcotest.fail "drop_partition roundtrip failed"
 
 let test_control_overhead_counted () =

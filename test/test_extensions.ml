@@ -171,7 +171,7 @@ let test_flow_removed_codec () =
       }
   in
   match Message.decode s2 (Message.encode ~xid:3 msg) with
-  | Ok (3, msg') -> check Alcotest.bool "roundtrip" true (Message.equal msg msg')
+  | Ok (3, _, msg') -> check Alcotest.bool "roundtrip" true (Message.equal msg msg')
   | Ok _ -> Alcotest.fail "xid corrupted"
   | Error e -> Alcotest.failf "decode failed: %s" e
 
@@ -182,7 +182,8 @@ let test_flow_removed_unset_cookie () =
         final_packets = 0L; final_bytes = 0L; lifetime = 0. }
   in
   match Message.decode s2 (Message.encode ~xid:0 msg) with
-  | Ok (_, Message.Flow_removed f) -> check Alcotest.int "cookie -1 survives" (-1) f.Message.cookie
+  | Ok (_, _, Message.Flow_removed f) ->
+      check Alcotest.int "cookie -1 survives" (-1) f.Message.cookie
   | _ -> Alcotest.fail "roundtrip failed"
 
 let test_notifications_on_expiry () =

@@ -67,7 +67,7 @@ let test_events_sorted () =
 let test_corrupt_frame_detected () =
   let bytes = Message.encode ~xid:1 (Message.Echo_request 5) in
   (match Message.decode s2 bytes with
-  | Ok (1, Message.Echo_request 5) -> ()
+  | Ok (1, _, Message.Echo_request 5) -> ()
   | _ -> Alcotest.fail "clean frame failed to decode");
   (* flip one body byte: the checksum must catch it *)
   let flipped = Bytes.copy bytes in
@@ -129,7 +129,7 @@ let test_channel_replay_identical () =
     for i = 1 to 200 do
       Channel.send ch ~now:(float_of_int i *. 0.001) ~xid:i (Message.Echo_request i)
     done;
-    (List.map fst (Channel.poll ch ~now:5.), Channel.stats ch)
+    (List.map (fun (x, _, _) -> x) (Channel.poll ch ~now:5.), Channel.stats ch)
   in
   let seq1, st1 = run () in
   let seq2, st2 = run () in

@@ -6,10 +6,11 @@ let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
 let message = Alcotest.testable Message.pp Message.equal
 
 let roundtrip msg =
-  let buf = Message.encode ~xid:42 msg in
+  let buf = Message.encode ~xid:42 ~epoch:3 msg in
   match Message.decode s2 buf with
-  | Ok (xid, msg') ->
+  | Ok (xid, epoch, msg') ->
       check Alcotest.int "xid" 42 xid;
+      check Alcotest.int "epoch" 3 epoch;
       check message "message" msg msg'
   | Error e -> Alcotest.failf "decode failed: %s" e
 
@@ -72,7 +73,7 @@ let test_wire_size () =
   let msg = Message.Packet_in { ingress = 4; header = h 10 20; reason = `No_match } in
   check Alcotest.int "size matches encode" (Bytes.length (Message.encode ~xid:0 msg))
     (Message.wire_size ~xid:0 msg);
-  check Alcotest.bool "frames have 16-byte header" true (Message.wire_size ~xid:0 Message.Hello = 16)
+  check Alcotest.bool "frames have 20-byte header" true (Message.wire_size ~xid:0 Message.Hello = 20)
 
 let gen_message =
   let open QCheck2.Gen in
@@ -98,7 +99,7 @@ let gen_message =
 let prop_roundtrip =
   qt "encode/decode roundtrip" gen_message (fun msg ->
       match Message.decode s2 (Message.encode ~xid:5 msg) with
-      | Ok (5, msg') -> Message.equal msg msg'
+      | Ok (5, 0, msg') -> Message.equal msg msg'
       | _ -> false)
 
 let suite =

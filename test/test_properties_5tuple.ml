@@ -113,7 +113,7 @@ let prop_wire_roundtrip_5tuple =
                 idle_timeout = None; hard_timeout = Some 2.5 }
           in
           match Message.decode schema (Message.encode ~xid:7 msg) with
-          | Ok (7, msg') -> Message.equal msg msg'
+          | Ok (7, _, msg') -> Message.equal msg msg'
           | _ -> false)
         (List.filteri (fun i _ -> i < 10) (Classifier.rules policy)))
 

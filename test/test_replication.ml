@@ -74,6 +74,26 @@ let test_failover_without_replication_needs_installs () =
     check Alcotest.bool "unreplicated failover moves tables" true
       (Deployment.last_new_authority_installs d' >= moved)
 
+let test_failover_without_replication_replaces_correctly () =
+  (* the re-placement path: with no warm backup, every partition the victim
+     hosted must land on a survivor, and the network must keep answering
+     with the policy's verdicts *)
+  let d = build ~replication:1 () in
+  let victim = List.hd (Deployment.authority_ids d) in
+  let d' = Deployment.fail_authority d victim in
+  check Alcotest.bool "victim left the pool" false
+    (List.mem victim (Deployment.authority_ids d'));
+  List.iter
+    (fun (p : Partitioner.partition) ->
+      let holders = Assignment.replicas_of (Deployment.assignment d') p.pid in
+      check Alcotest.bool "partition re-placed on a survivor" true
+        (holders <> [] && not (List.mem victim holders)))
+    (Deployment.partitioner d').Partitioner.partitions;
+  let rng = Prng.create 11 in
+  let probes = List.init 200 (fun _ -> h (Prng.int rng 256) (Prng.int rng 256)) in
+  check Alcotest.bool "semantics preserved" true
+    (Deployment.semantically_equal d' probes)
+
 let test_promote_prefers_backup () =
   let part = Partitioner.compute policy ~k:4 in
   let a = Assignment.greedy ~replication:2 part ~authority_switches:[ 0; 1; 2 ] in
@@ -223,6 +243,8 @@ let suite =
         tc "backup tables pre-installed" test_backup_tables_preinstalled;
         tc "failover with backups" test_failover_no_new_installs;
         tc "failover without backups moves tables" test_failover_without_replication_needs_installs;
+        tc "failover without backups re-places correctly"
+          test_failover_without_replication_replaces_correctly;
         tc "promotion prefers the backup" test_promote_prefers_backup;
         tc "hosted_by counts replicas" test_hosted_by;
         tc "data-plane failover to backup" test_data_plane_failover;
