@@ -15,9 +15,31 @@ let quick_arg =
   let doc = "Shrink workload sizes for a fast smoke run." in
   Arg.(value & flag & info [ "q"; "quick" ] ~doc)
 
+let metrics_arg =
+  let doc =
+    "After the run, dump the full telemetry snapshot (every registered counter,      gauge and histogram, deterministic order) in this format: $(b,text) or $(b,json)."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("text", `Text); ("json", `Json) ])) None
+    & info [ "metrics" ] ~docv:"FORMAT" ~doc)
+
+(* Reset first so the snapshot reports this run alone, not process history. *)
+let with_metrics metrics run =
+  Telemetry.reset ();
+  run ();
+  match metrics with
+  | None -> ()
+  | Some `Text -> Format.printf "%a%!" Telemetry.pp_text (Telemetry.snapshot ())
+  | Some `Json -> print_endline (Telemetry.to_json (Telemetry.snapshot ()))
+
 let experiment name summary run =
   let doc = summary in
-  let term = Term.(const (fun seed quick -> run ~seed ~quick) $ seed_arg $ quick_arg) in
+  let term =
+    Term.(
+      const (fun seed quick metrics -> with_metrics metrics (fun () -> run ~seed ~quick))
+      $ seed_arg $ quick_arg $ metrics_arg)
+  in
   Cmd.v (Cmd.info name ~doc) term
 
 (* ---- operator commands over policy files ---- *)
@@ -146,7 +168,8 @@ let cp_config_of_flags echo_interval retx_timeout retx_backoff retx_limit =
 
 let deploy_cmd =
   let run policy_file topo_spec auths k cache flows alpha faults seed echo_interval
-      retx_timeout retx_backoff retx_limit =
+      retx_timeout retx_backoff retx_limit metrics =
+    with_metrics metrics @@ fun () ->
     let policy = load_policy_or_die policy_file in
     try
       let topology = parse_topology ~seed topo_spec in
@@ -220,7 +243,7 @@ let deploy_cmd =
             t := !t +. step;
             Control_plane.tick cp ~now:!t
           done;
-          let s = Control_plane.loss_stats cp in
+          let s = Control_plane.stats cp in
           Printf.printf "control push   : converged in %.2f s simulated\n" !t;
           Printf.printf
             "  frames lost %d, corrupt %d, decode errors %d, duplicated %d, reordered %d\n"
@@ -268,7 +291,7 @@ let deploy_cmd =
     Term.(
       const run $ policy_arg $ topology_arg $ authorities_arg $ k_arg $ cache_arg
       $ flows_arg $ alpha_arg $ faults_arg $ seed_arg $ echo_interval_arg
-      $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg)
+      $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg $ metrics_arg)
 
 let partition_cmd =
   let run policy_file k max_entries =
@@ -335,7 +358,8 @@ let check_arg =
   Arg.(value & flag & info [ "check" ] ~doc)
 
 let chaos_cmd =
-  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check =
+  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check metrics =
+    with_metrics metrics @@ fun () ->
     let rows =
       Experiments.E_chaos.run ~seed ~quick ?echo_interval ?retx_timeout ?retx_backoff
         ?retx_limit ()
@@ -362,10 +386,11 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ echo_interval_arg $ retx_timeout_arg
-      $ retx_backoff_arg $ retx_limit_arg $ check_arg)
+      $ retx_backoff_arg $ retx_limit_arg $ check_arg $ metrics_arg)
 
 let ha_cmd =
-  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check =
+  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check metrics =
+    with_metrics metrics @@ fun () ->
     let rows =
       Experiments.E_ha.run ~seed ~quick ?echo_interval ?retx_timeout ?retx_backoff
         ?retx_limit ()
@@ -401,7 +426,45 @@ let ha_cmd =
   Cmd.v (Cmd.info "ha" ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ echo_interval_arg $ retx_timeout_arg
-      $ retx_backoff_arg $ retx_limit_arg $ check_arg)
+      $ retx_backoff_arg $ retx_limit_arg $ check_arg $ metrics_arg)
+
+let trace_cmd =
+  let scenario_arg =
+    let doc = "Fault scenario to replay: $(b,chaos) or $(b,ha)." in
+    Arg.(
+      value
+      & opt (enum [ ("chaos", `Chaos); ("ha", `Ha) ]) `Chaos
+      & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let loss_arg =
+    let doc = "Control-frame loss rate for the replay (0..1)." in
+    Arg.(value & opt float 0.10 & info [ "loss" ] ~docv:"LOSS" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Trace ring capacity: the newest N events survive." in
+    Arg.(value & opt int 4096 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let run seed quick scenario loss capacity echo_interval retx_timeout retx_backoff
+      retx_limit =
+    Telemetry.reset ();
+    Telemetry.Trace.enable ~capacity ();
+    (match scenario with
+    | `Chaos ->
+        Experiments.E_chaos.replay_one ~seed ~quick ~loss ?echo_interval ?retx_timeout
+          ?retx_backoff ?retx_limit ()
+    | `Ha ->
+        Experiments.E_ha.replay_one ~seed ~quick ~loss ?echo_interval ?retx_timeout
+          ?retx_backoff ?retx_limit ());
+    Telemetry.Trace.disable ();
+    Format.printf "%a%!" Telemetry.Trace.pp_timeline ()
+  in
+  let doc =
+    "Replay one seeded fault scenario with event tracing enabled and print the      timeline of control-plane, cluster and takeover events (simulated time)."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ seed_arg $ quick_arg $ scenario_arg $ loss_arg $ capacity_arg
+      $ echo_interval_arg $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg)
 
 let experiments =
   [
@@ -431,6 +494,7 @@ let experiments =
         Experiments.E_cache.print (Experiments.E_cache.run ~seed ~quick ()));
     chaos_cmd;
     ha_cmd;
+    trace_cmd;
     experiment "all" "Run every experiment in DESIGN.md order" (fun ~seed ~quick ->
         Experiments.run_all ~seed ~quick ());
     check_cmd;

@@ -53,10 +53,19 @@ type t = {
   nswitches : int;
 }
 
+(* Registry mirrors for the replication layer, plus a gauge for the
+   current epoch so a snapshot shows where mastership stands. *)
+let m_elections = Telemetry.counter "cluster_elections"
+let m_snapshots = Telemetry.counter "cluster_snapshots"
+let m_fenced_appends = Telemetry.counter "cluster_fenced_appends"
+let m_replayed = Telemetry.counter "cluster_entries_replayed"
+let g_epoch = Telemetry.gauge "cluster_epoch"
+
 let record t ~now fmt =
   Printf.ksprintf
     (fun s ->
       t.log <- (now, s) :: t.log;
+      Telemetry.Trace.event ~at:now ~name:"cluster" s;
       Log.info (fun m -> m "t=%.3f %s" now s))
     fmt
 
@@ -66,7 +75,10 @@ let record t ~now fmt =
    replay. *)
 let appender ~journal ~epoch_cell ~fenced for_epoch ~at entry =
   if !epoch_cell = for_epoch then ignore (Journal.append journal ~at entry)
-  else incr fenced
+  else begin
+    incr fenced;
+    Telemetry.incr m_fenced_appends
+  end
 
 let switch_channel_span t = 2 * t.nswitches
 
@@ -80,6 +92,7 @@ let create ?(config = default_config) ?faults ?(dconfig = Deployment.default_con
   let n = Topology.nodes topology in
   let journal = Journal.create () in
   let epoch_cell = ref 1 in
+  Telemetry.set g_epoch 1.;
   let fenced = ref 0 in
   ignore (Journal.append journal ~at:0. (Journal.Epoch { epoch = 1; leader = 0 }));
   ignore
@@ -159,7 +172,7 @@ let giveups t = List.fold_left (fun acc cp -> acc + Control_plane.giveups cp) 0 
 
 let pending_requests t = Control_plane.pending_requests t.cp
 
-let loss_stats t =
+let stats t =
   List.fold_left
     (fun (acc : Control_plane.loss_stats) cp ->
       let s = Control_plane.loss_stats cp in
@@ -180,6 +193,9 @@ let loss_stats t =
       link_dropped = 0;
     }
     (all_cps t)
+
+let loss_stats = stats
+let reset_stats t = List.iter Control_plane.reset_stats (all_cps t)
 
 let stale_rejected t =
   Array.fold_left
@@ -272,6 +288,7 @@ let rebuild t ~now =
           model := Option.map (fun m -> Deployment.rebalance m ~loads) !model
       | Journal.Epoch _ -> ());
   t.replayed <- t.replayed + !replayed;
+  Telemetry.add m_replayed !replayed;
   match !model with
   | None -> invalid_arg "Cluster: journal holds no Build entry"
   | Some model ->
@@ -296,6 +313,8 @@ let elect t ~now ~detector =
       else begin
         let new_epoch = !(t.epoch_cell) + 1 in
         t.epoch_cell := new_epoch;
+        Telemetry.incr m_elections;
+        Telemetry.set g_epoch (float_of_int new_epoch);
         ignore
           (Journal.append t.journal ~at:now
              (Journal.Epoch { epoch = new_epoch; leader = winner }));
@@ -327,6 +346,8 @@ let elect t ~now ~detector =
         in
         t.leader_lost_at <- None;
         t.takeover_latencies <- latency :: t.takeover_latencies;
+        Telemetry.Trace.span ~at:(now -. latency) ~dur:latency ~name:"takeover"
+          (Printf.sprintf "controller %d seated at epoch %d" winner new_epoch);
         record t ~now
           "controller %d elected leader at epoch %d (detector %d, %d entries replayed, \
            takeover %.3fs)"
@@ -452,6 +473,7 @@ let snapshot t ~now =
   in
   Journal.snapshot t.journal ~at:now entries;
   t.snapshots <- t.snapshots + 1;
+  Telemetry.incr m_snapshots;
   record t ~now "journal snapshot: %d entries summarise the history" (List.length entries)
 
 let tick t ~now =

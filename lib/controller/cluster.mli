@@ -109,8 +109,16 @@ val duplicate_installs : t -> int
 val retransmissions : t -> int
 val giveups : t -> int
 val pending_requests : t -> int
-val loss_stats : t -> Control_plane.loss_stats
-(** Aggregated over the current and every retired control plane. *)
+val stats : t -> Control_plane.stats
+(** Loss counters aggregated over every control plane this cluster has
+    seated (current leader and retired masters alike). *)
+
+val reset_stats : t -> unit
+(** Reset the loss/retransmission counters of every seated control
+    plane (election, takeover and journal history survive). *)
+
+val loss_stats : t -> Control_plane.stats
+(** @deprecated Use {!val-stats}. *)
 
 val cluster_log : t -> (float * string) list
 (** Timestamped elections, crashes, snapshots and fencing records, in

@@ -44,7 +44,7 @@ type pending_req = {
   mutable retries : int;
 }
 
-type loss_stats = {
+type stats = {
   dropped : int;
   duplicated : int;
   corrupted : int;
@@ -52,6 +52,21 @@ type loss_stats = {
   decode_errors : int;
   link_dropped : int;
 }
+
+type loss_stats = stats
+
+(* Registry mirrors: bumped on the same line as the per-plane fields, so
+   process-wide totals track the sum over all control planes exactly. *)
+let m_retransmissions = Telemetry.counter "ctrl_retransmissions"
+let m_giveups = Telemetry.counter "ctrl_giveups"
+let m_cancelled = Telemetry.counter "ctrl_cancelled"
+let m_link_dropped = Telemetry.counter "ctrl_link_dropped"
+let m_degraded = Telemetry.counter "ctrl_degraded_handled"
+let m_switch_deaths = Telemetry.counter "ctrl_switch_deaths"
+let m_failovers = Telemetry.counter "ctrl_authority_failovers"
+let m_recoveries = Telemetry.counter "ctrl_recoveries"
+let m_policy_updates = Telemetry.counter "ctrl_policy_updates"
+let m_rebalances = Telemetry.counter "ctrl_rebalances"
 
 type t = {
   mutable deployment : Deployment.t;
@@ -85,6 +100,7 @@ let record t ~now fmt =
   Printf.ksprintf
     (fun s ->
       t.log <- (now, s) :: t.log;
+      Telemetry.Trace.event ~at:now ~name:"control" s;
       Log.info (fun m -> m "t=%.3f %s" now s))
     fmt
 
@@ -157,7 +173,10 @@ let xid t =
 let transmit t i ~now ~xid msg =
   let port = t.ports.(i) in
   if port.link_up then Channel.send port.to_switch ~now ~xid ~epoch:t.epoch msg
-  else t.link_dropped <- t.link_dropped + 1
+  else begin
+    t.link_dropped <- t.link_dropped + 1;
+    Telemetry.incr m_link_dropped
+  end
 
 let send_to_switch t i ~now msg = transmit t i ~now ~xid:(xid t) msg
 
@@ -181,6 +200,7 @@ let cancel_pending t i =
   in
   List.iter (fun k -> Hashtbl.remove t.pending k) victims;
   t.cancelled <- t.cancelled + List.length victims;
+  Telemetry.add m_cancelled (List.length victims);
   List.length victims
 
 let declare_dead t ~now i =
@@ -188,6 +208,7 @@ let declare_dead t ~now i =
   if not port.declared_dead then begin
     port.declared_dead <- true;
     t.failed <- i :: t.failed;
+    Telemetry.incr m_switch_deaths;
     record t ~now "switch %d missed %d echoes; declared dead" i t.config.echo_miss_limit;
     journal_entry t ~now (Journal.Declared_dead i);
     (* a dead device cannot serve tunnelled misses either *)
@@ -200,6 +221,7 @@ let declare_dead t ~now i =
     if List.mem i auths && List.length auths > 1 then begin
       t.deployment <- Deployment.fail_authority t.deployment i;
       Hashtbl.replace t.demoted i ();
+      Telemetry.incr m_failovers;
       record t ~now "authority %d demoted; backups promoted" i;
       journal_entry t ~now (Journal.Fail_authority i)
     end
@@ -265,6 +287,7 @@ let recover t ~now i =
   if port.declared_dead then begin
     port.declared_dead <- false;
     t.failed <- List.filter (fun j -> j <> i) t.failed;
+    Telemetry.incr m_recoveries;
     journal_entry t ~now (Journal.Recovered i)
   end;
   if Hashtbl.mem t.demoted i then begin
@@ -303,6 +326,7 @@ let process_reply t ~now i (x, msg) =
           (Classifier.action (Deployment.policy t.deployment) p.Message.header)
       in
       t.degraded_handled <- Int64.add t.degraded_handled 1L;
+      Telemetry.incr m_degraded;
       transmit t i ~now ~xid:0
         (Message.Packet_out
            { Message.out_switch = i; out_header = p.Message.header; action })
@@ -380,11 +404,13 @@ let retransmit_due t ~now =
       let port = t.ports.(i) in
       if port.declared_dead then begin
         Hashtbl.remove t.pending (i, x);
-        t.cancelled <- t.cancelled + 1
+        t.cancelled <- t.cancelled + 1;
+        Telemetry.incr m_cancelled
       end
       else if req.retries >= t.config.retx_limit then begin
         Hashtbl.remove t.pending (i, x);
         t.giveups <- t.giveups + 1;
+        Telemetry.incr m_giveups;
         record t ~now "gave up on xid %d to switch %d after %d retransmissions" x i
           req.retries
       end
@@ -393,7 +419,8 @@ let retransmit_due t ~now =
         req.retries <- req.retries + 1;
         req.interval <- req.interval *. t.config.retx_backoff;
         req.next_retry <- now +. req.interval;
-        t.retransmissions <- t.retransmissions + 1
+        t.retransmissions <- t.retransmissions + 1;
+        Telemetry.incr m_retransmissions
       end)
     due
 
@@ -405,7 +432,10 @@ let deliver_to_switches t ~now =
   Array.iteri
     (fun i port ->
       let frames = Channel.poll port.to_switch ~now in
-      if not port.link_up then t.link_dropped <- t.link_dropped + List.length frames
+      if not port.link_up then begin
+        t.link_dropped <- t.link_dropped + List.length frames;
+        Telemetry.add m_link_dropped (List.length frames)
+      end
       else if port.alive then begin
         let sw = Deployment.switch t.deployment i in
         List.iter
@@ -430,6 +460,7 @@ let depose t ~now observed =
     let dropped = Hashtbl.length t.pending in
     Hashtbl.reset t.pending;
     t.cancelled <- t.cancelled + dropped;
+    Telemetry.add m_cancelled dropped;
     record t ~now "fenced: observed epoch %d above own %d; deposed (dropped %d pending)"
       observed t.epoch dropped
   end
@@ -443,6 +474,7 @@ let halt t ~now =
     let dropped = Hashtbl.length t.pending in
     Hashtbl.reset t.pending;
     t.cancelled <- t.cancelled + dropped;
+    Telemetry.add m_cancelled dropped;
     record t ~now "controller process stopped (%d pending dropped)" dropped
   end
 
@@ -496,6 +528,7 @@ let tick t ~now =
       if List.exists (fun (_, l) -> l > 0.) loads then begin
         t.deployment <- Deployment.rebalance t.deployment ~loads;
         t.rebalances <- t.rebalances + 1;
+        Telemetry.incr m_rebalances;
         journal_entry t ~now (Journal.Rebalance loads)
       end
   | _ -> ());
@@ -508,7 +541,10 @@ let tick t ~now =
   Array.iteri
     (fun i port ->
       let replies = Channel.poll port.to_controller ~now in
-      if not port.link_up then t.link_dropped <- t.link_dropped + List.length replies
+      if not port.link_up then begin
+        t.link_dropped <- t.link_dropped + List.length replies;
+        Telemetry.add m_link_dropped (List.length replies)
+      end
       else
         List.iter
           (fun (x, reply_epoch, msg) ->
@@ -569,6 +605,7 @@ let update_policy t ~now ?(strict = true) policy =
   let changed = Deployment.changed_rule_ids ~old_policy policy in
   journal_entry t ~now (Journal.Policy_update { rules = Classifier.rules policy; strict });
   t.deployment <- Deployment.update_policy ~flush:false t.deployment ~now policy;
+  Telemetry.incr m_policy_updates;
   if strict then
     List.iter (fun id -> ignore (delete_cached_origin t ~now ~origin_id:id)) changed;
   record t ~now "policy updated: %d rules changed%s" (List.length changed)
@@ -584,7 +621,7 @@ let control_bytes t =
     (fun acc p -> acc + Channel.bytes_carried p.to_switch + Channel.bytes_carried p.to_controller)
     0 t.ports
 
-let loss_stats t =
+let stats t =
   Array.fold_left
     (fun acc p ->
       let add (s : Channel.stats) acc =
@@ -600,6 +637,20 @@ let loss_stats t =
       add (Channel.stats p.to_switch) (add (Channel.stats p.to_controller) acc))
     { dropped = 0; duplicated = 0; corrupted = 0; reordered = 0; decode_errors = 0;
       link_dropped = t.link_dropped }
+    t.ports
+
+let loss_stats = stats
+
+let reset_stats t =
+  t.retransmissions <- 0;
+  t.giveups <- 0;
+  t.cancelled <- 0;
+  t.link_dropped <- 0;
+  t.degraded_handled <- 0L;
+  Array.iter
+    (fun p ->
+      Channel.reset_stats p.to_switch;
+      Channel.reset_stats p.to_controller)
     t.ports
 
 let retransmissions t = t.retransmissions

@@ -141,7 +141,7 @@ val control_bytes : t -> int
 
 (** {1 Faults and reliability} *)
 
-type loss_stats = {
+type stats = {
   dropped : int;  (** frames the fault injector swallowed *)
   duplicated : int;
   corrupted : int;
@@ -150,8 +150,21 @@ type loss_stats = {
   link_dropped : int;  (** frames killed by an administratively-down link *)
 }
 
-val loss_stats : t -> loss_stats
-(** Aggregated over every channel in both directions. *)
+val stats : t -> stats
+(** Loss counters aggregated over every channel in both directions.
+    Every underlying increment also bumps the process-wide registry
+    ([channel_*], [ctrl_*]), so {!Telemetry.snapshot} agrees. *)
+
+val reset_stats : t -> unit
+(** Zero this control plane's loss, retransmission and degraded-mode
+    counters, including its channels' (registry totals are process-wide
+    and unaffected). *)
+
+type loss_stats = stats
+(** @deprecated Use {!type-stats}. *)
+
+val loss_stats : t -> stats
+(** @deprecated Use {!val-stats}. *)
 
 val retransmissions : t -> int
 val giveups : t -> int

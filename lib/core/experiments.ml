@@ -1062,7 +1062,7 @@ module E_chaos = struct
       t := !t +. step
     done;
     let d = Control_plane.deployment cp in
-    let stats = Control_plane.loss_stats cp in
+    let stats = Control_plane.stats cp in
     let recovered =
       Control_plane.pending_requests cp = 0
       && Control_plane.failed_switches cp = []
@@ -1101,6 +1101,15 @@ module E_chaos = struct
         end
         else { row with replay_identical = true })
       rates
+
+  (* One scenario, no sweep, no replay check: what [difane trace] runs
+     with the trace ring enabled to print the causal timeline. *)
+  let replay_one ?(seed = 42) ?(quick = false) ?(loss = 0.10) ?echo_interval
+      ?retx_timeout ?retx_backoff ?retx_limit () =
+    let cp_config =
+      reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
+    in
+    ignore (scenario ~cp_config ~seed ~quick ~loss)
 
   let print rows =
     Table.print
@@ -1226,7 +1235,7 @@ module E_ha = struct
       t := !t +. step
     done;
     let d = Cluster.deployment cl in
-    let stats = Cluster.loss_stats cl in
+    let stats = Cluster.stats cl in
     let latencies = Cluster.takeover_latencies cl in
     let nth_latency n = match List.nth_opt latencies n with Some l -> l | None -> nan in
     let recovered =
@@ -1272,6 +1281,13 @@ module E_ha = struct
         end
         else { row with replay_identical = true })
       rates
+
+  let replay_one ?(seed = 42) ?(quick = false) ?(loss = 0.10) ?echo_interval
+      ?retx_timeout ?retx_backoff ?retx_limit () =
+    let cp_config =
+      reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
+    in
+    ignore (scenario ~cp_config ~seed ~quick ~loss)
 
   let print rows =
     Table.print

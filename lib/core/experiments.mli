@@ -221,6 +221,20 @@ module E_chaos : sig
       retransmit after 50 ms doubling up to 8 attempts) and are the knobs
       the CLI's [--echo-interval]/[--retx-*] flags thread through. *)
 
+  val replay_one :
+    ?seed:int ->
+    ?quick:bool ->
+    ?loss:float ->
+    ?echo_interval:float ->
+    ?retx_timeout:float ->
+    ?retx_backoff:float ->
+    ?retx_limit:int ->
+    unit ->
+    unit
+  (** Run a single scenario (default: the 10% loss point) for its side
+      effects on the telemetry registry and trace ring — what
+      [difane trace] calls with {!Telemetry.Trace} enabled. *)
+
   val print : row list -> unit
 end
 
@@ -266,6 +280,18 @@ module E_ha : sig
     ?retx_limit:int ->
     unit ->
     row list
+
+  val replay_one :
+    ?seed:int ->
+    ?quick:bool ->
+    ?loss:float ->
+    ?echo_interval:float ->
+    ?retx_timeout:float ->
+    ?retx_backoff:float ->
+    ?retx_limit:int ->
+    unit ->
+    unit
+  (** Run a single HA scenario for its trace/registry side effects. *)
 
   val print : row list -> unit
 end

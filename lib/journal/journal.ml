@@ -48,6 +48,10 @@ let pp_entry ppf = function
 
 type record = { seq : int; at : float; snap : bool; entry : entry }
 
+let m_appends = Telemetry.counter "journal_appends"
+let m_snapshots = Telemetry.counter "journal_snapshots"
+let m_replayed = Telemetry.counter "journal_replayed"
+
 type t = {
   mutable base : record list;  (* snapshot, replay order *)
   mutable tail : record list;  (* appended since, reverse order *)
@@ -60,12 +64,14 @@ let append t ~at entry =
   let seq = t.next_seq in
   t.next_seq <- seq + 1;
   t.tail <- { seq; at; snap = false; entry } :: t.tail;
+  Telemetry.incr m_appends;
   seq
 
 let length t = List.length t.base + List.length t.tail
 let tail_length t = List.length t.tail
 
 let snapshot t ~at entries =
+  Telemetry.incr m_snapshots;
   t.base <-
     List.map
       (fun entry ->
@@ -79,7 +85,12 @@ let records t = t.base @ List.rev t.tail
 
 let entries t = List.map (fun r -> (r.seq, r.at, r.entry)) (records t)
 
-let replay t f = List.iter (fun r -> f r.entry) (records t)
+let replay t f =
+  List.iter
+    (fun r ->
+      Telemetry.incr m_replayed;
+      f r.entry)
+    (records t)
 
 let equal a b =
   let ra = records a and rb = records b in

@@ -10,6 +10,16 @@ type stats = {
 
 let no_stats = { dropped = 0; duplicated = 0; corrupted = 0; reordered = 0; decode_errors = 0 }
 
+(* Registry mirrors, shared by all channels: bumped on the same line as
+   the per-channel fields so the totals cannot drift. *)
+let m_frames = Telemetry.counter "channel_frames"
+let m_bytes = Telemetry.counter "channel_bytes"
+let m_dropped = Telemetry.counter "channel_dropped"
+let m_duplicated = Telemetry.counter "channel_duplicated"
+let m_corrupted = Telemetry.counter "channel_corrupted"
+let m_reordered = Telemetry.counter "channel_reordered"
+let m_decode_errors = Telemetry.counter "channel_decode_errors"
+
 type t = {
   schema : Schema.t;
   latency : float;
@@ -56,15 +66,21 @@ let corrupt_copy token bytes =
 let send t ~now ~xid ?epoch msg =
   let bytes = Message.encode ~xid ?epoch msg in
   t.frames <- t.frames + 1;
+  Telemetry.incr m_frames;
   t.carried <- t.carried + Bytes.length bytes;
+  Telemetry.add m_bytes (Bytes.length bytes);
   match t.fault with
   | None -> enqueue t ~arrives:(now +. t.latency) bytes
   | Some inj -> (
       match Fault.fate inj with
-      | Fault.Lost -> t.stats <- { t.stats with dropped = t.stats.dropped + 1 }
+      | Fault.Lost ->
+          t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+          Telemetry.incr m_dropped
       | Fault.Deliver deliveries ->
-          if List.length deliveries > 1 then
+          if List.length deliveries > 1 then begin
             t.stats <- { t.stats with duplicated = t.stats.duplicated + 1 };
+            Telemetry.incr m_duplicated
+          end;
           List.iter
             (fun (d : Fault.delivery) ->
               let bytes =
@@ -72,11 +88,14 @@ let send t ~now ~xid ?epoch msg =
                 | None -> bytes
                 | Some token ->
                     t.stats <- { t.stats with corrupted = t.stats.corrupted + 1 };
+                    Telemetry.incr m_corrupted;
                     corrupt_copy token bytes
               in
               let held = if d.Fault.held_back then t.latency else 0. in
-              if d.Fault.held_back then
+              if d.Fault.held_back then begin
                 t.stats <- { t.stats with reordered = t.stats.reordered + 1 };
+                Telemetry.incr m_reordered
+              end;
               enqueue t ~arrives:(now +. t.latency +. d.Fault.extra_delay +. held) bytes)
             deliveries)
 
@@ -97,6 +116,7 @@ let poll t ~now =
           (* an undecodable frame is a survivable network condition, not a
              crash: count it and let retransmission recover the payload *)
           t.stats <- { t.stats with decode_errors = t.stats.decode_errors + 1 };
+          Telemetry.incr m_decode_errors;
           acc)
     [] due
 
@@ -105,3 +125,7 @@ let frames_carried t = t.frames
 let bytes_carried t = t.carried
 let latency t = t.latency
 let stats t = t.stats
+let reset_stats t =
+  t.frames <- 0;
+  t.carried <- 0;
+  t.stats <- no_stats

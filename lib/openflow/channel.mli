@@ -46,4 +46,10 @@ val bytes_carried : t -> int
 val latency : t -> float
 
 val stats : t -> stats
-(** Fault counters; all zero on a reliable channel. *)
+(** Fault counters; all zero on a reliable channel.  Every increment
+    also bumps the process-wide [channel_*] registry counters, so
+    {!Telemetry.snapshot} and these accessors agree. *)
+
+val reset_stats : t -> unit
+(** Zero this channel's fault and frame/byte counters (queue contents
+    survive; the registry totals are process-wide and unaffected). *)

@@ -1,5 +1,8 @@
 type kind = Wildcard_splice | Microflow
 
+let m_lookups = Telemetry.counter "cachesim_lookups"
+let m_misses = Telemetry.counter "cachesim_misses"
+
 type result = {
   kind : kind;
   cache_size : int;
@@ -135,6 +138,8 @@ let run_keys kind ~cache_size keys =
     Hashtbl.length seen
   in
   let lookups = Array.length keys in
+  Telemetry.add m_lookups lookups;
+  Telemetry.add m_misses !misses;
   {
     kind;
     cache_size;
@@ -185,6 +190,8 @@ let run_opt_keys kind ~cache_size keys =
     Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
     Hashtbl.length seen
   in
+  Telemetry.add m_lookups n;
+  Telemetry.add m_misses !misses;
   {
     kind;
     cache_size;

@@ -11,6 +11,9 @@ type t = {
   mutable processed : int;
 }
 
+let m_dispatched = Telemetry.counter "engine_events_dispatched"
+let g_queue_peak = Telemetry.gauge "engine_queue_peak"
+
 let dummy = { time = 0.; seq = 0; run = (fun () -> ()) }
 let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.; next_seq = 0; processed = 0 }
 let now t = t.clock
@@ -52,6 +55,7 @@ let schedule t ~at run =
   t.next_seq <- seq + 1;
   t.heap.(t.size) <- { time = at; seq; run };
   t.size <- t.size + 1;
+  Telemetry.set_max g_queue_peak (float_of_int t.size);
   sift_up t (t.size - 1)
 
 let after t ~delay run =
@@ -77,6 +81,7 @@ let run ?(until = infinity) t =
       | Some ev ->
           t.clock <- ev.time;
           t.processed <- t.processed + 1;
+          Telemetry.incr m_dispatched;
           ev.run ();
           loop ()
   in
@@ -84,3 +89,8 @@ let run ?(until = infinity) t =
 
 let pending t = t.size
 let processed t = t.processed
+
+type stats = { processed : int; pending : int }
+
+let stats (t : t) = { processed = t.processed; pending = t.size }
+let reset_stats (t : t) = t.processed <- 0

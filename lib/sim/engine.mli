@@ -29,3 +29,13 @@ val pending : t -> int
 
 val processed : t -> int
 (** Events executed so far. *)
+
+type stats = { processed : int; pending : int }
+
+val stats : t -> stats
+(** Dispatch tallies; the registry mirrors them process-wide as
+    [engine_events_dispatched] and the [engine_queue_peak] high-water
+    gauge. *)
+
+val reset_stats : t -> unit
+(** Zero the processed count (queued events survive). *)

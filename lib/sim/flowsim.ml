@@ -15,6 +15,23 @@ let default_timing =
     install_latency = 0.;
   }
 
+type authority_stat = {
+  switch_id : int;
+  misses_served : int;
+  misses_rejected : int;
+}
+
+(* Registry mirrors for packet outcomes; the first-packet-delay histogram
+   is the registry's view of the per-run Summary. *)
+let m_delivered = Telemetry.counter "sim_packets_delivered"
+let m_cache_hits = Telemetry.counter "sim_cache_hit_packets"
+let m_completed = Telemetry.counter "sim_flows_completed"
+let m_dropped = Telemetry.counter "sim_flows_dropped"
+let m_degraded = Telemetry.counter "sim_degraded_packets"
+let m_install_drops = Telemetry.counter "sim_install_drops"
+let m_outage_drops = Telemetry.counter "sim_outage_drops"
+let h_first_packet = Telemetry.histogram "sim_first_packet_delay"
+
 type result = {
   offered_flows : int;
   completed_flows : int;
@@ -27,7 +44,7 @@ type result = {
   delays : float array;
   miss_delays : float array;
   stretches : float array;
-  authority_stats : (int * int * int) list;
+  authority_stats : authority_stat list;
   degraded_packets : int;
   install_drops : int;
   outage_drops : int;
@@ -106,12 +123,18 @@ let finish ?(authority_stats = []) acc ~offered =
 let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~cache_hit =
   let t = Engine.now engine +. extra_latency in
   acc.delivered <- acc.delivered + 1;
-  if cache_hit then acc.cache_hits <- acc.cache_hits + 1;
+  Telemetry.incr m_delivered;
+  if cache_hit then begin
+    acc.cache_hits <- acc.cache_hits + 1;
+    Telemetry.incr m_cache_hits
+  end;
   if t > acc.last_delivery then acc.last_delivery <- t;
   if t < acc.first_delivery then acc.first_delivery <- t;
   if is_first then begin
     acc.completed <- acc.completed + 1;
+    Telemetry.incr m_completed;
     acc.delays <- (t -. arrival) :: acc.delays;
+    Telemetry.observe h_first_packet (t -. arrival);
     if was_miss then acc.miss_delays <- (t -. arrival) :: acc.miss_delays
   end
 
@@ -188,7 +211,9 @@ let run_difane ?(timing = default_timing) ?faults d flows =
       (* total controller outage on top of total replica loss: the packet
          has nowhere to go — the one genuinely fatal combination *)
       acc.outage <- acc.outage + 1;
-      if is_first then acc.dropped <- acc.dropped + 1
+      Telemetry.incr m_outage_drops;
+      if is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped)
     end
     else
     Engine.after engine ~delay:(timing.controller_rtt /. 2.) (fun () ->
@@ -197,13 +222,15 @@ let run_difane ?(timing = default_timing) ?faults d flows =
               let now = Engine.now engine in
               let o = Deployment.inject d ~now ~ingress:flow.ingress flow.header in
               acc.degraded <- acc.degraded + 1;
+              Telemetry.incr m_degraded;
               deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
                 ~extra_latency:
                   ((timing.controller_rtt /. 2.)
                   +. egress_latency topo ~from:flow.ingress o.Deployment.action)
                 ~cache_hit:false)
         in
-        if (not accepted) && is_first then acc.dropped <- acc.dropped + 1)
+        if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped))
   in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
@@ -213,7 +240,8 @@ let run_difane ?(timing = default_timing) ?faults d flows =
         deliver acc engine ~is_first ~arrival:now
           ~extra_latency:(egress_latency topo ~from:flow.ingress action)
           ~cache_hit:(bank = Switch.Cache_bank)
-    | Switch.Unmatched -> if is_first then acc.dropped <- acc.dropped + 1
+    | Switch.Unmatched -> if is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped)
     | Switch.Tunnel nominal -> (
         match Deployment.resolve_authority d ~ingress:flow.ingress flow.header ~nominal with
         | None -> serve_degraded flow ~is_first
@@ -229,7 +257,8 @@ let run_difane ?(timing = default_timing) ?faults d flows =
                     Switch.serve_miss ~mode:(Deployment.config d).Deployment.cache_mode
                       (Deployment.switch d auth) ~now flow.header
                   with
-                  | None -> if is_first then acc.dropped <- acc.dropped + 1
+                  | None -> if is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped)
                   | Some { Switch.action; cache_rule; origin_id } ->
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
@@ -237,7 +266,10 @@ let run_difane ?(timing = default_timing) ?faults d flows =
                          case later packets of the flow miss again and
                          retrigger the install (the recovery path) *)
                       if install_drop > 0. && Prng.float install_rng < install_drop then
-                        acc.install_drops <- acc.install_drops + 1
+                        begin
+                          acc.install_drops <- acc.install_drops + 1;
+                          Telemetry.incr m_install_drops
+                        end
                       else
                         Engine.after engine ~delay:timing.install_latency (fun () ->
                             ignore
@@ -253,7 +285,8 @@ let run_difane ?(timing = default_timing) ?faults d flows =
                         ~extra_latency:(egress_latency topo ~from:auth action)
                         ~cache_hit:false)
             in
-            if (not accepted) && is_first then acc.dropped <- acc.dropped + 1))
+            if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped)))
   in
   List.iter
     (fun (flow : Traffic.flow) ->
@@ -270,9 +303,12 @@ let run_difane ?(timing = default_timing) ?faults d flows =
   let authority_stats =
     Hashtbl.fold
       (fun auth server acc ->
-        (auth, Server.completed server, Server.rejected server) :: acc)
+        { switch_id = auth;
+          misses_served = Server.completed server;
+          misses_rejected = Server.rejected server }
+        :: acc)
       servers []
-    |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+    |> List.sort (fun a b -> Int.compare a.switch_id b.switch_id)
   in
   finish ~authority_stats acc ~offered:(List.length flows)
 
@@ -306,7 +342,8 @@ let run_nox ?(timing = default_timing) n flows =
                       +. egress_latency topo ~from:flow.ingress o.Nox.action)
                     ~cache_hit:false)
             in
-            if (not accepted) && is_first then acc.dropped <- acc.dropped + 1)
+            if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped))
   in
   List.iter
     (fun (flow : Traffic.flow) ->

@@ -36,6 +36,12 @@ val default_timing : timing
 (** 1.25 µs authority service, 20 µs controller service, 10 ms RTT,
     queue 2000, instantaneous installs. *)
 
+type authority_stat = {
+  switch_id : int;
+  misses_served : int;  (** misses this authority's setup server completed *)
+  misses_rejected : int;  (** misses lost to its full setup queue *)
+}
+
 type result = {
   offered_flows : int;
   completed_flows : int;  (** first packet delivered *)
@@ -52,10 +58,10 @@ type result = {
       (** first-packet delays of flows whose first packet required setup —
           the paper's flow-setup RTT *)
   stretches : float array;  (** per-miss path stretch (DIFANE only) *)
-  authority_stats : (int * int * int) list;
-      (** per-authority-switch [(switch, misses served, misses rejected)],
-          DIFANE only — verifies the load balance behind the scaling
-          figure *)
+  authority_stats : authority_stat list;
+      (** per-authority-switch miss-service tallies, ascending by
+          [switch_id], DIFANE only — verifies the load balance behind
+          the scaling figure *)
   degraded_packets : int;
       (** packets served through the controller fallback because no
           replica of their partition was alive (fault runs only) *)

@@ -1,11 +1,23 @@
 type bank_hit = Cache_bank | Authority_bank
 type verdict = Local of Action.t * bank_hit | Tunnel of int | Unmatched
 
-type counters = {
+type stats = {
   cache_hits : int64;
   authority_hits : int64;
   tunnelled : int64;
   unmatched : int64;
+}
+
+type counters = stats
+
+(* Per-switch registry handles, created once at [create]: increments on
+   the packet path are plain field writes, no lookup, no allocation. *)
+type tele = {
+  m_cache_hits : Telemetry.counter;
+  m_authority_hits : Telemetry.counter;
+  m_tunnelled : Telemetry.counter;
+  m_unmatched : Telemetry.counter;
+  m_stale_rejected : Telemetry.counter;
 }
 
 type t = {
@@ -36,11 +48,13 @@ type t = {
   mutable authority_hits : int64;
   mutable tunnelled : int64;
   mutable unmatched : int64;
+  tele : tele;
 }
 
 let cache_rule_base = 2_000_000
 
 let create ~id ~cache_capacity =
+  let labels = [ ("switch", string_of_int id) ] in
   {
     id;
     cache = Tcam.create ~capacity:cache_capacity;
@@ -62,6 +76,14 @@ let create ~id ~cache_capacity =
     authority_hits = 0L;
     tunnelled = 0L;
     unmatched = 0L;
+    tele =
+      {
+        m_cache_hits = Telemetry.counter ~labels "switch_cache_hits";
+        m_authority_hits = Telemetry.counter ~labels "switch_authority_hits";
+        m_tunnelled = Telemetry.counter ~labels "switch_tunnelled";
+        m_unmatched = Telemetry.counter ~labels "switch_unmatched";
+        m_stale_rejected = Telemetry.counter ~labels "switch_stale_rejected";
+      };
   }
 
 let id t = t.id
@@ -210,6 +232,7 @@ let handle_control ?(xid = 0) ?(epoch = 0) t ~now msg =
   end;
   if epoch <> 0 && epoch < t.epoch then begin
     t.stale_rejected <- t.stale_rejected + 1;
+    Telemetry.incr t.tele.m_stale_rejected;
     ack xid
   end
   else
@@ -236,6 +259,7 @@ let process t ~now h =
   match Tcam.lookup t.cache ~now h with
   | Some r ->
       t.cache_hits <- Int64.add t.cache_hits 1L;
+      Telemetry.incr t.tele.m_cache_hits;
       (match Hashtbl.find_opt t.cache_origin r.Rule.id with
       | Some origin -> bump t.origin_hits origin 1L
       | None -> ());
@@ -244,15 +268,18 @@ let process t ~now h =
       match authority_lookup t h with
       | Some (_, r) ->
           t.authority_hits <- Int64.add t.authority_hits 1L;
+          Telemetry.incr t.tele.m_authority_hits;
           bump t.origin_hits r.Rule.id 1L;
           Local (r.Rule.action, Authority_bank)
       | None -> (
           match List.find_opt (fun (r : Rule.t) -> Rule.matches r h) t.partition_bank with
           | Some { Rule.action = Action.To_authority a; _ } ->
               t.tunnelled <- Int64.add t.tunnelled 1L;
+              Telemetry.incr t.tele.m_tunnelled;
               Tunnel a
           | Some _ | None ->
               t.unmatched <- Int64.add t.unmatched 1L;
+              Telemetry.incr t.tele.m_unmatched;
               Unmatched))
 
 type miss_reply = { action : Action.t; cache_rule : Rule.t; origin_id : int }
@@ -278,6 +305,7 @@ let serve_miss ?(mode = `Spliced) t ~now h =
              against the origin rule like any other hit, and against the
              partition for load rebalancing *)
           t.authority_hits <- Int64.add t.authority_hits 1L;
+          Telemetry.incr t.tele.m_authority_hits;
           bump t.origin_hits piece.origin.Rule.id 1L;
           bump t.partition_hits p.Partitioner.pid 1L;
           let next_id () =
@@ -392,7 +420,7 @@ let aggregate_counters t =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.origin_hits []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let counters t =
+let stats t =
   {
     cache_hits = t.cache_hits;
     authority_hits = t.authority_hits;
@@ -400,13 +428,16 @@ let counters t =
     unmatched = t.unmatched;
   }
 
-let reset_counters t =
+let reset_stats t =
   t.cache_hits <- 0L;
   t.authority_hits <- 0L;
   t.tunnelled <- 0L;
   t.unmatched <- 0L;
   Hashtbl.reset t.origin_hits;
   Hashtbl.reset t.partition_hits
+
+let counters = stats
+let reset_counters = reset_stats
 
 let pp ppf t =
   Format.fprintf ppf "switch %d: cache %d/%d, %d authority partitions, %d partition rules"

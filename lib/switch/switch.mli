@@ -152,13 +152,28 @@ val partition_load : t -> (int * int64) list
 (** Misses this switch has served per partition id — the measurement the
     controller's traffic-aware rebalancing consumes (paper §5). *)
 
-type counters = {
+type stats = {
   cache_hits : int64;
   authority_hits : int64;
   tunnelled : int64;
   unmatched : int64;
 }
 
-val counters : t -> counters
+val stats : t -> stats
+(** Per-switch packet-verdict tallies since the last {!reset_stats}.
+    Every increment also bumps the process-wide registry (labelled
+    [switch=<id>]), so {!Telemetry.snapshot} and this accessor agree. *)
+
+val reset_stats : t -> unit
+(** Also clears the per-origin and per-partition hit breakdowns. *)
+
+type counters = stats
+(** @deprecated Use {!type-stats}. *)
+
+val counters : t -> stats
+(** @deprecated Use {!val-stats}. *)
+
 val reset_counters : t -> unit
+(** @deprecated Use {!reset_stats}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,3 +1,10 @@
+(* Registry mirrors: bumped on the same line as the per-bank fields, so
+   the process-wide totals cannot drift from the sum of per-bank stats. *)
+let m_hits = Telemetry.counter "tcam_hits"
+let m_misses = Telemetry.counter "tcam_misses"
+let m_inserts = Telemetry.counter "tcam_inserts"
+let m_evictions = Telemetry.counter "tcam_evictions"
+
 type entry = {
   rule : Rule.t;
   installed_at : float;
@@ -56,6 +63,7 @@ let insert ?idle_timeout ?hard_timeout t ~now rule =
     if existed then t.table <- List.filter (fun e -> e.rule.Rule.id <> rule.Rule.id) t.table;
     t.table <- insert_sorted t.table (make_entry ?idle_timeout ?hard_timeout ~now rule);
     t.inserts <- Int64.add t.inserts 1L;
+    Telemetry.incr m_inserts;
     if existed then `Replaced else `Ok
   end
 
@@ -70,6 +78,7 @@ let evict_lru t =
       in
       t.table <- List.filter (fun e -> e != victim) t.table;
       t.evictions <- Int64.add t.evictions 1L;
+      Telemetry.incr m_evictions;
       Some victim
 
 let insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule =
@@ -108,6 +117,7 @@ let expire_entries t ~now =
   let gone, kept = List.partition (expired ~now) t.table in
   t.table <- kept;
   t.evictions <- Int64.add t.evictions (Int64.of_int (List.length gone));
+  Telemetry.add m_evictions (List.length gone);
   gone
 
 let expire t ~now = List.map (fun e -> e.rule) (expire_entries t ~now)
@@ -119,9 +129,11 @@ let lookup t ~now ?(bytes = 64) h =
       e.packets <- Int64.add e.packets 1L;
       e.bytes <- Int64.add e.bytes (Int64.of_int bytes);
       t.hits <- Int64.add t.hits 1L;
+      Telemetry.incr m_hits;
       Some e.rule
   | None ->
       t.misses <- Int64.add t.misses 1L;
+      Telemetry.incr m_misses;
       None
 
 let peek t h =

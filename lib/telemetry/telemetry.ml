@@ -1,0 +1,304 @@
+type counter = { mutable n : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length bounds + 1; last is the +inf bucket *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type cell = C of counter | G of gauge | H of histogram
+
+(* Keyed by name + canonical (sorted) labels; the key also fixes snapshot
+   order, so it doubles as the determinism guarantee. *)
+type registered = { name : string; labels : (string * string) list; cell : cell }
+
+let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let key name labels =
+  String.concat "\x00" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name labels make check =
+  let labels = canon_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt registry k with
+  | Some r -> (
+      match check r.cell with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Telemetry: %S is already registered as a %s" name
+               (kind_name r.cell)))
+  | None ->
+      let cell, v = make () in
+      Hashtbl.replace registry k { name; labels; cell };
+      v
+
+let counter ?(labels = []) name =
+  register name labels
+    (fun () ->
+      let c = { n = 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let incr c = c.n <- c.n + 1
+let add c n = c.n <- c.n + n
+let value c = c.n
+
+let gauge ?(labels = []) name =
+  register name labels
+    (fun () ->
+      let g = { g = 0. } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let set g v = g.g <- v
+let set_max g v = if v > g.g then g.g <- v
+let gauge_value g = g.g
+
+(* 1 µs .. 4^13 µs ≈ 134 s, log-spaced: wide enough for everything from a
+   lookup to a whole chaos run without per-site tuning. *)
+let default_buckets = Array.init 14 (fun i -> 1e-6 *. (4. ** float_of_int i))
+
+let histogram ?(labels = []) ?(buckets = default_buckets) name =
+  register name labels
+    (fun () ->
+      let n = Array.length buckets in
+      for i = 1 to n - 1 do
+        if buckets.(i) <= buckets.(i - 1) then
+          invalid_arg "Telemetry.histogram: bucket bounds must be strictly increasing"
+      done;
+      let h =
+        { bounds = Array.copy buckets; counts = Array.make (n + 1) 0; sum = 0.; count = 0 }
+      in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+type value_kind =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : (float * int) list; count : int; sum : float }
+
+type sample = { name : string; labels : (string * string) list; v : value_kind }
+
+let compare_labels a b =
+  compare (List.map (fun (k, v) -> (k, v)) a) (List.map (fun (k, v) -> (k, v)) b)
+
+let snapshot () =
+  Hashtbl.fold
+    (fun _ r acc ->
+      let v =
+        match r.cell with
+        | C c -> Counter c.n
+        | G g -> Gauge g.g
+        | H h ->
+            let cum = ref 0 in
+            let buckets =
+              List.init
+                (Array.length h.counts)
+                (fun i ->
+                  cum := !cum + h.counts.(i);
+                  let bound =
+                    if i < Array.length h.bounds then h.bounds.(i) else infinity
+                  in
+                  (bound, !cum))
+            in
+            Histogram { buckets; count = h.count; sum = h.sum }
+      in
+      { name = r.name; labels = r.labels; v } :: acc)
+    registry []
+  |> List.sort (fun a b ->
+         match String.compare a.name b.name with
+         | 0 -> compare_labels a.labels b.labels
+         | c -> c)
+
+let counter_total samples name =
+  List.fold_left
+    (fun acc s ->
+      match s.v with Counter n when s.name = name -> acc + n | _ -> acc)
+    0 samples
+
+let find samples ?labels name =
+  List.find_map
+    (fun s ->
+      if s.name = name
+         && match labels with None -> true | Some l -> s.labels = canon_labels l
+      then Some s.v
+      else None)
+    samples
+
+(* ---- trace ring buffer ---- *)
+
+module Trace = struct
+  type event = { at : float; dur : float; name : string; detail : string }
+
+  let dummy = { at = 0.; dur = 0.; name = ""; detail = "" }
+
+  type state = {
+    mutable on : bool;
+    mutable ring : event array;
+    mutable next : int;  (* total emitted; next slot = next mod capacity *)
+  }
+
+  let st = { on = false; ring = [||]; next = 0 }
+
+  let enable ?(capacity = 4096) () =
+    if capacity < 1 then invalid_arg "Telemetry.Trace.enable: capacity < 1";
+    st.on <- true;
+    st.ring <- Array.make capacity dummy;
+    st.next <- 0
+
+  let disable () = st.on <- false
+  let enabled () = st.on
+
+  let clear () =
+    Array.fill st.ring 0 (Array.length st.ring) dummy;
+    st.next <- 0
+
+  let span ~at ~dur ~name detail =
+    if st.on then begin
+      st.ring.(st.next mod Array.length st.ring) <- { at; dur; name; detail };
+      st.next <- st.next + 1
+    end
+
+  let event ~at ~name detail = span ~at ~dur:0. ~name detail
+  let emitted () = st.next
+
+  let events () =
+    let cap = Array.length st.ring in
+    if cap = 0 then []
+    else begin
+      let n = min st.next cap in
+      let first = if st.next <= cap then 0 else st.next mod cap in
+      List.init n (fun i -> st.ring.((first + i) mod cap))
+    end
+
+  let pp_timeline ppf () =
+    let evs = events () in
+    if evs = [] then Format.fprintf ppf "(trace empty)@."
+    else begin
+      let dropped = emitted () - List.length evs in
+      if dropped > 0 then Format.fprintf ppf "... %d earlier events overwritten@." dropped;
+      List.iter
+        (fun e ->
+          if e.dur > 0. then
+            Format.fprintf ppf "%10.3f  %-10s %s [%.3fs]@." e.at e.name e.detail e.dur
+          else Format.fprintf ppf "%10.3f  %-10s %s@." e.at e.name e.detail)
+        evs
+    end
+end
+
+let reset () =
+  Hashtbl.iter
+    (fun _ r ->
+      match r.cell with
+      | C c -> c.n <- 0
+      | G g -> g.g <- 0.
+      | H h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.sum <- 0.;
+          h.count <- 0)
+    registry;
+  if Array.length Trace.st.Trace.ring > 0 then Trace.clear ()
+
+(* ---- rendering ---- *)
+
+let pp_labels ppf labels =
+  if labels <> [] then
+    Format.fprintf ppf "{%s}"
+      (String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels))
+
+let pp_text ppf samples =
+  List.iter
+    (fun s ->
+      match s.v with
+      | Counter n -> Format.fprintf ppf "%s%a %d@." s.name pp_labels s.labels n
+      | Gauge g -> Format.fprintf ppf "%s%a %g@." s.name pp_labels s.labels g
+      | Histogram { buckets; count; sum } ->
+          Format.fprintf ppf "%s%a count=%d sum=%g@." s.name pp_labels s.labels count sum;
+          List.iter
+            (fun (bound, cum) ->
+              if cum > 0 then
+                if Float.is_integer (Float.round bound) && bound < 1e15 then
+                  Format.fprintf ppf "  le=%g %d@." bound cum
+                else Format.fprintf ppf "  le=%.3g %d@." bound cum)
+            buckets)
+    samples
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_nan f then "null"
+  else if f = infinity then "\"+inf\""
+  else if f = neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" f
+
+let to_json samples =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"schema\":\"difane-metrics-v1\",\"metrics\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "{\"name\":\"%s\"" (json_escape s.name));
+      if s.labels <> [] then begin
+        Buffer.add_string b ",\"labels\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+          s.labels;
+        Buffer.add_char b '}'
+      end;
+      (match s.v with
+      | Counter n ->
+          Buffer.add_string b (Printf.sprintf ",\"type\":\"counter\",\"value\":%d" n)
+      | Gauge g ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"type\":\"gauge\",\"value\":%s" (json_float g))
+      | Histogram { buckets; count; sum } ->
+          Buffer.add_string b
+            (Printf.sprintf ",\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":["
+               count (json_float sum));
+          List.iteri
+            (fun j (bound, cum) ->
+              if j > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "{\"le\":%s,\"count\":%d}" (json_float bound) cum))
+            buckets;
+          Buffer.add_char b ']');
+      Buffer.add_char b '}')
+    samples;
+  Buffer.add_string b "]}";
+  Buffer.contents b

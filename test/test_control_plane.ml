@@ -273,7 +273,7 @@ let test_lossy_push_converges () =
   in
   Control_plane.push_deployment cp ~now:0.;
   drive cp ~from:0.005 ~until:3. ~step:0.005;
-  let stats = Control_plane.loss_stats cp in
+  let stats = Control_plane.stats cp in
   check Alcotest.bool "channel really was lossy" true (stats.Control_plane.dropped > 0);
   check Alcotest.bool "retransmissions happened" true
     (Control_plane.retransmissions cp > 0);

@@ -90,7 +90,7 @@ let test_lifecycle () =
   (* Phase 6: global counter conservation across the whole life. *)
   Array.iter
     (fun sw ->
-      let c = Switch.counters sw in
+      let c = Switch.stats sw in
       if Int64.compare c.Switch.unmatched 0L > 0 then
         Alcotest.failf "switch %d saw unmatched packets" (Switch.id sw))
     (Deployment.switches !d)

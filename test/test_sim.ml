@@ -259,7 +259,8 @@ let test_authority_stats_balanced () =
   in
   let r = Flowsim.run_difane d flows in
   match r.Flowsim.authority_stats with
-  | [ (a1, c1, _); (a2, c2, _) ] ->
+  | [ { Flowsim.switch_id = a1; misses_served = c1; _ };
+      { Flowsim.switch_id = a2; misses_served = c2; _ } ] ->
       check Alcotest.bool "both authorities used" true (a1 <> a2 && c1 > 0 && c2 > 0);
       check Alcotest.int "conservation" 2000 (c1 + c2);
       let skew = Float.abs (float_of_int (c1 - c2)) /. 2000. in

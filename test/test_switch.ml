@@ -71,7 +71,7 @@ let test_counters_and_origins () =
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int64)) "aggregated"
     [ (1, 2L) ]
     (Switch.aggregate_counters ingress);
-  let c = Switch.counters ingress in
+  let c = Switch.stats ingress in
   check Alcotest.int64 "cache hits" 2L c.Switch.cache_hits
 
 let test_cache_expiry () =
@@ -124,7 +124,7 @@ let test_partition_load_counting () =
   let loads = Switch.partition_load auth in
   let total = List.fold_left (fun acc (_, n) -> Int64.add acc n) 0L loads in
   check Alcotest.int64 "three misses counted" 3L total;
-  Switch.reset_counters auth;
+  Switch.reset_stats auth;
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int64)) "reset clears" []
     (Switch.partition_load auth)
 
