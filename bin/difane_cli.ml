@@ -466,6 +466,59 @@ let trace_cmd =
       const run $ seed_arg $ quick_arg $ scenario_arg $ loss_arg $ capacity_arg
       $ echo_interval_arg $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg)
 
+let monitor_cmd =
+  let sample_rate_arg =
+    let doc = "Flow sampling rate: account every Nth packet (NetFlow-style 1-in-N)." in
+    Arg.(value & opt int 1 & info [ "sample-rate" ] ~docv:"N" ~doc)
+  in
+  let interval_arg =
+    let doc =
+      "Time-series sampling interval in simulated seconds (default: 1/20 of the run)."
+    in
+    Arg.(value & opt (some float) None & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Hotspot threshold as a multiple of the fair per-authority share." in
+    Arg.(value & opt float 1.5 & info [ "threshold" ] ~docv:"X" ~doc)
+  in
+  let top_k_arg =
+    let doc = "Heavy-hitter rules to report." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the monitor report as a difane-monitor-v1 JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let flows_out_arg =
+    let doc = "Write the sampled flow records (difane-flows-v1 JSON) to this file." in
+    Arg.(value & opt (some string) None & info [ "flows-out" ] ~docv:"FILE" ~doc)
+  in
+  let run seed quick alpha sample_rate interval threshold top_k json flows_out =
+    (* per-run registry view, same contract as --metrics *)
+    Telemetry.reset ();
+    let m, _ =
+      Experiments.E_mon.run_monitored ~seed ~quick ~alpha ~sample_rate ?interval
+        ~threshold ~top_k ()
+    in
+    if json then print_endline (Monitor.to_json m)
+    else Format.printf "%a%!" Monitor.pp m;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (Flow_records.to_json (Monitor.flow_records m));
+        output_char oc '\n';
+        close_out oc;
+        Format.eprintf "flow records written to %s@." path)
+      flows_out
+  in
+  let doc =
+    "Run the monitored skewed-Zipf scenario and report heavy-hitter rules with      provenance chains, per-region cache efficacy, the per-authority load timeline      and any authority hotspots.  Deterministic for a fixed seed."
+  in
+  Cmd.v (Cmd.info "monitor" ~doc)
+    Term.(
+      const run $ seed_arg $ quick_arg $ alpha_arg $ sample_rate_arg $ interval_arg
+      $ threshold_arg $ top_k_arg $ json_arg $ flows_out_arg)
+
 let experiments =
   [
     experiment "table1" "Rule-set characteristics (Table 1)" (fun ~seed ~quick ->
@@ -495,6 +548,9 @@ let experiments =
     chaos_cmd;
     ha_cmd;
     trace_cmd;
+    monitor_cmd;
+    experiment "monitor-report" "Flow monitoring: heavy hitters, hotspots, determinism"
+      (fun ~seed ~quick -> Experiments.E_mon.print (Experiments.E_mon.run ~seed ~quick ()));
     experiment "all" "Run every experiment in DESIGN.md order" (fun ~seed ~quick ->
         Experiments.run_all ~seed ~quick ());
     check_cmd;

@@ -174,8 +174,8 @@ let pending_requests t = Control_plane.pending_requests t.cp
 
 let stats t =
   List.fold_left
-    (fun (acc : Control_plane.loss_stats) cp ->
-      let s = Control_plane.loss_stats cp in
+    (fun (acc : Control_plane.stats) cp ->
+      let s = Control_plane.stats cp in
       {
         Control_plane.dropped = acc.Control_plane.dropped + s.Control_plane.dropped;
         duplicated = acc.Control_plane.duplicated + s.Control_plane.duplicated;
@@ -194,7 +194,6 @@ let stats t =
     }
     (all_cps t)
 
-let loss_stats = stats
 let reset_stats t = List.iter Control_plane.reset_stats (all_cps t)
 
 let stale_rejected t =

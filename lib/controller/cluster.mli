@@ -117,9 +117,6 @@ val reset_stats : t -> unit
 (** Reset the loss/retransmission counters of every seated control
     plane (election, takeover and journal history survive). *)
 
-val loss_stats : t -> Control_plane.stats
-(** @deprecated Use {!val-stats}. *)
-
 val cluster_log : t -> (float * string) list
 (** Timestamped elections, crashes, snapshots and fencing records, in
     time order — with the leader's {!Control_plane.fault_log}, the

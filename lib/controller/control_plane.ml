@@ -53,7 +53,6 @@ type stats = {
   link_dropped : int;
 }
 
-type loss_stats = stats
 
 (* Registry mirrors: bumped on the same line as the per-plane fields, so
    process-wide totals track the sum over all control planes exactly. *)
@@ -639,7 +638,6 @@ let stats t =
       link_dropped = t.link_dropped }
     t.ports
 
-let loss_stats = stats
 
 let reset_stats t =
   t.retransmissions <- 0;

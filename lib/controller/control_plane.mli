@@ -160,12 +160,6 @@ val reset_stats : t -> unit
     counters, including its channels' (registry totals are process-wide
     and unaffected). *)
 
-type loss_stats = stats
-(** @deprecated Use {!type-stats}. *)
-
-val loss_stats : t -> stats
-(** @deprecated Use {!val-stats}. *)
-
 val retransmissions : t -> int
 val giveups : t -> int
 (** Requests abandoned after [retx_limit] retransmissions. *)

@@ -231,9 +231,12 @@ let controller_fallback d ~now ~ingress h =
       (exact_pred (Classifier.schema d.policy) h)
       action
   in
+  (* the controller still knows which region the header falls in, so even
+     degraded installs carry the full (origin, pid) provenance pair *)
+  let pid = (Partitioner.find d.partitioner h).Partitioner.pid in
   ignore
     (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
-       ?hard_timeout:d.config.cache_hard_timeout ?origin_id:origin sw ~now rule);
+       ?hard_timeout:d.config.cache_hard_timeout ?origin_id:origin ~pid sw ~now rule);
   let path, latency = deliver d.topology ~from:ingress action in
   { action; path; latency; cache_hit = false; authority = None;
     installed = Some rule; degraded = true }
@@ -271,10 +274,11 @@ let inject d ~now ~ingress h =
                  the packet through the controller rather than dropping *)
               let o = controller_fallback d ~now ~ingress h in
               { o with path = join p1 o.path; latency = l1 +. o.latency }
-          | Some { Switch.action; cache_rule; origin_id } ->
+          | Some { Switch.action; cache_rule; origin_id; pid } ->
               ignore
                 (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
-                   ?hard_timeout:d.config.cache_hard_timeout ~origin_id sw ~now cache_rule);
+                   ?hard_timeout:d.config.cache_hard_timeout ~origin_id ~pid sw ~now
+                   cache_rule);
               let p2, l2 = deliver d.topology ~from:auth action in
               {
                 action;

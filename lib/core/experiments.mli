@@ -296,5 +296,46 @@ module E_ha : sig
   val print : row list -> unit
 end
 
+(** Supplementary: flow-level monitoring on a skewed Zipf workload.  A
+    star of edge switches feeds three authority switches through small
+    ingress caches, so the hot rules' regions keep missing and the
+    authority that owns them runs hot.  The run is monitored end to end
+    ({!Monitor}): it reports the top heavy-hitter rules with their
+    provenance chains (policy rule → partition → authority switch),
+    dead rules, per-region cache efficacy, the per-authority load
+    timeline and every hotspot window flagged — then replays the same
+    seed and checks the exported [difane-flows-v1] document is
+    bit-identical. *)
+module E_mon : sig
+  type report = {
+    packets : int;
+    hit_rate : float;
+    sampled : int;  (** packets the flow sampler saw *)
+    exported : int;  (** flow records exported *)
+    heavy : Monitor.rule_report list;  (** top 5 by total hits *)
+    dead : int;  (** policy rules never hit *)
+    regions : Monitor.region_report list;
+    hotspot_windows : int;  (** sampler windows with a flagged authority *)
+    worst : Hotspot.event option;
+    replay_identical : bool;  (** flow export bit-identical across replays *)
+  }
+
+  val run_monitored :
+    ?seed:int ->
+    ?quick:bool ->
+    ?alpha:float ->
+    ?sample_rate:int ->
+    ?interval:float ->
+    ?threshold:float ->
+    ?top_k:int ->
+    unit ->
+    Monitor.t * Flowsim.result
+  (** One monitored run of the scenario — the hook [difane monitor]
+      drives directly, with the monitor left full of the run's data. *)
+
+  val run : ?seed:int -> ?quick:bool -> unit -> report
+  val print : report -> unit
+end
+
 val run_all : ?seed:int -> ?quick:bool -> unit -> unit
 (** Run and print every experiment in DESIGN.md order. *)

@@ -98,9 +98,9 @@ let packet ?(config = default_config) ~routing ~switch ~now ~ingress header =
         | `Arrived -> (
             match Switch.serve_miss ~mode:config.cache_mode (switch authority) ~now header with
             | None -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
-            | Some { Switch.action; cache_rule; origin_id } ->
+            | Some { Switch.action; cache_rule; origin_id; pid } ->
                 ignore
                   (Switch.install_cache_rule ?idle_timeout:config.cache_idle_timeout
-                     ?hard_timeout:config.cache_hard_timeout ~origin_id ingress_sw ~now
-                     cache_rule);
+                     ?hard_timeout:config.cache_hard_timeout ~origin_id ~pid ingress_sw
+                     ~now cache_rule);
                 deliver_action w action))

@@ -1,0 +1,73 @@
+type event = {
+  window_start : float;
+  window_end : float;
+  switch_id : int;
+  load : float;
+  total : float;
+  share : float;
+  ratio : float;
+}
+
+let detect ?(threshold = 1.5) ?(min_load = 1.) series =
+  if threshold <= 1.0 then invalid_arg "Hotspot.detect: threshold <= 1.0";
+  let series = List.sort (fun (a, _) (b, _) -> Int.compare a b) series in
+  let n = List.length series in
+  if n = 0 then []
+  else begin
+    let windows =
+      List.fold_left (fun m (_, pts) -> max m (Array.length pts)) 0 series
+    in
+    (* timestamps from the longest series; all series share boundaries *)
+    let times =
+      match List.find_opt (fun (_, pts) -> Array.length pts = windows) series with
+      | Some (_, pts) -> Array.map (fun (p : Sampler.point) -> p.Sampler.at) pts
+      | None -> [||]
+    in
+    (* cumulative value of a series at window [w]; flat past its end,
+       zero before its start (counters are baselined at track time) *)
+    let value pts w =
+      let len = Array.length pts in
+      if w < 0 || len = 0 then 0.
+      else if w >= len then pts.(len - 1).Sampler.v
+      else pts.(w).Sampler.v
+    in
+    let fair = 1. /. float_of_int n in
+    let events = ref [] in
+    for w = 0 to windows - 1 do
+      let deltas =
+        List.map (fun (id, pts) -> (id, value pts w -. value pts (w - 1))) series
+      in
+      let total = List.fold_left (fun acc (_, d) -> acc +. d) 0. deltas in
+      if total >= min_load then
+        List.iter
+          (fun (id, load) ->
+            let share = load /. total in
+            if share > threshold *. fair then
+              events :=
+                {
+                  window_start = (if w = 0 then 0. else times.(w - 1));
+                  window_end = times.(w);
+                  switch_id = id;
+                  load;
+                  total;
+                  share;
+                  ratio = share /. fair;
+                }
+                :: !events)
+          deltas
+    done;
+    List.rev !events
+  end
+
+let worst events =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | None -> Some e
+      | Some best -> if e.ratio > best.ratio then Some e else acc)
+    None events
+
+let pp_event ppf e =
+  Format.fprintf ppf
+    "[%.9g..%.9g] switch %d served %.9g of %.9g misses (share %.3f, %.2fx fair)"
+    e.window_start e.window_end e.switch_id e.load e.total e.share e.ratio

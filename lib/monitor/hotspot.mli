@@ -1,0 +1,39 @@
+(** Online authority hotspot detection.
+
+    DIFANE's partitioner promises balanced authority load ({e in
+    aggregate}); skewed traffic can still pile misses onto one authority
+    switch for stretches of a run that end-of-run totals average away.
+    The detector replays the sampler's per-authority load timelines
+    window by window: in each inter-sample window it computes every
+    switch's share of the misses served and flags those whose share
+    exceeds [threshold] times the fair share ([1/n]).  Windows with
+    fewer than [min_load] total misses are skipped — an idle network has
+    no hotspots, only noise. *)
+
+type event = {
+  window_start : float;
+  window_end : float;
+  switch_id : int;
+  load : float;  (** this switch's misses in the window *)
+  total : float;  (** all switches' misses in the window *)
+  share : float;  (** [load / total] *)
+  ratio : float;  (** [share / (1/n)] — 1.0 is exactly fair *)
+}
+
+val detect :
+  ?threshold:float ->
+  ?min_load:float ->
+  (int * Sampler.point array) list ->
+  event list
+(** [detect series] over per-switch {e cumulative} load timelines
+    sampled at common boundaries (as one {!Sampler.t} produces).
+    [threshold] defaults to 1.5 (50% over fair share), [min_load] to
+    1.0.  Events are ordered by window, then switch id.  Series shorter
+    than the longest are treated as flat at their last value.
+    @raise Invalid_argument if [threshold <= 1.0]. *)
+
+val worst : event list -> event option
+(** The event with the highest ratio (ties: earliest window, lowest
+    switch id) — the headline number for reports. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,320 @@
+type config = {
+  flow : Flow_records.config;
+  interval : float;
+  capacity : int;
+  threshold : float;
+  min_load : float;
+  top_k : int;
+}
+
+let default_config =
+  {
+    flow = Flow_records.default_config;
+    interval = 0.05;
+    capacity = 1024;
+    threshold = 1.5;
+    min_load = 1.;
+    top_k = 10;
+  }
+
+type t = {
+  cfg : config;
+  d : Deployment.t;
+  flows : Flow_records.t;
+  sampler : Sampler.t;
+  mutable last_sweep : float;
+}
+
+let switch_labels id = [ ("switch", string_of_int id) ]
+
+let create ?(config = default_config) d =
+  let sampler = Sampler.create ~capacity:config.capacity ~interval:config.interval () in
+  (* authority load drives the hotspot detector; occupancy and the
+     simulator's delivery counters round out the timeline report *)
+  List.iter
+    (fun id -> Sampler.track_counter sampler ~labels:(switch_labels id)
+        "switch_authority_hits")
+    (Deployment.authority_ids d);
+  Array.iter
+    (fun sw -> Sampler.track_gauge sampler ~labels:(switch_labels (Switch.id sw))
+        "switch_cache_occupancy")
+    (Deployment.switches d);
+  Sampler.track_counter sampler "sim_packets_delivered";
+  Sampler.track_counter sampler "sim_cache_hit_packets";
+  {
+    cfg = config;
+    d;
+    flows = Flow_records.create ~config:config.flow ();
+    sampler;
+    last_sweep = 0.;
+  }
+
+let config t = t.cfg
+let flow_records t = t.flows
+let sampler t = t.sampler
+
+let observe_packet t ~now ~ingress header =
+  Flow_records.observe t.flows ~now ~ingress header;
+  Sampler.tick t.sampler ~now;
+  (* piggyback flow-cache aging on the sampler cadence so idle flows
+     export near their deadline instead of all at the end *)
+  if now -. t.last_sweep >= t.cfg.interval then begin
+    Flow_records.sweep t.flows ~now;
+    t.last_sweep <- now
+  end
+
+let finish t ~now =
+  Sampler.finish t.sampler ~now;
+  Flow_records.flush t.flows ~now
+
+(* {2 Rule attribution} *)
+
+type rule_report = {
+  rule_id : int;
+  priority : int;
+  partitions : (int * int) list;
+  cache_hits : int64;
+  authority_hits : int64;
+}
+
+let rule_total r = Int64.add r.cache_hits r.authority_hits
+
+(* pid -> authority switch, and rule id -> the partitions holding a clip
+   of it: the static half of the provenance chain *)
+let chain_of t rule_id =
+  let asg = Deployment.assignment t.d in
+  (Deployment.partitioner t.d).Partitioner.partitions
+  |> List.filter_map (fun (p : Partitioner.partition) ->
+         match Classifier.find p.Partitioner.table rule_id with
+         | Some _ -> Some (p.Partitioner.pid, Assignment.switch_for asg p.Partitioner.pid)
+         | None -> None)
+
+let rule_reports t =
+  let cache = Hashtbl.create 64 and auth = Hashtbl.create 64 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (Int64.add v (Option.value ~default:0L (Hashtbl.find_opt tbl k)))
+  in
+  Array.iter
+    (fun sw ->
+      List.iter
+        (fun (id, c, a) ->
+          bump cache id c;
+          bump auth id a)
+        (Switch.origin_breakdown sw))
+    (Deployment.switches t.d);
+  Classifier.rules (Deployment.policy t.d)
+  |> List.map (fun (r : Rule.t) ->
+         {
+           rule_id = r.Rule.id;
+           priority = r.Rule.priority;
+           partitions = chain_of t r.Rule.id;
+           cache_hits = Option.value ~default:0L (Hashtbl.find_opt cache r.Rule.id);
+           authority_hits = Option.value ~default:0L (Hashtbl.find_opt auth r.Rule.id);
+         })
+  |> List.sort (fun a b -> Int.compare a.rule_id b.rule_id)
+
+let heavy_hitters ?k t =
+  let k = Option.value ~default:t.cfg.top_k k in
+  rule_reports t
+  |> List.filter (fun r -> rule_total r > 0L)
+  |> List.stable_sort (fun a b -> Int64.compare (rule_total b) (rule_total a))
+  |> List.filteri (fun i _ -> i < k)
+
+let dead_rules t = List.filter (fun r -> rule_total r = 0L) (rule_reports t)
+
+type region_report = {
+  pid : int;
+  authority : int;
+  region_cache_hits : int64;
+  misses_served : int64;
+  efficacy : float;
+}
+
+let region_efficacy t =
+  let cache = Hashtbl.create 16 and miss = Hashtbl.create 16 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (Int64.add v (Option.value ~default:0L (Hashtbl.find_opt tbl k)))
+  in
+  Array.iter
+    (fun sw ->
+      List.iter (fun (pid, n) -> bump cache pid n) (Switch.cache_load sw);
+      List.iter (fun (pid, n) -> bump miss pid n) (Switch.partition_load sw))
+    (Deployment.switches t.d);
+  let asg = Deployment.assignment t.d in
+  (Deployment.partitioner t.d).Partitioner.partitions
+  |> List.map (fun (p : Partitioner.partition) ->
+         let pid = p.Partitioner.pid in
+         let c = Option.value ~default:0L (Hashtbl.find_opt cache pid) in
+         let m = Option.value ~default:0L (Hashtbl.find_opt miss pid) in
+         let total = Int64.add c m in
+         {
+           pid;
+           authority = Assignment.switch_for asg pid;
+           region_cache_hits = c;
+           misses_served = m;
+           efficacy =
+             (if total = 0L then 0.
+              else Int64.to_float c /. Int64.to_float total);
+         })
+  |> List.sort (fun a b -> Int.compare a.pid b.pid)
+
+(* {2 Timelines and hotspots} *)
+
+let authority_series t =
+  let want = Deployment.authority_ids t.d in
+  Sampler.series t.sampler
+  |> List.filter_map (fun (s : Sampler.series) ->
+         if s.Sampler.name <> "switch_authority_hits" then None
+         else
+           match List.assoc_opt "switch" s.Sampler.labels with
+           | Some v ->
+               let id = int_of_string v in
+               if List.mem id want then Some (id, s.Sampler.points) else None
+           | None -> None)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let hotspots t =
+  Hotspot.detect ~threshold:t.cfg.threshold ~min_load:t.cfg.min_load
+    (authority_series t)
+
+(* {2 Reports} *)
+
+let fl = Printf.sprintf "%.9g"
+
+let points_json pts =
+  let b = Buffer.create 128 in
+  Buffer.add_char b '[';
+  Array.iteri
+    (fun i (p : Sampler.point) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"t\":%s,\"v\":%s}" (fl p.Sampler.at) (fl p.Sampler.v)))
+    pts;
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"schema\":\"difane-monitor-v1\"";
+  Buffer.add_string b (Printf.sprintf ",\"interval\":%s" (fl t.cfg.interval));
+  Buffer.add_string b ",\"heavy_hitters\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      let chain =
+        r.partitions
+        |> List.map (fun (pid, auth) ->
+               Printf.sprintf "{\"pid\":%d,\"authority\":%d}" pid auth)
+        |> String.concat ","
+      in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"rule\":%d,\"priority\":%d,\"cache_hits\":%Ld,\"authority_hits\":%Ld,\
+            \"partitions\":[%s]}"
+           r.rule_id r.priority r.cache_hits r.authority_hits chain))
+    (heavy_hitters t);
+  Buffer.add_string b "],\"dead_rules\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int r.rule_id))
+    (dead_rules t);
+  Buffer.add_string b "],\"regions\":[";
+  List.iteri
+    (fun i (r : region_report) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"pid\":%d,\"authority\":%d,\"cache_hits\":%Ld,\"misses_served\":%Ld,\
+            \"efficacy\":%s}"
+           r.pid r.authority r.region_cache_hits r.misses_served (fl r.efficacy)))
+    (region_efficacy t);
+  Buffer.add_string b "],\"authority_load\":[";
+  List.iteri
+    (fun i (id, pts) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"switch\":%d,\"points\":%s}" id (points_json pts)))
+    (authority_series t);
+  Buffer.add_string b "],\"hotspots\":[";
+  List.iteri
+    (fun i (e : Hotspot.event) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"window_start\":%s,\"window_end\":%s,\"switch\":%d,\"load\":%s,\
+            \"total\":%s,\"share\":%s,\"ratio\":%s}"
+           (fl e.Hotspot.window_start) (fl e.Hotspot.window_end) e.Hotspot.switch_id
+           (fl e.Hotspot.load) (fl e.Hotspot.total) (fl e.Hotspot.share)
+           (fl e.Hotspot.ratio)))
+    (hotspots t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp_chain ppf partitions =
+  match partitions with
+  | [] -> Format.fprintf ppf "(no partition holds it)"
+  | ps ->
+      Format.fprintf ppf "via %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (pid, auth) -> Format.fprintf ppf "pid %d@@sw%d" pid auth))
+        ps
+
+let pp ppf t =
+  let hh = heavy_hitters t in
+  Format.fprintf ppf "== heavy hitters (top %d of %d live rules) ==@."
+    (List.length hh)
+    (List.length (List.filter (fun r -> rule_total r > 0L) (rule_reports t)));
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  rule %d (prio %d): %Ld hits (%Ld cache + %Ld authority) %a@."
+        r.rule_id r.priority (rule_total r) r.cache_hits r.authority_hits pp_chain
+        r.partitions)
+    hh;
+  (match dead_rules t with
+  | [] -> Format.fprintf ppf "== dead rules == (none)@."
+  | dead ->
+      Format.fprintf ppf "== dead rules (%d, never hit) ==@.  %a@." (List.length dead)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf r -> Format.fprintf ppf "%d" r.rule_id))
+        dead);
+  Format.fprintf ppf "== region cache efficacy ==@.";
+  List.iter
+    (fun (r : region_report) ->
+      Format.fprintf ppf
+        "  pid %d @@ sw%d: %Ld cache hits, %Ld misses served (efficacy %.1f%%)@." r.pid
+        r.authority r.region_cache_hits r.misses_served (100. *. r.efficacy))
+    (region_efficacy t);
+  Format.fprintf ppf "== authority load timeline (cumulative misses served) ==@.";
+  let series = authority_series t in
+  let windows = List.fold_left (fun m (_, p) -> max m (Array.length p)) 0 series in
+  for w = 0 to windows - 1 do
+    let at =
+      List.fold_left
+        (fun acc (_, pts) ->
+          if w < Array.length pts then pts.(w).Sampler.at else acc)
+        0. series
+    in
+    Format.fprintf ppf "  t=%-8s" (fl at);
+    List.iter
+      (fun (id, pts) ->
+        let v = if w < Array.length pts then pts.(w).Sampler.v else 0. in
+        Format.fprintf ppf " sw%d=%-6s" id (fl v))
+      series;
+    Format.fprintf ppf "@."
+  done;
+  (match hotspots t with
+  | [] -> Format.fprintf ppf "== hotspots == (none)@."
+  | events ->
+      Format.fprintf ppf "== hotspots (%d windows over %.2fx fair share) ==@."
+        (List.length events) t.cfg.threshold;
+      List.iter (fun e -> Format.fprintf ppf "  %a@." Hotspot.pp_event e) events);
+  let fr = t.flows in
+  Format.fprintf ppf
+    "== flow records == %d exported (%d packets observed, %d sampled, 1-in-%d)@."
+    (List.length (Flow_records.exports fr))
+    (Flow_records.observed_packets fr)
+    (Flow_records.sampled_packets fr)
+    (Flow_records.config fr).Flow_records.sample_rate

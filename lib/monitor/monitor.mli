@@ -1,0 +1,106 @@
+(** The flow-level observability facade: one object that watches a
+    {!Deployment} while a simulation drives packets through it, and
+    afterwards answers the questions the registry's end-of-run totals
+    cannot:
+
+    - {b which flows} — sampled NetFlow-style records ({!Flow_records});
+    - {b which rules} — heavy-hitter / dead-rule attribution built from
+      the provenance pair [(origin rule, serving partition)] that the
+      switches thread from policy rule through authority table into
+      every installed cache rule;
+    - {b when} — per-authority load, cache hit-rate and TCAM occupancy
+      timelines from the {!Sampler};
+    - {b where it hurts} — authority {!Hotspot} events from those
+      timelines.
+
+    Wire-up is two calls: {!observe_packet} on every packet entering the
+    network (the simulators do this when given [?monitor]) and {!finish}
+    once the run ends.  Reports are deterministic: for a fixed seed the
+    JSON is bit-identical across runs. *)
+
+type config = {
+  flow : Flow_records.config;
+  interval : float;  (** sampler boundary spacing, simulated seconds *)
+  capacity : int;  (** ring capacity per sampled series *)
+  threshold : float;  (** hotspot share threshold, × fair share *)
+  min_load : float;  (** ignore windows with fewer total misses *)
+  top_k : int;  (** heavy hitters reported by default *)
+}
+
+val default_config : config
+(** 1-in-1 sampling, 0.05 s interval, 1024-point rings, 1.5× threshold,
+    top 10. *)
+
+type t
+
+val create : ?config:config -> Deployment.t -> t
+(** Start watching [d]: tracks every authority switch's served-miss
+    counter, every switch's cache occupancy gauge and the simulator's
+    delivered/cache-hit counters.  Create {e after}
+    [Telemetry.reset ()] (or rely on counter baselining) for a per-run
+    view. *)
+
+val config : t -> config
+val flow_records : t -> Flow_records.t
+val sampler : t -> Sampler.t
+
+val observe_packet : t -> now:float -> ingress:int -> Header.t -> unit
+(** Feed one packet: samples it into the flow cache and lets the
+    sampler catch up any crossed boundaries. *)
+
+val finish : t -> now:float -> unit
+(** End of run: flush the flow cache, close the sampler tail. *)
+
+(** {1 Rule attribution} *)
+
+type rule_report = {
+  rule_id : int;
+  priority : int;
+  partitions : (int * int) list;
+      (** provenance chain tail: [(pid, authority switch)] for every
+          partition holding a clip of this rule *)
+  cache_hits : int64;  (** packets matched by cache rules spliced from it *)
+  authority_hits : int64;  (** packets answered from authority tables *)
+}
+
+val rule_total : rule_report -> int64
+
+val heavy_hitters : ?k:int -> t -> rule_report list
+(** Policy rules by descending total hits (ties: ascending id), top [k]
+    (default [config.top_k]); zero-hit rules excluded. *)
+
+val dead_rules : t -> rule_report list
+(** Policy rules no packet ever hit, ascending id — install-before-need
+    noise, or policy that can be garbage-collected. *)
+
+type region_report = {
+  pid : int;
+  authority : int;  (** the switch assigned this partition *)
+  region_cache_hits : int64;  (** ingress cache hits attributed to the region *)
+  misses_served : int64;  (** misses its authority answered *)
+  efficacy : float;  (** cache hits / (cache hits + misses); 0 when idle *)
+}
+
+val region_efficacy : t -> region_report list
+(** Per-partition cache efficacy, ascending pid: how much of each
+    flowspace region's traffic the spliced cache entries absorbed. *)
+
+(** {1 Timelines and hotspots} *)
+
+val authority_series : t -> (int * Sampler.point array) list
+(** Cumulative misses served per authority switch at each sampler
+    boundary, ascending switch id. *)
+
+val hotspots : t -> Hotspot.event list
+(** {!Hotspot.detect} over {!authority_series} with the config's
+    threshold and minimum load. *)
+
+(** {1 Reports} *)
+
+val to_json : t -> string
+(** Everything above as one [difane-monitor-v1] document. *)
+
+val pp : Format.formatter -> t -> unit
+(** The human-readable report: heavy hitters with provenance chains,
+    dead rules, region efficacy, the per-authority load timeline and any
+    hotspots. *)

@@ -10,6 +10,7 @@ type result = {
   misses : int;
   miss_rate : float;
   distinct_keys : int;
+  origin_hits : (int * int) list;
 }
 
 let packet_stream flows =
@@ -41,26 +42,49 @@ let intern tbl repr =
       Hashtbl.add tbl repr k;
       k
 
+(* Besides the per-packet key stream, record each key's provenance: the
+   policy rule whose piece (wildcard) or first match (microflow) the key
+   stands for, -1 for unmatched headers.  One key has one origin, so the
+   mapping is a side table filled while interning. *)
 let keys_for kind classifier stream =
   let tbl = header_key_table () in
+  let origin_of_key : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   let memo : (string, int) Hashtbl.t = Hashtbl.create 1024 in
-  Array.map
-    (fun h ->
-      let repr = header_repr h in
-      match kind with
-      | Microflow -> intern tbl repr
-      | Wildcard_splice -> (
-          match Hashtbl.find_opt memo repr with
-          | Some k -> k
-          | None ->
-              let k =
-                match Splice.for_header classifier h with
-                | Some piece -> intern tbl (Pred.to_string piece.Splice.pred)
-                | None -> intern tbl ("nomatch:" ^ repr)
-              in
-              Hashtbl.add memo repr k;
-              k))
-    stream
+  let keys =
+    Array.map
+      (fun h ->
+        let repr = header_repr h in
+        match kind with
+        | Microflow ->
+            let k = intern tbl repr in
+            if not (Hashtbl.mem origin_of_key k) then
+              Hashtbl.add origin_of_key k
+                (match Classifier.first_match classifier h with
+                | Some r -> r.Rule.id
+                | None -> -1);
+            k
+        | Wildcard_splice -> (
+            match Hashtbl.find_opt memo repr with
+            | Some k -> k
+            | None ->
+                let k =
+                  match Splice.for_header classifier h with
+                  | Some piece ->
+                      let k = intern tbl (Pred.to_string piece.Splice.pred) in
+                      if not (Hashtbl.mem origin_of_key k) then
+                        Hashtbl.add origin_of_key k piece.Splice.origin.Rule.id;
+                      k
+                  | None ->
+                      let k = intern tbl ("nomatch:" ^ repr) in
+                      if not (Hashtbl.mem origin_of_key k) then
+                        Hashtbl.add origin_of_key k (-1);
+                      k
+                in
+                Hashtbl.add memo repr k;
+                k))
+      stream
+  in
+  (keys, origin_of_key)
 
 (* LRU over int keys: intrusive doubly-linked list + array index. *)
 module Lru = struct
@@ -127,16 +151,43 @@ module Lru = struct
         false
 end
 
-let run_keys kind ~cache_size keys =
+let distinct_of keys =
+  let seen = Hashtbl.create 1024 in
+  Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
+  Hashtbl.length seen
+
+(* Cache hits per origin rule, sorted by rule id; unmatched (-1) excluded. *)
+let origin_hits_of ~origins hit_counts =
+  Hashtbl.fold
+    (fun key hits acc ->
+      if hits = 0 then acc
+      else
+        match Hashtbl.find_opt origins key with
+        | Some origin when origin >= 0 -> (origin, hits) :: acc
+        | _ -> acc)
+    hit_counts []
+  |> List.fold_left
+       (fun tbl (origin, hits) ->
+         Hashtbl.replace tbl origin
+           (hits + Option.value ~default:0 (Hashtbl.find_opt tbl origin));
+         tbl)
+       (Hashtbl.create 64)
+  |> fun tbl ->
+  Hashtbl.fold (fun o h acc -> (o, h) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let run_keys kind ~cache_size (keys, origins) =
   if cache_size < 1 then invalid_arg "Cachesim.run: cache_size must be >= 1";
   let lru = Lru.create cache_size in
   let misses = ref 0 in
-  Array.iter (fun k -> if not (Lru.access lru k) then incr misses) keys;
-  let distinct =
-    let seen = Hashtbl.create 1024 in
-    Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
-    Hashtbl.length seen
-  in
+  let hit_counts : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iter
+    (fun k ->
+      if Lru.access lru k then
+        Hashtbl.replace hit_counts k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts k))
+      else incr misses)
+    keys;
   let lookups = Array.length keys in
   Telemetry.add m_lookups lookups;
   Telemetry.add m_misses !misses;
@@ -146,7 +197,8 @@ let run_keys kind ~cache_size keys =
     lookups;
     misses = !misses;
     miss_rate = (if lookups = 0 then 0. else float_of_int !misses /. float_of_int lookups);
-    distinct_keys = distinct;
+    distinct_keys = distinct_of keys;
+    origin_hits = origin_hits_of ~origins hit_counts;
   }
 
 let run kind classifier ~cache_size stream =
@@ -155,7 +207,7 @@ let run kind classifier ~cache_size stream =
 (* Belady's OPT: evict the resident key whose next use lies furthest in
    the future.  Next-use positions are precomputed by a single backward
    pass; the eviction scan is linear in the cache size. *)
-let run_opt_keys kind ~cache_size keys =
+let run_opt_keys kind ~cache_size (keys, origins) =
   if cache_size < 1 then invalid_arg "Cachesim.run_opt: cache_size must be >= 1";
   let n = Array.length keys in
   let next_use = Array.make n max_int in
@@ -169,10 +221,13 @@ let run_opt_keys kind ~cache_size keys =
   let resident : (int, int) Hashtbl.t = Hashtbl.create (2 * cache_size) in
   (* key -> its next use position, kept current as the stream advances *)
   let misses = ref 0 in
+  let hit_counts : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   Array.iteri
     (fun i key ->
       (match Hashtbl.find_opt resident key with
-      | Some _ -> ()
+      | Some _ ->
+          Hashtbl.replace hit_counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts key))
       | None ->
           incr misses;
           if Hashtbl.length resident >= cache_size then begin
@@ -185,11 +240,6 @@ let run_opt_keys kind ~cache_size keys =
           end);
       Hashtbl.replace resident key next_use.(i))
     keys;
-  let distinct =
-    let seen = Hashtbl.create 1024 in
-    Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
-    Hashtbl.length seen
-  in
   Telemetry.add m_lookups n;
   Telemetry.add m_misses !misses;
   {
@@ -198,7 +248,8 @@ let run_opt_keys kind ~cache_size keys =
     lookups = n;
     misses = !misses;
     miss_rate = (if n = 0 then 0. else float_of_int !misses /. float_of_int n);
-    distinct_keys = distinct;
+    distinct_keys = distinct_of keys;
+    origin_hits = origin_hits_of ~origins hit_counts;
   }
 
 let run_opt kind classifier ~cache_size stream =

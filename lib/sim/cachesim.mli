@@ -21,6 +21,11 @@ type result = {
   misses : int;
   miss_rate : float;
   distinct_keys : int;  (** working-set size under this caching scheme *)
+  origin_hits : (int * int) list;
+      (** cache hits attributed to the policy rule each key was derived
+          from (the spliced piece's origin, or the microflow header's
+          first match), ascending rule id — the trace-driven face of the
+          provenance attribution the live switches keep *)
 }
 
 val packet_stream : Traffic.flow list -> Header.t array

@@ -143,7 +143,7 @@ let prop topo a b = Option.value ~default:0. (Topology.distance topo a b)
 let egress_latency topo ~from action =
   match Action.egress action with Some e -> prop topo from e | None -> 0.
 
-let run_difane ?(timing = default_timing) ?faults d flows =
+let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
   let engine = Engine.create () in
   let acc = fresh_acc () in
   let topo = Deployment.topology d in
@@ -234,6 +234,9 @@ let run_difane ?(timing = default_timing) ?faults d flows =
   in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
+    (match monitor with
+    | Some m -> Monitor.observe_packet m ~now ~ingress:flow.ingress flow.header
+    | None -> ());
     let ingress_sw = Deployment.switch d flow.ingress in
     match Switch.process ingress_sw ~now flow.header with
     | Switch.Local (action, bank) ->
@@ -259,7 +262,7 @@ let run_difane ?(timing = default_timing) ?faults d flows =
                   with
                   | None -> if is_first then (acc.dropped <- acc.dropped + 1;
          Telemetry.incr m_dropped)
-                  | Some { Switch.action; cache_rule; origin_id } ->
+                  | Some { Switch.action; cache_rule; origin_id; pid } ->
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
                          path — unless the lossy fabric eats it, in which
@@ -274,7 +277,8 @@ let run_difane ?(timing = default_timing) ?faults d flows =
                         Engine.after engine ~delay:timing.install_latency (fun () ->
                             ignore
                               (Switch.install_cache_rule ?idle_timeout ?hard_timeout
-                                 ~origin_id ingress_sw ~now:(Engine.now engine) cache_rule));
+                                 ~origin_id ~pid ingress_sw ~now:(Engine.now engine)
+                                 cache_rule));
                       (match Action.egress action with
                       | Some e ->
                           acc.stretches
@@ -300,6 +304,9 @@ let run_difane ?(timing = default_timing) ?faults d flows =
       done)
     flows;
   Engine.run engine;
+  (match monitor with
+  | Some m -> Monitor.finish m ~now:(Engine.now engine)
+  | None -> ());
   let authority_stats =
     Hashtbl.fold
       (fun auth server acc ->

@@ -76,9 +76,15 @@ type result = {
 }
 
 val run_difane :
-  ?timing:timing -> ?faults:Fault.plan -> Deployment.t -> Traffic.flow list -> result
+  ?timing:timing -> ?faults:Fault.plan -> ?monitor:Monitor.t -> Deployment.t ->
+  Traffic.flow list -> result
 (** Replay the workload against a DIFANE deployment.  Switch state
     (caches, counters) is mutated — build a fresh deployment per run.
+
+    With [monitor], every packet entering the network is offered to the
+    monitor's flow sampler as it fires (simulated time), and the monitor
+    is {!Monitor.finish}ed when the event queue drains — after the run
+    its reports cover exactly this workload.
 
     With [faults], the plan's scheduled events drive the data-plane
     reachability model (crash/link-down marks the switch unreachable,

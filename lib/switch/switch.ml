@@ -8,8 +8,6 @@ type stats = {
   unmatched : int64;
 }
 
-type counters = stats
-
 (* Per-switch registry handles, created once at [create]: increments on
    the packet path are plain field writes, no lookup, no allocation. *)
 type tele = {
@@ -18,6 +16,7 @@ type tele = {
   m_tunnelled : Telemetry.counter;
   m_unmatched : Telemetry.counter;
   m_stale_rejected : Telemetry.counter;
+  m_cache_occupancy : Telemetry.gauge;
 }
 
 type t = {
@@ -26,9 +25,18 @@ type t = {
   mutable authority : (Partitioner.partition * Indexed.t) list;
       (* each partition table carries a tuple-space index for the hot path *)
   mutable partition_bank : Rule.t list; (* disjoint regions; order irrelevant *)
-  cache_origin : (int, int) Hashtbl.t; (* cache rule id -> origin rule id *)
-  origin_hits : (int, int64) Hashtbl.t; (* origin rule id -> packets (cache + authority) *)
+  cache_origin : (int, int * int) Hashtbl.t;
+      (* cache rule id -> (origin rule id, partition id) — the provenance
+         pair threaded from policy rule through authority table to
+         installed cache entry; pid is -1 when the installer didn't know
+         it (degraded exact-match fallbacks outside any partition) *)
+  origin_cache_hits : (int, int64) Hashtbl.t; (* origin rule id -> cache-bank packets *)
+  origin_auth_hits : (int, int64) Hashtbl.t; (* origin rule id -> authority-bank packets *)
   partition_hits : (int, int64) Hashtbl.t; (* partition id -> misses served *)
+  pid_cache_hits : (int, int64) Hashtbl.t;
+      (* partition id -> cache-bank packets absorbed by entries spliced
+         from that partition — the cache-efficacy side of the ledger
+         whose miss side is [partition_hits] at the authority *)
   mutable next_cache_id : int;
   mutable notifications : Message.t list; (* reverse order *)
   mutable pending_partition : Rule.t list; (* staged until the next barrier *)
@@ -61,8 +69,10 @@ let create ~id ~cache_capacity =
     authority = [];
     partition_bank = [];
     cache_origin = Hashtbl.create 64;
-    origin_hits = Hashtbl.create 64;
+    origin_cache_hits = Hashtbl.create 64;
+    origin_auth_hits = Hashtbl.create 64;
     partition_hits = Hashtbl.create 16;
+    pid_cache_hits = Hashtbl.create 16;
     next_cache_id = cache_rule_base + (id * 100_000);
     notifications = [];
     pending_partition = [];
@@ -83,8 +93,14 @@ let create ~id ~cache_capacity =
         m_tunnelled = Telemetry.counter ~labels "switch_tunnelled";
         m_unmatched = Telemetry.counter ~labels "switch_unmatched";
         m_stale_rejected = Telemetry.counter ~labels "switch_stale_rejected";
+        m_cache_occupancy = Telemetry.gauge ~labels "switch_cache_occupancy";
       };
   }
+
+(* The occupancy gauge tracks the cache TCAM level through installs,
+   evictions and expiry, so the monitor's sampler can turn it into a
+   timeline without polling every switch. *)
+let sync_occupancy t = Telemetry.set t.tele.m_cache_occupancy (float_of_int (Tcam.occupancy t.cache))
 
 let id t = t.id
 
@@ -118,9 +134,11 @@ let apply_flow_mod t ~now (fm : Message.flow_mod) =
   | Message.Cache, Message.Add ->
       ignore
         (Tcam.insert ?idle_timeout:fm.idle_timeout ?hard_timeout:fm.hard_timeout t.cache
-           ~now fm.rule)
+           ~now fm.rule);
+      sync_occupancy t
   | Message.Cache, (Message.Delete | Message.Delete_strict) ->
-      ignore (Tcam.remove t.cache fm.rule.Rule.id)
+      ignore (Tcam.remove t.cache fm.rule.Rule.id);
+      sync_occupancy t
   | (Message.Authority | Message.Partition), _ ->
       invalid_arg "Switch.apply_flow_mod: authority/partition banks are replaced wholesale"
 
@@ -261,7 +279,9 @@ let process t ~now h =
       t.cache_hits <- Int64.add t.cache_hits 1L;
       Telemetry.incr t.tele.m_cache_hits;
       (match Hashtbl.find_opt t.cache_origin r.Rule.id with
-      | Some origin -> bump t.origin_hits origin 1L
+      | Some (origin, pid) ->
+          bump t.origin_cache_hits origin 1L;
+          if pid >= 0 then bump t.pid_cache_hits pid 1L
       | None -> ());
       Local (r.Rule.action, Cache_bank)
   | None -> (
@@ -269,7 +289,7 @@ let process t ~now h =
       | Some (_, r) ->
           t.authority_hits <- Int64.add t.authority_hits 1L;
           Telemetry.incr t.tele.m_authority_hits;
-          bump t.origin_hits r.Rule.id 1L;
+          bump t.origin_auth_hits r.Rule.id 1L;
           Local (r.Rule.action, Authority_bank)
       | None -> (
           match List.find_opt (fun (r : Rule.t) -> Rule.matches r h) t.partition_bank with
@@ -282,7 +302,7 @@ let process t ~now h =
               Telemetry.incr t.tele.m_unmatched;
               Unmatched))
 
-type miss_reply = { action : Action.t; cache_rule : Rule.t; origin_id : int }
+type miss_reply = { action : Action.t; cache_rule : Rule.t; origin_id : int; pid : int }
 
 let exact_pred schema h =
   Pred.make schema
@@ -306,7 +326,7 @@ let serve_miss ?(mode = `Spliced) t ~now h =
              partition for load rebalancing *)
           t.authority_hits <- Int64.add t.authority_hits 1L;
           Telemetry.incr t.tele.m_authority_hits;
-          bump t.origin_hits piece.origin.Rule.id 1L;
+          bump t.origin_auth_hits piece.origin.Rule.id 1L;
           bump t.partition_hits p.Partitioner.pid 1L;
           let next_id () =
             let i = t.next_cache_id in
@@ -324,11 +344,18 @@ let serve_miss ?(mode = `Spliced) t ~now h =
                   piece.origin.Rule.action
           in
           Some
-            { action = piece.origin.Rule.action; cache_rule; origin_id = piece.origin.Rule.id })
+            {
+              action = piece.origin.Rule.action;
+              cache_rule;
+              origin_id = piece.origin.Rule.id;
+              pid = p.Partitioner.pid;
+            })
 
 let notify_removed t ~now reason (e : Tcam.entry) =
   let cookie =
-    Option.value ~default:(-1) (Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id)
+    match Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id with
+    | Some (origin, _) -> origin
+    | None -> -1
   in
   t.notifications <-
     Message.Flow_removed
@@ -342,7 +369,7 @@ let notify_removed t ~now reason (e : Tcam.entry) =
       }
     :: t.notifications
 
-let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id t ~now rule =
+let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now rule =
   let evicted = Tcam.insert_or_evict_entries ?idle_timeout ?hard_timeout t.cache ~now rule in
   let evicted =
     (* a zero-capacity cache "evicts" the incoming rule itself; that is a
@@ -351,10 +378,11 @@ let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id t ~now rule =
   in
   List.iter (notify_removed t ~now Message.Evicted) evicted;
   (match origin_id with
-  | Some origin -> Hashtbl.replace t.cache_origin rule.Rule.id origin
+  | Some origin -> Hashtbl.replace t.cache_origin rule.Rule.id (origin, pid)
   | None -> ());
   let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) evicted in
   List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
+  sync_occupancy t;
   rules
 
 let expire_cache t ~now =
@@ -370,6 +398,7 @@ let expire_cache t ~now =
     gone;
   let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) gone in
   List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
+  sync_occupancy t;
   rules
 
 (* Crash semantics: the device reboots blank.  Every bank, staged update,
@@ -382,8 +411,10 @@ let reset t =
   t.pending_partition <- [];
   t.partition_committed <- false;
   Hashtbl.reset t.cache_origin;
-  Hashtbl.reset t.origin_hits;
+  Hashtbl.reset t.origin_cache_hits;
+  Hashtbl.reset t.origin_auth_hits;
   Hashtbl.reset t.partition_hits;
+  Hashtbl.reset t.pid_cache_hits;
   Hashtbl.reset t.seen_xids;
   Queue.clear t.seen_order;
   t.epoch <- 0;
@@ -393,7 +424,8 @@ let reset t =
   t.cache_hits <- 0L;
   t.authority_hits <- 0L;
   t.tunnelled <- 0L;
-  t.unmatched <- 0L
+  t.unmatched <- 0L;
+  sync_occupancy t
 
 let fresh_cache_id t =
   let i = t.next_cache_id in
@@ -410,15 +442,29 @@ let stale_rejected t = t.stale_rejected
 let stale_accepted t = t.stale_accepted
 let cache t = t.cache
 let cache_occupancy t = Tcam.occupancy t.cache
-let origin_of_cache_rule t cid = Hashtbl.find_opt t.cache_origin cid
+let origin_of_cache_rule t cid = Option.map fst (Hashtbl.find_opt t.cache_origin cid)
+let provenance_of_cache_rule t cid = Hashtbl.find_opt t.cache_origin cid
 
-let partition_load t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.partition_hits []
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let partition_load t = sorted_bindings t.partition_hits
+let cache_load t = sorted_bindings t.pid_cache_hits
+
+let origin_breakdown t =
+  let merged = Hashtbl.create 64 in
+  Hashtbl.iter (fun k v -> Hashtbl.replace merged k (v, 0L)) t.origin_cache_hits;
+  Hashtbl.iter
+    (fun k v ->
+      let c = match Hashtbl.find_opt merged k with Some (c, _) -> c | None -> 0L in
+      Hashtbl.replace merged k (c, v))
+    t.origin_auth_hits;
+  Hashtbl.fold (fun k (c, a) acc -> (k, c, a) :: acc) merged []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
 
 let aggregate_counters t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.origin_hits []
-  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  List.map (fun (k, c, a) -> (k, Int64.add c a)) (origin_breakdown t)
 
 let stats t =
   {
@@ -433,11 +479,10 @@ let reset_stats t =
   t.authority_hits <- 0L;
   t.tunnelled <- 0L;
   t.unmatched <- 0L;
-  Hashtbl.reset t.origin_hits;
-  Hashtbl.reset t.partition_hits
-
-let counters = stats
-let reset_counters = reset_stats
+  Hashtbl.reset t.origin_cache_hits;
+  Hashtbl.reset t.origin_auth_hits;
+  Hashtbl.reset t.partition_hits;
+  Hashtbl.reset t.pid_cache_hits
 
 let pp ppf t =
   Format.fprintf ppf "switch %d: cache %d/%d, %d authority partitions, %d partition rules"

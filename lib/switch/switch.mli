@@ -107,6 +107,10 @@ type miss_reply = {
   action : Action.t;  (** the policy action to apply to the packet *)
   cache_rule : Rule.t;  (** spliced rule the ingress switch should install *)
   origin_id : int;  (** policy rule the cache rule was spliced from *)
+  pid : int;  (** authority partition that served the miss — with
+                  [origin_id], the provenance pair the ingress install
+                  records so every later cache hit stays attributable to
+                  both the policy rule and the flowspace region *)
 }
 
 val serve_miss :
@@ -119,12 +123,15 @@ val serve_miss :
     switch is not authority for the header (a misrouted packet). *)
 
 val install_cache_rule :
-  ?idle_timeout:float -> ?hard_timeout:float -> ?origin_id:int -> t -> now:float ->
-  Rule.t -> Rule.t list
+  ?idle_timeout:float -> ?hard_timeout:float -> ?origin_id:int -> ?pid:int -> t ->
+  now:float -> Rule.t -> Rule.t list
 (** Install a (spliced) cache rule, evicting LRU entries when full;
-    returns evictions.  [origin_id] keeps counters attributable.  A hard
-    timeout bounds how long a stale entry can survive a policy change
-    (hits keep postponing an idle timeout indefinitely). *)
+    returns evictions.  [origin_id] keeps counters attributable; [pid]
+    (the serving partition from {!miss_reply}) additionally attributes
+    the entry's future hits to its flowspace region (default [-1] =
+    unknown, e.g. degraded exact-match fallbacks).  A hard timeout bounds
+    how long a stale entry can survive a policy change (hits keep
+    postponing an idle timeout indefinitely). *)
 
 val expire_cache : t -> now:float -> Rule.t list
 
@@ -144,13 +151,30 @@ val origin_of_cache_rule : t -> int -> int option
     how flow counters stay attributable to original rules
     (transparency). *)
 
+val provenance_of_cache_rule : t -> int -> (int * int) option
+(** The full provenance pair of a cache rule: [(origin policy rule id,
+    serving partition id)]; the pid is [-1] when the installer didn't
+    know it. *)
+
 val aggregate_counters : t -> (int * int64) list
 (** Per-origin-rule packet counts accumulated by this switch's cache bank
     (including entries since evicted), plus authority-table hits. *)
 
+val origin_breakdown : t -> (int * int64 * int64) list
+(** Per-origin-rule [(id, cache-bank packets, authority-bank packets)] —
+    the split behind {!aggregate_counters}, which the monitor's
+    heavy-hitter report uses to show how much of a rule's load the
+    ingress caches absorbed. *)
+
 val partition_load : t -> (int * int64) list
 (** Misses this switch has served per partition id — the measurement the
     controller's traffic-aware rebalancing consumes (paper §5). *)
+
+val cache_load : t -> (int * int64) list
+(** Cache-bank hits per serving partition id — pairs with the
+    authorities' {!partition_load} to measure per-region cache efficacy
+    (how much traffic each region's spliced entries absorbed vs how many
+    misses its authority still served). *)
 
 type stats = {
   cache_hits : int64;
@@ -166,14 +190,5 @@ val stats : t -> stats
 
 val reset_stats : t -> unit
 (** Also clears the per-origin and per-partition hit breakdowns. *)
-
-type counters = stats
-(** @deprecated Use {!type-stats}. *)
-
-val counters : t -> stats
-(** @deprecated Use {!val-stats}. *)
-
-val reset_counters : t -> unit
-(** @deprecated Use {!reset_stats}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -75,6 +75,54 @@ let test_formatting () =
   check Alcotest.string "si k" "20.0k" (Table.fmt_si 20_000.);
   check Alcotest.string "si plain" "350" (Table.fmt_si 350.)
 
+(* --- percentile/quantile edge cases --- *)
+
+let test_percentile_empty () =
+  try
+    ignore (Summary.percentile [||] 0.5);
+    Alcotest.fail "empty array accepted"
+  with Invalid_argument _ -> ()
+
+let test_percentile_single () =
+  (* a single element answers every quantile *)
+  List.iter
+    (fun q ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "q=%g of singleton" q)
+        42. (Summary.percentile [| 42. |] q))
+    [ 0.; 0.25; 0.5; 0.75; 0.99; 1. ]
+
+let test_percentile_extreme_q () =
+  let sorted = [| 1.; 2.; 3. |] in
+  (* q outside [0..1] clamps to the extremes rather than indexing out *)
+  check (Alcotest.float 1e-9) "q=-1 clamps to min" 1. (Summary.percentile sorted (-1.));
+  check (Alcotest.float 1e-9) "q=0 is min" 1. (Summary.percentile sorted 0.);
+  check (Alcotest.float 1e-9) "q=1 is max" 3. (Summary.percentile sorted 1.);
+  check (Alcotest.float 1e-9) "q=2 clamps to max" 3. (Summary.percentile sorted 2.)
+
+let test_percentile_duplicates () =
+  (* duplicate-heavy arrays: interpolation between equal values stays put *)
+  let sorted = [| 5.; 5.; 5.; 5.; 5.; 5.; 5.; 9. |] in
+  check (Alcotest.float 1e-9) "p50 in the plateau" 5. (Summary.percentile sorted 0.5);
+  check (Alcotest.float 1e-9) "p75 still in plateau" 5. (Summary.percentile sorted 0.75);
+  check Alcotest.bool "p99 leaves the plateau" true (Summary.percentile sorted 0.99 > 5.);
+  let all_same = Array.make 100 3.14 in
+  let s = Summary.of_array all_same in
+  check (Alcotest.float 1e-9) "constant array: p50=p99" s.Summary.p50 s.Summary.p99;
+  check (Alcotest.float 1e-9) "constant array: stddev 0" 0. s.Summary.stddev
+
+let prop_percentile_monotone_in_q =
+  qt "percentile monotone in q"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 1 40) (float_bound_inclusive 100.))
+        (float_bound_inclusive 1.) (float_bound_inclusive 1.))
+    (fun (samples, a, b) ->
+      let sorted = Array.of_list samples in
+      Array.sort Float.compare sorted;
+      let lo = Float.min a b and hi = Float.max a b in
+      Summary.percentile sorted lo <= Summary.percentile sorted hi +. 1e-9)
+
 let suite =
   [
     ( "stats",
@@ -83,6 +131,11 @@ let suite =
         tc "summary singleton" test_summary_single;
         tc "summary empty rejected" test_summary_empty;
         tc "percentile interpolation" test_percentile_interpolation;
+        tc "percentile empty rejected" test_percentile_empty;
+        tc "percentile singleton all q" test_percentile_single;
+        tc "percentile q clamping" test_percentile_extreme_q;
+        tc "percentile duplicate plateaus" test_percentile_duplicates;
+        prop_percentile_monotone_in_q;
         tc "cdf" test_cdf;
         tc "table rendering" test_table_render;
         tc "number formatting" test_formatting;
