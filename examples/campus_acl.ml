@@ -80,7 +80,7 @@ let () =
   (* Per-switch cache behaviour. *)
   printf "\nPer-edge-switch caches (capacity %d):\n" config.Deployment.cache_capacity;
   Table.print ~title:"edge switch cache statistics"
-    ~header:[ "switch"; "occupancy"; "hit rate"; "evictions" ]
+    ~header:[ "switch"; "occupancy"; "hit rate"; "evictions"; "expirations" ]
     (List.map
        (fun e ->
          let sw = Deployment.switch d e in
@@ -91,6 +91,7 @@ let () =
            (let hr = Tcam.hit_rate (Switch.cache sw) in
             if Float.is_nan hr then "-" else Table.fmt_pct hr);
            Int64.to_string st.Tcam.evictions;
+           Int64.to_string st.Tcam.expirations;
          ])
        edges);
 

@@ -901,7 +901,8 @@ module E_cache = struct
     cache_size : int;
     hit_rate : float;
     authority_load : float;
-    evictions : int64;
+    evictions : int64;  (* LRU victims: capacity pressure *)
+    expirations : int64;  (* idle/hard timeouts: cache churn *)
   }
 
   let run ?(seed = 42) ?(quick = false) () =
@@ -933,9 +934,9 @@ module E_cache = struct
         let flows = Traffic.generate (Prng.create (seed + 1)) policy profile in
         let r = Flowsim.run_difane d flows in
         let packets = float_of_int (max 1 r.Flowsim.delivered_packets) in
-        let evictions =
+        let sum f =
           Array.fold_left
-            (fun acc sw -> Int64.add acc (Tcam.stats (Switch.cache sw)).Tcam.evictions)
+            (fun acc sw -> Int64.add acc (f (Tcam.stats (Switch.cache sw))))
             0L (Deployment.switches d)
         in
         {
@@ -943,13 +944,15 @@ module E_cache = struct
           hit_rate = float_of_int r.Flowsim.cache_hit_packets /. packets;
           authority_load =
             (packets -. float_of_int r.Flowsim.cache_hit_packets) /. packets;
-          evictions;
+          evictions = sum (fun (s : Tcam.stats) -> s.Tcam.evictions);
+          expirations = sum (fun (s : Tcam.stats) -> s.Tcam.expirations);
         })
       sizes
 
   let print points =
     Table.print ~title:"Supplementary: ingress cache size vs authority load"
-      ~header:[ "cache entries"; "cache hit rate"; "authority load"; "evictions" ]
+      ~header:
+        [ "cache entries"; "cache hit rate"; "authority load"; "evictions"; "expirations" ]
       (List.map
          (fun p ->
            [
@@ -957,6 +960,7 @@ module E_cache = struct
              Table.fmt_pct p.hit_rate;
              Table.fmt_pct p.authority_load;
              Int64.to_string p.evictions;
+             Int64.to_string p.expirations;
            ])
          points)
 end

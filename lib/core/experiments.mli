@@ -176,7 +176,8 @@ module E_cache : sig
     cache_size : int;
     hit_rate : float;  (** fraction of packets served by ingress caches *)
     authority_load : float;  (** misses per offered packet *)
-    evictions : int64;
+    evictions : int64;  (** LRU victims — capacity pressure only *)
+    expirations : int64;  (** idle/hard timeouts — churn, counted apart *)
   }
 
   val run : ?seed:int -> ?quick:bool -> unit -> point list

@@ -181,6 +181,10 @@ let hotspots t =
 
 let fl = Printf.sprintf "%.9g"
 
+(* JSON contexts must never print nan/inf raw (unparseable document);
+   finite values keep the compact %.9g spelling. *)
+let jf f = if Float.is_finite f then fl f else Telemetry.json_float f
+
 let points_json pts =
   let b = Buffer.create 128 in
   Buffer.add_char b '[';
@@ -188,7 +192,7 @@ let points_json pts =
     (fun i (p : Sampler.point) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
-        (Printf.sprintf "{\"t\":%s,\"v\":%s}" (fl p.Sampler.at) (fl p.Sampler.v)))
+        (Printf.sprintf "{\"t\":%s,\"v\":%s}" (jf p.Sampler.at) (jf p.Sampler.v)))
     pts;
   Buffer.add_char b ']';
   Buffer.contents b
@@ -196,7 +200,7 @@ let points_json pts =
 let to_json t =
   let b = Buffer.create 8192 in
   Buffer.add_string b "{\"schema\":\"difane-monitor-v1\"";
-  Buffer.add_string b (Printf.sprintf ",\"interval\":%s" (fl t.cfg.interval));
+  Buffer.add_string b (Printf.sprintf ",\"interval\":%s" (jf t.cfg.interval));
   Buffer.add_string b ",\"heavy_hitters\":[";
   List.iteri
     (fun i r ->
@@ -227,7 +231,7 @@ let to_json t =
         (Printf.sprintf
            "{\"pid\":%d,\"authority\":%d,\"cache_hits\":%Ld,\"misses_served\":%Ld,\
             \"efficacy\":%s}"
-           r.pid r.authority r.region_cache_hits r.misses_served (fl r.efficacy)))
+           r.pid r.authority r.region_cache_hits r.misses_served (jf r.efficacy)))
     (region_efficacy t);
   Buffer.add_string b "],\"authority_load\":[";
   List.iteri
@@ -244,9 +248,9 @@ let to_json t =
         (Printf.sprintf
            "{\"window_start\":%s,\"window_end\":%s,\"switch\":%d,\"load\":%s,\
             \"total\":%s,\"share\":%s,\"ratio\":%s}"
-           (fl e.Hotspot.window_start) (fl e.Hotspot.window_end) e.Hotspot.switch_id
-           (fl e.Hotspot.load) (fl e.Hotspot.total) (fl e.Hotspot.share)
-           (fl e.Hotspot.ratio)))
+           (jf e.Hotspot.window_start) (jf e.Hotspot.window_end) e.Hotspot.switch_id
+           (jf e.Hotspot.load) (jf e.Hotspot.total) (jf e.Hotspot.share)
+           (jf e.Hotspot.ratio)))
     (hotspots t);
   Buffer.add_string b "]}";
   Buffer.contents b

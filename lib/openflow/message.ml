@@ -20,7 +20,7 @@ type stats_request = { table_bank : bank; cookie : int }
 type flow_stats = { rule_id : int; packets : int64; bytes : int64; duration : float }
 type stats_reply = { request_cookie : int; flows : flow_stats list }
 
-type removed_reason = Idle_timeout | Hard_timeout | Evicted | Deleted
+type removed_reason = Idle_timeout | Hard_timeout | Evicted | Deleted | Replaced
 
 type flow_removed = {
   removed_rule : int;
@@ -114,7 +114,8 @@ let pp ppf = function
         | Idle_timeout -> "idle"
         | Hard_timeout -> "hard"
         | Evicted -> "evicted"
-        | Deleted -> "deleted")
+        | Deleted -> "deleted"
+        | Replaced -> "replaced")
         f.final_packets
 
 (* ---- wire format ---- *)
@@ -343,7 +344,8 @@ let encode_body b = function
         | Idle_timeout -> 0
         | Hard_timeout -> 1
         | Evicted -> 2
-        | Deleted -> 3);
+        | Deleted -> 3
+        | Replaced -> 4);
       W.u64 b f.final_packets;
       W.u64 b f.final_bytes;
       W.f64 b f.lifetime
@@ -471,6 +473,7 @@ let decode schema buf =
               | 1 -> Ok Hard_timeout
               | 2 -> Ok Evicted
               | 3 -> Ok Deleted
+              | 4 -> Ok Replaced
               | _ -> Error "unknown removal reason"
             in
             let* final_packets = R.u64 r in

@@ -36,7 +36,7 @@ type flow_stats = { rule_id : int; packets : int64; bytes : int64; duration : fl
 
 type stats_reply = { request_cookie : int; flows : flow_stats list }
 
-type removed_reason = Idle_timeout | Hard_timeout | Evicted | Deleted
+type removed_reason = Idle_timeout | Hard_timeout | Evicted | Deleted | Replaced
 
 type flow_removed = {
   removed_rule : int;  (** rule id *)

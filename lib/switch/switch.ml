@@ -6,6 +6,7 @@ type stats = {
   authority_hits : int64;
   tunnelled : int64;
   unmatched : int64;
+  misconfigured : int64;
 }
 
 (* Per-switch registry handles, created once at [create]: increments on
@@ -15,6 +16,7 @@ type tele = {
   m_authority_hits : Telemetry.counter;
   m_tunnelled : Telemetry.counter;
   m_unmatched : Telemetry.counter;
+  m_misconfigured : Telemetry.counter;
   m_stale_rejected : Telemetry.counter;
   m_cache_occupancy : Telemetry.gauge;
 }
@@ -25,6 +27,12 @@ type t = {
   mutable authority : (Partitioner.partition * Indexed.t) list;
       (* each partition table carries a tuple-space index for the hot path *)
   mutable partition_bank : Rule.t list; (* disjoint regions; order irrelevant *)
+  mutable partition_index : Indexed.t option;
+      (* tuple-space index over the committed bank, rebuilt on each
+         (rare) control-plane replacement so the per-packet partition
+         scan is sub-linear; [None] when the bank is empty or cannot be
+         indexed (duplicate ids from a confused controller) — then the
+         lookup falls back to the linear scan *)
   cache_origin : (int, int * int) Hashtbl.t;
       (* cache rule id -> (origin rule id, partition id) — the provenance
          pair threaded from policy rule through authority table to
@@ -56,6 +64,7 @@ type t = {
   mutable authority_hits : int64;
   mutable tunnelled : int64;
   mutable unmatched : int64;
+  mutable misconfigured : int64;
   tele : tele;
 }
 
@@ -68,6 +77,7 @@ let create ~id ~cache_capacity =
     cache = Tcam.create ~capacity:cache_capacity;
     authority = [];
     partition_bank = [];
+    partition_index = None;
     cache_origin = Hashtbl.create 64;
     origin_cache_hits = Hashtbl.create 64;
     origin_auth_hits = Hashtbl.create 64;
@@ -86,12 +96,14 @@ let create ~id ~cache_capacity =
     authority_hits = 0L;
     tunnelled = 0L;
     unmatched = 0L;
+    misconfigured = 0L;
     tele =
       {
         m_cache_hits = Telemetry.counter ~labels "switch_cache_hits";
         m_authority_hits = Telemetry.counter ~labels "switch_authority_hits";
         m_tunnelled = Telemetry.counter ~labels "switch_tunnelled";
         m_unmatched = Telemetry.counter ~labels "switch_unmatched";
+        m_misconfigured = Telemetry.counter ~labels "switch_misconfigured";
         m_stale_rejected = Telemetry.counter ~labels "switch_stale_rejected";
         m_cache_occupancy = Telemetry.gauge ~labels "switch_cache_occupancy";
       };
@@ -104,6 +116,24 @@ let sync_occupancy t = Telemetry.set t.tele.m_cache_occupancy (float_of_int (Tca
 
 let id t = t.id
 
+let rebuild_partition_index t =
+  t.partition_index <-
+    (match t.partition_bank with
+    | [] -> None
+    | r :: _ -> (
+        match Classifier.create (Pred.schema r.Rule.pred) t.partition_bank with
+        | c -> Some (Indexed.of_classifier c)
+        | exception Invalid_argument _ -> None))
+
+(* Internal wholesale replacement: what the hardware does with whatever
+   the control channel delivered.  Rules with a non-tunnel action stay
+   in the bank — [process] counts packets hitting them as
+   [misconfigured] instead of crashing the switch mid-dispatch. *)
+let set_partition_bank t rules =
+  t.partition_bank <- rules;
+  t.partition_committed <- true;
+  rebuild_partition_index t
+
 let install_partition_rules t rules =
   List.iter
     (fun (r : Rule.t) ->
@@ -111,8 +141,7 @@ let install_partition_rules t rules =
       | Action.To_authority _ -> ()
       | _ -> invalid_arg "Switch.install_partition_rules: non-partition action")
     rules;
-  t.partition_bank <- rules;
-  t.partition_committed <- true
+  set_partition_bank t rules
 
 let install_authority t (p : Partitioner.partition) =
   t.authority <-
@@ -169,7 +198,7 @@ let dispatch_control t ~now ~xid msg =
       (* barrier semantics: staged partition-bank updates commit as one
          atomic replacement before the reply goes out *)
       if t.pending_partition <> [] then begin
-        install_partition_rules t (List.rev t.pending_partition);
+        set_partition_bank t (List.rev t.pending_partition);
         t.pending_partition <- []
       end;
       (* even an empty commit closes the installation: adds whose frames
@@ -182,19 +211,20 @@ let dispatch_control t ~now ~xid msg =
           apply_flow_mod t ~now fm;
           ack xid
       | Message.Partition, Message.Add ->
-          (if t.partition_committed then
+          (if t.partition_committed then begin
              (* the barrier that closed this batch already passed (the
                 original frame was lost; this is its retransmission):
                 merge into the live bank — regions are disjoint and rule
-                ids stable, so replace-by-id converges *)
-             match fm.Message.rule.Rule.action with
-             | Action.To_authority _ ->
-                 t.partition_bank <-
-                   fm.Message.rule
-                   :: List.filter
-                        (fun (r : Rule.t) -> r.Rule.id <> fm.Message.rule.Rule.id)
-                        t.partition_bank
-             | _ -> ()
+                ids stable, so replace-by-id converges.  A non-tunnel
+                action is kept too: [process] surfaces it as
+                [misconfigured] rather than dropping it silently here *)
+             t.partition_bank <-
+               fm.Message.rule
+               :: List.filter
+                    (fun (r : Rule.t) -> r.Rule.id <> fm.Message.rule.Rule.id)
+                    t.partition_bank;
+             rebuild_partition_index t
+           end
            else t.pending_partition <- fm.Message.rule :: t.pending_partition);
           ack xid
       | Message.Partition, (Message.Delete | Message.Delete_strict)
@@ -265,6 +295,13 @@ let handle_control ?(xid = 0) ?(epoch = 0) t ~now msg =
         if xid <> 0 then remember t xid responses;
         responses
 
+(* Partition regions are disjoint, so at most one rule matches; the
+   index turns the old whole-bank scan into a handful of hash probes. *)
+let partition_lookup t h =
+  match t.partition_index with
+  | Some idx -> Indexed.first_match idx h
+  | None -> List.find_opt (fun (r : Rule.t) -> Rule.matches r h) t.partition_bank
+
 let authority_lookup t h =
   List.find_map
     (fun ((p : Partitioner.partition), idx) ->
@@ -292,12 +329,18 @@ let process t ~now h =
           bump t.origin_auth_hits r.Rule.id 1L;
           Local (r.Rule.action, Authority_bank)
       | None -> (
-          match List.find_opt (fun (r : Rule.t) -> Rule.matches r h) t.partition_bank with
+          match partition_lookup t h with
           | Some { Rule.action = Action.To_authority a; _ } ->
               t.tunnelled <- Int64.add t.tunnelled 1L;
               Telemetry.incr t.tele.m_tunnelled;
               Tunnel a
-          | Some _ | None ->
+          | Some _ ->
+              (* a partition rule claimed the header but cannot tunnel
+                 it: a misconfigured bank, not uncovered flowspace *)
+              t.misconfigured <- Int64.add t.misconfigured 1L;
+              Telemetry.incr t.tele.m_misconfigured;
+              Unmatched
+          | None ->
               t.unmatched <- Int64.add t.unmatched 1L;
               Telemetry.incr t.tele.m_unmatched;
               Unmatched))
@@ -370,17 +413,21 @@ let notify_removed t ~now reason (e : Tcam.entry) =
     :: t.notifications
 
 let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now rule =
-  let evicted = Tcam.insert_or_evict_entries ?idle_timeout ?hard_timeout t.cache ~now rule in
-  let evicted =
-    (* a zero-capacity cache "evicts" the incoming rule itself; that is a
-       bounce, not the removal of an installed entry *)
-    List.filter (fun (e : Tcam.entry) -> e.Tcam.rule.Rule.id <> rule.Rule.id) evicted
-  in
-  List.iter (notify_removed t ~now Message.Evicted) evicted;
+  let d = Tcam.insert_or_evict_entries ?idle_timeout ?hard_timeout t.cache ~now rule in
+  List.iter (notify_removed t ~now Message.Evicted) d.Tcam.evicted;
+  (* a same-id reinstall displaces the old entry: report its final
+     counters (cookie read before the provenance mapping is replaced)
+     so rule attribution survives the churn *)
+  Option.iter
+    (fun (e : Tcam.entry) ->
+      notify_removed t ~now Message.Replaced e;
+      Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
+    d.Tcam.replaced;
   (match origin_id with
-  | Some origin -> Hashtbl.replace t.cache_origin rule.Rule.id (origin, pid)
-  | None -> ());
-  let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) evicted in
+  | Some origin when not d.Tcam.bounced ->
+      Hashtbl.replace t.cache_origin rule.Rule.id (origin, pid)
+  | Some _ | None -> ());
+  let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) d.Tcam.evicted in
   List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
   sync_occupancy t;
   rules
@@ -408,6 +455,7 @@ let reset t =
   Tcam.clear t.cache;
   t.authority <- [];
   t.partition_bank <- [];
+  t.partition_index <- None;
   t.pending_partition <- [];
   t.partition_committed <- false;
   Hashtbl.reset t.cache_origin;
@@ -425,6 +473,7 @@ let reset t =
   t.authority_hits <- 0L;
   t.tunnelled <- 0L;
   t.unmatched <- 0L;
+  t.misconfigured <- 0L;
   sync_occupancy t
 
 let fresh_cache_id t =
@@ -472,6 +521,7 @@ let stats t =
     authority_hits = t.authority_hits;
     tunnelled = t.tunnelled;
     unmatched = t.unmatched;
+    misconfigured = t.misconfigured;
   }
 
 let reset_stats t =
@@ -479,6 +529,7 @@ let reset_stats t =
   t.authority_hits <- 0L;
   t.tunnelled <- 0L;
   t.unmatched <- 0L;
+  t.misconfigured <- 0L;
   Hashtbl.reset t.origin_cache_hits;
   Hashtbl.reset t.origin_auth_hits;
   Hashtbl.reset t.partition_hits;

@@ -54,7 +54,10 @@ val handle_control : ?xid:int -> ?epoch:int -> t -> now:float -> Message.t -> Me
     replies; cache-bank flow-mods apply immediately; partition-bank
     flow-mod adds are {e staged} and committed as one atomic bank
     replacement by the next barrier (whose reply then acknowledges
-    them); [Install_partition]/[Drop_partition] replace or remove an
+    them) — the commit applies whatever the channel delivered, so a
+    staged rule with a non-tunnel action does not crash the switch: it
+    sits in the bank and {!process} counts packets it claims as
+    [misconfigured]; [Install_partition]/[Drop_partition] replace or remove an
     authority table and are acknowledged with [Ack xid]; stats requests
     are answered from the cache TCAM's live counters.  Unsolicited
     replies and data-plane messages yield no response.
@@ -101,7 +104,12 @@ val fresh_cache_id : t -> int
 (** {1 Data plane} *)
 
 val process : t -> now:float -> Header.t -> verdict
-(** One lookup through the three banks, updating cache statistics. *)
+(** One lookup through the three banks, updating cache statistics.  The
+    cache and partition banks are probed through incrementally maintained
+    tuple-space indexes, so the per-packet cost is sub-linear in both
+    table sizes.  A header claimed by a partition rule that cannot tunnel
+    (its action is not [To_authority]) yields [Unmatched] but is tallied
+    as [misconfigured], not [unmatched]. *)
 
 type miss_reply = {
   action : Action.t;  (** the policy action to apply to the packet *)
@@ -126,7 +134,11 @@ val install_cache_rule :
   ?idle_timeout:float -> ?hard_timeout:float -> ?origin_id:int -> ?pid:int -> t ->
   now:float -> Rule.t -> Rule.t list
 (** Install a (spliced) cache rule, evicting LRU entries when full;
-    returns evictions.  [origin_id] keeps counters attributable; [pid]
+    returns evictions.  Every displaced entry — LRU victim or a same-id
+    entry replaced by the reinstall — is reported through
+    {!drain_notifications} with its final counters ([Evicted] or
+    [Replaced] reason), so provenance accounting never loses packets to
+    churn.  [origin_id] keeps counters attributable; [pid]
     (the serving partition from {!miss_reply}) additionally attributes
     the entry's future hits to its flowspace region (default [-1] =
     unknown, e.g. degraded exact-match fallbacks).  A hard timeout bounds
@@ -181,6 +193,10 @@ type stats = {
   authority_hits : int64;
   tunnelled : int64;
   unmatched : int64;
+  misconfigured : int64;
+      (** packets that matched a partition rule whose action was not
+          [To_authority] — a broken partition bank, counted apart from
+          genuinely uncovered flowspace ([unmatched]) *)
 }
 
 val stats : t -> stats

@@ -4,6 +4,7 @@ let m_hits = Telemetry.counter "tcam_hits"
 let m_misses = Telemetry.counter "tcam_misses"
 let m_inserts = Telemetry.counter "tcam_inserts"
 let m_evictions = Telemetry.counter "tcam_evictions"
+let m_expirations = Telemetry.counter "tcam_expirations"
 
 type entry = {
   rule : Rule.t;
@@ -15,35 +16,252 @@ type entry = {
   hard_timeout : float option;
 }
 
-type stats = { hits : int64; misses : int64; inserts : int64; evictions : int64 }
+(* Internal wrapper: the public entry plus the intrusive LRU links and
+   the liveness bit the lazy expiry heap checks.  A node leaves every
+   structure through [detach]; heap records outlive it and are skipped. *)
+type node = {
+  e : entry;
+  mutable prev : node option;  (* towards the LRU end *)
+  mutable next : node option;  (* towards the MRU end *)
+  mutable live : bool;
+}
+
+(* Array-backed binary min-heap of (deadline, node).  Deadlines are the
+   value at push time; idle timeouts move an entry's true deadline
+   forward on every hit, so a popped record is re-validated against the
+   entry and re-pushed when stale (lazy deletion — hits never touch the
+   heap, which keeps the per-packet path O(1)). *)
+module Heap = struct
+  type t = { mutable arr : (float * node) array; mutable len : int }
+
+  let create () = { arr = [||]; len = 0 }
+  let clear h = h.arr <- [||]; h.len <- 0
+
+  let swap h i j =
+    let tmp = h.arr.(i) in
+    h.arr.(i) <- h.arr.(j);
+    h.arr.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if fst h.arr.(i) < fst h.arr.(p) then begin
+        swap h i p;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let m = if l < h.len && fst h.arr.(l) < fst h.arr.(i) then l else i in
+    let m = if r < h.len && fst h.arr.(r) < fst h.arr.(m) then r else m in
+    if m <> i then begin
+      swap h i m;
+      sift_down h m
+    end
+
+  let push h d n =
+    if h.len = Array.length h.arr then begin
+      let cap = max 8 (2 * h.len) in
+      let arr = Array.make cap (d, n) in
+      Array.blit h.arr 0 arr 0 h.len;
+      h.arr <- arr
+    end;
+    h.arr.(h.len) <- (d, n);
+    h.len <- h.len + 1;
+    sift_up h (h.len - 1)
+
+  let peek_deadline h = if h.len = 0 then None else Some (fst h.arr.(0))
+
+  let pop h =
+    let top = h.arr.(0) in
+    h.len <- h.len - 1;
+    h.arr.(0) <- h.arr.(h.len);
+    sift_down h 0;
+    top
+end
+
+(* One tuple-space group per distinct mask vector: rules whose predicate
+   shares masks and masked values collide into a priority-sorted bucket,
+   so a lookup is one hash probe per group. *)
+type group = {
+  masks : int64 array;  (* per field *)
+  buckets : (int64 array, node list) Hashtbl.t;  (* priority order *)
+  mutable members : int;
+}
+
+type stats = {
+  hits : int64;
+  misses : int64;
+  inserts : int64;
+  evictions : int64;
+  expirations : int64;
+}
 
 type t = {
   cap : int;
-  mutable table : entry list; (* kept in Rule.compare_priority order *)
+  use_index : bool;
+  by_id : (int, node) Hashtbl.t;
+  groups : (int64 array, group) Hashtbl.t;
+  mutable lru_head : node option;  (* least recently touched *)
+  mutable lru_tail : node option;  (* most recently touched *)
+  heap : Heap.t;
+  mutable size : int;
   mutable hits : int64;
   mutable misses : int64;
   mutable inserts : int64;
   mutable evictions : int64;
+  mutable expirations : int64;
 }
 
-let create ~capacity =
+let make_tcam ~index ~capacity =
   if capacity < 0 then invalid_arg "Tcam.create: negative capacity";
-  { cap = capacity; table = []; hits = 0L; misses = 0L; inserts = 0L; evictions = 0L }
+  {
+    cap = capacity;
+    use_index = index;
+    by_id = Hashtbl.create 64;
+    groups = Hashtbl.create 16;
+    lru_head = None;
+    lru_tail = None;
+    heap = Heap.create ();
+    size = 0;
+    hits = 0L;
+    misses = 0L;
+    inserts = 0L;
+    evictions = 0L;
+    expirations = 0L;
+  }
+
+let create ~capacity = make_tcam ~index:true ~capacity
+let create_linear ~capacity = make_tcam ~index:false ~capacity
 
 let capacity t = t.cap
-let occupancy t = List.length t.table
-let is_full t = occupancy t >= t.cap
-let entries t = t.table
-let find t id = List.find_opt (fun e -> e.rule.Rule.id = id) t.table
-let mem t id = Option.is_some (find t id)
+let occupancy t = t.size
+let is_full t = t.size >= t.cap
+let find t id = Option.map (fun n -> n.e) (Hashtbl.find_opt t.by_id id)
+let mem t id = Hashtbl.mem t.by_id id
 
-let insert_sorted table e =
+let fold_nodes t f acc =
+  let rec go acc = function None -> acc | Some n -> go (f acc n) n.next in
+  go acc t.lru_head
+
+let entries t =
+  fold_nodes t (fun acc n -> n.e :: acc) []
+  |> List.sort (fun a b -> Rule.compare_priority a.rule b.rule)
+
+(* ---- LRU list ---- *)
+
+let lru_unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.lru_head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.lru_tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let lru_append t n =
+  n.prev <- t.lru_tail;
+  n.next <- None;
+  (match t.lru_tail with Some p -> p.next <- Some n | None -> t.lru_head <- Some n);
+  t.lru_tail <- Some n
+
+let lru_touch t n =
+  match n.next with
+  | None -> ()  (* already most recently used *)
+  | Some _ ->
+      lru_unlink t n;
+      lru_append t n
+
+(* ---- tuple-space index ---- *)
+
+let mask_vector (r : Rule.t) =
+  Array.init (Pred.arity r.pred) (fun i -> Ternary.mask (Pred.field r.pred i))
+
+(* Ternary.value reads wildcard positions as 0, so a rule's value vector
+   is already its own masked key. *)
+let value_vector (r : Rule.t) =
+  Array.init (Pred.arity r.pred) (fun i -> Ternary.value (Pred.field r.pred i))
+
+let masked_key masks h =
+  Array.init (Array.length masks) (fun i -> Int64.logand masks.(i) (Header.field h i))
+
+let bucket_insert n bucket =
   let rec go = function
-    | [] -> [ e ]
+    | [] -> [ n ]
     | x :: rest ->
-        if Rule.compare_priority e.rule x.rule <= 0 then e :: x :: rest else x :: go rest
+        if Rule.compare_priority n.e.rule x.e.rule <= 0 then n :: x :: rest
+        else x :: go rest
   in
-  go table
+  go bucket
+
+let index_add t n =
+  let mv = mask_vector n.e.rule in
+  let g =
+    match Hashtbl.find_opt t.groups mv with
+    | Some g -> g
+    | None ->
+        let g = { masks = mv; buckets = Hashtbl.create 8; members = 0 } in
+        Hashtbl.add t.groups mv g;
+        g
+  in
+  let key = value_vector n.e.rule in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt g.buckets key) in
+  Hashtbl.replace g.buckets key (bucket_insert n bucket);
+  g.members <- g.members + 1
+
+let index_remove t n =
+  let mv = mask_vector n.e.rule in
+  match Hashtbl.find_opt t.groups mv with
+  | None -> ()
+  | Some g ->
+      let key = value_vector n.e.rule in
+      (match Hashtbl.find_opt g.buckets key with
+      | None -> ()
+      | Some bucket -> (
+          match List.filter (fun x -> x != n) bucket with
+          | [] -> Hashtbl.remove g.buckets key
+          | b -> Hashtbl.replace g.buckets key b));
+      g.members <- g.members - 1;
+      if g.members = 0 then Hashtbl.remove t.groups mv
+
+let index_groups t = Hashtbl.length t.groups
+
+(* A hash probe costs roughly as much as scanning a handful of rules;
+   with nearly one group per entry, tuple search only adds overhead. *)
+let index_degenerate t =
+  (not t.use_index)
+  ||
+  let g = Hashtbl.length t.groups in
+  g > 8 && 4 * g > 3 * t.size
+
+(* ---- expiry deadlines ---- *)
+
+let deadline_of e =
+  match (e.idle_timeout, e.hard_timeout) with
+  | None, None -> None
+  | Some i, None -> Some (e.last_hit +. i)
+  | None, Some h -> Some (e.installed_at +. h)
+  | Some i, Some h -> Some (Float.min (e.last_hit +. i) (e.installed_at +. h))
+
+let expired e ~now =
+  (match e.idle_timeout with Some d -> now -. e.last_hit >= d | None -> false)
+  || match e.hard_timeout with Some d -> now -. e.installed_at >= d | None -> false
+
+(* ---- attach / detach ---- *)
+
+let attach t n =
+  Hashtbl.replace t.by_id n.e.rule.Rule.id n;
+  lru_append t n;
+  index_add t n;
+  t.size <- t.size + 1;
+  match deadline_of n.e with Some d -> Heap.push t.heap d n | None -> ()
+
+let detach t n =
+  n.live <- false;
+  Hashtbl.remove t.by_id n.e.rule.Rule.id;
+  lru_unlink t n;
+  index_remove t n;
+  t.size <- t.size - 1
+
+(* ---- mutation ---- *)
 
 let make_entry ?idle_timeout ?hard_timeout ~now rule =
   {
@@ -56,33 +274,37 @@ let make_entry ?idle_timeout ?hard_timeout ~now rule =
     hard_timeout;
   }
 
+let make_node e = { e; prev = None; next = None; live = true }
+
 let insert ?idle_timeout ?hard_timeout t ~now rule =
-  let existed = mem t rule.Rule.id in
-  if (not existed) && is_full t then `Full
+  let displaced =
+    match Hashtbl.find_opt t.by_id rule.Rule.id with
+    | Some old ->
+        detach t old;
+        Some old.e
+    | None -> None
+  in
+  if displaced = None && is_full t then `Full
   else begin
-    if existed then t.table <- List.filter (fun e -> e.rule.Rule.id <> rule.Rule.id) t.table;
-    t.table <- insert_sorted t.table (make_entry ?idle_timeout ?hard_timeout ~now rule);
+    attach t (make_node (make_entry ?idle_timeout ?hard_timeout ~now rule));
     t.inserts <- Int64.add t.inserts 1L;
     Telemetry.incr m_inserts;
-    if existed then `Replaced else `Ok
+    match displaced with Some e -> `Replaced e | None -> `Ok
   end
 
 let evict_lru t =
-  match t.table with
-  | [] -> None
-  | first :: _ ->
-      let victim =
-        List.fold_left
-          (fun acc e -> if e.last_hit < acc.last_hit then e else acc)
-          first t.table
-      in
-      t.table <- List.filter (fun e -> e != victim) t.table;
+  match t.lru_head with
+  | None -> None
+  | Some n ->
+      detach t n;
       t.evictions <- Int64.add t.evictions 1L;
       Telemetry.incr m_evictions;
-      Some victim
+      Some n.e
+
+type displaced = { evicted : entry list; replaced : entry option; bounced : bool }
 
 let insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule =
-  if t.cap = 0 then [ make_entry ~now rule ] (* nothing fits: bounced *)
+  if t.cap = 0 then { evicted = []; replaced = None; bounced = true }
   else begin
     let evicted = ref [] in
     while (not (mem t rule.Rule.id)) && is_full t do
@@ -90,44 +312,106 @@ let insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule =
       | Some e -> evicted := e :: !evicted
       | None -> ()
     done;
-    ignore (insert ?idle_timeout ?hard_timeout t ~now rule);
-    List.rev !evicted
+    let replaced =
+      match insert ?idle_timeout ?hard_timeout t ~now rule with
+      | `Replaced e -> Some e
+      | `Ok | `Full -> None
+    in
+    { evicted = List.rev !evicted; replaced; bounced = false }
   end
 
 let insert_or_evict ?idle_timeout ?hard_timeout t ~now rule =
-  List.map (fun e -> e.rule) (insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule)
+  let d = insert_or_evict_entries ?idle_timeout ?hard_timeout t ~now rule in
+  let evicted = List.map (fun e -> e.rule) d.evicted in
+  if d.bounced then evicted @ [ rule ] else evicted
 
 let remove t id =
-  let before = occupancy t in
-  t.table <- List.filter (fun e -> e.rule.Rule.id <> id) t.table;
-  occupancy t < before
+  match Hashtbl.find_opt t.by_id id with
+  | Some n ->
+      detach t n;
+      true
+  | None -> false
 
 let remove_where t f =
-  let before = occupancy t in
-  t.table <- List.filter (fun e -> not (f e.rule)) t.table;
-  before - occupancy t
+  let victims = fold_nodes t (fun acc n -> if f n.e.rule then n :: acc else acc) [] in
+  List.iter (detach t) victims;
+  List.length victims
 
-let clear t = t.table <- []
-
-let expired e ~now =
-  (match e.idle_timeout with Some d -> now -. e.last_hit >= d | None -> false)
-  || match e.hard_timeout with Some d -> now -. e.installed_at >= d | None -> false
+let clear t =
+  fold_nodes t (fun () n -> n.live <- false) ();
+  Hashtbl.reset t.by_id;
+  Hashtbl.reset t.groups;
+  t.lru_head <- None;
+  t.lru_tail <- None;
+  Heap.clear t.heap;
+  t.size <- 0
 
 let expire_entries t ~now =
-  let gone, kept = List.partition (expired ~now) t.table in
-  t.table <- kept;
-  t.evictions <- Int64.add t.evictions (Int64.of_int (List.length gone));
-  Telemetry.add m_evictions (List.length gone);
+  let gone = ref [] in
+  let running = ref true in
+  while !running do
+    match Heap.peek_deadline t.heap with
+    | Some d when d <= now -> (
+        let _, n = Heap.pop t.heap in
+        if n.live then
+          if expired n.e ~now then begin
+            detach t n;
+            gone := n.e :: !gone
+          end
+          else
+            (* a hit moved the idle deadline forward since the push:
+               re-key the record at the entry's current deadline *)
+            match deadline_of n.e with
+            | Some d' -> Heap.push t.heap d' n
+            | None -> ())
+    | _ -> running := false
+  done;
+  let gone = List.sort (fun a b -> Rule.compare_priority a.rule b.rule) !gone in
+  let k = List.length gone in
+  t.expirations <- Int64.add t.expirations (Int64.of_int k);
+  Telemetry.add m_expirations k;
   gone
 
 let expire t ~now = List.map (fun e -> e.rule) (expire_entries t ~now)
 
+(* ---- lookup ---- *)
+
+let best_match_linear t h =
+  fold_nodes t
+    (fun best n ->
+      if Rule.matches n.e.rule h then
+        match best with
+        | Some (b : node) when not (Rule.beats n.e.rule b.e.rule) -> best
+        | _ -> Some n
+      else best)
+    None
+
+let best_match_tss t h =
+  let best = ref None in
+  Hashtbl.iter
+    (fun _ g ->
+      match Hashtbl.find_opt g.buckets (masked_key g.masks h) with
+      | Some (n :: _) -> (
+          (* the bucket holds every entry whose predicate matches exactly
+             the headers with this masked key, best priority first *)
+          match !best with
+          | Some (b : node) when not (Rule.beats n.e.rule b.e.rule) -> ()
+          | _ -> best := Some n)
+      | _ -> ())
+    t.groups;
+  !best
+
+let best_match t h =
+  if index_degenerate t then best_match_linear t h else best_match_tss t h
+
 let lookup t ~now ?(bytes = 64) h =
-  match List.find_opt (fun e -> Rule.matches e.rule h) t.table with
-  | Some e ->
+  match best_match t h with
+  | Some n ->
+      let e = n.e in
       e.last_hit <- now;
       e.packets <- Int64.add e.packets 1L;
       e.bytes <- Int64.add e.bytes (Int64.of_int bytes);
+      lru_touch t n;
       t.hits <- Int64.add t.hits 1L;
       Telemetry.incr m_hits;
       Some e.rule
@@ -136,16 +420,25 @@ let lookup t ~now ?(bytes = 64) h =
       Telemetry.incr m_misses;
       None
 
-let peek t h =
-  Option.map (fun e -> e.rule) (List.find_opt (fun e -> Rule.matches e.rule h) t.table)
+let peek t h = Option.map (fun n -> n.e.rule) (best_match t h)
 
-let stats t = { hits = t.hits; misses = t.misses; inserts = t.inserts; evictions = t.evictions }
+(* ---- statistics ---- *)
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    inserts = t.inserts;
+    evictions = t.evictions;
+    expirations = t.expirations;
+  }
 
 let reset_stats t =
   t.hits <- 0L;
   t.misses <- 0L;
   t.inserts <- 0L;
-  t.evictions <- 0L
+  t.evictions <- 0L;
+  t.expirations <- 0L
 
 let hit_rate t =
   let total = Int64.add t.hits t.misses in
@@ -156,4 +449,4 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>TCAM %d/%d@,%a@]" (occupancy t) t.cap
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf e ->
          Format.fprintf ppf "%a (pkts=%Ld)" Rule.pp e.rule e.packets))
-    t.table
+    (entries t)

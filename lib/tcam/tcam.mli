@@ -6,6 +6,17 @@
     is mutable (a switch's table is inherently stateful) but confined:
     all observation goes through the accessors below.
 
+    The per-packet path is sub-linear: entries are indexed by tuple space
+    search (Srinivasan et al.) — one hash group per distinct mask vector,
+    maintained incrementally across insert/remove/expire — so a lookup
+    costs one hash probe per distinct mask shape instead of a scan of the
+    whole bank.  On rule sets where nearly every entry has its own mask
+    vector the index degenerates to one probe per entry, so the table
+    falls back to a plain linear scan ({!index_degenerate}); semantics
+    are identical either way (property-tested).  Eviction keeps an
+    intrusive LRU list (O(1) per touch) and expiry a lazy min-heap on
+    each entry's next deadline, so neither walks the bank.
+
     Time is a [float] of seconds supplied by the caller (the simulator's
     clock); the TCAM never reads a wall clock. *)
 
@@ -25,6 +36,12 @@ val create : capacity:int -> t
 (** @raise Invalid_argument if [capacity < 0].  A capacity of [0] models a
     switch with no TCAM (everything misses). *)
 
+val create_linear : capacity:int -> t
+(** Like {!create} but with the tuple-space index disabled: every lookup
+    takes the linear-scan path — the reference semantics, kept for
+    benchmarking and differential testing; results are identical to an
+    indexed table's on any operation sequence. *)
+
 val capacity : t -> int
 val occupancy : t -> int
 val is_full : t -> bool
@@ -36,30 +53,51 @@ val find : t -> int -> entry option
 
 val mem : t -> int -> bool
 
+(** {1 Index introspection} *)
+
+val index_groups : t -> int
+(** Number of distinct mask vectors currently held — the tuple-space
+    probe count upper bound. *)
+
+val index_degenerate : t -> bool
+(** True when the index would currently fall back to the linear scan
+    (too many distinct mask vectors for tuple search to win, or the
+    index was disabled at {!create}). *)
+
 (** {1 Mutation} *)
 
 val insert :
   ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
-  [ `Ok | `Replaced | `Full ]
+  [ `Ok | `Replaced of entry | `Full ]
 (** Install a rule.  A rule with the same id replaces the old entry
-    (preserving nothing — OpenFlow flow-mod semantics); [`Full] is
-    returned, and nothing changes, when the table is at capacity. *)
+    (OpenFlow flow-mod semantics); the displaced entry is returned with
+    its final counters so the caller can emit a flow-removed
+    notification instead of silently losing them.  [`Full] is returned,
+    and nothing changes, when the table is at capacity. *)
+
+type displaced = {
+  evicted : entry list;  (** LRU victims, in eviction order *)
+  replaced : entry option;  (** same-id entry displaced by the new rule *)
+  bounced : bool;  (** capacity 0: the rule itself did not fit *)
+}
 
 val insert_or_evict :
   ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
   Rule.t list
 (** Install, evicting least-recently-hit entries as needed to make room.
-    Returns the evicted rules (empty when none).  This is the reactive
+    Returns the evicted rules (empty when none; the incoming rule itself
+    when it bounced off a zero-capacity table).  This is the reactive
     cache-install path of DIFANE ingress switches. *)
 
 val insert_or_evict_entries :
   ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
-  entry list
-(** Like {!insert_or_evict} but returning the full evicted entries, so
-    callers can report final counters (flow-removed notifications). *)
+  displaced
+(** Like {!insert_or_evict} but returning the full displaced entries —
+    LRU victims and any same-id replaced entry — so callers can report
+    final counters (flow-removed notifications). *)
 
 val remove : t -> int -> bool
-(** Remove by rule id; [false] if absent. *)
+(** Remove by rule id; [false] if absent.  Not counted as an eviction. *)
 
 val remove_where : t -> (Rule.t -> bool) -> int
 (** Remove all entries whose rule satisfies the predicate; returns the
@@ -68,8 +106,10 @@ val remove_where : t -> (Rule.t -> bool) -> int
 val clear : t -> unit
 
 val expire : t -> now:float -> Rule.t list
-(** Evict every entry whose idle or hard timeout has elapsed at [now];
-    returns the evicted rules. *)
+(** Remove every entry whose idle or hard timeout has elapsed at [now];
+    returns the removed rules.  Counted as {e expirations}, not
+    evictions: timeout churn and capacity pressure are separate
+    signals. *)
 
 val expire_entries : t -> now:float -> entry list
 (** Like {!expire} but returning the full expired entries. *)
@@ -77,20 +117,29 @@ val expire_entries : t -> now:float -> entry list
 (** {1 Lookup} *)
 
 val lookup : t -> now:float -> ?bytes:int -> Header.t -> Rule.t option
-(** Highest-priority matching entry; bumps its counters and [last_hit].
-    [bytes] defaults to a 64-byte minimum-size packet. *)
+(** Highest-priority matching entry; bumps its counters and [last_hit]
+    and marks it most recently used.  [bytes] defaults to a 64-byte
+    minimum-size packet. *)
 
 val peek : t -> Header.t -> Rule.t option
 (** Like [lookup] but with no statistics side effects. *)
 
 (** {1 Statistics} *)
 
-type stats = { hits : int64; misses : int64; inserts : int64; evictions : int64 }
+type stats = {
+  hits : int64;
+  misses : int64;
+  inserts : int64;
+  evictions : int64;  (** LRU victims only — capacity pressure *)
+  expirations : int64;  (** idle/hard timeouts — cache churn *)
+}
 
 val stats : t -> stats
 val reset_stats : t -> unit
 
 val hit_rate : t -> float
-(** Hits over lookups since the last reset; [nan] before any lookup. *)
+(** Hits over lookups since the last reset; [nan] before any lookup —
+    renderers must map it to [null]/omission, never print it raw into
+    JSON. *)
 
 val pp : Format.formatter -> t -> unit

@@ -105,6 +105,14 @@ val to_json : sample list -> string
 (** The same snapshot as a self-contained JSON document:
     [{"schema":"difane-metrics-v1","metrics":[...]}]. *)
 
+val json_float : float -> string
+(** Render a float as a JSON token: [nan] becomes [null] and the
+    infinities become the strings ["+inf"]/["-inf"] — JSON has no
+    spelling for any of them, and a bare [nan] in the output makes the
+    whole document unparseable.  Every JSON renderer in the tree must
+    route floats that can be undefined (e.g. {!Tcam.hit_rate} before any
+    lookup) through this. *)
+
 (** {1 Event tracing} *)
 
 module Trace : sig

@@ -128,6 +128,69 @@ let test_partition_load_counting () =
   check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int64)) "reset clears" []
     (Switch.partition_load auth)
 
+(* A same-id reinstall must surface the displaced entry's final counters
+   as a [Replaced] flow-removed — the old path silently dropped them,
+   losing packets from the origin rule's attribution. *)
+let test_replace_notification () =
+  let sw = Switch.create ~id:0 ~cache_capacity:4 in
+  let r = Rule.make ~id:50 ~priority:1 (Pred.of_strings s2 [ ("f1", "0000_0010") ]) (Action.Forward 1) in
+  ignore (Switch.install_cache_rule ~origin_id:42 sw ~now:0. r);
+  ignore (Switch.process sw ~now:1. (h 2 0));
+  ignore (Switch.process sw ~now:2. (h 2 0));
+  ignore (Switch.drain_notifications sw);
+  let r' = Rule.make ~id:50 ~priority:2 (Pred.of_strings s2 [ ("f1", "0000_001x") ]) (Action.Forward 1) in
+  ignore (Switch.install_cache_rule ~origin_id:43 sw ~now:3. r');
+  (match Switch.drain_notifications sw with
+  | [ Message.Flow_removed fr ] ->
+      check Alcotest.int "removed rule" 50 fr.Message.removed_rule;
+      check Alcotest.bool "replaced reason" true (fr.Message.reason = Message.Replaced);
+      check Alcotest.int "old cookie" 42 fr.Message.cookie;
+      check Alcotest.int64 "final packets" 2L fr.Message.final_packets
+  | ms -> Alcotest.failf "expected one Replaced notification, got %d" (List.length ms));
+  (* provenance now points at the new origin *)
+  check (Alcotest.option Alcotest.int) "origin remapped" (Some 43)
+    (Switch.origin_of_cache_rule sw 50);
+  check Alcotest.int "occupancy unchanged" 1 (Switch.cache_occupancy sw)
+
+(* A partition rule that cannot tunnel is a broken bank, not uncovered
+   flowspace: the packet must land in [misconfigured], not [unmatched].
+   The broken rule reaches the bank through the barrier-commit path,
+   which must tolerate it instead of crashing mid-dispatch. *)
+let test_misconfigured_partition_rule () =
+  let sw = Switch.create ~id:0 ~cache_capacity:4 in
+  let broken = Rule.make ~id:1 ~priority:1 (Pred.of_strings s2 [ ("f1", "0000_0001") ]) Action.Drop in
+  let good =
+    Rule.make ~id:2 ~priority:1 (Pred.of_strings s2 [ ("f1", "0000_0010") ])
+      (Action.To_authority 9)
+  in
+  let add rule =
+    ignore
+      (Switch.handle_control sw ~now:0.
+         (Message.Flow_mod
+            { Message.command = Message.Add; bank = Message.Partition; rule;
+              idle_timeout = None; hard_timeout = None }))
+  in
+  add broken;
+  add good;
+  ignore (Switch.handle_control sw ~now:0. (Message.Barrier_request 1));
+  (* the broken rule claims this header: misconfigured, not unmatched *)
+  (match Switch.process sw ~now:1. (h 1 0) with
+  | Switch.Unmatched -> ()
+  | _ -> Alcotest.fail "expected Unmatched verdict");
+  (* the good rule still tunnels *)
+  (match Switch.process sw ~now:1. (h 2 0) with
+  | Switch.Tunnel 9 -> ()
+  | _ -> Alcotest.fail "expected tunnel to 9");
+  (* nothing claims this header: genuinely unmatched *)
+  (match Switch.process sw ~now:1. (h 4 0) with
+  | Switch.Unmatched -> ()
+  | _ -> Alcotest.fail "expected Unmatched verdict");
+  let st = Switch.stats sw in
+  check Alcotest.int64 "misconfigured" 1L st.Switch.misconfigured;
+  check Alcotest.int64 "unmatched" 1L st.Switch.unmatched;
+  Switch.reset_stats sw;
+  check Alcotest.int64 "misconfigured reset" 0L (Switch.stats sw).Switch.misconfigured
+
 (* property: after any sequence of miss-serve-and-install, the ingress
    switch never returns an action that disagrees with the policy *)
 let prop_cache_never_lies =
@@ -164,6 +227,8 @@ let suite =
         tc "partition bank validation" test_partition_bank_validation;
         tc "flow-mod bank handling" test_flow_mod_banks;
         tc "partition load counting" test_partition_load_counting;
+        tc "replace emits flow-removed" test_replace_notification;
+        tc "misconfigured partition rule" test_misconfigured_partition_rule;
         prop_cache_never_lies;
       ] );
   ]

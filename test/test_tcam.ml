@@ -31,7 +31,9 @@ let test_capacity () =
     (Tcam.insert t ~now:0. (rule 3 [ ("f1", "0000_0011") ] Action.Drop) = `Full);
   (* replace existing id does not need space *)
   check Alcotest.bool "replace ok" true
-    (Tcam.insert t ~now:1. (rule 2 [ ("f1", "0000_0100") ] Action.Drop) = `Replaced);
+    (match Tcam.insert t ~now:1. (rule 2 [ ("f1", "0000_0100") ] Action.Drop) with
+    | `Replaced e -> e.Tcam.rule.Rule.id = 2
+    | `Ok | `Full -> false);
   check Alcotest.int "still 2" 2 (Tcam.occupancy t)
 
 let test_zero_capacity () =

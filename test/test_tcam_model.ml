@@ -105,7 +105,7 @@ let run_ops ops =
           let hard = if hard then Some 4.0 else None in
           let real_ok =
             match Tcam.insert ?idle_timeout:idle ?hard_timeout:hard real ~now:!clock rule with
-            | `Ok | `Replaced -> true
+            | `Ok | `Replaced _ -> true
             | `Full -> false
           in
           let model_ok = Model.insert model ~now:!clock ?idle ?hard rule in

@@ -122,6 +122,29 @@ let test_json_shape () =
   check Alcotest.bool "+inf bound stringified" true (contains {|"le":"+inf"|});
   check Alcotest.bool "document closes" true (String.sub j (String.length j - 2) 2 = "]}")
 
+(* nan has no JSON spelling: a renderer printing it raw (e.g. a fresh
+   TCAM's hit_rate before any lookup) produces an unparseable document.
+   Every float escape hatch must map it to null. *)
+let test_json_nan_safety () =
+  check Alcotest.string "nan -> null" "null" (Telemetry.json_float Float.nan);
+  check Alcotest.string "+inf -> string" {|"+inf"|} (Telemetry.json_float infinity);
+  check Alcotest.string "-inf -> string" {|"-inf"|} (Telemetry.json_float neg_infinity);
+  check Alcotest.string "finite untouched" "0.5" (Telemetry.json_float 0.5);
+  check Alcotest.string "fresh hit_rate renders null" "null"
+    (Telemetry.json_float (Tcam.hit_rate (Tcam.create ~capacity:4)));
+  Telemetry.reset ();
+  let g = Telemetry.gauge "t_undefined_gauge" in
+  Telemetry.set g Float.nan;
+  let j = Telemetry.to_json (Telemetry.snapshot ()) in
+  let contains needle =
+    let n = String.length needle and m = String.length j in
+    let rec go i = i + n <= m && (String.sub j i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "nan gauge -> null in --metrics json" true
+    (contains {|{"name":"t_undefined_gauge","type":"gauge","value":null}|});
+  check Alcotest.bool "no bare nan token" false (contains "nan")
+
 (* --- trace ring --- *)
 
 let test_trace_wraparound () =
@@ -297,6 +320,7 @@ let suite =
         Alcotest.test_case "reset zeroes, keeps registration" `Quick
           test_reset_zeroes_but_keeps_registration;
         Alcotest.test_case "json shape" `Quick test_json_shape;
+        Alcotest.test_case "json nan safety" `Quick test_json_nan_safety;
         Alcotest.test_case "trace ring wraparound" `Quick test_trace_wraparound;
         Alcotest.test_case "trace ring deep wraparound" `Quick test_trace_deep_wraparound;
         Alcotest.test_case "trace disabled by default" `Quick test_trace_disabled_by_default;
