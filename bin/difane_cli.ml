@@ -166,16 +166,84 @@ let cp_config_of_flags echo_interval retx_timeout retx_backoff retx_limit =
     retx_limit = Option.value ~default:d.Control_plane.retx_limit retx_limit;
   }
 
+(* ---- congestion-model flags (finite buffers / backpressure), shared by
+   chaos | ha | deploy.  All off by default: the default Congestion.config
+   is the legacy infinite-buffer plane and published numbers assume it. ---- *)
+
+let buffers_arg =
+  let doc =
+    "Per-port packet buffer capacity; arriving packets past it are shed drop-tail. \
+     Omitted means infinite (legacy) buffers."
+  in
+  Arg.(value & opt (some int) None & info [ "buffers" ] ~docv:"N" ~doc)
+
+let ecn_arg =
+  let doc =
+    "Mark packets congestion-experienced when their outgoing port queue is at least \
+     this deep (telemetry only; no marking when omitted)."
+  in
+  Arg.(value & opt (some int) None & info [ "ecn" ] ~docv:"N" ~doc)
+
+let model_bandwidth_arg =
+  let doc =
+    "Charge per-hop serialization delay (packet bits / link bandwidth) so link \
+     bandwidth becomes a modelled resource."
+  in
+  Arg.(value & flag & info [ "model-bandwidth" ] ~doc)
+
+let fc_arg =
+  let doc =
+    "Flow control for misses tunnelled to authority switches: $(b,drop-tail) sheds at \
+     full port buffers, $(b,credit) backpressures the ingresses at a saturated \
+     authority (they defer re-splicing and fall back to the controller path)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum [ ("drop-tail", Congestion.Drop_tail); ("credit", Congestion.Credit) ])
+        Congestion.Drop_tail
+    & info [ "fc" ] ~docv:"MODE" ~doc)
+
+let credit_pool_arg =
+  let doc = "Credit-mode: misses in flight allowed per authority switch." in
+  Arg.(value & opt (some int) None & info [ "credit-pool" ] ~docv:"N" ~doc)
+
+let credit_low_water_arg =
+  let doc = "Credit-mode: backpressure when the pool drains to this many credits." in
+  Arg.(value & opt (some int) None & info [ "credit-low-water" ] ~docv:"N" ~doc)
+
+let packet_bits_arg =
+  let doc = "Modelled packet size in bits (default 12000 — a 1500-byte MTU frame)." in
+  Arg.(value & opt (some int) None & info [ "packet-bits" ] ~docv:"BITS" ~doc)
+
+let congestion_term =
+  let mk buffers ecn model_bw fc pool low bits =
+    let d = Congestion.default in
+    {
+      Congestion.buffer_capacity = buffers;
+      ecn_threshold = ecn;
+      model_bandwidth = model_bw;
+      mode = fc;
+      credit_pool = Option.value ~default:d.Congestion.credit_pool pool;
+      credit_low_water = Option.value ~default:d.Congestion.credit_low_water low;
+      packet_bits = Option.value ~default:d.Congestion.packet_bits bits;
+    }
+  in
+  Term.(
+    const mk $ buffers_arg $ ecn_arg $ model_bandwidth_arg $ fc_arg $ credit_pool_arg
+    $ credit_low_water_arg $ packet_bits_arg)
+
 let deploy_cmd =
-  let run policy_file topo_spec auths k cache flows alpha faults seed echo_interval
-      retx_timeout retx_backoff retx_limit metrics =
+  let run policy_file topo_spec auths k cache flows alpha faults congestion seed
+      echo_interval retx_timeout retx_backoff retx_limit metrics =
     with_metrics metrics @@ fun () ->
     let policy = load_policy_or_die policy_file in
     try
       let topology = parse_topology ~seed topo_spec in
       let authority_ids = parse_ids auths in
       let config =
-        { Deployment.default_config with k; cache_capacity = cache; balance = `Volume }
+        { Deployment.default_config with k; cache_capacity = cache; balance = `Volume;
+          congestion }
       in
       (* with faults the switches start blank and the configuration is
          pushed over the lossy control channels below — the realistic path *)
@@ -258,6 +326,10 @@ let deploy_cmd =
       let r = Flowsim.run_difane ?faults:fault_plan d workload in
       Printf.printf "simulated %d flows (%d packets) over %.2f s\n" r.Flowsim.offered_flows
         r.Flowsim.delivered_packets r.Flowsim.duration;
+      if Congestion.enabled congestion then
+        Printf.printf
+          "congestion     : %d queue drops, %d ECN marks, %d backpressured misses\n"
+          r.Flowsim.queue_drops r.Flowsim.ecn_marks r.Flowsim.backpressured;
       Printf.printf "cache hit rate : %s\n"
         (Table.fmt_pct
            (float_of_int r.Flowsim.cache_hit_packets
@@ -290,8 +362,9 @@ let deploy_cmd =
   Cmd.v (Cmd.info "deploy" ~doc)
     Term.(
       const run $ policy_arg $ topology_arg $ authorities_arg $ k_arg $ cache_arg
-      $ flows_arg $ alpha_arg $ faults_arg $ seed_arg $ echo_interval_arg
-      $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg $ metrics_arg)
+      $ flows_arg $ alpha_arg $ faults_arg $ congestion_term $ seed_arg
+      $ echo_interval_arg $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg
+      $ metrics_arg)
 
 let partition_cmd =
   let run policy_file k max_entries =
@@ -358,11 +431,12 @@ let check_arg =
   Arg.(value & flag & info [ "check" ] ~doc)
 
 let chaos_cmd =
-  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check metrics =
+  let run seed quick congestion echo_interval retx_timeout retx_backoff retx_limit check
+      metrics =
     with_metrics metrics @@ fun () ->
     let rows =
-      Experiments.E_chaos.run ~seed ~quick ?echo_interval ?retx_timeout ?retx_backoff
-        ?retx_limit ()
+      Experiments.E_chaos.run ~seed ~quick ~congestion ?echo_interval ?retx_timeout
+        ?retx_backoff ?retx_limit ()
     in
     Experiments.E_chaos.print rows;
     if check then begin
@@ -385,15 +459,16 @@ let chaos_cmd =
   let doc = "Fault-injection sweep: frame loss vs recovery." in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const run $ seed_arg $ quick_arg $ echo_interval_arg $ retx_timeout_arg
-      $ retx_backoff_arg $ retx_limit_arg $ check_arg $ metrics_arg)
+      const run $ seed_arg $ quick_arg $ congestion_term $ echo_interval_arg
+      $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg $ check_arg $ metrics_arg)
 
 let ha_cmd =
-  let run seed quick echo_interval retx_timeout retx_backoff retx_limit check metrics =
+  let run seed quick congestion echo_interval retx_timeout retx_backoff retx_limit check
+      metrics =
     with_metrics metrics @@ fun () ->
     let rows =
-      Experiments.E_ha.run ~seed ~quick ?echo_interval ?retx_timeout ?retx_backoff
-        ?retx_limit ()
+      Experiments.E_ha.run ~seed ~quick ~congestion ?echo_interval ?retx_timeout
+        ?retx_backoff ?retx_limit ()
     in
     Experiments.E_ha.print rows;
     if check then begin
@@ -425,8 +500,44 @@ let ha_cmd =
   in
   Cmd.v (Cmd.info "ha" ~doc)
     Term.(
-      const run $ seed_arg $ quick_arg $ echo_interval_arg $ retx_timeout_arg
-      $ retx_backoff_arg $ retx_limit_arg $ check_arg $ metrics_arg)
+      const run $ seed_arg $ quick_arg $ congestion_term $ echo_interval_arg
+      $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg $ check_arg $ metrics_arg)
+
+let incast_cmd =
+  let incast_check_arg =
+    let doc =
+      "Exit nonzero unless the sweep shows graceful degradation at the top rate \
+       (drop-tail sheds, credit backpressures, credit loses a strictly smaller flow \
+       fraction and completes strictly more flows) and a seeded re-run reproduces \
+       every row exactly."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run seed quick check metrics =
+    with_metrics metrics @@ fun () ->
+    let rows = Experiments.E_incast.run ~seed ~quick () in
+    Experiments.E_incast.print rows;
+    if check then begin
+      let failures =
+        Experiments.E_incast.check rows
+        @
+        if Experiments.E_incast.run ~seed ~quick () = rows then []
+        else [ "seeded re-run diverged" ]
+      in
+      match failures with
+      | [] -> print_endline "incast check: all invariants hold"
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "incast check FAILED: %s\n" f) fs;
+          exit 1
+    end
+  in
+  let doc =
+    "Incast/overload sweep on one authority switch: loss vs latency under drop-tail \
+     buffers vs credit-based flow control (the congestion model's graceful-degradation \
+     evidence)."
+  in
+  Cmd.v (Cmd.info "incast" ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ incast_check_arg $ metrics_arg)
 
 let trace_cmd =
   let scenario_arg =
@@ -547,6 +658,7 @@ let experiments =
         Experiments.E_cache.print (Experiments.E_cache.run ~seed ~quick ()));
     chaos_cmd;
     ha_cmd;
+    incast_cmd;
     trace_cmd;
     monitor_cmd;
     experiment "monitor-report" "Flow monitoring: heavy hitters, hotspots, determinism"

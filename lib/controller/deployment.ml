@@ -13,6 +13,7 @@ type config = {
   cache_mode : [ `Spliced | `Microflow ];
   tunnel_to : [ `Primary | `Nearest_replica ];
   authority_tcam : int option;
+  congestion : Congestion.config;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     cache_mode = `Spliced;
     tunnel_to = `Primary;
     authority_tcam = None;
+    congestion = Congestion.default;
   }
 
 type t = {
@@ -41,9 +43,18 @@ type t = {
   degraded_count : int ref;
       (* misses served via the controller path because no replica of
          their partition was alive; shared across functional updates *)
+  backpressured_count : int ref;
+      (* misses deferred to the controller path by credit-mode
+         backpressure (the authority's inbound port was saturated);
+         counted apart from [degraded_count] — overload, not failure *)
+  cong : Congestion.t option;
+      (* port virtual clocks; [None] when the congestion model is off,
+         which reproduces the legacy infinite-buffer walk bit-for-bit *)
   mutable last_new_installs : int;
   mutable last_new_primary_installs : int;
 }
+
+let m_backpressured = Telemetry.counter "deployment_backpressured_misses"
 
 let install_all ?(fresh_tables = true) d =
   let prules =
@@ -103,6 +114,7 @@ let assignment_weights config (partitioner : Partitioner.t) =
 let build ?(config = default_config) ?(install : bool = true) ~policy ~topology
     ~authority_ids () =
   if authority_ids = [] then invalid_arg "Deployment.build: no authority switches";
+  Congestion.validate config.congestion;
   let n = Topology.nodes topology in
   List.iter
     (fun a ->
@@ -119,8 +131,11 @@ let build ?(config = default_config) ?(install : bool = true) ~policy ~topology
   in
   let d =
     { policy; topology; switches; partitioner; assignment; authority_ids; config;
-      unreachable = Hashtbl.create 4; degraded_count = ref 0; last_new_installs = 0;
-      last_new_primary_installs = 0 }
+      unreachable = Hashtbl.create 4; degraded_count = ref 0; backpressured_count = ref 0;
+      cong =
+        (if Congestion.enabled config.congestion then Some (Congestion.create config.congestion)
+         else None);
+      last_new_installs = 0; last_new_primary_installs = 0 }
   in
   (match config.authority_tcam with
   | None -> ()
@@ -219,8 +234,12 @@ let exact_pred schema h =
    exact-match entry at the ingress so the rest of the flow stays in the
    data plane.  Counted separately — a run under total authority loss
    reports degraded throughput instead of wedging. *)
-let controller_fallback d ~now ~ingress h =
-  incr d.degraded_count;
+let controller_fallback ?(cause = `Failure) d ~now ~ingress h =
+  (match cause with
+  | `Failure -> incr d.degraded_count
+  | `Backpressure ->
+      incr d.backpressured_count;
+      Telemetry.incr m_backpressured);
   let sw = d.switches.(ingress) in
   let action = Option.value ~default:Action.Drop (Classifier.action d.policy h) in
   let origin =
@@ -241,20 +260,71 @@ let controller_fallback d ~now ~ingress h =
   { action; path; latency; cache_hit = false; authority = None;
     installed = Some rule; degraded = true }
 
-let inject d ~now ~ingress h =
+(* Pay the congestion model along a node path starting at [now]: book
+   each hop's egress port in arrival order.  Returns the queueing delay
+   to add on top of the path's propagation latency, or [`Queue_full] when
+   a finite buffer sheds the packet. *)
+let congested_leg cong topo ~now path =
+  match cong with
+  | None -> `Ok 0.
+  | Some c ->
+      let rec go extra elapsed = function
+        | [] | [ _ ] -> `Ok extra
+        | a :: (b :: _ as rest) -> (
+            match Topology.link_between topo a b with
+            | None -> invalid_arg "Deployment: non-adjacent leg"
+            | Some l -> (
+                match Congestion.transit c ~now:(now +. elapsed) ~from:a l with
+                | `Drop -> `Queue_full
+                | `Forward (delay, _marked) ->
+                    go (extra +. delay) (elapsed +. delay +. l.Topology.latency) rest))
+      in
+      go 0. 0. path
+
+(* Credit-mode backpressure signal for the walk-based plane: the shared
+   pool bounds misses queued into the authority, so an ingress defers
+   re-splicing (controller fallback) when the authority's inbound port
+   holds [credit_pool - credit_low_water] or more packets — the same
+   threshold the DES reaches when outstanding credits sink to the low
+   water mark. *)
+let authority_saturated cong ~now p1 =
+  match cong with
+  | None -> false
+  | Some c -> (
+      let cfg = Congestion.config c in
+      cfg.Congestion.mode = Congestion.Credit
+      &&
+      match List.rev p1 with
+      | auth :: prev :: _ ->
+          Congestion.depth c ~now ~from:prev ~to_:auth
+          >= cfg.Congestion.credit_pool - cfg.Congestion.credit_low_water
+      | _ -> false)
+
+let queue_drop ~ingress =
+  { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
+    authority = None; installed = None; degraded = false }
+
+(* [cong] is threaded explicitly (rather than read from [d]) so that
+   semantic checks can run the same walk with congestion bypassed — a
+   full buffer must not make [semantically_equal] report a policy
+   divergence. *)
+let inject_impl ~cong d ~now ~ingress h =
   let sw = d.switches.(ingress) in
   match Switch.process sw ~now h with
-  | Switch.Local (action, bank) ->
+  | Switch.Local (action, bank) -> (
       let path, latency = deliver d.topology ~from:ingress action in
-      {
-        action;
-        path;
-        latency;
-        cache_hit = (bank = Switch.Cache_bank);
-        authority = (if bank = Switch.Authority_bank then Some ingress else None);
-        installed = None;
-        degraded = false;
-      }
+      match congested_leg cong d.topology ~now path with
+      | `Queue_full -> queue_drop ~ingress
+      | `Ok extra ->
+          {
+            action;
+            path;
+            latency = latency +. extra;
+            cache_hit = (bank = Switch.Cache_bank);
+            authority = (if bank = Switch.Authority_bank then Some ingress else None);
+            installed = None;
+            degraded = false;
+          })
   | Switch.Tunnel nominal -> (
       match resolve_authority d ~ingress h ~nominal with
       | None ->
@@ -267,31 +337,44 @@ let inject d ~now ~ingress h =
           { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
             authority = None; installed = None; degraded = false }
       | Some (p1, l1) -> (
+          if authority_saturated cong ~now p1 then
+            controller_fallback ~cause:`Backpressure d ~now ~ingress h
+          else
+          match congested_leg cong d.topology ~now p1 with
+          | `Queue_full -> queue_drop ~ingress
+          | `Ok e1 -> (
           match Switch.serve_miss ~mode:d.config.cache_mode d.switches.(auth) ~now h with
           | None ->
               (* misrouted: the authority lost its partition (e.g. a crash
                  wiped it, or failover left stale partition rules); rescue
                  the packet through the controller rather than dropping *)
               let o = controller_fallback d ~now ~ingress h in
-              { o with path = join p1 o.path; latency = l1 +. o.latency }
-          | Some { Switch.action; cache_rule; origin_id; pid } ->
+              { o with path = join p1 o.path; latency = l1 +. e1 +. o.latency }
+          | Some { Switch.action; cache_rule; origin_id; pid } -> (
               ignore
                 (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
                    ?hard_timeout:d.config.cache_hard_timeout ~origin_id ~pid sw ~now
                    cache_rule);
               let p2, l2 = deliver d.topology ~from:auth action in
-              {
-                action;
-                path = join p1 p2;
-                latency = l1 +. l2;
-                cache_hit = false;
-                authority = Some auth;
-                installed = Some cache_rule;
-                degraded = false;
-              })))
-  | Switch.Unmatched ->
+              match congested_leg cong d.topology ~now:(now +. l1 +. e1) p2 with
+              | `Queue_full -> queue_drop ~ingress
+              | `Ok e2 ->
+                  {
+                    action;
+                    path = join p1 p2;
+                    latency = l1 +. e1 +. l2 +. e2;
+                    cache_hit = false;
+                    authority = Some auth;
+                    installed = Some cache_rule;
+                    degraded = false;
+                  })))))
+  | Switch.Unmatched | Switch.Misconfigured ->
       { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
         authority = None; installed = None; degraded = false }
+
+let inject d ~now ~ingress h = inject_impl ~cong:d.cong d ~now ~ingress h
+
+let controller_serve ?cause d ~now ~ingress h = controller_fallback ?cause d ~now ~ingress h
 
 let expire_caches d ~now =
   Array.fold_left (fun acc sw -> acc + List.length (Switch.expire_cache sw ~now)) 0 d.switches
@@ -385,9 +468,13 @@ let adopt ~model ~network =
     topology = network.topology;
     unreachable = network.unreachable;
     degraded_count = network.degraded_count;
+    backpressured_count = network.backpressured_count;
+    cong = network.cong;
   }
 
 let degraded_misses d = !(d.degraded_count)
+let backpressured_misses d = !(d.backpressured_count)
+let congestion_state d = d.cong
 
 let measured_partition_loads d =
   let totals = Hashtbl.create 16 in
@@ -423,7 +510,9 @@ let semantically_equal d probes =
     (fun h ->
       let expected = Classifier.action d.policy h in
       let ingress = 0 in
-      let got = (inject d ~now:0. ~ingress h).action in
+      (* bypass the congestion model: this is a semantic check, and a
+         full buffer is not a policy divergence *)
+      let got = (inject_impl ~cong:None d ~now:0. ~ingress h).action in
       match expected with
       | Some a -> Action.equal a got
       | None -> Action.equal Action.Drop got)

@@ -44,6 +44,15 @@ type config = {
           hosted tables sum within budget) and raises otherwise —
           undersized budgets should be fixed with a larger [k] or
           {!Partitioner.compute_bounded}, not discovered in production. *)
+  congestion : Congestion.config;
+      (** the data-plane congestion model ({!Congestion.default} = off:
+          infinite buffers, zero serialization — the legacy walk,
+          bit-identical).  When enabled, every leg of {!inject} books
+          time on per-port virtual-clock queues: queueing delay adds to
+          {!outcome.latency}, a full buffer drops the packet, and in
+          [Credit] mode an ingress finding the authority's inbound port
+          saturated defers re-splicing to the controller path
+          ({!backpressured_misses}) instead of shedding the miss. *)
 }
 
 val default_config : config
@@ -86,9 +95,11 @@ type outcome = {
   authority : int option;  (** authority switch visited, when missed *)
   installed : Rule.t option;  (** cache rule installed at the ingress *)
   degraded : bool;
-      (** served via the controller fallback because no replica of the
-          header's partition was alive — NOX-style reactive setup, the
-          mode a run degrades to instead of wedging *)
+      (** served via the controller fallback — NOX-style reactive setup,
+          the mode a run degrades to instead of wedging.  Reached either
+          because no replica of the header's partition was alive
+          ({!degraded_misses}) or, in credit mode, because backpressure
+          deferred the miss ({!backpressured_misses}) *)
 }
 
 val inject : t -> now:float -> ingress:int -> Header.t -> outcome
@@ -170,6 +181,28 @@ val adopt : model:t -> network:t -> t
 val degraded_misses : t -> int
 (** Misses served via the controller fallback (no live replica) since
     [build] — the separate accounting the fault experiments report. *)
+
+val controller_serve :
+  ?cause:[ `Failure | `Backpressure ] -> t -> now:float -> ingress:int -> Header.t -> outcome
+(** Serve a miss on the controller path directly (the NOX-style fallback
+    {!inject} reaches when no replica is alive): answer from the policy,
+    install an exact-match entry at the ingress.  [cause] selects the
+    accounting — [`Failure] (default) counts toward {!degraded_misses},
+    [`Backpressure] toward {!backpressured_misses}.  The DES uses this to
+    defer re-splicing when credit-mode backpressure fires, where the
+    replicas are alive and {!inject} would wrongly walk the congested
+    authority path. *)
+
+val backpressured_misses : t -> int
+(** Misses deferred to the controller path by credit-mode backpressure (a
+    saturated authority inbound port) since [build] — graceful
+    degradation under overload, counted apart from {!degraded_misses}
+    (failure) so the two causes stay distinguishable. *)
+
+val congestion_state : t -> Congestion.t option
+(** The live port-queue state, when the congestion model is enabled —
+    lets callers read {!Congestion.stats} (drops, marks, peak depth) for
+    a finished run. *)
 
 val last_new_authority_installs : t -> int
 (** Authority tables newly pushed to a switch by the most recent

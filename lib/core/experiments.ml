@@ -1006,7 +1006,7 @@ module E_chaos = struct
   let restart_b = 7.0
   let horizon = 14.0
 
-  let scenario ~cp_config ~seed ~quick ~loss =
+  let scenario ~cp_config ~congestion ~seed ~quick ~loss =
     let rng = Prng.create seed in
     let policy =
       Policy_gen.acl (Prng.split rng)
@@ -1014,7 +1014,8 @@ module E_chaos = struct
     in
     let topology = Topology.line 6 () in
     let config =
-      { Deployment.default_config with k = 8; replication = 2; cache_capacity = 128 }
+      { Deployment.default_config with k = 8; replication = 2; cache_capacity = 128;
+        congestion }
     in
     let d =
       Deployment.build ~install:false ~config ~policy ~topology ~authority_ids:[ 1; 3; 4 ] ()
@@ -1088,19 +1089,19 @@ module E_chaos = struct
       },
       Control_plane.fault_log cp )
 
-  let run ?(seed = 42) ?(quick = false) ?echo_interval ?retx_timeout ?retx_backoff
-      ?retx_limit () =
+  let run ?(seed = 42) ?(quick = false) ?(congestion = Congestion.default) ?echo_interval
+      ?retx_timeout ?retx_backoff ?retx_limit () =
     let cp_config =
       reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
     in
     let rates = if quick then [ 0.0; 0.10 ] else [ 0.0; 0.05; 0.10; 0.20 ] in
     List.map
       (fun loss ->
-        let row, log1 = scenario ~cp_config ~seed ~quick ~loss in
+        let row, log1 = scenario ~cp_config ~congestion ~seed ~quick ~loss in
         (* the reproducibility claim, checked where it matters most: the
            acceptance scenario's 10% loss point is replayed end to end *)
         if Float.equal loss 0.10 then begin
-          let _, log2 = scenario ~cp_config ~seed ~quick ~loss in
+          let _, log2 = scenario ~cp_config ~congestion ~seed ~quick ~loss in
           { row with replay_identical = log1 = log2 }
         end
         else { row with replay_identical = true })
@@ -1108,12 +1109,13 @@ module E_chaos = struct
 
   (* One scenario, no sweep, no replay check: what [difane trace] runs
      with the trace ring enabled to print the causal timeline. *)
-  let replay_one ?(seed = 42) ?(quick = false) ?(loss = 0.10) ?echo_interval
-      ?retx_timeout ?retx_backoff ?retx_limit () =
+  let replay_one ?(seed = 42) ?(quick = false) ?(loss = 0.10)
+      ?(congestion = Congestion.default) ?echo_interval ?retx_timeout ?retx_backoff
+      ?retx_limit () =
     let cp_config =
       reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
     in
-    ignore (scenario ~cp_config ~seed ~quick ~loss)
+    ignore (scenario ~cp_config ~congestion ~seed ~quick ~loss)
 
   let print rows =
     Table.print
@@ -1180,7 +1182,7 @@ module E_ha = struct
   let isolate_at = 10.5
   let horizon = 16.0
 
-  let scenario ~cp_config ~seed ~quick ~loss =
+  let scenario ~cp_config ~congestion ~seed ~quick ~loss =
     let rng = Prng.create seed in
     let policy =
       Policy_gen.acl (Prng.split rng)
@@ -1189,7 +1191,8 @@ module E_ha = struct
     let policy' = F_dyn.flipped ~select:(fun id -> id mod 4 = 0) policy in
     let topology = Topology.line 6 () in
     let dconfig =
-      { Deployment.default_config with k = 8; replication = 2; cache_capacity = 128 }
+      { Deployment.default_config with k = 8; replication = 2; cache_capacity = 128;
+        congestion }
     in
     let faults =
       Fault.plan ~seed ~controllers:3
@@ -1268,30 +1271,31 @@ module E_ha = struct
       },
       (Cluster.cluster_log cl, Bytes.to_string (Journal.encode (Cluster.journal cl))) )
 
-  let run ?(seed = 42) ?(quick = false) ?echo_interval ?retx_timeout ?retx_backoff
-      ?retx_limit () =
+  let run ?(seed = 42) ?(quick = false) ?(congestion = Congestion.default) ?echo_interval
+      ?retx_timeout ?retx_backoff ?retx_limit () =
     let cp_config =
       reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
     in
     let rates = if quick then [ 0.0; 0.10 ] else [ 0.0; 0.05; 0.10; 0.20 ] in
     List.map
       (fun loss ->
-        let row, trace1 = scenario ~cp_config ~seed ~quick ~loss in
+        let row, trace1 = scenario ~cp_config ~congestion ~seed ~quick ~loss in
         (* the acceptance criterion: the same seed must replay the whole
            run bit-identically — cluster event log and journal bytes *)
         if Float.equal loss 0.10 then begin
-          let _, trace2 = scenario ~cp_config ~seed ~quick ~loss in
+          let _, trace2 = scenario ~cp_config ~congestion ~seed ~quick ~loss in
           { row with replay_identical = trace1 = trace2 }
         end
         else { row with replay_identical = true })
       rates
 
-  let replay_one ?(seed = 42) ?(quick = false) ?(loss = 0.10) ?echo_interval
-      ?retx_timeout ?retx_backoff ?retx_limit () =
+  let replay_one ?(seed = 42) ?(quick = false) ?(loss = 0.10)
+      ?(congestion = Congestion.default) ?echo_interval ?retx_timeout ?retx_backoff
+      ?retx_limit () =
     let cp_config =
       reliability_config ?echo_interval ?retx_timeout ?retx_backoff ?retx_limit ()
     in
-    ignore (scenario ~cp_config ~seed ~quick ~loss)
+    ignore (scenario ~cp_config ~congestion ~seed ~quick ~loss)
 
   let print rows =
     Table.print
@@ -1319,6 +1323,131 @@ module E_ha = struct
              string_of_int r.degraded;
              (if r.recovered then "yes" else "NO");
              (if r.replay_identical then "identical" else "DIVERGED");
+           ])
+         rows)
+end
+
+(* E-INCAST: many ingresses fan into one authority switch over a slow
+   fabric — the incast pattern that motivates the congestion model.
+   Every link serializes a default packet in 100 µs (10k packets/s per
+   port), matched to the authority's 100 µs setup service, so past
+   ~10k flows/s the authority's inbound port and setup queue congest
+   together.  The sweep replays the identical seeded workload under
+   drop-tail and under credit-based flow control: drop-tail sheds
+   misses at the full port buffer; credit mode backpressures the
+   ingresses, which defer re-splicing and fall back to the (slower but
+   lossless) controller path — the graceful-degradation trade the
+   tentpole exists to demonstrate. *)
+module E_incast = struct
+  type row = { offered_rate : float; mode : string; result : Flowsim.result }
+
+  (* Hub 0, authority 1, ingresses 2..9.  The hub->authority port is the
+     incast bottleneck: all eight ingresses' misses serialize onto it. *)
+  let topology =
+    Topology.create ~nodes:10
+      (List.init 9 (fun i ->
+           { Topology.src = 0; dst = i + 1; latency = 100e-6; bandwidth = 1.2e8 }))
+
+  (* Authority at 10k setups/s; controller twice as fast per request but
+     10 ms of RTT away — credit mode buys its loss-freedom with latency. *)
+  let timing =
+    { Flowsim.default_timing with authority_service = 100e-6; controller_service = 50e-6 }
+
+  let congestion mode =
+    {
+      Congestion.default with
+      model_bandwidth = true;
+      buffer_capacity = Some 64;
+      ecn_threshold = Some 16;
+      mode;
+      credit_pool = 32;
+      credit_low_water = 8;
+    }
+
+  let deployment ~seed ~mode =
+    let config =
+      {
+        Deployment.default_config with
+        k = 8;
+        cache_capacity = 0;
+        cache_idle_timeout = Some 1.0;
+        balance = `Volume;
+        congestion = congestion mode;
+      }
+    in
+    Deployment.build ~config ~policy:(timing_policy ~seed) ~topology ~authority_ids:[ 1 ]
+      ()
+
+  let rates ~quick = if quick then [ 5e3; 20e3 ] else [ 5e3; 10e3; 20e3; 40e3 ]
+  let duration ~quick = if quick then 0.05 else 0.2
+  let modes = [ ("drop-tail", Congestion.Drop_tail); ("credit", Congestion.Credit) ]
+
+  let run ?(seed = 42) ?(quick = false) () =
+    let schema = Classifier.schema (timing_policy ~seed) in
+    let duration = duration ~quick in
+    List.concat_map
+      (fun rate ->
+        List.map
+          (fun (name, mode) ->
+            (* same seeded workload for both modes: the curves differ only
+               in what the network does under pressure *)
+            let flows =
+              distinct_flows ~rng:(Prng.create (seed + int_of_float rate)) ~schema ~rate
+                ~duration ~ingresses:[ 2; 3; 4; 5; 6; 7; 8; 9 ]
+            in
+            { offered_rate = rate; mode = name;
+              result = Flowsim.run_difane ~timing (deployment ~seed ~mode) flows })
+          modes)
+      (rates ~quick)
+
+  let miss_drop_rate (r : Flowsim.result) =
+    if r.Flowsim.offered_flows = 0 then 0.
+    else float_of_int r.Flowsim.dropped_flows /. float_of_int r.Flowsim.offered_flows
+
+  (* The graceful-degradation claims [difane incast --check] enforces,
+     at the saturating (top) rate of the sweep. *)
+  let check rows =
+    let top = List.fold_left (fun acc r -> Float.max acc r.offered_rate) 0. rows in
+    let at mode =
+      (List.find (fun r -> Float.equal r.offered_rate top && r.mode = mode) rows).result
+    in
+    let dt = at "drop-tail" and cr = at "credit" in
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      [
+        (dt.Flowsim.queue_drops > 0,
+         "drop-tail never filled a port buffer at the top rate");
+        (cr.Flowsim.backpressured > 0, "credit mode never backpressured at the top rate");
+        (miss_drop_rate cr < miss_drop_rate dt,
+         "credit mode dropped at least as large a fraction as drop-tail at the top rate");
+        (cr.Flowsim.completed_flows > dt.Flowsim.completed_flows,
+         "credit mode completed no more flows than drop-tail at the top rate");
+      ]
+
+  let print rows =
+    Table.print
+      ~title:"E-INCAST: incast on one authority — drop-tail vs credit flow control"
+      ~header:
+        [ "offered (flows/s)"; "mode"; "completed"; "drop%"; "queue drops"; "ECN marks";
+          "backpressured"; "p50 (us)"; "p99 (us)" ]
+      (List.map
+         (fun r ->
+           let res = r.result in
+           let pctl f =
+             match res.Flowsim.first_packet_delay with
+             | None -> "-"
+             | Some s -> Printf.sprintf "%.0f" (f s *. 1e6)
+           in
+           [
+             Table.fmt_si r.offered_rate;
+             r.mode;
+             string_of_int res.Flowsim.completed_flows;
+             Table.fmt_pct (miss_drop_rate res);
+             string_of_int res.Flowsim.queue_drops;
+             string_of_int res.Flowsim.ecn_marks;
+             string_of_int res.Flowsim.backpressured;
+             pctl (fun (s : Summary.t) -> s.Summary.p50);
+             pctl (fun (s : Summary.t) -> s.Summary.p99);
            ])
          rows)
 end

@@ -212,6 +212,7 @@ module E_chaos : sig
   val run :
     ?seed:int ->
     ?quick:bool ->
+    ?congestion:Congestion.config ->
     ?echo_interval:float ->
     ?retx_timeout:float ->
     ?retx_backoff:float ->
@@ -220,12 +221,16 @@ module E_chaos : sig
     row list
   (** The reliability timers default to the chaos tuning (1 s echoes,
       retransmit after 50 ms doubling up to 8 attempts) and are the knobs
-      the CLI's [--echo-interval]/[--retx-*] flags thread through. *)
+      the CLI's [--echo-interval]/[--retx-*] flags thread through.
+      [congestion] (default {!Congestion.default}, everything off)
+      re-runs the scenario on a finite-buffer data plane — the published
+      numbers assume the legacy infinite-buffer plane. *)
 
   val replay_one :
     ?seed:int ->
     ?quick:bool ->
     ?loss:float ->
+    ?congestion:Congestion.config ->
     ?echo_interval:float ->
     ?retx_timeout:float ->
     ?retx_backoff:float ->
@@ -275,6 +280,7 @@ module E_ha : sig
   val run :
     ?seed:int ->
     ?quick:bool ->
+    ?congestion:Congestion.config ->
     ?echo_interval:float ->
     ?retx_timeout:float ->
     ?retx_backoff:float ->
@@ -286,6 +292,7 @@ module E_ha : sig
     ?seed:int ->
     ?quick:bool ->
     ?loss:float ->
+    ?congestion:Congestion.config ->
     ?echo_interval:float ->
     ?retx_timeout:float ->
     ?retx_backoff:float ->
@@ -293,6 +300,38 @@ module E_ha : sig
     unit ->
     unit
   (** Run a single HA scenario for its trace/registry side effects. *)
+
+  val print : row list -> unit
+end
+
+(** Supplementary: the incast/overload sweep behind the congestion
+    model.  Eight ingresses fan distinct-flow misses into a single
+    authority switch over links that serialize one packet per 100 µs —
+    the authority's inbound port and its setup queue saturate together
+    near 10k flows/s.  Each offered rate replays the identical seeded
+    workload twice: under drop-tail port buffers (misses shed at the
+    full buffer) and under credit-based flow control (saturation
+    backpressures the ingresses, which defer re-splicing and take the
+    slower lossless controller path).  The loss-vs-latency curves are
+    the tentpole's graceful-degradation evidence; [check] encodes the
+    claims the CLI's [--check] flag enforces.  Not part of {!run_all} —
+    it exercises the congestion model that every legacy experiment must
+    run without. *)
+module E_incast : sig
+  type row = {
+    offered_rate : float;  (** offered distinct-flow arrival rate, flows/s *)
+    mode : string;  (** ["drop-tail"] or ["credit"] *)
+    result : Flowsim.result;
+  }
+
+  val run : ?seed:int -> ?quick:bool -> unit -> row list
+
+  val check : row list -> string list
+  (** Graceful-degradation invariants at the sweep's top (saturating)
+      rate: drop-tail actually shed at a port buffer, credit mode
+      actually backpressured, and credit mode both dropped a strictly
+      smaller fraction of flows and completed strictly more than
+      drop-tail.  Returns the violated claims, [[]] when all hold. *)
 
   val print : row list -> unit
 end

@@ -9,38 +9,62 @@ let default_config =
   { cache_idle_timeout = Some 10.; cache_hard_timeout = None; cache_mode = `Spliced;
     max_ttl = 64 }
 
+type drop_reason =
+  | Ttl
+  | Unmatched
+  | Misconfigured
+  | Unreachable
+  | No_authority
+  | Queue_full
+
 type result = {
   action : Action.t;
   delivered : bool;
+  drop_reason : drop_reason option;
   trace : int list;
   encapsulations : int;
   latency : float;
-  ttl_exceeded : bool;
+  marked : bool;
 }
 
 (* Mutable walk state: the packet's position, hop trace (reversed),
-   remaining TTL and accumulated propagation latency. *)
+   remaining TTL, accumulated latency (propagation + queueing when the
+   congestion model is on) and ECN mark. *)
 type walk = {
   routing : Routing.t;
+  congestion : Congestion.t option;
   mutable at : int;
   mutable rev_trace : int list;
   mutable ttl : int;
   mutable latency : float;
   mutable encaps : int;
+  mutable marked : bool;
 }
 
-let hop w next =
+(* One hop: queue at the egress port of the current switch (finite
+   buffers can shed the packet here), then pay propagation. *)
+let hop w ~now next =
   match Topology.link_between (Routing.topology w.routing) w.at next with
   | None -> invalid_arg "Dataplane: next hop is not adjacent"
-  | Some l ->
-      w.latency <- w.latency +. l.Topology.latency;
-      w.at <- next;
-      w.rev_trace <- next :: w.rev_trace;
-      w.ttl <- w.ttl - 1
+  | Some l -> (
+      let queueing =
+        match w.congestion with
+        | None -> `Forward (0., false)
+        | Some c -> Congestion.transit c ~now:(now +. w.latency) ~from:w.at l
+      in
+      match queueing with
+      | `Drop -> `Dropped
+      | `Forward (wait, marked) ->
+          if marked then w.marked <- true;
+          w.latency <- w.latency +. wait +. l.Topology.latency;
+          w.at <- next;
+          w.rev_trace <- next :: w.rev_trace;
+          w.ttl <- w.ttl - 1;
+          `Forwarded)
 
 (* Carry an encapsulated packet to its tunnel endpoint.  Transit switches
    forward on the underlay tables only — no flow-table lookups. *)
-let tunnel_to w dst =
+let tunnel_to w ~now dst =
   w.encaps <- w.encaps + 1;
   let rec go () =
     if w.at = dst then `Arrived
@@ -48,59 +72,65 @@ let tunnel_to w dst =
     else
       match Routing.next_hop w.routing ~from:w.at ~dst with
       | None -> `Unreachable
-      | Some next ->
-          hop w next;
-          go ()
+      | Some next -> (
+          match hop w ~now next with `Dropped -> `Queue_full | `Forwarded -> go ())
   in
   go ()
 
-let finish w ~action ~delivered ~ttl_exceeded =
+let finish w ~action ~delivered ~drop_reason =
   {
     action;
     delivered;
+    drop_reason;
     trace = List.rev w.rev_trace;
     encapsulations = w.encaps;
     latency = w.latency;
-    ttl_exceeded;
+    marked = w.marked;
   }
 
-let deliver_action w action =
-  (* a forwarding action tunnels to the egress switch; anything else
-     terminates where we stand *)
-  match Action.egress action with
-  | None -> finish w ~action ~delivered:true ~ttl_exceeded:false
-  | Some egress -> (
-      if egress = w.at then finish w ~action ~delivered:true ~ttl_exceeded:false
-      else
-        match tunnel_to w egress with
-        | `Arrived -> finish w ~action ~delivered:true ~ttl_exceeded:false
-        | `Ttl_exceeded -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:true
-        | `Unreachable -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false)
+let dropped w reason = finish w ~action:Action.Drop ~delivered:false ~drop_reason:(Some reason)
 
-let packet ?(config = default_config) ~routing ~switch ~now ~ingress header =
+let deliver_action w ~now action =
+  (* a forwarding action tunnels to the egress switch; anything else
+     terminates where we stand — a matched [Drop] is a policy verdict,
+     not a network drop, so [drop_reason] stays [None] *)
+  match Action.egress action with
+  | None -> finish w ~action ~delivered:true ~drop_reason:None
+  | Some egress -> (
+      if egress = w.at then finish w ~action ~delivered:true ~drop_reason:None
+      else
+        match tunnel_to w ~now egress with
+        | `Arrived -> finish w ~action ~delivered:true ~drop_reason:None
+        | `Ttl_exceeded -> dropped w Ttl
+        | `Unreachable -> dropped w Unreachable
+        | `Queue_full -> dropped w Queue_full)
+
+let packet ?(config = default_config) ?congestion ~routing ~switch ~now ~ingress header =
   let w =
-    { routing; at = ingress; rev_trace = [ ingress ]; ttl = config.max_ttl; latency = 0.;
-      encaps = 0 }
+    { routing; congestion; at = ingress; rev_trace = [ ingress ]; ttl = config.max_ttl;
+      latency = 0.; encaps = 0; marked = false }
   in
   let ingress_sw = switch ingress in
   match Switch.process ingress_sw ~now header with
-  | Switch.Local (action, _) -> deliver_action w action
-  | Switch.Unmatched -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+  | Switch.Local (action, _) -> deliver_action w ~now action
+  | Switch.Unmatched -> dropped w Unmatched
+  | Switch.Misconfigured -> dropped w Misconfigured
   | Switch.Tunnel authority -> (
       if authority = w.at then
         (* the ingress is the authority's neighbourless corner case: a
            partition rule pointing at self would be a controller bug *)
-        finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+        dropped w No_authority
       else
-        match tunnel_to w authority with
-        | `Ttl_exceeded -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:true
-        | `Unreachable -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+        match tunnel_to w ~now authority with
+        | `Ttl_exceeded -> dropped w Ttl
+        | `Unreachable -> dropped w Unreachable
+        | `Queue_full -> dropped w Queue_full
         | `Arrived -> (
             match Switch.serve_miss ~mode:config.cache_mode (switch authority) ~now header with
-            | None -> finish w ~action:Action.Drop ~delivered:false ~ttl_exceeded:false
+            | None -> dropped w No_authority
             | Some { Switch.action; cache_rule; origin_id; pid } ->
                 ignore
                   (Switch.install_cache_rule ?idle_timeout:config.cache_idle_timeout
                      ?hard_timeout:config.cache_hard_timeout ~origin_id ~pid ingress_sw
                      ~now cache_rule);
-                deliver_action w action))
+                deliver_action w ~now action))

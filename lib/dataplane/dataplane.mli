@@ -15,7 +15,12 @@
     + the egress switch decapsulates and delivers.
 
     The equivalence [walk = inject] (same action, same latency) is a
-    property test: the shortcut and the faithful executor must agree. *)
+    property test: the shortcut and the faithful executor must agree.
+
+    With [?congestion] supplied every hop additionally books time on the
+    egress port's virtual-clock queue ({!Congestion.transit}): queueing
+    delay adds to [latency], a full buffer drops the packet
+    ([Queue_full]) and crossing the ECN threshold sets [marked]. *)
 
 type config = {
   cache_idle_timeout : float option;
@@ -27,17 +32,32 @@ type config = {
 val default_config : config
 (** 10 s idle timeout, spliced caching, TTL 64. *)
 
+type drop_reason =
+  | Ttl  (** hop budget exhausted (routing loop or pathologically long detour) *)
+  | Unmatched  (** no bank matched at the ingress (non-total policy) *)
+  | Misconfigured  (** a partition rule claimed the header but cannot tunnel it *)
+  | Unreachable  (** underlay has no path to the tunnel endpoint *)
+  | No_authority  (** tunnelled to a switch that is not authority for the header *)
+  | Queue_full  (** shed by a finite port buffer (congestion model only) *)
+
 type result = {
   action : Action.t;  (** what happened to the packet *)
-  delivered : bool;  (** reached its egress (drops at a switch are "delivered" verdicts too — [action = Drop]) *)
+  delivered : bool;  (** reached its verdict (including a matched [Drop] policy action) *)
+  drop_reason : drop_reason option;
+      (** [None] iff the packet reached a policy verdict.  A matched rule
+          whose action is [Drop] is a {e delivered} verdict
+          ([drop_reason = None]); this field reports only {e network}
+          drops — the old API overloaded [delivered]/[ttl_exceeded] and
+          made switch drops look like policy verdicts. *)
   trace : int list;  (** every switch traversed, in order, ingress first *)
   encapsulations : int;  (** tunnel headers pushed (0 for a local drop) *)
-  latency : float;  (** propagation along [trace] *)
-  ttl_exceeded : bool;
+  latency : float;  (** propagation along [trace], plus queueing when congested *)
+  marked : bool;  (** ECN congestion-experienced (never set without [?congestion]) *)
 }
 
 val packet :
   ?config:config ->
+  ?congestion:Congestion.t ->
   routing:Routing.t ->
   switch:(int -> Switch.t) ->
   now:float ->
@@ -45,4 +65,6 @@ val packet :
   Header.t ->
   result
 (** Execute one packet.  Mutates switch state (cache counters and
-    reactive installs) exactly like the real data plane. *)
+    reactive installs) exactly like the real data plane.  [?congestion]
+    additionally mutates the shared port clocks; omitting it reproduces
+    the legacy infinite-buffer, zero-serialization walk exactly. *)

@@ -30,6 +30,7 @@ let m_dropped = Telemetry.counter "sim_flows_dropped"
 let m_degraded = Telemetry.counter "sim_degraded_packets"
 let m_install_drops = Telemetry.counter "sim_install_drops"
 let m_outage_drops = Telemetry.counter "sim_outage_drops"
+let m_backpressured = Telemetry.counter "sim_backpressured_misses"
 let h_first_packet = Telemetry.histogram "sim_first_packet_delay"
 
 type result = {
@@ -48,6 +49,9 @@ type result = {
   degraded_packets : int;
   install_drops : int;
   outage_drops : int;
+  queue_drops : int;
+  ecn_marks : int;
+  backpressured : int;
 }
 
 type acc = {
@@ -85,7 +89,8 @@ let fresh_acc () =
     outage = 0;
   }
 
-let finish ?(authority_stats = []) acc ~offered =
+let finish ?(authority_stats = []) ?(queue_drops = 0) ?(ecn_marks = 0) ?(backpressured = 0)
+    acc ~offered =
   let duration =
     if acc.last_delivery > acc.first_arrival then acc.last_delivery -. acc.first_arrival
     else 0.
@@ -118,6 +123,9 @@ let finish ?(authority_stats = []) acc ~offered =
     degraded_packets = acc.degraded;
     install_drops = acc.install_drops;
     outage_drops = acc.outage;
+    queue_drops;
+    ecn_marks;
+    backpressured;
   }
 
 let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~cache_hit =
@@ -202,11 +210,67 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
         p.Fault.events);
   let idle_timeout = (Deployment.config d).Deployment.cache_idle_timeout in
   let hard_timeout = (Deployment.config d).Deployment.cache_hard_timeout in
-  (* No live replica for the header's partition: fall back to the
-     controller, NOX-style — half an RTT up, a controller service slot
-     (where [Deployment.inject] answers from the policy and installs the
-     reactive microflow at the ingress), half an RTT back. *)
-  let serve_degraded (flow : Traffic.flow) ~is_first =
+  (* Congestion model: per-port virtual-clock queues shared with the
+     deployment walk's semantics.  [None] (the default config) is the
+     legacy plane — infinite buffers, zero serialization — and every
+     congestion hook below degenerates to a no-op, keeping legacy runs
+     bit-identical. *)
+  let ccfg = (Deployment.config d).Deployment.congestion in
+  let cong = if Congestion.enabled ccfg then Some (Congestion.create ccfg) else None in
+  let credit_mode = cong <> None && ccfg.Congestion.mode = Congestion.Credit in
+  (* Credit-based flow control: one shared pool per authority bounds its
+     misses in flight (tunnelled or queued for a setup slot).  Credits
+     return when the authority finishes — or sheds — the miss. *)
+  let credits = Hashtbl.create 8 in
+  let credit_for auth =
+    match Hashtbl.find_opt credits auth with
+    | Some r -> r
+    | None ->
+        let r = ref ccfg.Congestion.credit_pool in
+        Hashtbl.add credits auth r;
+        r
+  in
+  let backpressured = ref 0 in
+  (* Book the congestion model along the shortest path [a -> b] starting
+     at [now]: [`Ok extra] is queueing delay on top of propagation,
+     [`Queue_full] a drop-tail shed at some hop's port buffer. *)
+  let congested_path ~now a b =
+    match cong with
+    | None -> `Ok 0.
+    | Some c -> (
+        if a = b then `Ok 0.
+        else
+          match Topology.shortest_path topo a b with
+          | None -> `Ok 0.
+          | Some path ->
+              let rec go extra elapsed = function
+                | [] | [ _ ] -> `Ok extra
+                | x :: (y :: _ as rest) -> (
+                    match Topology.link_between topo x y with
+                    | None -> `Ok extra
+                    | Some l -> (
+                        match Congestion.transit c ~now:(now +. elapsed) ~from:x l with
+                        | `Drop -> `Queue_full
+                        | `Forward (delay, _marked) ->
+                            go (extra +. delay) (elapsed +. delay +. l.Topology.latency) rest))
+              in
+              go 0. 0. path)
+  in
+  let deliver_leg ~now ~from action =
+    match Action.egress action with None -> `Ok 0. | Some e -> congested_path ~now from e
+  in
+  let flow_dropped ~is_first =
+    if is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped)
+  in
+  (* Controller path, NOX-style: half an RTT up, a controller service
+     slot, half an RTT back.  Reached for [`Failure] (no live replica for
+     the header's partition — [Deployment.inject] then answers from the
+     policy and installs the reactive microflow at the ingress) and for
+     [`Backpressure] (credit mode found the authority saturated, so the
+     ingress defers re-splicing; the replicas are alive, so the
+     controller is asked directly and the accounting stays separate). *)
+  let serve_via_controller ~cause (flow : Traffic.flow) ~is_first =
     if !controllers_up <= 0 then begin
       (* total controller outage on top of total replica loss: the packet
          has nowhere to go — the one genuinely fatal combination *)
@@ -220,9 +284,17 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
         let accepted =
           Server.submit (controller_server ()) (fun () ->
               let now = Engine.now engine in
-              let o = Deployment.inject d ~now ~ingress:flow.ingress flow.header in
-              acc.degraded <- acc.degraded + 1;
-              Telemetry.incr m_degraded;
+              let o =
+                match cause with
+                | `Failure ->
+                    let o = Deployment.inject d ~now ~ingress:flow.ingress flow.header in
+                    acc.degraded <- acc.degraded + 1;
+                    Telemetry.incr m_degraded;
+                    o
+                | `Backpressure ->
+                    Deployment.controller_serve ~cause:`Backpressure d ~now
+                      ~ingress:flow.ingress flow.header
+              in
               deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
                 ~extra_latency:
                   ((timing.controller_rtt /. 2.)
@@ -232,6 +304,7 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
         if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
          Telemetry.incr m_dropped))
   in
+  let serve_degraded = serve_via_controller ~cause:`Failure in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
     (match monitor with
@@ -239,22 +312,42 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
     | None -> ());
     let ingress_sw = Deployment.switch d flow.ingress in
     match Switch.process ingress_sw ~now flow.header with
-    | Switch.Local (action, bank) ->
-        deliver acc engine ~is_first ~arrival:now
-          ~extra_latency:(egress_latency topo ~from:flow.ingress action)
-          ~cache_hit:(bank = Switch.Cache_bank)
-    | Switch.Unmatched -> if is_first then (acc.dropped <- acc.dropped + 1;
+    | Switch.Local (action, bank) -> (
+        match deliver_leg ~now ~from:flow.ingress action with
+        | `Queue_full -> flow_dropped ~is_first
+        | `Ok extra ->
+            deliver acc engine ~is_first ~arrival:now
+              ~extra_latency:(egress_latency topo ~from:flow.ingress action +. extra)
+              ~cache_hit:(bank = Switch.Cache_bank))
+    | Switch.Unmatched | Switch.Misconfigured ->
+        if is_first then (acc.dropped <- acc.dropped + 1;
          Telemetry.incr m_dropped)
     | Switch.Tunnel nominal -> (
         match Deployment.resolve_authority d ~ingress:flow.ingress flow.header ~nominal with
         | None -> serve_degraded flow ~is_first
         | Some auth ->
-        let tunnel_latency = prop topo flow.ingress auth in
+        if credit_mode && !(credit_for auth) <= ccfg.Congestion.credit_low_water then begin
+          (* the pool is drained to the low-water mark: the authority is
+             saturated, so defer re-splicing instead of piling on *)
+          incr backpressured;
+          Telemetry.incr m_backpressured;
+          serve_via_controller ~cause:`Backpressure flow ~is_first
+        end
+        else begin
+        if credit_mode then decr (credit_for auth);
+        let return_credit () = if credit_mode then incr (credit_for auth) in
+        match congested_path ~now flow.ingress auth with
+        | `Queue_full ->
+            return_credit ();
+            flow_dropped ~is_first
+        | `Ok tunnel_extra ->
+        let tunnel_latency = prop topo flow.ingress auth +. tunnel_extra in
         (* the miss packet reaches the authority, then queues for a
            flow-setup slot *)
         Engine.after engine ~delay:tunnel_latency (fun () ->
             let accepted =
               Server.submit (server_for auth) (fun () ->
+                  return_credit ();
                   let now = Engine.now engine in
                   match
                     Switch.serve_miss ~mode:(Deployment.config d).Deployment.cache_mode
@@ -262,7 +355,7 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
                   with
                   | None -> if is_first then (acc.dropped <- acc.dropped + 1;
          Telemetry.incr m_dropped)
-                  | Some { Switch.action; cache_rule; origin_id; pid } ->
+                  | Some { Switch.action; cache_rule; origin_id; pid } -> (
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
                          path — unless the lossy fabric eats it, in which
@@ -285,12 +378,19 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
                           <- Topology.stretch topo ~src:flow.ingress ~via:auth ~dst:e
                              :: acc.stretches
                       | None -> ());
-                      deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
-                        ~extra_latency:(egress_latency topo ~from:auth action)
-                        ~cache_hit:false)
+                      match deliver_leg ~now:(Engine.now engine) ~from:auth action with
+                      | `Queue_full -> flow_dropped ~is_first
+                      | `Ok extra ->
+                          deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+                            ~extra_latency:(egress_latency topo ~from:auth action +. extra)
+                            ~cache_hit:false))
             in
-            if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped)))
+            if not accepted then begin
+              return_credit ();
+              if is_first then (acc.dropped <- acc.dropped + 1;
+         Telemetry.incr m_dropped)
+            end)
+        end)
   in
   List.iter
     (fun (flow : Traffic.flow) ->
@@ -317,7 +417,15 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
       servers []
     |> List.sort (fun a b -> Int.compare a.switch_id b.switch_id)
   in
-  finish ~authority_stats acc ~offered:(List.length flows)
+  let queue_drops, ecn_marks =
+    match cong with
+    | None -> (0, 0)
+    | Some c ->
+        let s = Congestion.stats c in
+        (s.Congestion.drops, s.Congestion.marks)
+  in
+  finish ~authority_stats ~queue_drops ~ecn_marks ~backpressured:!backpressured acc
+    ~offered:(List.length flows)
 
 let run_nox ?(timing = default_timing) n flows =
   let engine = Engine.create () in

@@ -73,6 +73,18 @@ type result = {
       (** packets that needed the degraded controller path while {e every}
           controller replica was down ([Controller_crash] events) — the
           one combination DIFANE cannot survive, reported separately *)
+  queue_drops : int;
+      (** packets shed by a finite per-port buffer (drop-tail), summed
+          over every port — 0 unless the deployment config enables the
+          congestion model (DIFANE only) *)
+  ecn_marks : int;
+      (** packets forwarded with congestion-experienced marks (queue
+          depth at or past the ECN threshold) *)
+  backpressured : int;
+      (** misses the credit-based flow control deferred to the controller
+          path because their authority's shared credit pool had drained
+          to the low-water mark — DIFANE's graceful-degradation
+          alternative to shedding the miss at a full buffer *)
 }
 
 val run_difane :

@@ -1,5 +1,5 @@
 type bank_hit = Cache_bank | Authority_bank
-type verdict = Local of Action.t * bank_hit | Tunnel of int | Unmatched
+type verdict = Local of Action.t * bank_hit | Tunnel of int | Unmatched | Misconfigured
 
 type stats = {
   cache_hits : int64;
@@ -339,7 +339,7 @@ let process t ~now h =
                  it: a misconfigured bank, not uncovered flowspace *)
               t.misconfigured <- Int64.add t.misconfigured 1L;
               Telemetry.incr t.tele.m_misconfigured;
-              Unmatched
+              Misconfigured
           | None ->
               t.unmatched <- Int64.add t.unmatched 1L;
               Telemetry.incr t.tele.m_unmatched;

@@ -22,6 +22,12 @@ type verdict =
   | Local of Action.t * bank_hit  (** decided here, and by which bank *)
   | Tunnel of int  (** partition-rule match: send to this authority switch *)
   | Unmatched  (** no bank matched (non-total policy) *)
+  | Misconfigured
+      (** a partition rule claimed the header but cannot tunnel it (its
+          action is not [To_authority]) — a broken partition bank, kept
+          distinct from genuinely uncovered flowspace so drop reporting
+          upstream ({!Dataplane.result.drop_reason}) can tell operator
+          error from policy gaps *)
 
 val create : id:int -> cache_capacity:int -> t
 val id : t -> int
@@ -108,8 +114,8 @@ val process : t -> now:float -> Header.t -> verdict
     cache and partition banks are probed through incrementally maintained
     tuple-space indexes, so the per-packet cost is sub-linear in both
     table sizes.  A header claimed by a partition rule that cannot tunnel
-    (its action is not [To_authority]) yields [Unmatched] but is tallied
-    as [misconfigured], not [unmatched]. *)
+    (its action is not [To_authority]) yields [Misconfigured] and is
+    tallied as [misconfigured], not [unmatched]. *)
 
 type miss_reply = {
   action : Action.t;  (** the policy action to apply to the packet *)

@@ -15,6 +15,8 @@ let create ~nodes links =
       if l.src < 0 || l.src >= nodes || l.dst < 0 || l.dst >= nodes then
         invalid_arg "Topology.create: endpoint out of range";
       if l.src = l.dst then invalid_arg "Topology.create: self loop";
+      if not (l.bandwidth > 0.) then
+        invalid_arg "Topology.create: nonpositive bandwidth";
       let key = (min l.src l.dst, max l.src l.dst) in
       if Hashtbl.mem seen key then invalid_arg "Topology.create: duplicate link";
       Hashtbl.add seen key ();
@@ -89,6 +91,10 @@ let shortest_path t src dst =
     else
       let rec build acc v = if v = src then src :: acc else build (v :: acc) prev.(v) in
       Some (build [] dst)
+
+let serialization_delay (l : link) ~bits =
+  if bits < 0 then invalid_arg "Topology.serialization_delay: negative bits";
+  float_of_int bits /. l.bandwidth
 
 let path_latency t path =
   let rec go acc = function

@@ -13,7 +13,14 @@ type link = { src : int; dst : int; latency : float; bandwidth : float }
 
 val create : nodes:int -> link list -> t
 (** @raise Invalid_argument on endpoints outside [0..nodes-1], self-loops,
-    or duplicate links. *)
+    duplicate links, or a non-positive (or NaN) [bandwidth] — the field
+    feeds {!serialization_delay}, so a link that cannot serialize a
+    packet is a construction bug, not a runtime surprise. *)
+
+val serialization_delay : link -> bits:int -> float
+(** Seconds this link's transmitter needs to put [bits] on the wire —
+    the per-hop service time of the congestion model's port queues.
+    @raise Invalid_argument on negative [bits]. *)
 
 val nodes : t -> int
 val links : t -> link list

@@ -157,7 +157,8 @@ let test_walk_unreachable_authority () =
   let routing = Routing.after_node_failure (Routing.compute topo) 1 in
   let r = Dataplane.packet ~routing ~switch:(Deployment.switch d) ~now:0. ~ingress:0 (h 0 0) in
   check Alcotest.bool "not delivered" false r.Dataplane.delivered;
-  check Alcotest.bool "no ttl blame" false r.Dataplane.ttl_exceeded
+  check Alcotest.bool "blames reachability, not ttl" true
+    (r.Dataplane.drop_reason = Some Dataplane.Unreachable)
 
 let suite =
   [

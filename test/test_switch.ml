@@ -50,7 +50,7 @@ let test_serve_miss_and_cache () =
   match Switch.process ingress ~now:1. (h 1 0) with
   | Switch.Tunnel _ -> ()
   | Switch.Local _ -> Alcotest.fail "cache stole a higher-priority header"
-  | Switch.Unmatched -> Alcotest.fail "unmatched"
+  | Switch.Unmatched | Switch.Misconfigured -> Alcotest.fail "unmatched"
 
 let test_misrouted_miss () =
   let ingress, _ = setup () in
@@ -175,8 +175,8 @@ let test_misconfigured_partition_rule () =
   ignore (Switch.handle_control sw ~now:0. (Message.Barrier_request 1));
   (* the broken rule claims this header: misconfigured, not unmatched *)
   (match Switch.process sw ~now:1. (h 1 0) with
-  | Switch.Unmatched -> ()
-  | _ -> Alcotest.fail "expected Unmatched verdict");
+  | Switch.Misconfigured -> ()
+  | _ -> Alcotest.fail "expected Misconfigured verdict");
   (* the good rule still tunnels *)
   (match Switch.process sw ~now:1. (h 2 0) with
   | Switch.Tunnel 9 -> ()
@@ -203,7 +203,7 @@ let prop_cache_never_lies =
           let expected = Option.get (Classifier.action policy hd) in
           match Switch.process ingress ~now:0. hd with
           | Switch.Local (a, _) -> Action.equal a expected
-          | Switch.Unmatched -> false
+          | Switch.Unmatched | Switch.Misconfigured -> false
           | Switch.Tunnel _ -> (
               match Switch.serve_miss auth ~now:0. hd with
               | None -> false
