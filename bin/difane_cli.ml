@@ -539,6 +539,53 @@ let incast_cmd =
   Cmd.v (Cmd.info "incast" ~doc)
     Term.(const run $ seed_arg $ quick_arg $ incast_check_arg $ metrics_arg)
 
+(* adaptive-rebalancing detection knobs, shared by rebalance | monitor *)
+let hotspot_threshold_arg =
+  let doc =
+    "An authority is hot in a window when its miss load exceeds this multiple of the \
+     fair per-authority share (> 1.0)."
+  in
+  Arg.(value & opt float 2.0 & info [ "hotspot-threshold" ] ~docv:"X" ~doc)
+
+let hotspot_window_arg =
+  let doc = "Consecutive hot windows before a hotspot counts as persistent." in
+  Arg.(value & opt int 3 & info [ "hotspot-window" ] ~docv:"N" ~doc)
+
+let rebalance_cmd =
+  let rebalance_check_arg =
+    let doc =
+      "Exit nonzero unless every gate holds: no duplicate installs, no stale-epoch \
+       acceptances, no dangling migration, the journal decodes, semantic equivalence, \
+       the adaptive runs recover the tail under 2x the pre-crowd baseline (and commit \
+       at least one migration, including after the master crash), the static baseline \
+       does not recover, and the seeded adaptive run replays bit-identically."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run seed quick hotspot_threshold hotspot_window check metrics =
+    with_metrics metrics @@ fun () ->
+    let rows =
+      Experiments.E_rebalance.run ~seed ~quick ~hotspot_threshold ~hotspot_window ()
+    in
+    Experiments.E_rebalance.print rows;
+    if check then begin
+      match Experiments.E_rebalance.check rows with
+      | [] -> print_endline "rebalance check: all invariants hold"
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "rebalance check FAILED: %s\n" f) fs;
+          exit 1
+    end
+  in
+  let doc =
+    "Flash-crowd adaptive repartitioning: static baseline vs the closed-loop hotspot \
+     detector driving staged, journaled sub-region migrations, plus a master-crash \
+     run resolved by journal replay at takeover."
+  in
+  Cmd.v (Cmd.info "rebalance" ~doc)
+    Term.(
+      const run $ seed_arg $ quick_arg $ hotspot_threshold_arg $ hotspot_window_arg
+      $ rebalance_check_arg $ metrics_arg)
+
 let trace_cmd =
   let scenario_arg =
     let doc = "Fault scenario to replay: $(b,chaos) or $(b,ha)." in
@@ -604,15 +651,35 @@ let monitor_cmd =
     let doc = "Write the sampled flow records (difane-flows-v1 JSON) to this file." in
     Arg.(value & opt (some string) None & info [ "flows-out" ] ~docv:"FILE" ~doc)
   in
-  let run seed quick alpha sample_rate interval threshold top_k json flows_out =
+  let hotspot_threshold_override_arg =
+    let doc =
+      "Override --threshold with the adaptive rebalancer's spelling of the same knob \
+       (hot = miss load over this multiple of fair share)."
+    in
+    Arg.(value & opt (some float) None & info [ "hotspot-threshold" ] ~docv:"X" ~doc)
+  in
+  let run seed quick alpha sample_rate interval threshold hotspot_threshold
+      hotspot_window top_k json flows_out =
     (* per-run registry view, same contract as --metrics *)
     Telemetry.reset ();
+    let threshold = Option.value ~default:threshold hotspot_threshold in
     let m, _ =
       Experiments.E_mon.run_monitored ~seed ~quick ~alpha ~sample_rate ?interval
         ~threshold ~top_k ()
     in
     if json then print_endline (Monitor.to_json m)
-    else Format.printf "%a%!" Monitor.pp m;
+    else begin
+      Format.printf "%a%!" Monitor.pp m;
+      (* the streak view the adaptive rebalancer would act on *)
+      match Monitor.persistent_hotspots ~windows:hotspot_window m with
+      | [] ->
+          Format.printf "== persistent hotspots (>= %d consecutive windows) == (none)@."
+            hotspot_window
+      | events ->
+          Format.printf "== persistent hotspots (>= %d consecutive windows) ==@."
+            hotspot_window;
+          List.iter (fun e -> Format.printf "  %a@." Hotspot.pp_event e) events
+    end;
     Option.iter
       (fun path ->
         let oc = open_out path in
@@ -628,7 +695,8 @@ let monitor_cmd =
   Cmd.v (Cmd.info "monitor" ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ alpha_arg $ sample_rate_arg $ interval_arg
-      $ threshold_arg $ top_k_arg $ json_arg $ flows_out_arg)
+      $ threshold_arg $ hotspot_threshold_override_arg $ hotspot_window_arg $ top_k_arg
+      $ json_arg $ flows_out_arg)
 
 let experiments =
   [
@@ -659,6 +727,7 @@ let experiments =
     chaos_cmd;
     ha_cmd;
     incast_cmd;
+    rebalance_cmd;
     trace_cmd;
     monitor_cmd;
     experiment "monitor-report" "Flow monitoring: heavy hitters, hotspots, determinism"

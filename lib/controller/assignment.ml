@@ -104,6 +104,49 @@ let imbalance t =
       let mean = total /. float_of_int (List.length ls) in
       if mean = 0. then 1.0 else List.fold_left Float.max 0. ls /. mean
 
+(* Migration support: swap [src] for its two sub-regions (keeping the
+   journaled replica lists verbatim), or the reverse on abort.  The split
+   halves the source's measured weight between the children — the real
+   ratio is unknown until new windows accrue, and halving keeps the load
+   estimate conservative without re-measuring. *)
+let split_pid t ~src ~lo:(lo_pid, lo_replicas) ~hi:(hi_pid, hi_replicas) =
+  let w = weight_of t.weights src /. 2. in
+  let replicas =
+    List.concat_map
+      (fun (pid, rs) ->
+        if pid = src then [ (lo_pid, lo_replicas); (hi_pid, hi_replicas) ]
+        else [ (pid, rs) ])
+      t.replicas
+  in
+  let weights =
+    (lo_pid, w) :: (hi_pid, w)
+    :: List.filter (fun (pid, _) -> pid <> src) t.weights
+  in
+  { t with replicas; weights }
+
+let merge_pid t ~src:(src_pid, src_replicas) ~lo ~hi =
+  let w = weight_of t.weights lo +. weight_of t.weights hi in
+  let replicas =
+    List.concat_map
+      (fun (pid, rs) ->
+        if pid = lo then [ (src_pid, src_replicas) ]
+        else if pid = hi then []
+        else [ (pid, rs) ])
+      t.replicas
+  in
+  let weights =
+    (src_pid, w)
+    :: List.filter (fun (pid, _) -> pid <> lo && pid <> hi) t.weights
+  in
+  { t with replicas; weights }
+
+let all_replicas t =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) t.replicas
+
+let of_replicas ~replicas ~weights ~authorities ~replication =
+  if authorities = [] then invalid_arg "Assignment.of_replicas: no authority switches";
+  { replicas; weights; authorities; replication }
+
 let reassign t ~failed =
   let survivors = List.filter (fun a -> a <> failed) t.authorities in
   if survivors = [] then invalid_arg "Assignment.reassign: no surviving authority switches";

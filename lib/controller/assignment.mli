@@ -48,6 +48,30 @@ val loads : t -> (int * float) list
 val imbalance : t -> float
 (** max load / mean load over primaries; 1.0 = perfect. *)
 
+val split_pid :
+  t -> src:int -> lo:int * int list -> hi:int * int list -> t
+(** Replace partition [src] with its two migration sub-regions, keeping
+    the given replica lists verbatim (they are journaled — replay must
+    not re-derive them).  The source's weight is split evenly between
+    the children until fresh load windows accrue. *)
+
+val merge_pid : t -> src:int * int list -> lo:int -> hi:int -> t
+(** Undo {!split_pid} on migration abort: drop [lo]/[hi] and restore
+    [src] with its original replica list at [lo]'s position. *)
+
+val all_replicas : t -> (int * int list) list
+(** Every partition's replica list (primary first), ascending by pid —
+    the journal's [Partition_layout] snapshot form. *)
+
+val of_replicas :
+  replicas:(int * int list) list ->
+  weights:(int * float) list ->
+  authorities:int list ->
+  replication:int ->
+  t
+(** Rebuild an assignment from a journaled layout verbatim.
+    @raise Invalid_argument when [authorities] is empty. *)
+
 val reassign : t -> failed:int -> t
 (** Remove a failed switch.  Partitions whose primary failed are promoted
     to their first surviving backup when one exists (no data movement);

@@ -255,6 +255,12 @@ let rebuild t ~now =
   let demoted = ref [] in
   let dead = ref [] in
   let replayed = ref 0 in
+  (* a migration whose begin was replayed but whose commit/abort was not:
+     the crashed leader left it in flight — the new leader must resolve *)
+  let inflight = ref None in
+  (* mids must stay unique across takeovers: the new leader allocates
+     above everything the journal has seen *)
+  let next_mid = ref 0 in
   Journal.replay decoded (fun entry ->
       incr replayed;
       match entry with
@@ -285,13 +291,46 @@ let rebuild t ~now =
           dead := List.filter (fun x -> x <> s) !dead
       | Journal.Rebalance loads ->
           model := Option.map (fun m -> Deployment.rebalance m ~loads) !model
+      | Journal.Migration_begin m ->
+          model := Option.map (fun md -> Deployment.apply_split md m) !model;
+          inflight := Some (m, `Installed);
+          next_mid := max !next_mid (m.Journal.mid + 1)
+      | Journal.Migration_flip _ ->
+          Option.iter Deployment.flip_split !model;
+          inflight :=
+            (match !inflight with Some (m, _) -> Some (m, `Flipped) | None -> None)
+      | Journal.Migration_commit _ ->
+          (match !inflight with
+          | Some (m, _) ->
+              Option.iter
+                (fun md -> ignore (Deployment.scrub_split md ~now m ~aborted:false))
+                !model
+          | None -> ());
+          inflight := None
+      | Journal.Migration_abort _ ->
+          (match !inflight with
+          | Some (m, _) ->
+              model := Option.map (fun md -> Deployment.unsplit md m) !model;
+              Option.iter
+                (fun md -> ignore (Deployment.scrub_split md ~now m ~aborted:true))
+                !model
+          | None -> ());
+          inflight := None
+      | Journal.Partition_layout { regions; replicas } ->
+          model :=
+            Option.map (fun md -> Deployment.apply_layout md ~regions ~replicas) !model
       | Journal.Epoch _ -> ());
   t.replayed <- t.replayed + !replayed;
   Telemetry.add m_replayed !replayed;
   match !model with
   | None -> invalid_arg "Cluster: journal holds no Build entry"
   | Some model ->
-      (!replayed, model, List.sort Int.compare !demoted, List.rev !dead)
+      ( !replayed,
+        model,
+        List.sort Int.compare !demoted,
+        List.rev !dead,
+        !inflight,
+        !next_mid )
 
 let elect t ~now ~detector =
   let candidates =
@@ -317,7 +356,23 @@ let elect t ~now ~detector =
         ignore
           (Journal.append t.journal ~at:now
              (Journal.Epoch { epoch = new_epoch; leader = winner }));
-        let replayed, model, demoted, dead = rebuild t ~now in
+        let replayed, model, demoted, dead, inflight, next_mid = rebuild t ~now in
+        (* a migration the crashed leader left unresolved: roll it back if
+           the flip never happened (the sub-regions carry no traffic yet),
+           finish the retirement if it did (they are the serving path).
+           Resolve the scratch model here; the journal entry and the
+           physical scrub go through the new control plane below. *)
+        let model, resolution =
+          match inflight with
+          | None -> (model, None)
+          | Some (m, `Installed) ->
+              let model = Deployment.unsplit model m in
+              ignore (Deployment.scrub_split model ~now m ~aborted:true);
+              (model, Some (m, false))
+          | Some (m, `Flipped) ->
+              ignore (Deployment.scrub_split model ~now m ~aborted:false);
+              (model, Some (m, true))
+        in
         let network = Control_plane.deployment t.cp in
         let d = Deployment.adopt ~model ~network in
         let cp' =
@@ -327,12 +382,16 @@ let elect t ~now ~detector =
               (appender ~journal:t.journal ~epoch_cell:t.epoch_cell
                  ~fenced:t.fenced_appends new_epoch)
             ~channel_offset:(switch_channel_span t * winner)
-            ~demoted ~presumed_dead:dead d
+            ~demoted ~presumed_dead:dead ~next_mid d
         in
         (* the new master inherits the physical truth about devices and
            links the cluster has been tracking *)
         Hashtbl.iter (fun s () -> Control_plane.kill_switch cp' s) t.crashed;
         Hashtbl.iter (fun s () -> Control_plane.set_link cp' ~now s false) t.links_down;
+        Option.iter
+          (fun (m, committed) ->
+            Control_plane.finish_inherited_migration cp' ~now m ~committed)
+          resolution;
         (* the old master — crashed (already halted) or merely cut off and
            still mastering until the switches fence it — stays around as
            transport *)
@@ -456,19 +515,32 @@ let detect t ~now =
 
 (* Compact the journal to a summary of the leader's current state: the
    current policy and full authority pool, replayed failovers and
-   outstanding death verdicts, closed by the current epoch.  Rebalance
-   history is dropped — placement is re-derived at replay and converged
-   by the takeover re-push, which preserves semantic equivalence. *)
+   outstanding death verdicts, the exact partition layout and placement,
+   closed by the current epoch.  The [Partition_layout] entry is what
+   keeps adaptive-migration history compactable: a replayed [Build] alone
+   cannot reproduce a re-cut layout, so the snapshot records the regions
+   and replica lists verbatim.  Rebalance/migration step history is
+   dropped — the layout entry already captures its outcome. *)
 let snapshot t ~now =
   let d = Control_plane.deployment t.cp in
   let demoted = Control_plane.demoted_authorities t.cp in
   let dead = Control_plane.failed_switches t.cp in
   let pool = List.sort_uniq Int.compare (Deployment.authority_ids d @ demoted) in
+  let layout =
+    Journal.Partition_layout
+      {
+        regions =
+          List.map
+            (fun (p : Partitioner.partition) -> (p.Partitioner.pid, p.Partitioner.region))
+            (Deployment.partitioner d).Partitioner.partitions;
+        replicas = Assignment.all_replicas (Deployment.assignment d);
+      }
+  in
   let entries =
     (Journal.Build { policy = Classifier.rules (Deployment.policy d); authority_ids = pool }
     :: List.map (fun s -> Journal.Fail_authority s) demoted)
     @ List.map (fun s -> Journal.Declared_dead s) dead
-    @ [ Journal.Epoch { epoch = !(t.epoch_cell); leader = t.leader_ } ]
+    @ [ layout; Journal.Epoch { epoch = !(t.epoch_cell); leader = t.leader_ } ]
   in
   Journal.snapshot t.journal ~at:now entries;
   t.snapshots <- t.snapshots + 1;
@@ -484,5 +556,6 @@ let tick t ~now =
   if
     Journal.tail_length t.journal >= t.config.snapshot_every
     && t.replicas.(t.leader_).up
-    && not (Control_plane.deposed t.cp)
+    && (not (Control_plane.deposed t.cp))
+    && not (Control_plane.migration_active t.cp)
   then snapshot t ~now

@@ -11,6 +11,10 @@ type config = {
   retx_timeout : float;
   retx_backoff : float;
   retx_limit : int;
+  adaptive : bool;
+  hotspot_threshold : float;
+  hotspot_window : int;
+  migration_step : float;
 }
 
 let default_config =
@@ -23,6 +27,10 @@ let default_config =
     retx_timeout = 0.1;
     retx_backoff = 2.0;
     retx_limit = 6;
+    adaptive = false;
+    hotspot_threshold = 2.0;
+    hotspot_window = 3;
+    migration_step = 0.05;
   }
 
 type port = {
@@ -66,6 +74,13 @@ let m_failovers = Telemetry.counter "ctrl_authority_failovers"
 let m_recoveries = Telemetry.counter "ctrl_recoveries"
 let m_policy_updates = Telemetry.counter "ctrl_policy_updates"
 let m_rebalances = Telemetry.counter "ctrl_rebalances"
+let m_migrations_started = Telemetry.counter "rebalance_migrations_started"
+let m_migrations_committed = Telemetry.counter "rebalance_migrations_committed"
+let m_migrations_aborted = Telemetry.counter "rebalance_migrations_aborted"
+let m_rules_moved = Telemetry.counter "rebalance_rules_moved"
+let m_windows_to_recovery = Telemetry.counter "rebalance_windows_to_recovery"
+
+type migration_stage = Installed | Flipped
 
 type t = {
   mutable deployment : Deployment.t;
@@ -85,6 +100,20 @@ type t = {
   mutable last_stats : float;
   mutable last_rebalance : float;
   mutable rebalances : int;
+  mutable active_migration : (Journal.migration * migration_stage * float) option;
+      (* in-flight staged migration: spec, stage reached, stage time *)
+  mutable next_mid : int;
+  mutable last_auth_cum : (int * float) list;
+      (* per-authority cumulative miss count at the last window boundary *)
+  mutable streaks : (int * int) list; (* authority -> consecutive hot windows *)
+  mutable windows_seen : int;
+  mutable recovery_watch : (int * int) option;
+      (* (hot authority, window count at migration begin): when it first
+         measures non-hot again, windows-to-recovery is recorded *)
+  mutable migrations_started : int;
+  mutable migrations_committed : int;
+  mutable migrations_aborted : int;
+  mutable rules_moved : int;
   mutable failed : int list; (* reverse failure order *)
   mutable next_xid : int;
   mutable retransmissions : int;
@@ -104,7 +133,7 @@ let record t ~now fmt =
     fmt
 
 let create ?(config = default_config) ?faults ?(epoch = 0) ?journal ?(channel_offset = 0)
-    ?(demoted = []) ?(presumed_dead = []) deployment =
+    ?(demoted = []) ?(presumed_dead = []) ?(next_mid = 0) deployment =
   let schema = Classifier.schema (Deployment.policy deployment) in
   let n = Array.length (Deployment.switches deployment) in
   let injector i =
@@ -144,6 +173,16 @@ let create ?(config = default_config) ?faults ?(epoch = 0) ?journal ?(channel_of
     last_stats = neg_infinity;
     last_rebalance = neg_infinity;
     rebalances = 0;
+    active_migration = None;
+    next_mid;
+    last_auth_cum = [];
+    streaks = [];
+    windows_seen = 0;
+    recovery_watch = None;
+    migrations_started = 0;
+    migrations_committed = 0;
+    migrations_aborted = 0;
+    rules_moved = 0;
     failed = List.rev presumed_dead;
     next_xid = 1;
     retransmissions = 0;
@@ -202,6 +241,94 @@ let cancel_pending t i =
   Telemetry.add m_cancelled (List.length victims);
   List.length victims
 
+(* ---- staged region migration (adaptive rebalancing) ----
+
+   Stage discipline: every stage journals first (write-ahead via the
+   cluster's fenced appender), then mutates the deployment, then sends
+   the corresponding reliable messages.  Journal append and state change
+   happen in the same tick, so a takeover replaying the journal always
+   reconstructs exactly the stage the switches are in. *)
+
+let partition_table t pid =
+  List.find
+    (fun (p : Partitioner.partition) -> p.pid = pid)
+    (Deployment.partitioner t.deployment).Partitioner.partitions
+
+let send_install t ~now pid replicas =
+  let p = partition_table t pid in
+  List.iter
+    (fun host ->
+      if not t.ports.(host).declared_dead then
+        send_reliable t host ~now
+          (Message.Install_partition
+             { Message.pid = p.pid; region = p.region;
+               table_rules = Classifier.rules p.table }))
+    replicas
+
+let send_drop t ~now pid replicas =
+  List.iter
+    (fun host ->
+      if not t.ports.(host).declared_dead then
+        send_reliable t host ~now (Message.Drop_partition pid))
+    replicas
+
+(* Retransmitting a sub-region install after its migration aborted would
+   resurrect the dropped table: forget those requests. *)
+let cancel_pending_installs t pids =
+  let victims =
+    Hashtbl.fold
+      (fun k req acc ->
+        match req.req_msg with
+        | Message.Install_partition { Message.pid; _ } when List.mem pid pids ->
+            k :: acc
+        | _ -> acc)
+      t.pending []
+  in
+  List.iter (Hashtbl.remove t.pending) victims;
+  t.cancelled <- t.cancelled + List.length victims;
+  Telemetry.add m_cancelled (List.length victims)
+
+let migration_refs (m : Journal.migration) =
+  m.Journal.src_replicas @ m.Journal.lo_replicas @ m.Journal.hi_replicas
+
+let commit_migration t ~now (m : Journal.migration) =
+  journal_entry t ~now (Journal.Migration_commit m.Journal.mid);
+  let invalidated = Deployment.scrub_split t.deployment ~now m ~aborted:false in
+  send_drop t ~now m.Journal.src_pid m.Journal.src_replicas;
+  t.active_migration <- None;
+  t.migrations_committed <- t.migrations_committed + 1;
+  Telemetry.incr m_migrations_committed;
+  record t ~now "migration m%d committed: p%d retired, %d stale cache entries evicted"
+    m.Journal.mid m.Journal.src_pid invalidated
+
+let abort_migration t ~now (m : Journal.migration) ~reason =
+  journal_entry t ~now (Journal.Migration_abort m.Journal.mid);
+  t.deployment <- Deployment.unsplit t.deployment m;
+  let invalidated = Deployment.scrub_split t.deployment ~now m ~aborted:true in
+  cancel_pending_installs t [ m.Journal.lo_pid; m.Journal.hi_pid ];
+  send_drop t ~now m.Journal.lo_pid m.Journal.lo_replicas;
+  send_drop t ~now m.Journal.hi_pid m.Journal.hi_replicas;
+  t.active_migration <- None;
+  t.recovery_watch <- None;
+  t.migrations_aborted <- t.migrations_aborted + 1;
+  Telemetry.incr m_migrations_aborted;
+  record t ~now "migration m%d aborted (%s): p%d restored, %d cache entries evicted"
+    m.Journal.mid reason m.Journal.src_pid invalidated
+
+(* An authority referenced by the in-flight migration died.  Before the
+   flip the sub-regions carry no traffic, so roll back and let the
+   regular failover handle the death; after the flip they are the serving
+   tables, so commit early — retiring the source is then the only
+   consistent direction. *)
+let resolve_migration_on_death t ~now i =
+  match t.active_migration with
+  | Some (m, stage, _) when List.mem i (migration_refs m) -> (
+      match stage with
+      | Installed ->
+          abort_migration t ~now m ~reason:(Printf.sprintf "authority %d died" i)
+      | Flipped -> commit_migration t ~now m)
+  | _ -> ()
+
 let declare_dead t ~now i =
   let port = t.ports.(i) in
   if not port.declared_dead then begin
@@ -214,6 +341,10 @@ let declare_dead t ~now i =
     Deployment.mark_unreachable t.deployment i;
     let dropped = cancel_pending t i in
     if dropped > 0 then record t ~now "cancelled %d in-flight requests to switch %d" dropped i;
+    (* resolve an in-flight migration before failover re-places partitions:
+       the journal then replays abort/commit against the pre-failover
+       layout, the same order the live engine applied *)
+    resolve_migration_on_death t ~now i;
     (* Authority failover, if the dead switch held that duty and a
        survivor exists to take it. *)
     let auths = Deployment.authority_ids t.deployment in
@@ -347,6 +478,166 @@ let push_deployment t ~now =
   Array.iteri
     (fun i port -> if not port.declared_dead then push_switch t i ~now)
     t.ports
+
+(* ---- closed-loop hotspot detection ----
+
+   Per-authority miss load comes from the switches' monotonic
+   [authority_hits] counters (they survive splits and failovers, unlike
+   per-partition tallies whose pids retire mid-migration).  An authority
+   is hot in a window when its share of the window's misses exceeds
+   [hotspot_threshold] times fair share; [hotspot_window] consecutive hot
+   windows trigger a migration. *)
+
+let authority_cumulative t =
+  List.map
+    (fun a ->
+      ( a,
+        Int64.to_float
+          (Switch.stats (Deployment.switch t.deployment a)).Switch.authority_hits ))
+    (List.sort Int.compare (Deployment.authority_ids t.deployment))
+
+let legacy_rebalance t ~now ~loads =
+  t.deployment <- Deployment.rebalance t.deployment ~loads;
+  t.rebalances <- t.rebalances + 1;
+  Telemetry.incr m_rebalances;
+  journal_entry t ~now (Journal.Rebalance loads)
+
+let begin_migration t ~now ~src_auth ~dst =
+  let d = t.deployment in
+  let assignment = Deployment.assignment d in
+  let loads = Deployment.measured_partition_loads d in
+  let load pid = Option.value ~default:0. (List.assoc_opt pid loads) in
+  (* the hottest partition the overloaded authority serves as primary *)
+  match
+    List.sort
+      (fun a b -> Float.compare (load b) (load a))
+      (Assignment.partitions_of assignment src_auth)
+  with
+  | [] ->
+      (* hot without any primary partition (all demoted?): nothing to cut *)
+      t.streaks <- List.map (fun (a, _) -> (a, 0)) t.streaks
+  | src_pid :: _ -> (
+      match
+        Partitioner.split_region (Deployment.partitioner d)
+          (Deployment.policy d) ~pid:src_pid
+      with
+      | None ->
+          (* no productive cut left in the hot region: fall back to
+             whole-partition re-placement on measured load *)
+          record t ~now
+            "hotspot at authority %d but p%d has no productive cut; \
+             falling back to load rebalance"
+            src_auth src_pid;
+          legacy_rebalance t ~now ~loads;
+          t.streaks <- List.map (fun (a, _) -> (a, 0)) t.streaks
+      | Some ((lo_pid, lo_region), (hi_pid, hi_region)) ->
+          let src_replicas = Assignment.replicas_of assignment src_pid in
+          let auths =
+            List.sort Int.compare (Deployment.authority_ids d)
+          in
+          let r = Assignment.replication assignment in
+          let hi_replicas =
+            dst
+            :: (List.filter (fun a -> a <> dst) auths
+               |> List.filteri (fun i _ -> i < r - 1))
+          in
+          let m =
+            {
+              Journal.mid = t.next_mid;
+              src_pid;
+              src_region = (partition_table t src_pid).Partitioner.region;
+              src_replicas;
+              lo_pid;
+              lo_region;
+              lo_replicas = src_replicas;
+              hi_pid;
+              hi_region;
+              hi_replicas;
+            }
+          in
+          t.next_mid <- t.next_mid + 1;
+          journal_entry t ~now (Journal.Migration_begin m);
+          t.deployment <- Deployment.apply_split t.deployment m;
+          send_install t ~now lo_pid m.Journal.lo_replicas;
+          send_install t ~now hi_pid m.Journal.hi_replicas;
+          let moved = Classifier.length (partition_table t hi_pid).Partitioner.table in
+          t.rules_moved <- t.rules_moved + moved;
+          Telemetry.add m_rules_moved moved;
+          t.active_migration <- Some (m, Installed, now);
+          t.migrations_started <- t.migrations_started + 1;
+          Telemetry.incr m_migrations_started;
+          t.recovery_watch <- Some (src_auth, t.windows_seen);
+          t.streaks <- List.map (fun (a, _) -> (a, 0)) t.streaks;
+          record t ~now
+            "hotspot: authority %d overloaded; migrating p%d's sub-region p%d \
+             (%d rules) to authority %d (m%d)"
+            src_auth src_pid hi_pid moved dst m.Journal.mid)
+
+let adaptive_window t ~now =
+  t.windows_seen <- t.windows_seen + 1;
+  let cum = authority_cumulative t in
+  let deltas =
+    List.map
+      (fun (a, c) ->
+        let prev = Option.value ~default:0. (List.assoc_opt a t.last_auth_cum) in
+        (a, Float.max 0. (c -. prev)))
+      cum
+  in
+  t.last_auth_cum <- cum;
+  let n = List.length deltas in
+  let total = List.fold_left (fun s (_, d) -> s +. d) 0. deltas in
+  let fair = if n = 0 then 0. else total /. float_of_int n in
+  let hot d = n >= 2 && d >= 1. && d > t.config.hotspot_threshold *. fair in
+  t.streaks <-
+    List.map
+      (fun (a, d) ->
+        let s = Option.value ~default:0 (List.assoc_opt a t.streaks) in
+        (a, if hot d then s + 1 else 0))
+      deltas;
+  (match t.recovery_watch with
+  | Some (auth, w0) when t.active_migration = None -> (
+      match List.assoc_opt auth deltas with
+      | Some d when not (hot d) ->
+          Telemetry.add m_windows_to_recovery (t.windows_seen - w0);
+          record t ~now "authority %d back under fair share %d windows after migration began"
+            auth (t.windows_seen - w0);
+          t.recovery_watch <- None
+      | _ -> ())
+  | _ -> ());
+  if t.active_migration = None then begin
+    let candidates =
+      List.filter
+        (fun (a, _) ->
+          Option.value ~default:0 (List.assoc_opt a t.streaks)
+          >= t.config.hotspot_window)
+        deltas
+    in
+    match
+      List.sort (fun (_, x) (_, y) -> Float.compare y x) candidates
+    with
+    | [] -> ()
+    | (src_auth, _) :: _ -> (
+        match
+          List.sort
+            (fun (a, x) (b, y) ->
+              match Float.compare x y with 0 -> Int.compare a b | c -> c)
+            (List.filter (fun (a, _) -> a <> src_auth) deltas)
+        with
+        | [] -> () (* a single authority: nowhere to move load *)
+        | (dst, _) :: _ -> begin_migration t ~now ~src_auth ~dst)
+  end
+
+let advance_migration t ~now =
+  match t.active_migration with
+  | Some (m, Installed, since) when now -. since >= t.config.migration_step ->
+      journal_entry t ~now (Journal.Migration_flip m.Journal.mid);
+      Deployment.flip_split t.deployment;
+      t.active_migration <- Some (m, Flipped, now);
+      record t ~now "migration m%d: ingress partition rules flipped to p%d/p%d"
+        m.Journal.mid m.Journal.lo_pid m.Journal.hi_pid
+  | Some (m, Flipped, since) when now -. since >= t.config.migration_step ->
+      commit_migration t ~now m
+  | _ -> ()
 
 (* ---- fault events ---- *)
 
@@ -519,18 +810,21 @@ let tick t ~now =
             (Message.Stats_request { Message.table_bank = Message.Cache; cookie = i }))
       t.ports
   end;
-  (* 2b. periodic load rebalancing from measured per-partition misses *)
+  (* 2b. periodic load management.  Legacy mode re-places whole partitions
+        on measured load; adaptive mode closes the hotspot loop — detect
+        over a window, then re-cut and migrate in staged steps. *)
   (match t.config.rebalance_interval with
   | Some interval when now -. t.last_rebalance >= interval ->
       t.last_rebalance <- now;
-      let loads = Deployment.measured_partition_loads t.deployment in
-      if List.exists (fun (_, l) -> l > 0.) loads then begin
-        t.deployment <- Deployment.rebalance t.deployment ~loads;
-        t.rebalances <- t.rebalances + 1;
-        Telemetry.incr m_rebalances;
-        journal_entry t ~now (Journal.Rebalance loads)
+      if t.config.adaptive then adaptive_window t ~now
+      else begin
+        let loads = Deployment.measured_partition_loads t.deployment in
+        if List.exists (fun (_, l) -> l > 0.) loads then
+          legacy_rebalance t ~now ~loads
       end
   | _ -> ());
+  (* 2c. advance an in-flight staged migration *)
+  if t.config.adaptive then advance_migration t ~now;
   (* 3. deliver controller->switch frames; collect switch responses and
         any queued asynchronous notifications (flow-removed).  A downed
         link kills arriving frames on the wire in both directions. *)
@@ -556,6 +850,37 @@ let tick t ~now =
   end
 
 let rebalances t = t.rebalances
+let migration_active t = t.active_migration <> None
+let migrations_started t = t.migrations_started
+let migrations_committed t = t.migrations_committed
+let migrations_aborted t = t.migrations_aborted
+let rules_moved t = t.rules_moved
+
+(* Takeover resolution for a migration the crashed leader left in
+   flight: the cluster replays the journal, finds the reached stage, and
+   the new leader finishes it — commit if the flip already happened (the
+   sub-regions are serving), abort otherwise.  Journaled through this
+   plane's own (fenced, new-epoch) appender, then applied to the adopted
+   physical network. *)
+let finish_inherited_migration t ~now (m : Journal.migration) ~committed =
+  if committed then begin
+    journal_entry t ~now (Journal.Migration_commit m.Journal.mid);
+    let invalidated = Deployment.scrub_split t.deployment ~now m ~aborted:false in
+    t.migrations_committed <- t.migrations_committed + 1;
+    Telemetry.incr m_migrations_committed;
+    record t ~now
+      "takeover: inherited migration m%d was flipped; committed (%d cache entries evicted)"
+      m.Journal.mid invalidated
+  end
+  else begin
+    journal_entry t ~now (Journal.Migration_abort m.Journal.mid);
+    let invalidated = Deployment.scrub_split t.deployment ~now m ~aborted:true in
+    t.migrations_aborted <- t.migrations_aborted + 1;
+    Telemetry.incr m_migrations_aborted;
+    record t ~now
+      "takeover: inherited migration m%d was not yet flipped; aborted (%d cache entries evicted)"
+      m.Journal.mid invalidated
+  end
 
 let rule_counters t =
   let totals = Hashtbl.copy t.retired in

@@ -38,14 +38,52 @@ type config = {
   retx_timeout : float;  (** first retransmission after this long unacked *)
   retx_backoff : float;  (** interval multiplier per retransmission *)
   retx_limit : int;  (** retransmissions before giving a request up *)
+  adaptive : bool;
+      (** close the loop: instead of the legacy whole-partition
+          re-placement, each [rebalance_interval] window runs the hotspot
+          detector, and a persistent hotspot triggers a staged, journaled
+          sub-region migration (re-cut the hot region, move the split-off
+          half to the least-loaded authority).  Default [false] — the
+          legacy behaviour is untouched. *)
+  hotspot_threshold : float;
+      (** an authority is hot in a window when its miss load exceeds this
+          multiple of fair share (> 1.0; default 2.0) *)
+  hotspot_window : int;
+      (** consecutive hot windows before a migration triggers (default 3) *)
+  migration_step : float;
+      (** seconds between migration stages (install → flip → commit) —
+          long enough for the previous stage's reliable installs to be
+          acknowledged (default 0.05) *)
 }
 
 val default_config : config
 (** 1 ms channels, 1 s echoes, 3 misses, 5 s stats, no auto-rebalance,
-    retransmit after 100 ms doubling up to 6 attempts. *)
+    retransmit after 100 ms doubling up to 6 attempts; adaptive
+    rebalancing off (threshold 2.0, window 3, 50 ms stages when on). *)
 
 val rebalances : t -> int
 (** Automatic rebalances performed so far. *)
+
+val migration_active : t -> bool
+(** A staged migration is in flight (begun, not yet committed/aborted).
+    The cluster defers snapshot compaction while true — the compacted
+    history must not straddle an unresolved migration. *)
+
+val migrations_started : t -> int
+val migrations_committed : t -> int
+val migrations_aborted : t -> int
+
+val rules_moved : t -> int
+(** Authority-table rules shipped to migration destinations so far. *)
+
+val finish_inherited_migration :
+  t -> now:float -> Journal.migration -> committed:bool -> unit
+(** Takeover resolution: the previous leader crashed mid-migration and
+    journal replay found stage [committed = false] (installed, not
+    flipped — roll back) or [committed = true] (flipped — finish the
+    retirement).  Journals the resolution through this plane's fenced
+    appender and scrubs the adopted physical switches; the model side was
+    already resolved during replay.  Called by {!Cluster.elect}. *)
 
 val create :
   ?config:config ->
@@ -55,6 +93,7 @@ val create :
   ?channel_offset:int ->
   ?demoted:int list ->
   ?presumed_dead:int list ->
+  ?next_mid:int ->
   Deployment.t ->
   t
 (** With [faults], every channel gets its own deterministic fault stream
@@ -73,7 +112,9 @@ val create :
       standby takes over from a rebuilt deployment: [presumed_dead]
       switches start declared-dead (the echo machinery keeps probing
       them, so a live one recovers), [demoted] ones rejoin the authority
-      pool when they answer again. *)
+      pool when they answer again;
+    - [next_mid] seeds migration-id allocation above every mid the
+      journal already holds, keeping mids unique across takeovers. *)
 
 val epoch : t -> int
 

@@ -502,6 +502,115 @@ let rebalance d ~loads =
   install_all ~fresh_tables:false d';
   d'
 
+(* ---- staged region migration ----
+
+   A migration moves a sub-region of an overloaded partition to another
+   authority in three stages, each separately journaled so a takeover
+   mid-migration can resume or roll back.  The stage functions below keep
+   a strict discipline: [apply_split]/[unsplit] swap the *model* (and
+   install/keep tables so every stage is blackhole-free), [flip_split]
+   and [scrub_split] touch only the physical switches — replay applies
+   them to a scratch model, takeover re-applies the physical half to the
+   adopted network without double-swapping the model. *)
+
+let partition_of d pid =
+  List.find
+    (fun (p : Partitioner.partition) -> p.pid = pid)
+    d.partitioner.Partitioner.partitions
+
+let apply_split d (m : Journal.migration) =
+  let regions =
+    List.concat_map
+      (fun (p : Partitioner.partition) ->
+        if p.pid = m.src_pid then
+          [ (m.lo_pid, m.lo_region); (m.hi_pid, m.hi_region) ]
+        else [ (p.pid, p.region) ])
+      d.partitioner.Partitioner.partitions
+  in
+  let partitioner = Partitioner.refit d.partitioner d.policy ~regions in
+  let assignment =
+    Assignment.split_pid d.assignment ~src:m.src_pid
+      ~lo:(m.lo_pid, m.lo_replicas)
+      ~hi:(m.hi_pid, m.hi_replicas)
+  in
+  let d' = { d with partitioner; assignment } in
+  (* Install the sub-region tables at their replicas.  Ingress partition
+     banks still point at the source, whose table stays in place — at no
+     instant is a miss without a live authority holding its rules. *)
+  let install pid replicas =
+    let p = partition_of d' pid in
+    List.iter (fun host -> Switch.install_authority d'.switches.(host) p) replicas
+  in
+  install m.lo_pid m.lo_replicas;
+  install m.hi_pid m.hi_replicas;
+  Log.info (fun f ->
+      f "migration m%d: split p%d into p%d/p%d; sub-region tables installed"
+        m.mid m.src_pid m.lo_pid m.hi_pid);
+  d'
+
+let flip_split d =
+  (* Physical stage 2: rewrite every ingress partition bank from the
+     already-split model, atomically per switch (the bank is replaced
+     wholesale).  The source's authority table survives until commit, so
+     a miss racing the flip lands on *some* table either way. *)
+  let prules =
+    Partitioner.partition_rules d.partitioner
+      ~assignment:(Assignment.switch_for d.assignment)
+  in
+  Array.iter (fun sw -> Switch.install_partition_rules sw prules) d.switches
+
+let unsplit d (m : Journal.migration) =
+  let regions =
+    List.concat_map
+      (fun (p : Partitioner.partition) ->
+        if p.pid = m.lo_pid then [ (m.src_pid, m.src_region) ]
+        else if p.pid = m.hi_pid then []
+        else [ (p.pid, p.region) ])
+      d.partitioner.Partitioner.partitions
+  in
+  let partitioner = Partitioner.refit d.partitioner d.policy ~regions in
+  let assignment =
+    Assignment.merge_pid d.assignment
+      ~src:(m.src_pid, m.src_replicas)
+      ~lo:m.lo_pid ~hi:m.hi_pid
+  in
+  Log.info (fun f -> f "migration m%d: rolled back to p%d" m.mid m.src_pid);
+  { d with partitioner; assignment }
+
+let scrub_split d ~now (m : Journal.migration) ~aborted =
+  let dead_pids = if aborted then [ m.lo_pid; m.hi_pid ] else [ m.src_pid ] in
+  if aborted then begin
+    List.iter
+      (fun host -> Switch.drop_authority d.switches.(host) m.lo_pid)
+      m.lo_replicas;
+    List.iter
+      (fun host -> Switch.drop_authority d.switches.(host) m.hi_pid)
+      m.hi_replicas
+  end
+  else
+    List.iter
+      (fun host -> Switch.drop_authority d.switches.(host) m.src_pid)
+      m.src_replicas;
+  Array.fold_left
+    (fun acc sw -> acc + Switch.invalidate_cache_pids sw ~now dead_pids)
+    0 d.switches
+
+let apply_layout d ~regions ~replicas =
+  let partitioner = Partitioner.refit d.partitioner d.policy ~regions in
+  let weights =
+    List.map
+      (fun (p : Partitioner.partition) ->
+        (p.pid, float_of_int (Classifier.length p.table)))
+      partitioner.Partitioner.partitions
+  in
+  let assignment =
+    Assignment.of_replicas ~replicas ~weights ~authorities:d.authority_ids
+      ~replication:d.config.replication
+  in
+  let d' = { d with partitioner; assignment } in
+  install_all d';
+  d'
+
 let last_new_authority_installs d = d.last_new_installs
 let last_new_primary_installs d = d.last_new_primary_installs
 

@@ -226,6 +226,45 @@ val last_new_primary_installs : t -> int
     replication >= 2 a failover promotes warm backups, so this is
     typically zero — the point of pre-installed backups. *)
 
+(** {1 Staged region migration}
+
+    The adaptive-rebalancing stages.  Model-swapping functions
+    ({!apply_split}, {!unsplit}, {!apply_layout}) are what journal replay
+    runs over a scratch model; physical-only functions ({!flip_split},
+    {!scrub_split}) are additionally re-applied to the adopted network at
+    takeover, so neither path double-applies the other's half.  The
+    staging invariant: after every individual stage, a miss in the
+    migrating region still reaches an authority switch holding its
+    rules. *)
+
+val apply_split : t -> Journal.migration -> t
+(** Stage 1: swap the source partition for its two journaled sub-regions
+    in the partitioner and assignment, and install the sub-region
+    authority tables at their replicas.  Ingress partition rules still
+    point at the source, whose table stays — no serving gap. *)
+
+val flip_split : t -> unit
+(** Stage 2 (physical only): rewrite every switch's partition bank from
+    the already-split model.  Misses now tunnel to the sub-region
+    replicas; the source table lingers (inert) until commit. *)
+
+val unsplit : t -> Journal.migration -> t
+(** Roll the model back to the source partition (migration abort before
+    flip).  Physical cleanup is {!scrub_split}[ ~aborted:true]. *)
+
+val scrub_split : t -> now:float -> Journal.migration -> aborted:bool -> int
+(** Stage 3 (physical only): retire the losing tables — the source's on
+    commit, the sub-regions' on abort — and evict cache entries spliced
+    under the retired pids ({!Switch.invalidate_cache_pids}, so
+    provenance is remapped through the [Flow_removed]/[Replaced] path).
+    Returns cache entries invalidated. *)
+
+val apply_layout : t -> regions:(int * Pred.t) list -> replicas:(int * int list) list -> t
+(** Restore a journaled [Partition_layout] snapshot verbatim: refit the
+    partitioner to the recorded regions, rebuild the assignment from the
+    recorded replica lists, reinstall.  Replay-only — snapshots must
+    reproduce re-cut layouts that re-running the partitioner could not. *)
+
 (** {1 Global checks (used by tests)} *)
 
 val semantically_equal : t -> Header.t list -> bool

@@ -1606,6 +1606,308 @@ module E_mon = struct
     Printf.printf "flow-record replay identical: %b\n" r.replay_identical
 end
 
+(* E-REBALANCE: closed-loop adaptive repartitioning under a flash
+   crowd.  A star of four ingresses feeds three authority switches; at
+   t=3 s a sustained crowd of single-packet flows confined to one
+   flowspace region overloads the authority that owns it (offered rate
+   1.5x its setup capacity), so its queue — and the region's tail
+   first-packet delay — grows without bound.  The live cluster ticks
+   against the same deployment the packets walk (the flowsim
+   [?controller] hook): with the adaptive config, the hotspot detector
+   flags the authority for [hotspot_window] consecutive windows, the
+   hot region is re-cut and the split-off half migrated (staged:
+   install -> flip -> retire) to the least-loaded authority, after
+   which each half runs below capacity and the tail drains.  The
+   static baseline replays the identical workload with the loop off
+   and never recovers.  A third run crashes the master between the
+   flip and the commit; the elected replica replays the journal,
+   finishes the retirement, and every gate still holds. *)
+module E_rebalance = struct
+  type row = {
+    label : string;  (** ["static"], ["adaptive"] or ["adaptive+crash"] *)
+    offered : int;
+    completed : int;
+    dropped : int;
+    baseline_p99 : float;  (** pre-crowd window *)
+    crowd_p99 : float;  (** during the crowd, before recovery *)
+    final_p99 : float;  (** last window of the run *)
+    recovered : bool;  (** [final_p99 < 2 * baseline_p99] *)
+    migrations_started : int;
+    migrations_committed : int;
+    migrations_aborted : int;
+    rules_moved : int;
+    takeovers : int;
+    dup_installs : int;
+    stale_accepted : int;
+    pending : int;
+    violations : string list;  (** per-run invariant failures; [] = green *)
+    replay_identical : bool;
+  }
+
+  let crowd_start = 3.0
+  let crash_at = 4.2
+
+  let p99_between (res : Flowsim.result) ~lo ~hi =
+    let ds =
+      Array.to_list res.Flowsim.flow_delays
+      |> List.filter_map (fun (s, d) -> if lo <= s && s < hi then Some d else None)
+    in
+    match ds with [] -> nan | l -> (Summary.of_list l).Summary.p99
+
+  let scenario ~seed ~quick ~hotspot_threshold ~hotspot_window ~mode =
+    let rng = Prng.create seed in
+    let policy =
+      Policy_gen.acl (Prng.split rng)
+        { Policy_gen.default_acl with rules = (if quick then 120 else 300); chains = 20 }
+    in
+    let topology = Topology.star 8 () in
+    (* ingress caches far smaller than the working set: the traffic mix
+       churns them, so the crowd's spliced pieces keep getting evicted
+       and its misses keep landing on the authority — the sustained
+       flow-setup overload the detector exists to catch *)
+    let dconfig =
+      { Deployment.default_config with k = 8; replication = 2; cache_capacity = 8;
+        balance = `Volume }
+    in
+    (* quick scales time, not dynamics: service x4, rates /4, so the
+       crowd still offers 1.5x the hot authority's setup capacity *)
+    let service = if quick then 1e-3 else 250e-6 in
+    let horizon = if quick then 7.5 else 10.0 in
+    let baseline_rate = if quick then 200. else 800. in
+    let crowd_rate = if quick then 1200. else 4800. in
+    let cp_config =
+      {
+        Control_plane.default_config with
+        rebalance_interval = (if mode = `Static then None else Some 0.25);
+        adaptive = mode <> `Static;
+        hotspot_threshold;
+        hotspot_window;
+        (* the crash run stretches the stages so the master dies with the
+           migration flipped but not yet committed *)
+        migration_step = (if mode = `Crash then 0.3 else 0.05);
+      }
+    in
+    let config = { Cluster.default_config with snapshot_every = 64; cp = cp_config } in
+    let faults =
+      if mode = `Crash then
+        Some
+          (Fault.plan ~seed ~controllers:3 ~link:Fault.ideal_link
+             ~events:[ Fault.Controller_crash { controller = 0; at = crash_at } ]
+             ())
+      else None
+    in
+    let cl =
+      Cluster.create ~config ?faults ~dconfig ~policy ~topology ~authority_ids:[ 1; 2; 3 ]
+        ()
+    in
+    Cluster.push_deployment cl ~now:0.;
+    let d = Cluster.deployment cl in
+    let span = horizon -. 1.0 in
+    let base_profile =
+      {
+        Traffic.default with
+        flows = int_of_float (baseline_rate *. span);
+        rate = baseline_rate;
+        alpha = 1.0;
+        distinct_headers = (if quick then 400 else 1500);
+        packets_per_flow_mean = 2.0;
+        ingresses = [ 4; 5; 6; 7 ];
+      }
+    in
+    let base =
+      Traffic.generate (Prng.create (seed + 1)) policy base_profile
+      |> List.map (fun (f : Traffic.flow) -> { f with Traffic.start = f.Traffic.start +. 1.0 })
+    in
+    (* the flash crowd: single-packet flows drawn from one partition's
+       clipped table, sustained until the end of the run *)
+    let hot = List.hd (Deployment.partitioner d).Partitioner.partitions in
+    let crowd_span = horizon -. crowd_start in
+    let crowd_flows = int_of_float (crowd_rate *. crowd_span) in
+    let crowd_profile =
+      {
+        Traffic.default with
+        flows = crowd_flows;
+        rate = crowd_rate;
+        alpha = 0.3;
+        distinct_headers = max 500 (crowd_flows / 2);
+        packets_per_flow_mean = 1.0;
+        ingresses = [ 4; 5; 6; 7 ];
+      }
+    in
+    let crowd =
+      Traffic.generate (Prng.create (seed + 2)) hot.Partitioner.table crowd_profile
+      |> List.map (fun (f : Traffic.flow) ->
+             { f with Traffic.flow_id = f.Traffic.flow_id + 1_000_000;
+               start = f.Traffic.start +. crowd_start })
+    in
+    let flows =
+      List.sort
+        (fun (a : Traffic.flow) b -> Float.compare a.Traffic.start b.Traffic.start)
+        (base @ crowd)
+    in
+    let timing =
+      { Flowsim.default_timing with authority_service = service; queue_capacity = 4000 }
+    in
+    let ctr name = Telemetry.value (Telemetry.counter name) in
+    let started0 = ctr "rebalance_migrations_started" in
+    let committed0 = ctr "rebalance_migrations_committed" in
+    let aborted0 = ctr "rebalance_migrations_aborted" in
+    let moved0 = ctr "rebalance_rules_moved" in
+    let res =
+      Flowsim.run_difane ~timing
+        ~controller:(fun ~now -> Cluster.tick cl ~now)
+        ~controller_interval:0.01 d flows
+    in
+    (* let retransmissions and any tail migration stage settle *)
+    let t = ref horizon in
+    while !t <= horizon +. 1.0 do
+      Cluster.tick cl ~now:!t;
+      t := !t +. 0.01
+    done;
+    let baseline_p99 = p99_between res ~lo:1.5 ~hi:crowd_start in
+    let crowd_p99 = p99_between res ~lo:(crowd_start +. 0.25) ~hi:(crowd_start +. 1.25) in
+    let final_lo = horizon -. (if quick then 1.25 else 1.5) in
+    let final_p99 = p99_between res ~lo:final_lo ~hi:horizon in
+    let recovered =
+      Float.is_finite baseline_p99 && Float.is_finite final_p99
+      && final_p99 < 2. *. baseline_p99
+    in
+    let probes =
+      Array.to_list
+        (Traffic.headers_for (Prng.split rng) policy (if quick then 100 else 300))
+    in
+    let journal_ok =
+      match Journal.decode (Classifier.schema policy) (Journal.encode (Cluster.journal cl)) with
+      | Ok _ -> true
+      | Error _ -> false
+    in
+    let started = ctr "rebalance_migrations_started" - started0 in
+    let committed = ctr "rebalance_migrations_committed" - committed0 in
+    let aborted = ctr "rebalance_migrations_aborted" - aborted0 in
+    let dup_installs = Cluster.duplicate_installs cl in
+    let stale_accepted = Cluster.stale_accepted cl in
+    let pending = Cluster.pending_requests cl in
+    let dangling = Control_plane.migration_active (Cluster.leader_cp cl) in
+    let violations =
+      List.filter_map
+        (fun (ok, msg) -> if ok then None else Some msg)
+        [
+          (res.Flowsim.outage_drops = 0, "packets dropped in a controller outage");
+          (dup_installs = 0, "duplicate installs in a switch bank");
+          (stale_accepted = 0, "a switch accepted a stale-epoch frame");
+          (pending = 0, "control requests still pending after the drain");
+          (not dangling, "a migration was left in flight");
+          (journal_ok, "journal failed to decode");
+          (Deployment.semantically_equal (Cluster.deployment cl) probes,
+           "deployment lost semantic equivalence");
+        ]
+      @
+      match mode with
+      | `Static ->
+          List.filter_map
+            (fun (ok, msg) -> if ok then None else Some msg)
+            [ (started = 0, "static run started a migration") ]
+      | `Adaptive | `Crash ->
+          List.filter_map
+            (fun (ok, msg) -> if ok then None else Some msg)
+            [
+              (started >= 1, "no migration was triggered");
+              (committed >= 1, "no migration committed");
+              (res.Flowsim.dropped_flows = 0, "the adaptive run dropped flows");
+              (recovered, "tail delay did not recover under 2x the pre-crowd baseline");
+              ((mode <> `Crash) || Cluster.takeovers cl = 1,
+               "the crash run did not fail over exactly once");
+            ]
+    in
+    ( {
+        label =
+          (match mode with
+          | `Static -> "static"
+          | `Adaptive -> "adaptive"
+          | `Crash -> "adaptive+crash");
+        offered = res.Flowsim.offered_flows;
+        completed = res.Flowsim.completed_flows;
+        dropped = res.Flowsim.dropped_flows;
+        baseline_p99;
+        crowd_p99;
+        final_p99;
+        recovered;
+        migrations_started = started;
+        migrations_committed = committed;
+        migrations_aborted = aborted;
+        rules_moved = ctr "rebalance_rules_moved" - moved0;
+        takeovers = Cluster.takeovers cl;
+        dup_installs;
+        stale_accepted;
+        pending;
+        violations;
+        replay_identical = false;
+      },
+      (Cluster.cluster_log cl, Bytes.to_string (Journal.encode (Cluster.journal cl)),
+       res.Flowsim.flow_delays) )
+
+  let run ?(seed = 42) ?(quick = false) ?(hotspot_threshold = 2.0) ?(hotspot_window = 3)
+      () =
+    let scenario = scenario ~seed ~quick ~hotspot_threshold ~hotspot_window in
+    let static, _ = scenario ~mode:`Static in
+    let adaptive, trace1 = scenario ~mode:`Adaptive in
+    (* determinism gate: the same seed must replay the adaptive run
+       bit-identically — cluster log, journal bytes and per-flow delays *)
+    let _, trace2 = scenario ~mode:`Adaptive in
+    let adaptive = { adaptive with replay_identical = trace1 = trace2 } in
+    let crash, _ = scenario ~mode:`Crash in
+    [ static; adaptive; { crash with replay_identical = true } ]
+
+  (* The claims [difane rebalance --check] enforces. *)
+  let check rows =
+    let find l = List.find_opt (fun r -> r.label = l) rows in
+    let row_violations =
+      List.concat_map
+        (fun r -> List.map (Printf.sprintf "%s: %s" r.label) r.violations)
+        rows
+    in
+    let cross =
+      List.filter_map
+        (fun (ok, msg) -> if ok then None else Some msg)
+        [
+          ((match find "static" with Some r -> not r.recovered | None -> false),
+           "the static baseline recovered by itself (scenario not stressful enough)");
+          ((match find "adaptive" with Some r -> r.replay_identical | None -> false),
+           "the adaptive run did not replay bit-identically");
+        ]
+    in
+    row_violations @ cross
+
+  let print rows =
+    Table.print
+      ~title:
+        "E-REBALANCE: flash crowd — static vs closed-loop adaptive repartitioning"
+      ~header:
+        [ "run"; "flows"; "done"; "drop"; "p99 pre (ms)"; "p99 crowd (ms)";
+          "p99 final (ms)"; "recovered"; "migr"; "commit"; "abort"; "rules moved";
+          "takeovers"; "ok" ]
+      (List.map
+         (fun r ->
+           let ms v = if Float.is_finite v then Printf.sprintf "%.2f" (v *. 1e3) else "-" in
+           [
+             r.label;
+             string_of_int r.offered;
+             string_of_int r.completed;
+             string_of_int r.dropped;
+             ms r.baseline_p99;
+             ms r.crowd_p99;
+             ms r.final_p99;
+             (if r.recovered then "yes" else "no");
+             string_of_int r.migrations_started;
+             string_of_int r.migrations_committed;
+             string_of_int r.migrations_aborted;
+             string_of_int r.rules_moved;
+             string_of_int r.takeovers;
+             (if r.violations = [] then "green" else String.concat "; " r.violations);
+           ])
+         rows)
+end
+
 (* ------------------------------------------------------------------ *)
 
 let run_all ?(seed = 42) ?(quick = false) () =

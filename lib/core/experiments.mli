@@ -377,5 +377,58 @@ module E_mon : sig
   val print : report -> unit
 end
 
+(** Supplementary: closed-loop adaptive repartitioning under a flash
+    crowd.  At t=3 s a sustained crowd confined to one flowspace region
+    offers 1.5x its authority's setup capacity; the region's tail
+    first-packet delay grows without bound.  Three runs of the identical
+    seeded workload: a static baseline (no rebalancing, never recovers),
+    an adaptive run (the cluster's hotspot detector re-cuts the hot
+    region and migrates the split-off half via the staged journaled
+    protocol; the tail drains back under 2x the pre-crowd baseline), and
+    a master-crash run (the leader dies between the migration's flip and
+    commit; the elected replica replays the journal and finishes the
+    retirement with every gate still green).  [check] encodes the claims
+    [difane rebalance --check] enforces.  Not part of {!run_all}. *)
+module E_rebalance : sig
+  type row = {
+    label : string;  (** ["static"], ["adaptive"] or ["adaptive+crash"] *)
+    offered : int;
+    completed : int;
+    dropped : int;
+    baseline_p99 : float;  (** pre-crowd window *)
+    crowd_p99 : float;  (** during the crowd, before recovery *)
+    final_p99 : float;  (** last window of the run *)
+    recovered : bool;  (** [final_p99 < 2 * baseline_p99] *)
+    migrations_started : int;
+    migrations_committed : int;
+    migrations_aborted : int;
+    rules_moved : int;
+    takeovers : int;
+    dup_installs : int;  (** duplicate ids across switch banks; must be 0 *)
+    stale_accepted : int;  (** epoch-fencing violations; must be 0 *)
+    pending : int;  (** unacknowledged control requests after the drain *)
+    violations : string list;  (** per-run invariant failures; [] = green *)
+    replay_identical : bool;  (** same-seed rerun bit-identical (adaptive row) *)
+  }
+
+  val run :
+    ?seed:int ->
+    ?quick:bool ->
+    ?hotspot_threshold:float ->
+    ?hotspot_window:int ->
+    unit ->
+    row list
+  (** [hotspot_threshold] (default 2.0) and [hotspot_window] (default 3)
+      are the adaptive controller's detection knobs
+      ({!Control_plane.config}). *)
+
+  val check : row list -> string list
+  (** Violated claims across the three rows ([[]] when all hold): every
+      per-run invariant, the static baseline {e not} recovering, and the
+      adaptive run replaying bit-identically. *)
+
+  val print : row list -> unit
+end
+
 val run_all : ?seed:int -> ?quick:bool -> unit -> unit
 (** Run and print every experiment in DESIGN.md order. *)

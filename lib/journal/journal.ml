@@ -1,3 +1,16 @@
+type migration = {
+  mid : int;
+  src_pid : int;
+  src_region : Pred.t;
+  src_replicas : int list;
+  lo_pid : int;
+  lo_region : Pred.t;
+  lo_replicas : int list;
+  hi_pid : int;
+  hi_region : Pred.t;
+  hi_replicas : int list;
+}
+
 type entry =
   | Build of { policy : Rule.t list; authority_ids : int list }
   | Policy_update of { rules : Rule.t list; strict : bool }
@@ -7,9 +20,33 @@ type entry =
   | Recovered of int
   | Rebalance of (int * float) list
   | Epoch of { epoch : int; leader : int }
+  | Migration_begin of migration
+  | Migration_flip of int
+  | Migration_commit of int
+  | Migration_abort of int
+  | Partition_layout of {
+      regions : (int * Pred.t) list;
+      replicas : (int * int list) list;
+    }
 
 let equal_rules a b =
   List.length a = List.length b && List.for_all2 Rule.equal a b
+
+let equal_migration a b =
+  a.mid = b.mid && a.src_pid = b.src_pid && a.lo_pid = b.lo_pid
+  && a.hi_pid = b.hi_pid
+  && Pred.equal a.src_region b.src_region
+  && Pred.equal a.lo_region b.lo_region
+  && Pred.equal a.hi_region b.hi_region
+  && a.src_replicas = b.src_replicas
+  && a.lo_replicas = b.lo_replicas
+  && a.hi_replicas = b.hi_replicas
+
+let equal_regions a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (pa, ra) (pb, rb) -> pa = pb && Pred.equal ra rb)
+       a b
 
 let equal_entry a b =
   match (a, b) with
@@ -24,8 +61,17 @@ let equal_entry a b =
       x = y
   | Rebalance x, Rebalance y -> x = y
   | Epoch x, Epoch y -> x.epoch = y.epoch && x.leader = y.leader
+  | Migration_begin x, Migration_begin y -> equal_migration x y
+  | Migration_flip x, Migration_flip y
+  | Migration_commit x, Migration_commit y
+  | Migration_abort x, Migration_abort y ->
+      x = y
+  | Partition_layout x, Partition_layout y ->
+      equal_regions x.regions y.regions && x.replicas = y.replicas
   | ( ( Build _ | Policy_update _ | Fail_authority _ | Restore_authority _
-      | Declared_dead _ | Recovered _ | Rebalance _ | Epoch _ ),
+      | Declared_dead _ | Recovered _ | Rebalance _ | Epoch _
+      | Migration_begin _ | Migration_flip _ | Migration_commit _
+      | Migration_abort _ | Partition_layout _ ),
       _ ) ->
       false
 
@@ -45,6 +91,23 @@ let pp_entry ppf = function
   | Recovered s -> Format.fprintf ppf "recovered(sw%d)" s
   | Rebalance loads -> Format.fprintf ppf "rebalance(%d loads)" (List.length loads)
   | Epoch { epoch; leader } -> Format.fprintf ppf "epoch(%d, leader c%d)" epoch leader
+  | Migration_begin m ->
+      Format.fprintf ppf "migration_begin(m%d, p%d -> p%d@%a + p%d@%a)" m.mid
+        m.src_pid m.lo_pid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        m.lo_replicas m.hi_pid
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+           Format.pp_print_int)
+        m.hi_replicas
+  | Migration_flip mid -> Format.fprintf ppf "migration_flip(m%d)" mid
+  | Migration_commit mid -> Format.fprintf ppf "migration_commit(m%d)" mid
+  | Migration_abort mid -> Format.fprintf ppf "migration_abort(m%d)" mid
+  | Partition_layout { regions; replicas } ->
+      Format.fprintf ppf "partition_layout(%d regions, %d placements)"
+        (List.length regions) (List.length replicas)
 
 type record = { seq : int; at : float; snap : bool; entry : entry }
 
@@ -129,6 +192,29 @@ let kind_code = function
   | Recovered _ -> 5
   | Rebalance _ -> 6
   | Epoch _ -> 7
+  | Migration_begin _ -> 8
+  | Migration_flip _ -> 9
+  | Migration_commit _ -> 10
+  | Migration_abort _ -> 11
+  | Partition_layout _ -> 12
+
+(* Regions ride the rule-list codec as a single placeholder rule (id 0,
+   priority 0, Drop): {!Message} exports no bare-predicate codec, and
+   inventing a second ternary wire format here would be a third place to
+   get masks wrong.  The blob is length-prefixed because, unlike the
+   Build/Policy_update bodies, a region is never the final field. *)
+let write_region b region =
+  let blob =
+    Message.rules_to_bytes [ Rule.make ~id:0 ~priority:0 region Action.Drop ]
+  in
+  W.u32 b (Bytes.length blob);
+  Buffer.add_bytes b blob
+
+let write_placement b (pid, region, replicas) =
+  W.u32 b pid;
+  W.u32 b (List.length replicas);
+  List.iter (W.u32 b) replicas;
+  write_region b region
 
 let encode_body b = function
   | Build { policy; authority_ids } ->
@@ -149,6 +235,27 @@ let encode_body b = function
   | Epoch { epoch; leader } ->
       W.u32 b epoch;
       W.u32 b leader
+  | Migration_begin m ->
+      W.u32 b m.mid;
+      write_placement b (m.src_pid, m.src_region, m.src_replicas);
+      write_placement b (m.lo_pid, m.lo_region, m.lo_replicas);
+      write_placement b (m.hi_pid, m.hi_region, m.hi_replicas)
+  | Migration_flip mid | Migration_commit mid | Migration_abort mid ->
+      W.u32 b mid
+  | Partition_layout { regions; replicas } ->
+      W.u32 b (List.length regions);
+      List.iter
+        (fun (pid, region) ->
+          W.u32 b pid;
+          write_region b region)
+        regions;
+      W.u32 b (List.length replicas);
+      List.iter
+        (fun (pid, switches) ->
+          W.u32 b pid;
+          W.u32 b (List.length switches);
+          List.iter (W.u32 b) switches)
+        replicas
 
 let encode_record r =
   let body = Buffer.create 64 in
@@ -188,6 +295,31 @@ let read_u32 buf pos =
 let read_f64 buf pos =
   let* () = need buf pos 8 in
   Ok (Int64.float_of_bits (Bytes.get_int64_be buf pos))
+
+let read_u32_list buf pos n =
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc, pos + (4 * n))
+    else
+      let* v = read_u32 buf (pos + (4 * i)) in
+      go (i + 1) (v :: acc)
+  in
+  go 0 []
+
+let read_region schema buf pos =
+  let* blob_len = read_u32 buf pos in
+  let* () = need buf (pos + 4) blob_len in
+  let blob = Bytes.sub buf (pos + 4) blob_len in
+  let* rules = Message.rules_of_bytes schema blob in
+  match rules with
+  | [ r ] -> Ok (r.Rule.pred, pos + 4 + blob_len)
+  | _ -> Error "bad region encoding"
+
+let read_placement schema buf pos =
+  let* pid = read_u32 buf pos in
+  let* n = read_u32 buf (pos + 4) in
+  let* replicas, pos = read_u32_list buf (pos + 8) n in
+  let* region, pos = read_region schema buf pos in
+  Ok ((pid, region, replicas), pos)
 
 let decode_body schema kind body =
   match kind with
@@ -238,6 +370,64 @@ let decode_body schema kind body =
       let* leader = read_u32 body 4 in
       if Bytes.length body <> 8 then Error "bad epoch-entry length"
       else Ok (Epoch { epoch; leader })
+  | 8 ->
+      let* mid = read_u32 body 0 in
+      let* (src_pid, src_region, src_replicas), pos =
+        read_placement schema body 4
+      in
+      let* (lo_pid, lo_region, lo_replicas), pos =
+        read_placement schema body pos
+      in
+      let* (hi_pid, hi_region, hi_replicas), pos =
+        read_placement schema body pos
+      in
+      if Bytes.length body <> pos then Error "bad migration length"
+      else
+        Ok
+          (Migration_begin
+             {
+               mid;
+               src_pid;
+               src_region;
+               src_replicas;
+               lo_pid;
+               lo_region;
+               lo_replicas;
+               hi_pid;
+               hi_region;
+               hi_replicas;
+             })
+  | 9 | 10 | 11 ->
+      let* mid = read_u32 body 0 in
+      if Bytes.length body <> 4 then Error "bad migration-ref length"
+      else
+        Ok
+          (match kind with
+          | 9 -> Migration_flip mid
+          | 10 -> Migration_commit mid
+          | _ -> Migration_abort mid)
+  | 12 ->
+      let* nr = read_u32 body 0 in
+      let rec regions i pos acc =
+        if i >= nr then Ok (List.rev acc, pos)
+        else
+          let* pid = read_u32 body pos in
+          let* region, pos = read_region schema body (pos + 4) in
+          regions (i + 1) pos ((pid, region) :: acc)
+      in
+      let* regions, pos = regions 0 4 [] in
+      let* np = read_u32 body pos in
+      let rec placements i pos acc =
+        if i >= np then Ok (List.rev acc, pos)
+        else
+          let* pid = read_u32 body pos in
+          let* n = read_u32 body (pos + 4) in
+          let* switches, pos = read_u32_list body (pos + 8) n in
+          placements (i + 1) pos ((pid, switches) :: acc)
+      in
+      let* replicas, pos = placements 0 (pos + 4) [] in
+      if Bytes.length body <> pos then Error "bad partition-layout length"
+      else Ok (Partition_layout { regions; replicas })
   | _ -> Error "unknown journal entry kind"
 
 let decode schema buf =

@@ -22,6 +22,24 @@
     is canonical: two runs that made the same decisions encode to
     byte-identical journals — the E-HA experiment's replay check. *)
 
+type migration = {
+  mid : int;  (** migration id, unique within the journal *)
+  src_pid : int;
+  src_region : Pred.t;
+  src_replicas : int list;  (** replica switches holding [src_pid], primary first *)
+  lo_pid : int;
+  lo_region : Pred.t;
+  lo_replicas : int list;
+  hi_pid : int;
+  hi_region : Pred.t;
+  hi_replicas : int list;
+}
+(** A staged region migration: the overloaded partition [src_pid] is
+    re-cut into [lo_pid] (kept at the source replicas) and [hi_pid]
+    (moved to an underloaded authority).  The full split spec — regions
+    and replica placements — is journaled so replay reproduces the live
+    engine's decision exactly instead of re-running the partitioner. *)
+
 type entry =
   | Build of { policy : Rule.t list; authority_ids : int list }
       (** initial deployment: the policy and the authority pool *)
@@ -34,6 +52,24 @@ type entry =
       (** partition re-placement from these measured per-partition loads *)
   | Epoch of { epoch : int; leader : int }
       (** leader election: [leader] took over at [epoch] *)
+  | Migration_begin of migration
+      (** stage 1: sub-region tables installed at their new replicas;
+          ingress partition rules still point at the source *)
+  | Migration_flip of int
+      (** stage 2: ingress partition rules flipped to the sub-regions
+          (by migration id) *)
+  | Migration_commit of int
+      (** stage 3: source tables retired; the migration is durable *)
+  | Migration_abort of int
+      (** the migration was rolled back before commit (source failure,
+          or a takeover that found it not yet flipped) *)
+  | Partition_layout of {
+      regions : (int * Pred.t) list;
+      replicas : (int * int list) list;
+    }
+      (** snapshot summary of the current partition table: every region
+          by pid plus its replica placement — preserves re-cuts and
+          rebalances that a replayed [Build] could not reproduce *)
 
 val equal_entry : entry -> entry -> bool
 val pp_entry : Format.formatter -> entry -> unit

@@ -59,6 +59,22 @@ let detect ?(threshold = 1.5) ?(min_load = 1.) series =
     List.rev !events
   end
 
+let persistent ~windows events =
+  if windows < 1 then invalid_arg "Hotspot.persistent: windows < 1";
+  (* events arrive window-ordered; a streak continues when a switch's next
+     event starts exactly where its previous one ended *)
+  let streaks = Hashtbl.create 8 in
+  List.filter
+    (fun e ->
+      let streak =
+        match Hashtbl.find_opt streaks e.switch_id with
+        | Some (prev_end, n) when prev_end = e.window_start -> n + 1
+        | _ -> 1
+      in
+      Hashtbl.replace streaks e.switch_id (e.window_end, streak);
+      streak >= windows)
+    events
+
 let worst events =
   List.fold_left
     (fun acc e ->

@@ -32,6 +32,16 @@ val detect :
     than the longest are treated as flat at their last value.
     @raise Invalid_argument if [threshold <= 1.0]. *)
 
+val persistent : windows:int -> event list -> event list
+(** Filter {!detect}'s output down to {e persistent} hotspots: events
+    whose switch has been hot in at least [windows] consecutive windows
+    (adjacent = each event's window starts where the switch's previous
+    one ended).  The first [windows - 1] events of every streak are
+    dropped; a transient one-window spike never survives.  This is the
+    same streak rule the adaptive rebalancer uses to trigger a
+    migration, exposed for offline reports.
+    @raise Invalid_argument if [windows < 1]. *)
+
 val worst : event list -> event option
 (** The event with the highest ratio (ties: earliest window, lowest
     switch id) — the headline number for reports. *)

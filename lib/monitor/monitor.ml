@@ -177,6 +177,8 @@ let hotspots t =
   Hotspot.detect ~threshold:t.cfg.threshold ~min_load:t.cfg.min_load
     (authority_series t)
 
+let persistent_hotspots ?(windows = 3) t = Hotspot.persistent ~windows (hotspots t)
+
 (* {2 Reports} *)
 
 let fl = Printf.sprintf "%.9g"

@@ -95,6 +95,11 @@ val hotspots : t -> Hotspot.event list
 (** {!Hotspot.detect} over {!authority_series} with the config's
     threshold and minimum load. *)
 
+val persistent_hotspots : ?windows:int -> t -> Hotspot.event list
+(** {!Hotspot.persistent} over {!hotspots}: only switches hot for at
+    least [windows] (default 3) consecutive windows — the offline view
+    of the condition that triggers an adaptive migration. *)
+
 (** {1 Reports} *)
 
 val to_json : t -> string

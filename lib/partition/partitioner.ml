@@ -131,6 +131,53 @@ let compute_bounded ?(heuristic = Best_cut) ?(max_partitions = 4096) classifier
       n >= max_partitions || List.for_all (fun l -> l.count <= max_entries) leaves)
     ~eligible:(fun l -> l.count > max_entries)
 
+let clip_table schema rules region =
+  let clipped =
+    List.filter_map
+      (fun (r : Rule.t) ->
+        Option.map (Rule.with_pred r) (Pred.inter r.pred region))
+      rules
+  in
+  Classifier.create schema clipped
+
+let refit t classifier ~regions =
+  let rules = Classifier.rules classifier in
+  if rules = [] then invalid_arg "Partitioner.refit: empty classifier";
+  if regions = [] then invalid_arg "Partitioner.refit: no regions";
+  let schema = Classifier.schema classifier in
+  let partitions =
+    List.map
+      (fun (pid, region) ->
+        { pid; region; table = clip_table schema rules region })
+      regions
+  in
+  let sizes = List.map (fun (p : partition) -> Classifier.length p.table) partitions in
+  let total_entries = List.fold_left ( + ) 0 sizes in
+  let max_entries = List.fold_left max 0 sizes in
+  let source_rules = List.length rules in
+  {
+    partitions;
+    heuristic = t.heuristic;
+    source_rules;
+    total_entries;
+    max_entries;
+    duplication = float_of_int total_entries /. float_of_int source_rules;
+  }
+
+let max_pid t =
+  List.fold_left (fun m (p : partition) -> max m p.pid) (-1) t.partitions
+
+let split_region t classifier ~pid =
+  match List.find_opt (fun (p : partition) -> p.pid = pid) t.partitions with
+  | None -> None
+  | Some p -> (
+      let leaf = leaf_of p.region (Classifier.rules classifier) in
+      match best_cut t.heuristic leaf with
+      | None -> None
+      | Some (lo, hi) ->
+          let base = max_pid t in
+          Some ((base + 1, lo), (base + 2, hi)))
+
 let find t h =
   match List.find_opt (fun (p : partition) -> Pred.matches p.region h) t.partitions with
   | Some p -> p

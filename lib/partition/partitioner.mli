@@ -51,6 +51,24 @@ val compute_bounded :
     cannot be separated by any bit), or at [max_partitions]
     (default 4096).  @raise Invalid_argument if [max_entries < 1]. *)
 
+val refit : t -> Classifier.t -> regions:(int * Pred.t) list -> t
+(** Rebuild the partition set over {e exactly} the given [(pid, region)]
+    list — the incremental path: regions come from a prior compute plus
+    explicit splits, not from re-running the decision tree (which could
+    land on a different cut and desynchronise replicas).  Tables are the
+    classifier's rules clipped per region; the heuristic is kept for
+    future splits.  Callers maintain the disjoint-cover invariant.
+    @raise Invalid_argument on an empty classifier or region list. *)
+
+val split_region :
+  t -> Classifier.t -> pid:int -> ((int * Pred.t) * (int * Pred.t)) option
+(** Re-cut one region with the same HiCuts heuristic used at build time:
+    the best single-bit cut of [pid]'s region over the classifier's rules.
+    Returns [((lo_pid, lo), (hi_pid, hi))] with fresh pids (max existing
+    pid + 1 and + 2, so retired pids are never reused and cached-rule
+    provenance stays unambiguous), or [None] when the pid is unknown or
+    no productive cut remains. *)
+
 val find : t -> Header.t -> partition
 (** The unique partition whose region contains the header. *)
 

@@ -43,6 +43,7 @@ type result = {
   setup_throughput : float;
   first_packet_delay : Summary.t option;
   delays : float array;
+  flow_delays : (float * float) array;
   miss_delays : float array;
   stretches : float array;
   authority_stats : authority_stat list;
@@ -64,6 +65,7 @@ type acc = {
   mutable first_delivery : float;
   mutable last_delivery : float;
   mutable delays : float list;
+  mutable flow_delays : (float * float) list;
   mutable miss_delays : float list;
   mutable stretches : float list;
   mutable degraded : int;
@@ -82,6 +84,7 @@ let fresh_acc () =
     first_delivery = infinity;
     last_delivery = 0.;
     delays = [];
+    flow_delays = [];
     miss_delays = [];
     stretches = [];
     degraded = 0;
@@ -117,6 +120,7 @@ let finish ?(authority_stats = []) ?(queue_drops = 0) ?(ecn_marks = 0) ?(backpre
     first_packet_delay =
       (if acc.delays = [] then None else Some (Summary.of_list acc.delays));
     delays = Array.of_list acc.delays;
+    flow_delays = Array.of_list acc.flow_delays;
     miss_delays = Array.of_list acc.miss_delays;
     stretches = Array.of_list acc.stretches;
     authority_stats;
@@ -142,6 +146,7 @@ let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~ca
     acc.completed <- acc.completed + 1;
     Telemetry.incr m_completed;
     acc.delays <- (t -. arrival) :: acc.delays;
+    acc.flow_delays <- (arrival, t -. arrival) :: acc.flow_delays;
     Telemetry.observe h_first_packet (t -. arrival);
     if was_miss then acc.miss_delays <- (t -. arrival) :: acc.miss_delays
   end
@@ -151,9 +156,25 @@ let prop topo a b = Option.value ~default:0. (Topology.distance topo a b)
 let egress_latency topo ~from action =
   match Action.egress action with Some e -> prop topo from e | None -> 0.
 
-let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
+let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
+    ?(controller_interval = 0.01) d flows =
   let engine = Engine.create () in
   let acc = fresh_acc () in
+  (* Live-controller co-simulation: before each packet event, run the
+     caller's control-loop callback at every crossed tick boundary (with
+     the boundary time, so the controller's own clocks stay exact).  The
+     controller mutates the same deployment the packets walk — this is
+     how the adaptive rebalancer closes the loop on live traffic. *)
+  let next_tick = ref controller_interval in
+  let catch_up now =
+    match controller with
+    | None -> ()
+    | Some tick ->
+        while !next_tick <= now do
+          tick ~now:!next_tick;
+          next_tick := !next_tick +. controller_interval
+        done
+  in
   let topo = Deployment.topology d in
   let servers = Hashtbl.create 8 in
   let server_for auth =
@@ -307,6 +328,7 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
   let serve_degraded = serve_via_controller ~cause:`Failure in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
+    catch_up now;
     (match monitor with
     | Some m -> Monitor.observe_packet m ~now ~ingress:flow.ingress flow.header
     | None -> ());
@@ -404,6 +426,7 @@ let run_difane ?(timing = default_timing) ?faults ?monitor d flows =
       done)
     flows;
   Engine.run engine;
+  catch_up (Engine.now engine);
   (match monitor with
   | Some m -> Monitor.finish m ~now:(Engine.now engine)
   | None -> ());

@@ -54,6 +54,10 @@ type result = {
           past the last arrival do not deflate the rate *)
   first_packet_delay : Summary.t option;  (** None when nothing completed *)
   delays : float array;  (** raw per-flow first-packet delays *)
+  flow_delays : (float * float) array;
+      (** [(flow start, first-packet delay)] per completed flow — lets a
+          caller bucket tail latency by simulated time (e.g. p99 before
+          vs after a flash crowd) instead of only end-of-run aggregates *)
   miss_delays : float array;
       (** first-packet delays of flows whose first packet required setup —
           the paper's flow-setup RTT *)
@@ -88,7 +92,12 @@ type result = {
 }
 
 val run_difane :
-  ?timing:timing -> ?faults:Fault.plan -> ?monitor:Monitor.t -> Deployment.t ->
+  ?timing:timing ->
+  ?faults:Fault.plan ->
+  ?monitor:Monitor.t ->
+  ?controller:(now:float -> unit) ->
+  ?controller_interval:float ->
+  Deployment.t ->
   Traffic.flow list -> result
 (** Replay the workload against a DIFANE deployment.  Switch state
     (caches, counters) is mutated — build a fresh deployment per run.
@@ -108,7 +117,15 @@ val run_difane :
     at the ingress — instead of being lost.  [Controller_crash] /
     [Controller_restart] events track how many of the plan's
     [controllers] replicas are up: while none is, degraded misses are
-    dropped and counted in [outage_drops]. *)
+    dropped and counted in [outage_drops].
+
+    With [controller], the callback runs at every [controller_interval]
+    boundary (default 10 ms) the simulation clock crosses, called with
+    the boundary time — the deterministic co-simulation hook that lets a
+    live {!Control_plane} (or {!Cluster}) tick against the same
+    deployment the packets are walking, e.g. for closed-loop adaptive
+    rebalancing.  Boundaries are caught up lazily at the next packet
+    event, and once more when the event queue drains. *)
 
 val run_nox : ?timing:timing -> Nox.t -> Traffic.flow list -> result
 (** Replay against the reactive baseline. *)

@@ -432,6 +432,28 @@ let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now
   sync_occupancy t;
   rules
 
+(* Migration cleanup: evict cache entries spliced from a retired (or
+   rolled-back) partition.  They report [Replaced] — the same signal a
+   same-id reinstall emits — so the controller's provenance retirement
+   machinery remaps them; the next miss re-splices under the live pid. *)
+let invalidate_cache_pids t ~now pids =
+  let doomed =
+    List.filter
+      (fun (e : Tcam.entry) ->
+        match Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id with
+        | Some (_, pid) -> List.mem pid pids
+        | None -> false)
+      (Tcam.entries t.cache)
+  in
+  List.iter
+    (fun (e : Tcam.entry) ->
+      notify_removed t ~now Message.Replaced e;
+      ignore (Tcam.remove t.cache e.Tcam.rule.Rule.id);
+      Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
+    doomed;
+  sync_occupancy t;
+  List.length doomed
+
 let expire_cache t ~now =
   let gone = Tcam.expire_entries t.cache ~now in
   List.iter

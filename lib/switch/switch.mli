@@ -153,6 +153,15 @@ val install_cache_rule :
 
 val expire_cache : t -> now:float -> Rule.t list
 
+val invalidate_cache_pids : t -> now:float -> int list -> int
+(** Evict every cache entry whose provenance pid is in the list — the
+    migration scrub: a retired source region's splices (or an aborted
+    split's sub-region splices) must not keep firing under a dead pid.
+    Each eviction is reported via {!drain_notifications} with reason
+    [Replaced] (final counters intact) so the controller retires its
+    provenance records; the next miss re-splices under the live pid.
+    Returns the number of entries evicted. *)
+
 val drain_notifications : t -> Message.t list
 (** Flow-removed notifications queued since the last drain: one per cache
     entry that expired or was evicted, carrying its final counters.  The

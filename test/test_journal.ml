@@ -10,6 +10,23 @@ let sample_rules =
     Rule.make ~id:2 ~priority:0 (Pred.any s2) Action.Drop;
   ]
 
+let p_lo = Pred.of_strings s2 [ ("f1", "0xxxxxxx") ]
+let p_hi = Pred.of_strings s2 [ ("f1", "1xxxxxxx") ]
+
+let sample_migration =
+  {
+    Journal.mid = 4;
+    src_pid = 2;
+    src_region = Pred.any s2;
+    src_replicas = [ 1; 3 ];
+    lo_pid = 8;
+    lo_region = p_lo;
+    lo_replicas = [ 1; 3 ];
+    hi_pid = 9;
+    hi_region = p_hi;
+    hi_replicas = [ 4; 1 ];
+  }
+
 (* one of each entry kind, including empty-list edge cases *)
 let every_kind =
   [
@@ -23,6 +40,14 @@ let every_kind =
     Journal.Rebalance [ (0, 1.5); (1, 0.25); (7, 0.) ];
     Journal.Rebalance [];
     Journal.Epoch { epoch = 2; leader = 1 };
+    Journal.Migration_begin sample_migration;
+    Journal.Migration_begin { sample_migration with mid = 5; src_replicas = [] };
+    Journal.Migration_flip 4;
+    Journal.Migration_commit 4;
+    Journal.Migration_abort 5;
+    Journal.Partition_layout
+      { regions = [ (8, p_lo); (9, p_hi) ]; replicas = [ (8, [ 1; 3 ]); (9, [ 4 ]) ] };
+    Journal.Partition_layout { regions = []; replicas = [] };
   ]
 
 let filled () =
@@ -86,6 +111,75 @@ let test_snapshot_compacts_and_replays () =
       check Alcotest.bool "next seq above every decoded seq" true
         (List.for_all (fun (q, _, _) -> q < s) (Journal.entries j))
 
+(* random journals over every entry kind round-trip through the codec *)
+let gen_entry =
+  let open QCheck2.Gen in
+  let preds = [| Pred.any s2; p_lo; p_hi |] in
+  let small = int_range 0 9 in
+  let ids = list_size (int_range 0 4) small in
+  let migration =
+    map3
+      (fun mid (sp, lp, hp) (r1, r2) ->
+        {
+          Journal.mid;
+          src_pid = sp;
+          src_region = preds.(r1);
+          src_replicas = [ sp; sp + 1 ];
+          lo_pid = lp;
+          lo_region = preds.(r2);
+          lo_replicas = [ lp ];
+          hi_pid = hp;
+          hi_region = preds.(r1);
+          hi_replicas = [ hp; hp + 2 ];
+        })
+      small
+      (triple small small small)
+      (pair (int_range 0 2) (int_range 0 2))
+  in
+  oneof
+    [
+      map (fun ids -> Journal.Build { policy = sample_rules; authority_ids = ids }) ids;
+      map
+        (fun strict ->
+          Journal.Policy_update
+            { rules = (if strict then sample_rules else []); strict })
+        bool;
+      map (fun i -> Journal.Fail_authority i) small;
+      map (fun i -> Journal.Restore_authority i) small;
+      map (fun i -> Journal.Declared_dead i) small;
+      map (fun i -> Journal.Recovered i) small;
+      map
+        (fun loads ->
+          Journal.Rebalance (List.map (fun (p, l) -> (p, float_of_int l)) loads))
+        (list_size (int_range 0 4) (pair small small));
+      map2 (fun epoch leader -> Journal.Epoch { epoch; leader }) small small;
+      map (fun m -> Journal.Migration_begin m) migration;
+      map (fun i -> Journal.Migration_flip i) small;
+      map (fun i -> Journal.Migration_commit i) small;
+      map (fun i -> Journal.Migration_abort i) small;
+      map2
+        (fun rs reps ->
+          Journal.Partition_layout
+            {
+              regions = List.map (fun (p, r) -> (p, preds.(r))) rs;
+              replicas = List.map (fun (p, s) -> (p, [ s; s + 1 ])) reps;
+            })
+        (list_size (int_range 0 3) (pair small (int_range 0 2)))
+        (list_size (int_range 0 3) (pair small small));
+    ]
+
+let prop_random_journal_roundtrips =
+  qt ~count:50 "random journals round-trip"
+    QCheck2.Gen.(list_size (int_range 0 12) gen_entry)
+    (fun entries ->
+      let j = Journal.create () in
+      List.iteri
+        (fun i e -> ignore (Journal.append j ~at:(0.25 *. float_of_int i) e))
+        entries;
+      match Journal.decode s2 (Journal.encode j) with
+      | Error _ -> false
+      | Ok j' -> Journal.equal j j')
+
 let test_any_corruption_detected () =
   let j = Journal.create () in
   ignore (Journal.append j ~at:0.5 (Journal.Epoch { epoch = 1; leader = 0 }));
@@ -100,6 +194,23 @@ let test_any_corruption_detected () =
     | Error _ -> ()
     | Ok _ -> Alcotest.failf "bit flip at byte %d went undetected" pos
   done
+
+(* the body-shape guard behind the checksum: a record whose count field
+   disagrees with its body length must be rejected even when the checksum
+   is recomputed to match — a buggy writer, not wire corruption *)
+let test_rebalance_bad_count_rejected () =
+  let j = Journal.create () in
+  ignore (Journal.append j ~at:1. (Journal.Rebalance [ (0, 1.); (1, 2.) ]));
+  let b = Journal.encode j in
+  (* the header is 27 bytes; the body's first u32 (big-endian) is the
+     load count — bump its low byte (byte 30) and re-checksum so only
+     the body-length check can catch the lie *)
+  Bytes.set_uint8 b 30 (Bytes.get_uint8 b 30 + 1);
+  Bytes.set_int64_be b 19 (Message.fnv1a ~hole:(19, 8) b);
+  match Journal.decode s2 b with
+  | Error e ->
+      check Alcotest.string "length check names the record" "bad rebalance length" e
+  | Ok _ -> Alcotest.fail "inflated rebalance count decoded"
 
 let test_truncation_detected () =
   let j = filled () in
@@ -123,7 +234,9 @@ let suite =
         tc "every entry kind round-trips" test_roundtrip_every_kind;
         tc "empty journal round-trips" test_empty_roundtrip;
         tc "snapshot compacts; replay = base then tail" test_snapshot_compacts_and_replays;
+        prop_random_journal_roundtrips;
         tc "any single-bit corruption detected" test_any_corruption_detected;
+        tc "inflated rebalance count rejected" test_rebalance_bad_count_rejected;
         tc "truncation detected" test_truncation_detected;
       ] );
   ]

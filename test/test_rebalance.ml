@@ -105,6 +105,200 @@ let test_rebalance_keeps_partitions () =
       check Alcotest.bool "same regions" true (Pred.equal a.region b.region))
     before after
 
+(* --- split_region / refit (the adaptive re-cut path) --- *)
+
+let k4 = Partitioner.compute policy ~k:4
+
+let max_pid r =
+  List.fold_left
+    (fun acc (p : Partitioner.partition) -> max acc p.pid)
+    min_int r.Partitioner.partitions
+
+let test_split_region_fresh_disjoint_halves () =
+  let src = List.hd k4.Partitioner.partitions in
+  match Partitioner.split_region k4 policy ~pid:src.Partitioner.pid with
+  | None -> Alcotest.fail "no productive cut in a 250-rule region"
+  | Some ((lo_pid, lo), (hi_pid, hi)) ->
+      let m = max_pid k4 in
+      check Alcotest.int "lo pid fresh" (m + 1) lo_pid;
+      check Alcotest.int "hi pid fresh" (m + 2) hi_pid;
+      let schema = Classifier.schema policy in
+      check Alcotest.bool "halves disjoint" true
+        (Region.is_empty (Region.inter (Region.of_preds schema [ lo ])
+                            (Region.of_preds schema [ hi ])));
+      check Alcotest.bool "halves tile the source region" true
+        (Region.equal_sets
+           (Region.of_preds schema [ lo; hi ])
+           (Region.of_preds schema [ src.Partitioner.region ]))
+
+let test_split_region_unknown_pid () =
+  check Alcotest.bool "unknown pid refused" true
+    (Partitioner.split_region k4 policy ~pid:9999 = None)
+
+let test_refit_reproduces_split_layout () =
+  let src = List.hd k4.Partitioner.partitions in
+  match Partitioner.split_region k4 policy ~pid:src.Partitioner.pid with
+  | None -> Alcotest.fail "no productive cut"
+  | Some ((lo_pid, lo), (hi_pid, hi)) ->
+      let regions =
+        (lo_pid, lo) :: (hi_pid, hi)
+        :: List.filter_map
+             (fun (p : Partitioner.partition) ->
+               if p.pid = src.Partitioner.pid then None else Some (p.pid, p.region))
+             k4.Partitioner.partitions
+      in
+      let r = Partitioner.refit k4 policy ~regions in
+      check Alcotest.int "one more partition" (List.length k4.Partitioner.partitions + 1)
+        (List.length r.Partitioner.partitions);
+      let schema = Classifier.schema policy in
+      check Alcotest.bool "refit still tiles the flowspace" true
+        (Region.equal_sets
+           (Region.of_preds schema
+              (List.map (fun (p : Partitioner.partition) -> p.region)
+                 r.Partitioner.partitions))
+           (Region.full schema));
+      (* region identity survives: refit must not re-run the decision tree *)
+      List.iter
+        (fun (pid, want) ->
+          let got =
+            List.find (fun (p : Partitioner.partition) -> p.pid = pid)
+              r.Partitioner.partitions
+          in
+          check Alcotest.bool "region preserved verbatim" true
+            (Pred.equal want got.Partitioner.region))
+        regions
+
+(* --- closed-loop adaptive migration, end to end --- *)
+
+let acl_policy =
+  Policy_gen.acl (Prng.create 21) { Policy_gen.default_acl with rules = 120; chains = 20 }
+
+let adaptive_cp_config =
+  {
+    Control_plane.default_config with
+    echo_interval = 0.2;
+    retx_timeout = 0.05;
+    retx_limit = 8;
+    rebalance_interval = Some 0.1;
+    adaptive = true;
+    hotspot_threshold = 1.5;
+    hotspot_window = 2;
+    migration_step = 0.05;
+  }
+
+let adaptive_mk ?(migration_step = 0.05) ?(events = []) () =
+  let faults = Fault.plan ~seed:11 ~controllers:3 ~events () in
+  let config =
+    {
+      Cluster.default_config with
+      snapshot_every = 1000;
+      cp = { adaptive_cp_config with migration_step };
+    }
+  in
+  Cluster.create ~config ~faults
+    ~dconfig:
+      { Deployment.default_config with k = 4; replication = 2; cache_capacity = 0 }
+    ~policy:acl_policy ~topology:(Topology.star 6 ()) ~authority_ids:[ 1; 2; 3 ] ()
+
+(* drive the cluster while hammering one partition's region: 10 misses
+   per 20 ms tick, all inside the first partition — a persistent hotspot *)
+let drive_hot ?(until = 1.5) cl =
+  Cluster.push_deployment cl ~now:0.;
+  let hot =
+    List.hd (Deployment.partitioner (Cluster.deployment cl)).Partitioner.partitions
+  in
+  let headers = Traffic.headers_for (Prng.create 5) hot.Partitioner.table 64 in
+  let i = ref 0 in
+  let t = ref 0.02 in
+  while !t <= until do
+    let d = Cluster.deployment cl in
+    for _ = 1 to 10 do
+      ignore (Deployment.inject d ~now:!t ~ingress:4 headers.(!i mod Array.length headers));
+      incr i
+    done;
+    Cluster.tick cl ~now:!t;
+    t := !t +. 0.02
+  done
+
+let acl_probes =
+  Array.to_list (Traffic.headers_for (Prng.create 3) acl_policy 200)
+
+let journal_kinds cl =
+  List.filter_map
+    (fun (_, _, e) ->
+      match e with
+      | Journal.Migration_begin m -> Some (`Begin m.Journal.mid)
+      | Journal.Migration_flip mid -> Some (`Flip mid)
+      | Journal.Migration_commit mid -> Some (`Commit mid)
+      | Journal.Migration_abort mid -> Some (`Abort mid)
+      | _ -> None)
+    (Journal.entries (Cluster.journal cl))
+
+let check_cluster_invariants cl =
+  check Alcotest.int "no duplicate installs" 0 (Cluster.duplicate_installs cl);
+  check Alcotest.int "no stale-epoch frames accepted" 0 (Cluster.stale_accepted cl);
+  check Alcotest.int "nothing pending" 0 (Cluster.pending_requests cl);
+  check Alcotest.bool "deployment = policy" true
+    (Deployment.semantically_equal (Cluster.deployment cl) acl_probes)
+
+let test_hotspot_triggers_staged_migration () =
+  let cl = adaptive_mk () in
+  drive_hot cl;
+  let cp = Cluster.leader_cp cl in
+  check Alcotest.bool "migration started" true (Control_plane.migrations_started cp >= 1);
+  check Alcotest.bool "migration committed" true
+    (Control_plane.migrations_committed cp >= 1);
+  check Alcotest.int "nothing aborted" 0 (Control_plane.migrations_aborted cp);
+  check Alcotest.bool "rules shipped to the destination" true
+    (Control_plane.rules_moved cp > 0);
+  check Alcotest.bool "migration resolved" false (Control_plane.migration_active cp);
+  (* the journal records the full staged sequence for the first migration *)
+  (match journal_kinds cl with
+  | `Begin m :: `Flip m' :: `Commit m'' :: _ when m = m' && m' = m'' -> ()
+  | _ -> Alcotest.fail "journal must open with begin/flip/commit of one migration");
+  check_cluster_invariants cl
+
+(* the staged protocol under a leader crash: the standby's journal replay
+   must resolve the in-flight migration by stage — installed-but-not-
+   flipped rolls back, flipped finishes the retirement *)
+
+let test_crash_before_flip_aborts () =
+  (* migration_step 0.6 stretches the stages; detection lands the begin
+     around t=0.3, so a crash at 0.5 hits the Installed stage *)
+  let cl =
+    adaptive_mk ~migration_step:0.6
+      ~events:[ Fault.Controller_crash { controller = 0; at = 0.5 } ]
+      ()
+  in
+  drive_hot cl ~until:3.;
+  check Alcotest.int "one takeover" 1 (Cluster.takeovers cl);
+  (match journal_kinds cl with
+  | `Begin m :: rest ->
+      check Alcotest.bool "the interrupted migration aborted" true
+        (List.mem (`Abort m) rest);
+      check Alcotest.bool "it never flipped" false (List.mem (`Flip m) rest)
+  | _ -> Alcotest.fail "expected a migration to begin before the crash");
+  check_cluster_invariants cl
+
+let test_crash_after_flip_commits () =
+  (* same stretch, crash at 1.1: after the flip (~0.9), before the
+     commit (~1.5) — the Flipped stage, which the takeover must finish *)
+  let cl =
+    adaptive_mk ~migration_step:0.6
+      ~events:[ Fault.Controller_crash { controller = 0; at = 1.1 } ]
+      ()
+  in
+  drive_hot cl ~until:3.;
+  check Alcotest.int "one takeover" 1 (Cluster.takeovers cl);
+  (match journal_kinds cl with
+  | `Begin m :: rest ->
+      check Alcotest.bool "the interrupted migration flipped" true
+        (List.mem (`Flip m) rest);
+      check Alcotest.bool "takeover committed it" true (List.mem (`Commit m) rest);
+      check Alcotest.bool "no abort" false (List.mem (`Abort m) rest)
+  | _ -> Alcotest.fail "expected a migration to begin before the crash");
+  check_cluster_invariants cl
+
 let suite =
   [
     ( "bounded partitioning",
@@ -120,5 +314,17 @@ let suite =
         tc "measured loads" test_measured_loads;
         tc "hot partition isolated" test_rebalance_moves_hot_partition;
         tc "partitions unchanged" test_rebalance_keeps_partitions;
+      ] );
+    ( "split-region",
+      [
+        tc "fresh disjoint halves tile the source" test_split_region_fresh_disjoint_halves;
+        tc "unknown pid refused" test_split_region_unknown_pid;
+        tc "refit reproduces the split layout" test_refit_reproduces_split_layout;
+      ] );
+    ( "adaptive migration",
+      [
+        tc "hotspot triggers a staged migration" test_hotspot_triggers_staged_migration;
+        tc "leader crash before flip: takeover aborts" test_crash_before_flip_aborts;
+        tc "leader crash after flip: takeover commits" test_crash_after_flip_commits;
       ] );
   ]

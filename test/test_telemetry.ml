@@ -308,6 +308,71 @@ let test_lossy_push_agrees_with_registry () =
   check Alcotest.int "registry unaffected by per-object reset"
     s.Control_plane.dropped (total "channel_dropped")
 
+let test_rebalance_counters_shape () =
+  Telemetry.reset ();
+  let policy =
+    Policy_gen.acl (Prng.create 21) { Policy_gen.default_acl with rules = 120; chains = 20 }
+  in
+  let d =
+    Deployment.build
+      ~config:
+        { Deployment.default_config with k = 4; replication = 2; cache_capacity = 0 }
+      ~policy ~topology:(Topology.star 6 ()) ~authority_ids:[ 1; 2; 3 ] ()
+  in
+  let cp =
+    Control_plane.create
+      ~config:
+        {
+          Control_plane.default_config with
+          retx_timeout = 0.05;
+          rebalance_interval = Some 0.1;
+          adaptive = true;
+          hotspot_threshold = 1.5;
+          hotspot_window = 2;
+          migration_step = 0.05;
+        }
+      d
+  in
+  (* hammer one partition's region so the hotspot detector trips *)
+  let hot = List.hd (Deployment.partitioner d).Partitioner.partitions in
+  let headers = Traffic.headers_for (Prng.create 5) hot.Partitioner.table 64 in
+  let i = ref 0 in
+  let t = ref 0.02 in
+  while !t <= 1.5 do
+    for _ = 1 to 10 do
+      ignore (Deployment.inject d ~now:!t ~ingress:4 headers.(!i mod Array.length headers));
+      incr i
+    done;
+    Control_plane.tick cp ~now:!t;
+    t := !t +. 0.02
+  done;
+  check Alcotest.bool "a migration ran" true (Control_plane.migrations_started cp >= 1);
+  let snap = Telemetry.snapshot () in
+  let total name = Telemetry.counter_total snap name in
+  check Alcotest.int "started mirrors registry" (Control_plane.migrations_started cp)
+    (total "rebalance_migrations_started");
+  check Alcotest.int "committed mirrors registry" (Control_plane.migrations_committed cp)
+    (total "rebalance_migrations_committed");
+  check Alcotest.int "aborted mirrors registry" (Control_plane.migrations_aborted cp)
+    (total "rebalance_migrations_aborted");
+  check Alcotest.int "rules moved mirrors registry" (Control_plane.rules_moved cp)
+    (total "rebalance_rules_moved");
+  check Alcotest.bool "rules actually moved" true (Control_plane.rules_moved cp > 0);
+  (* every rebalance_* cell is registered and renders through the
+     standard snapshot/JSON path *)
+  List.iter
+    (fun name ->
+      match Telemetry.find snap name with
+      | Some (Telemetry.Counter _) -> ()
+      | _ -> Alcotest.failf "%s missing from the snapshot or not a counter" name)
+    [
+      "rebalance_migrations_started";
+      "rebalance_migrations_committed";
+      "rebalance_migrations_aborted";
+      "rebalance_rules_moved";
+      "rebalance_windows_to_recovery";
+    ]
+
 let suite =
   [
     ( "telemetry",
@@ -331,5 +396,7 @@ let suite =
           test_flowsim_agrees_with_registry;
         Alcotest.test_case "lossy push registry = legacy counters" `Quick
           test_lossy_push_agrees_with_registry;
+        Alcotest.test_case "rebalance counters registry = legacy counters" `Quick
+          test_rebalance_counters_shape;
       ] );
   ]
