@@ -323,7 +323,7 @@ let deploy_cmd =
             (Control_plane.giveups cp)
             (Control_plane.pending_requests cp))
         fault_plan;
-      let r = Flowsim.run_difane ?faults:fault_plan d workload in
+      let r = Flowsim.run { Flowsim.Config.default with faults = fault_plan } d workload in
       Printf.printf "simulated %d flows (%d packets) over %.2f s\n" r.Flowsim.offered_flows
         r.Flowsim.delivered_packets r.Flowsim.duration;
       if Congestion.enabled congestion then
@@ -586,6 +586,51 @@ let rebalance_cmd =
       const run $ seed_arg $ quick_arg $ hotspot_threshold_arg $ hotspot_window_arg
       $ rebalance_check_arg $ metrics_arg)
 
+let scale_cmd =
+  let domains_arg =
+    let doc =
+      "Worker domains for the sharded run.  Any count yields byte-identical \
+       results (compare the digest lines)."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let scale_check_arg =
+    let doc =
+      "Exit nonzero unless the scale claims hold: the full spec's flow count was \
+       offered (over a million flows across at least 200 switches), no flow leaked, \
+       nonzero setup throughput, delays recorded."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run seed quick domains check metrics =
+    with_metrics metrics @@ fun () ->
+    if domains < 1 then begin
+      Printf.eprintf "error: --domains must be >= 1\n";
+      exit 2
+    end;
+    let spec =
+      { (if quick then Experiments.E_scale.quick_spec
+         else Experiments.E_scale.default_spec)
+        with Experiments.E_scale.domains }
+    in
+    let r = Experiments.E_scale.run ~seed spec in
+    Experiments.E_scale.print spec r;
+    if check then begin
+      match Experiments.E_scale.check ~floors:(not quick) spec r with
+      | [] -> print_endline "scale check: all invariants hold"
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "scale check FAILED: %s\n" f) fs;
+          exit 1
+    end
+  in
+  let doc =
+    "Sharded ingress simulation at scale: a million-flow workload over 256 switches, \
+     split into independent shards spread across OCaml domains, with a result digest \
+     that is byte-identical at any domain count."
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ domains_arg $ scale_check_arg $ metrics_arg)
+
 let trace_cmd =
   let scenario_arg =
     let doc = "Fault scenario to replay: $(b,chaos) or $(b,ha)." in
@@ -728,6 +773,7 @@ let experiments =
     ha_cmd;
     incast_cmd;
     rebalance_cmd;
+    scale_cmd;
     trace_cmd;
     monitor_cmd;
     experiment "monitor-report" "Flow monitoring: heavy hitters, hotspots, determinism"

@@ -60,7 +60,7 @@ let () =
     }
   in
   let flows = Traffic.generate (Prng.split rng) policy profile in
-  let r = Flowsim.run_difane d flows in
+  let r = Flowsim.run Flowsim.Config.default d flows in
 
   printf "Traffic: %d flows, %d packets delivered over %.2f s\n" r.Flowsim.offered_flows
     r.Flowsim.delivered_packets r.Flowsim.duration;

@@ -215,7 +215,9 @@ module F_tput = struct
             ~duration ~ingresses:[ 5 ]
         in
         let difane =
-          Flowsim.run_difane (throughput_deployment ~seed ~authorities:[ 1 ] ()) flows
+          Flowsim.run Flowsim.Config.default
+            (throughput_deployment ~seed ~authorities:[ 1 ] ())
+            flows
         in
         let nox_net =
           (* microflow entries never aggregate, but disable them too so the
@@ -268,7 +270,7 @@ module F_scale = struct
         in
         let authorities = List.init n_auth (fun i -> i + 1) in
         let d = throughput_deployment ~seed ~authorities () in
-        let r = Flowsim.run_difane ~timing d flows in
+        let r = Flowsim.run { Flowsim.Config.default with timing } d flows in
         {
           authority_switches = n_auth;
           throughput = r.Flowsim.setup_throughput;
@@ -315,7 +317,7 @@ module F_delay = struct
       { Deployment.default_config with k = 8; cache_capacity = 0; balance = `Volume }
     in
     let d = Deployment.build ~config ~policy ~topology ~authority_ids:[ 1; 5 ] () in
-    let rd = Flowsim.run_difane d (flows ~salt:1) in
+    let rd = Flowsim.run Flowsim.Config.default d (flows ~salt:1) in
     let nox_net = Nox.build ~policy ~topology () in
     let rn = Flowsim.run_nox nox_net (flows ~salt:1) in
     let difane_delays = Cdf.of_array rd.Flowsim.miss_delays in
@@ -932,7 +934,7 @@ module E_cache = struct
         let d = Deployment.build ~config ~policy ~topology ~authority_ids:[ 1; 2 ] () in
         (* identical workload at every size: same generator seed *)
         let flows = Traffic.generate (Prng.create (seed + 1)) policy profile in
-        let r = Flowsim.run_difane d flows in
+        let r = Flowsim.run Flowsim.Config.default d flows in
         let packets = float_of_int (max 1 r.Flowsim.delivered_packets) in
         let sum f =
           Array.fold_left
@@ -1396,7 +1398,10 @@ module E_incast = struct
                 ~duration ~ingresses:[ 2; 3; 4; 5; 6; 7; 8; 9 ]
             in
             { offered_rate = rate; mode = name;
-              result = Flowsim.run_difane ~timing (deployment ~seed ~mode) flows })
+              result =
+                Flowsim.run
+                  { Flowsim.Config.default with timing }
+                  (deployment ~seed ~mode) flows })
           modes)
       (rates ~quick)
 
@@ -1544,7 +1549,7 @@ module E_mon = struct
       }
     in
     let m = Monitor.create ~config:mon_config d in
-    let r = Flowsim.run_difane ~monitor:m d flows in
+    let r = Flowsim.run { Flowsim.Config.default with monitor = Some m } d flows in
     (m, r)
 
   let run ?(seed = 42) ?(quick = false) () =
@@ -1754,9 +1759,11 @@ module E_rebalance = struct
     let aborted0 = ctr "rebalance_migrations_aborted" in
     let moved0 = ctr "rebalance_rules_moved" in
     let res =
-      Flowsim.run_difane ~timing
-        ~controller:(fun ~now -> Cluster.tick cl ~now)
-        ~controller_interval:0.01 d flows
+      Flowsim.run
+        { Flowsim.Config.default with timing;
+          controller = Some (fun ~now -> Cluster.tick cl ~now);
+          controller_interval = 0.01 }
+        d flows
     in
     (* let retransmissions and any tail migration stage settle *)
     let t = ref horizon in
@@ -1906,6 +1913,131 @@ module E_rebalance = struct
              (if r.violations = [] then "green" else String.concat "; " r.violations);
            ])
          rows)
+end
+
+(* E-SCALE: multicore ingress sharding at scale.  The network decomposes
+   into independent shards — one authority star (hub, authority, ingress
+   spokes) per shard, no cross-shard links — so each shard replays its
+   own seeded workload on its own engine and Flowsim.run_sharded merges
+   the results in shard-index order.  The decomposition is a function of
+   the shard index alone, so the merged result is byte-identical at any
+   domain count: [digest] canonicalizes a result for that comparison. *)
+module E_scale = struct
+  type spec = {
+    shards : int;
+    spokes : int;  (** per-shard star spokes; switches = shards * (spokes + 1) *)
+    flows_per_shard : int;
+    domains : int;
+  }
+
+  (* 32 shards x 8 switches = 256 switches, 32 x 32768 = 1,048,576 flows *)
+  let default_spec = { shards = 32; spokes = 7; flows_per_shard = 32_768; domains = 1 }
+
+  (* small enough for unit tests; same decomposition shape *)
+  let quick_spec = { shards = 8; spokes = 3; flows_per_shard = 512; domains = 1 }
+
+  let switches spec = spec.shards * (spec.spokes + 1)
+
+  let shard_policy ~seed s = timing_policy ~seed:(seed + (7919 * (s + 1)))
+
+  let shard_deployment ~seed spec s =
+    let config =
+      { Deployment.default_config with k = 8; cache_idle_timeout = Some 1.0;
+        balance = `Volume }
+    in
+    Deployment.build ~config ~policy:(shard_policy ~seed s)
+      ~topology:(Topology.star (spec.spokes + 1) ~latency:100e-6 ())
+      ~authority_ids:[ 1 ] ()
+
+  (* Exactly [flows_per_shard] single-packet flows with seeded Poisson
+     arrivals; headers are splitmix-mixed so they spread uniformly over
+     the shard policy's flowspace. *)
+  let shard_flows ~seed spec s =
+    let schema = Classifier.schema (shard_policy ~seed s) in
+    let arity = Schema.arity schema in
+    let rng = Prng.create (seed + (104729 * (s + 1))) in
+    let ingresses = Array.init (spec.spokes - 1) (fun i -> i + 2) in
+    let rate = 50_000. in
+    let rec gen acc now flow_id =
+      if flow_id >= spec.flows_per_shard then List.rev acc
+      else
+        let now = now +. Prng.exponential rng ~rate in
+        let header =
+          Header.make schema
+            (Array.init arity (fun f ->
+                 mix64
+                   (Int64.of_int
+                      ((((s * spec.flows_per_shard) + flow_id) * arity) + f + 1))))
+        in
+        let flow =
+          { Traffic.flow_id; header;
+            ingress = ingresses.(flow_id mod Array.length ingresses);
+            start = now; packets = 1; interval = 1e-4 }
+        in
+        gen (flow :: acc) now (flow_id + 1)
+    in
+    gen [] 0. 0
+
+  let run ?(seed = 42) spec =
+    if spec.spokes < 3 then invalid_arg "E_scale.run: spokes < 3";
+    Flowsim.run_sharded
+      { Flowsim.Config.default with domains = spec.domains }
+      ~shards:spec.shards
+      ~deployment:(shard_deployment ~seed spec)
+      ~flows:(shard_flows ~seed spec)
+
+  (* Canonical fingerprint of a result — every field, including the raw
+     per-flow sample arrays, so two runs agree iff they are
+     byte-identical.  Results are pure data (no closures), so Marshal is
+     a stable canonical form. *)
+  let digest (r : Flowsim.result) =
+    Digest.to_hex (Digest.string (Marshal.to_string r []))
+
+  (* The scale-experiment claims [difane scale --check] enforces.  The
+     magnitude floors only make sense for the full spec; a quick run
+     ([floors:false]) still checks the conservation invariants. *)
+  let check ?(floors = true) spec (r : Flowsim.result) =
+    List.filter_map
+      (fun (ok, msg) -> if ok then None else Some msg)
+      ([
+         (r.Flowsim.offered_flows = spec.shards * spec.flows_per_shard,
+          "offered flow count does not match the spec");
+         (r.Flowsim.completed_flows + r.Flowsim.dropped_flows
+          = r.Flowsim.offered_flows,
+          "flows leaked: completed + dropped <> offered");
+         (r.Flowsim.setup_throughput > 0., "zero setup throughput");
+         (r.Flowsim.first_packet_delay <> None, "no first-packet delays recorded");
+       ]
+      @
+      if floors then
+        [
+          (r.Flowsim.offered_flows >= 1_000_000,
+           "fewer than one million flows offered");
+          (switches spec >= 200, "fewer than 200 switches deployed");
+        ]
+      else [])
+
+  let print spec (r : Flowsim.result) =
+    Table.print ~title:"E-SCALE: sharded ingress simulation"
+      ~header:[ "metric"; "value" ]
+      [
+        [ "shards"; string_of_int spec.shards ];
+        [ "switches"; string_of_int (switches spec) ];
+        [ "domains"; string_of_int spec.domains ];
+        [ "offered flows"; string_of_int r.Flowsim.offered_flows ];
+        [ "completed flows"; string_of_int r.Flowsim.completed_flows ];
+        [ "dropped flows"; string_of_int r.Flowsim.dropped_flows ];
+        [ "delivered packets"; string_of_int r.Flowsim.delivered_packets ];
+        [ "cache-hit packets"; string_of_int r.Flowsim.cache_hit_packets ];
+        [ "setup throughput"; Table.fmt_si r.Flowsim.setup_throughput ^ " flows/s" ];
+        (match r.Flowsim.first_packet_delay with
+        | None -> [ "first-packet delay"; "-" ]
+        | Some s ->
+            [ "first-packet delay";
+              Printf.sprintf "p50 %.0f us, p99 %.0f us" (1e6 *. s.Summary.p50)
+                (1e6 *. s.Summary.p99) ]);
+        [ "digest"; digest r ];
+      ]
 end
 
 (* ------------------------------------------------------------------ *)

@@ -430,5 +430,49 @@ module E_rebalance : sig
   val print : row list -> unit
 end
 
+(** Supplementary: multicore ingress sharding at scale.  The network
+    decomposes into independent authority stars (one per shard, no
+    cross-shard links), each replaying its own seeded workload on its own
+    engine via {!Flowsim.run_sharded}; the default spec offers over a
+    million flows across 256 switches.  The decomposition is a function
+    of the shard index alone and shards merge in index order, so the
+    merged result — and hence {!E_scale.digest} — is byte-identical at
+    any domain count.  Not part of {!run_all}; driven by [difane scale]
+    and the CI scale-smoke job. *)
+module E_scale : sig
+  type spec = {
+    shards : int;
+    spokes : int;  (** per-shard star spokes; switches = shards * (spokes + 1) *)
+    flows_per_shard : int;
+    domains : int;  (** worker domains for {!Flowsim.run_sharded} *)
+  }
+
+  val default_spec : spec
+  (** 32 shards of 8 switches (256 switches), 32768 flows each
+      (1,048,576 flows), one domain. *)
+
+  val quick_spec : spec
+  (** Small enough for unit tests (8 shards of 4 switches, 512 flows
+      each), same decomposition shape. *)
+
+  val switches : spec -> int
+
+  val run : ?seed:int -> spec -> Flowsim.result
+  (** @raise Invalid_argument if [spec.spokes < 3] (a shard needs a hub,
+      an authority and at least one ingress). *)
+
+  val digest : Flowsim.result -> string
+  (** Canonical fingerprint covering every result field including the raw
+      per-flow sample arrays: two runs agree iff byte-identical. *)
+
+  val check : ?floors:bool -> spec -> Flowsim.result -> string list
+  (** Violated scale claims ([[]] when all hold): the spec's flow count
+      was offered, no flow leaked, nonzero throughput, delays recorded —
+      plus, with [floors] (the default), at least one million flows and
+      200 switches.  Pass [~floors:false] for quick-spec runs. *)
+
+  val print : spec -> Flowsim.result -> unit
+end
+
 val run_all : ?seed:int -> ?quick:bool -> unit -> unit
 (** Run and print every experiment in DESIGN.md order. *)

@@ -1,12 +1,65 @@
-type t = { schema : Schema.t; values : int64 array }
+type t = {
+  schema : Schema.t;
+  values : int64 array;
+  key_lo : int64;
+  key_hi : int64;
+  key_exact : bool;
+  khash : int;
+}
 
 let truncate bits v =
   Int64.logand v (Int64.shift_right_logical Int64.minus_one (64 - bits))
 
+(* Avalanche a 64-bit lane into an accumulator (splitmix64 finalizer). *)
+let mix64 h v =
+  let h = Int64.logxor h v in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30)) 0xbf58476d1ce4e5b9L in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 27)) 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+(* Int-pack the header into two 63-bit lanes, little-endian by schema
+   position.  For schemas up to 126 total bits (the ACL 5-tuple's 104
+   included) the packing is injective — two headers of the same schema are
+   equal iff their lanes are — so the per-packet paths (cachesim interning,
+   flow-record cache, monitor) compare two ints instead of walking the
+   values array or building a string.  Wider schemas fall back to using
+   the lanes as a mixed fingerprint and comparing values on collision. *)
+let pack schema values =
+  let lo = ref 0L and hi = ref 0L and used = ref 0 in
+  let exact = Schema.total_bits schema <= 126 in
+  if exact then
+    Array.iteri
+      (fun i v ->
+        let bits = Schema.field_bits schema i in
+        let pos = !used in
+        (if pos < 63 then begin
+           lo := Int64.logor !lo (truncate 63 (Int64.shift_left v pos));
+           let spill = pos + bits - 63 in
+           if spill > 0 then
+             hi := Int64.logor !hi (Int64.shift_right_logical v (bits - spill))
+         end
+         else hi := Int64.logor !hi (Int64.shift_left v (pos - 63)));
+        used := pos + bits)
+      values
+  else
+    Array.iter
+      (fun v ->
+        lo := mix64 !lo v;
+        hi := mix64 (Int64.logxor !hi 0x9e3779b97f4a7c15L) !lo)
+      values;
+  let khash =
+    Int64.to_int (mix64 (mix64 0x9e3779b97f4a7c15L !lo) !hi) land max_int
+  in
+  (!lo, !hi, exact, khash)
+
 let make schema values =
   if Array.length values <> Schema.arity schema then
     invalid_arg "Header.make: arity mismatch";
-  { schema; values = Array.mapi (fun i v -> truncate (Schema.field_bits schema i) v) values }
+  let values =
+    Array.mapi (fun i v -> truncate (Schema.field_bits schema i) v) values
+  in
+  let key_lo, key_hi, key_exact, khash = pack schema values in
+  { schema; values; key_lo; key_hi; key_exact; khash }
 
 let of_fields schema assoc =
   let values =
@@ -22,9 +75,17 @@ let schema t = t.schema
 let field t i = t.values.(i)
 let get t name = t.values.(Schema.index t.schema name)
 let values t = Array.copy t.values
+let key_lo t = t.key_lo
+let key_hi t = t.key_hi
+let key_exact t = t.key_exact
 
 let equal a b =
-  Schema.equal a.schema b.schema && Array.for_all2 Int64.equal a.values b.values
+  a.khash = b.khash
+  && (a.schema == b.schema || Schema.equal a.schema b.schema)
+  &&
+  if a.key_exact && b.key_exact then
+    Int64.equal a.key_lo b.key_lo && Int64.equal a.key_hi b.key_hi
+  else Array.for_all2 Int64.equal a.values b.values
 
 let compare a b =
   let rec go i =
@@ -35,7 +96,7 @@ let compare a b =
   in
   go 0
 
-let hash t = Hashtbl.hash t.values
+let hash t = t.khash
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>{";

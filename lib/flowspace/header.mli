@@ -20,5 +20,21 @@ val values : t -> int64 array
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
 val hash : t -> int
+(** Precomputed at {!make}; constant-time on every per-packet path. *)
+
+(** {2 Int-packed key}
+
+    [make] packs the header's fields, little-endian by schema position,
+    into two 63-bit lanes.  When {!key_exact} is [true] (schemas up to
+    126 total bits, including the ACL 5-tuple's 104), the packing is
+    injective: two headers of the same schema are equal iff their
+    [(key_lo, key_hi)] pairs are, so hot paths can key hash tables on two
+    ints with no per-packet allocation.  Wider schemas get a mixed
+    fingerprint instead — still a valid hash, but not injective. *)
+
+val key_lo : t -> int64
+val key_hi : t -> int64
+val key_exact : t -> bool
 val pp : Format.formatter -> t -> unit

@@ -26,71 +26,112 @@ let packet_stream flows =
   Array.map snd arr
 
 (* Cache keys are small ints: headers (or spliced pieces) are interned
-   once, so the LRU inner loop is allocation-free. *)
+   once, so the LRU inner loop is allocation-free.  Interning is keyed on
+   the header itself — its int-packed key and precomputed hash make the
+   per-packet lookup a two-int compare — instead of a per-packet decimal
+   string of its field values. *)
 
-let header_key_table () : (string, int) Hashtbl.t = Hashtbl.create 1024
+module Htbl = Hashtbl.Make (struct
+  type t = Header.t
 
-let header_repr h =
-  let vs = Header.values h in
-  String.concat "," (Array.to_list (Array.map Int64.to_string vs))
+  let equal = Header.equal
+  let hash = Header.hash
+end)
 
-let intern tbl repr =
-  match Hashtbl.find_opt tbl repr with
-  | Some k -> k
-  | None ->
-      let k = Hashtbl.length tbl in
-      Hashtbl.add tbl repr k;
-      k
+(* A keyed stream, plus each key's provenance: the policy rule whose
+   piece (wildcard) or first match (microflow) the key stands for, -1 for
+   unmatched headers.  Microflow provenance is resolved lazily —
+   [origin_of] walks the classifier only for keys somebody asks about
+   (the ones with cache hits), so a thrashing stream never pays for
+   attribution it will not report. *)
+type keyed = { keys : int array; origin_of : int -> int }
 
-(* Besides the per-packet key stream, record each key's provenance: the
-   policy rule whose piece (wildcard) or first match (microflow) the key
-   stands for, -1 for unmatched headers.  One key has one origin, so the
-   mapping is a side table filled while interning. *)
 let keys_for kind classifier stream =
-  let tbl = header_key_table () in
-  let origin_of_key : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-  let memo : (string, int) Hashtbl.t = Hashtbl.create 1024 in
-  let keys =
-    Array.map
-      (fun h ->
-        let repr = header_repr h in
-        match kind with
-        | Microflow ->
-            let k = intern tbl repr in
-            if not (Hashtbl.mem origin_of_key k) then
-              Hashtbl.add origin_of_key k
-                (match Classifier.first_match classifier h with
-                | Some r -> r.Rule.id
-                | None -> -1);
+  match kind with
+  | Microflow ->
+      let tbl : int Htbl.t = Htbl.create 1024 in
+      let headers_rev = ref [] in
+      let keys =
+        Array.map
+          (fun h ->
+            match Htbl.find_opt tbl h with
+            | Some k -> k
+            | None ->
+                let k = Htbl.length tbl in
+                Htbl.add tbl h k;
+                headers_rev := h :: !headers_rev;
+                k)
+          stream
+      in
+      (* key -> header, materialized only if provenance is ever asked *)
+      let header_of =
+        lazy
+          (let a = Array.of_list !headers_rev in
+           let n = Array.length a in
+           fun k -> a.(n - 1 - k))
+      in
+      let origin_memo : (int, int) Hashtbl.t = Hashtbl.create 64 in
+      let origin_of k =
+        match Hashtbl.find_opt origin_memo k with
+        | Some o -> o
+        | None ->
+            let o =
+              match Classifier.first_match classifier (Lazy.force header_of k) with
+              | Some r -> r.Rule.id
+              | None -> -1
+            in
+            Hashtbl.add origin_memo k o;
+            o
+      in
+      { keys; origin_of }
+  | Wildcard_splice ->
+      (* Key identity is the spliced piece, so splicing cannot be
+         deferred — but it is memoized per distinct header, and piece
+         interning goes through the piece's predicate rendering only once
+         per distinct header. *)
+      let memo : int Htbl.t = Htbl.create 1024 in
+      let piece_tbl : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+      let origin_of_key : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+      let intern repr origin =
+        match Hashtbl.find_opt piece_tbl repr with
+        | Some k -> k
+        | None ->
+            let k = Hashtbl.length piece_tbl in
+            Hashtbl.add piece_tbl repr k;
+            Hashtbl.add origin_of_key k origin;
             k
-        | Wildcard_splice -> (
-            match Hashtbl.find_opt memo repr with
+      in
+      let nomatch = ref 0 in
+      let keys =
+        Array.map
+          (fun h ->
+            match Htbl.find_opt memo h with
             | Some k -> k
             | None ->
                 let k =
                   match Splice.for_header classifier h with
                   | Some piece ->
-                      let k = intern tbl (Pred.to_string piece.Splice.pred) in
-                      if not (Hashtbl.mem origin_of_key k) then
-                        Hashtbl.add origin_of_key k piece.Splice.origin.Rule.id;
-                      k
+                      intern (Pred.to_string piece.Splice.pred)
+                        piece.Splice.origin.Rule.id
                   | None ->
-                      let k = intern tbl ("nomatch:" ^ repr) in
-                      if not (Hashtbl.mem origin_of_key k) then
-                        Hashtbl.add origin_of_key k (-1);
-                      k
+                      (* each unmatched header is its own key, as before
+                         (exact headers never collide with piece preds) *)
+                      incr nomatch;
+                      intern (Printf.sprintf "nomatch:%d" !nomatch) (-1)
                 in
-                Hashtbl.add memo repr k;
-                k))
-      stream
-  in
-  (keys, origin_of_key)
+                Htbl.add memo h k;
+                k)
+          stream
+      in
+      { keys; origin_of = (fun k -> Option.value ~default:(-1) (Hashtbl.find_opt origin_of_key k)) }
 
-(* LRU over int keys: intrusive doubly-linked list + array index. *)
+(* LRU over dense int keys: intrusive doubly-linked list, with the
+   key->node index a flat array — interned keys are 0..bound-1, so the
+   whole access path is array arithmetic, no hashing. *)
 module Lru = struct
   type t = {
     capacity : int;
-    position : (int, int) Hashtbl.t; (* key -> node *)
+    position : int array; (* key -> node, -1 if absent *)
     keys : int array; (* node -> key *)
     prev : int array;
     next : int array;
@@ -99,10 +140,10 @@ module Lru = struct
     mutable size : int;
   }
 
-  let create capacity =
+  let create ~key_bound capacity =
     {
       capacity;
-      position = Hashtbl.create (2 * capacity);
+      position = Array.make (max 1 key_bound) (-1);
       keys = Array.make capacity (-1);
       prev = Array.make capacity (-1);
       next = Array.make capacity (-1);
@@ -124,48 +165,63 @@ module Lru = struct
 
   (* returns true on hit *)
   let access t key =
-    match Hashtbl.find_opt t.position key with
-    | Some node ->
-        if t.head <> node then begin
-          unlink t node;
-          push_front t node
-        end;
-        true
-    | None ->
-        let node =
-          if t.size < t.capacity then begin
-            let n = t.size in
-            t.size <- t.size + 1;
-            n
-          end
-          else begin
-            let victim = t.tail in
-            Hashtbl.remove t.position t.keys.(victim);
-            unlink t victim;
-            victim
-          end
-        in
-        t.keys.(node) <- key;
-        Hashtbl.replace t.position key node;
-        push_front t node;
-        false
+    let node = Array.unsafe_get t.position key in
+    if node >= 0 then begin
+      if t.head <> node then begin
+        unlink t node;
+        push_front t node
+      end;
+      true
+    end
+    else begin
+      let node =
+        if t.size < t.capacity then begin
+          let n = t.size in
+          t.size <- t.size + 1;
+          n
+        end
+        else begin
+          let victim = t.tail in
+          t.position.(t.keys.(victim)) <- -1;
+          unlink t victim;
+          victim
+        end
+      in
+      t.keys.(node) <- key;
+      Array.unsafe_set t.position key node;
+      push_front t node;
+      false
+    end
 end
 
-let distinct_of keys =
-  let seen = Hashtbl.create 1024 in
-  Array.iter (fun k -> Hashtbl.replace seen k ()) keys;
-  Hashtbl.length seen
+(* every key is < key_bound, so distinct counting is a flat mark array *)
+let key_bound_of keys = 1 + Array.fold_left max (-1) keys
 
-(* Cache hits per origin rule, sorted by rule id; unmatched (-1) excluded. *)
-let origin_hits_of ~origins hit_counts =
-  Hashtbl.fold
-    (fun key hits acc ->
-      if hits = 0 then acc
-      else
-        match Hashtbl.find_opt origins key with
-        | Some origin when origin >= 0 -> (origin, hits) :: acc
-        | _ -> acc)
-    hit_counts []
+let distinct_of ~key_bound keys =
+  let seen = Bytes.make (max 1 key_bound) '\000' in
+  let n = ref 0 in
+  Array.iter
+    (fun k ->
+      if Bytes.get seen k = '\000' then begin
+        Bytes.set seen k '\001';
+        incr n
+      end)
+    keys;
+  !n
+
+(* Cache hits per origin rule, sorted by rule id; unmatched (-1) excluded.
+   Provenance is resolved here, per key with hits — never for the
+   (possibly huge) hitless tail of a thrashing stream. *)
+let origin_hits_of ~origin_of hit_counts =
+  let acc = ref [] in
+  Array.iteri
+    (fun key hits ->
+      if hits > 0 then
+        match origin_of key with
+        | origin when origin >= 0 -> acc := (origin, hits) :: !acc
+        | _ -> ())
+    hit_counts;
+  !acc
   |> List.fold_left
        (fun tbl (origin, hits) ->
          Hashtbl.replace tbl origin
@@ -176,16 +232,16 @@ let origin_hits_of ~origins hit_counts =
   Hashtbl.fold (fun o h acc -> (o, h) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let run_keys kind ~cache_size (keys, origins) =
+let run_keys kind ~cache_size { keys; origin_of } =
   if cache_size < 1 then invalid_arg "Cachesim.run: cache_size must be >= 1";
-  let lru = Lru.create cache_size in
+  let key_bound = key_bound_of keys in
+  let lru = Lru.create ~key_bound cache_size in
   let misses = ref 0 in
-  let hit_counts : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let hit_counts = Array.make (max 1 key_bound) 0 in
   Array.iter
     (fun k ->
       if Lru.access lru k then
-        Hashtbl.replace hit_counts k
-          (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts k))
+        Array.unsafe_set hit_counts k (1 + Array.unsafe_get hit_counts k)
       else incr misses)
     keys;
   let lookups = Array.length keys in
@@ -197,8 +253,8 @@ let run_keys kind ~cache_size (keys, origins) =
     lookups;
     misses = !misses;
     miss_rate = (if lookups = 0 then 0. else float_of_int !misses /. float_of_int lookups);
-    distinct_keys = distinct_of keys;
-    origin_hits = origin_hits_of ~origins hit_counts;
+    distinct_keys = distinct_of ~key_bound keys;
+    origin_hits = origin_hits_of ~origin_of hit_counts;
   }
 
 let run kind classifier ~cache_size stream =
@@ -207,27 +263,25 @@ let run kind classifier ~cache_size stream =
 (* Belady's OPT: evict the resident key whose next use lies furthest in
    the future.  Next-use positions are precomputed by a single backward
    pass; the eviction scan is linear in the cache size. *)
-let run_opt_keys kind ~cache_size (keys, origins) =
+let run_opt_keys kind ~cache_size { keys; origin_of } =
   if cache_size < 1 then invalid_arg "Cachesim.run_opt: cache_size must be >= 1";
   let n = Array.length keys in
+  let key_bound = key_bound_of keys in
   let next_use = Array.make n max_int in
-  let last_seen = Hashtbl.create 1024 in
+  let last_seen = Array.make (max 1 key_bound) (-1) in
   for i = n - 1 downto 0 do
-    (match Hashtbl.find_opt last_seen keys.(i) with
-    | Some j -> next_use.(i) <- j
-    | None -> next_use.(i) <- max_int);
-    Hashtbl.replace last_seen keys.(i) i
+    let j = last_seen.(keys.(i)) in
+    next_use.(i) <- (if j >= 0 then j else max_int);
+    last_seen.(keys.(i)) <- i
   done;
   let resident : (int, int) Hashtbl.t = Hashtbl.create (2 * cache_size) in
   (* key -> its next use position, kept current as the stream advances *)
   let misses = ref 0 in
-  let hit_counts : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let hit_counts = Array.make (max 1 key_bound) 0 in
   Array.iteri
     (fun i key ->
       (match Hashtbl.find_opt resident key with
-      | Some _ ->
-          Hashtbl.replace hit_counts key
-            (1 + Option.value ~default:0 (Hashtbl.find_opt hit_counts key))
+      | Some _ -> hit_counts.(key) <- 1 + hit_counts.(key)
       | None ->
           incr misses;
           if Hashtbl.length resident >= cache_size then begin
@@ -248,8 +302,8 @@ let run_opt_keys kind ~cache_size (keys, origins) =
     lookups = n;
     misses = !misses;
     miss_rate = (if n = 0 then 0. else float_of_int !misses /. float_of_int n);
-    distinct_keys = distinct_of keys;
-    origin_hits = origin_hits_of ~origins hit_counts;
+    distinct_keys = distinct_of ~key_bound keys;
+    origin_hits = origin_hits_of ~origin_of hit_counts;
   }
 
 let run_opt kind classifier ~cache_size stream =

@@ -1,9 +1,31 @@
 (** A discrete-event simulation engine.
 
-    A classic event-heap executor: callbacks scheduled at absolute times,
-    executed in time order (FIFO among equal timestamps).  All the timing
-    experiments — flow-setup throughput, first-packet delay, policy-update
-    convergence — run on this engine. *)
+    A binary event heap executed in (time, sequence) order — FIFO among
+    equal timestamps.  All the timing experiments — flow-setup throughput,
+    first-packet delay, policy-update convergence — run on this engine.
+
+    The heap is a preallocated structure of arrays (float times + int
+    sequence/kind/argument lanes), so the hot path allocates nothing:
+
+    - {b packed events} ({!kind}/{!post}): dispatch indexes an int-kind
+      jump table registered per engine and hands the handler a packed int
+      argument.  Zero allocation per event — the form every hot path
+      should use;
+    - {b closure events} ({!schedule}/{!after}): the classic thunk API,
+      implemented as a reserved kind whose argument indexes a free-listed
+      closure slab.  Convenient for setup, tests and cold paths.
+
+    Both forms interleave in one queue and share the FIFO guarantee.
+    Equal-timestamp events are dispatched as one batch: the clock is
+    written once and the batch drains before the [until] horizon is
+    reconsidered.  [Engine_legacy] keeps the original closure-heap
+    implementation as the reference semantics for the differential test.
+
+    Engines are single-domain values; a sharded simulation runs one
+    engine per domain.  Per-engine tallies ({!stats}) are mirrored into
+    the process-wide registry once per {!run} — the registry cells are
+    atomic and the mirroring operations commutative, so concurrent
+    engines yield deterministic final registry values. *)
 
 type t
 
@@ -12,6 +34,32 @@ val create : unit -> t
 val now : t -> float
 (** Current simulation time, seconds.  Starts at [0.]. *)
 
+(** {1 Packed events} *)
+
+type kind [@@immediate]
+(** An int index into the engine's dispatch table. *)
+
+val kind : t -> (int -> unit) -> kind
+(** Register a handler and get its kind.  Registration allocates; do it
+    once at setup, then {!post} events of this kind for free. *)
+
+val post : t -> at:float -> kind -> int -> unit
+(** Schedule a packed event: at [at], the handler registered for [kind]
+    is called with the int argument.  Allocation-free.
+    @raise Invalid_argument if [at] is in the past. *)
+
+val post_after : t -> delay:float -> kind -> int -> unit
+(** [post t ~at:(now t +. delay)].  @raise Invalid_argument on a
+    negative delay. *)
+
+val invoke : t -> kind -> int -> unit
+(** Call [kind]'s handler with the argument right now, bypassing the
+    queue — the packed analogue of calling a stored continuation.  Used
+    by components (e.g. {!Server}) that hold a packed continuation and
+    must run it synchronously inside their own event. *)
+
+(** {1 Closure events} *)
+
 val schedule : t -> at:float -> (unit -> unit) -> unit
 (** Schedule a callback.  @raise Invalid_argument if [at] is in the past. *)
 
@@ -19,10 +67,13 @@ val after : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~at:(now t +. delay)].  @raise Invalid_argument on a
     negative delay. *)
 
+(** {1 Execution} *)
+
 val run : ?until:float -> t -> unit
 (** Execute events until the heap is empty (or the clock passes [until];
     remaining events stay queued).  The clock advances to each event's
-    timestamp. *)
+    timestamp.  On return, per-engine tallies are mirrored into the
+    registry ([engine_events_dispatched], [engine_queue_peak]). *)
 
 val pending : t -> int
 (** Events still queued. *)
@@ -30,12 +81,13 @@ val pending : t -> int
 val processed : t -> int
 (** Events executed so far. *)
 
-type stats = { processed : int; pending : int }
+type stats = { processed : int; pending : int; queue_peak : int }
 
 val stats : t -> stats
-(** Dispatch tallies; the registry mirrors them process-wide as
-    [engine_events_dispatched] and the [engine_queue_peak] high-water
-    gauge. *)
+(** Per-engine dispatch tallies.  [queue_peak] is this engine's own
+    high-water mark (not the process-wide gauge), so it is race-free
+    under domains. *)
 
 val reset_stats : t -> unit
-(** Zero the processed count (queued events survive). *)
+(** Zero the processed count and re-arm the queue-peak high-water mark at
+    the current queue depth (queued events survive). *)

@@ -1,0 +1,89 @@
+(* The original closure-heap engine, kept verbatim (minus telemetry) as
+   the reference semantics for the packed-engine differential test: a
+   binary min-heap of event records keyed by (time, sequence), sequence
+   preserving FIFO order among simultaneous events.  Nothing in the
+   simulator proper uses this module. *)
+
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let dummy = { time = 0.; seq = 0; run = (fun () -> ()) }
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.; next_seq = 0; processed = 0 }
+let now t = t.clock
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let schedule t ~at run =
+  if at < t.clock then invalid_arg "Engine.schedule: time in the past";
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.heap.(t.size) <- { time = at; seq; run };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let after t ~delay run =
+  if delay < 0. then invalid_arg "Engine.after: negative delay";
+  schedule t ~at:(t.clock +. delay) run
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    sift_down t 0;
+    Some top
+  end
+
+let run ?(until = infinity) t =
+  let rec loop () =
+    if t.size > 0 && t.heap.(0).time <= until then
+      match pop t with
+      | None -> ()
+      | Some ev ->
+          t.clock <- ev.time;
+          t.processed <- t.processed + 1;
+          ev.run ();
+          loop ()
+  in
+  loop ()
+
+let pending t = t.size
+let processed t = t.processed

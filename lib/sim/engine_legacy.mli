@@ -1,0 +1,14 @@
+(** The pre-packed closure-heap engine, kept as reference semantics for
+    the differential test proving the structure-of-arrays {!Engine}
+    dispatches event-for-event identically (including FIFO order among
+    equal timestamps).  Not used by the simulator itself. *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val schedule : t -> at:float -> (unit -> unit) -> unit
+val after : t -> delay:float -> (unit -> unit) -> unit
+val run : ?until:float -> t -> unit
+val pending : t -> int
+val processed : t -> int

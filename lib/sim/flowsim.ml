@@ -15,6 +15,29 @@ let default_timing =
     install_latency = 0.;
   }
 
+module Config = struct
+  type t = {
+    timing : timing;
+    faults : Fault.plan option;
+    monitor : Monitor.t option;
+    congestion : Congestion.config option;
+    controller : (now:float -> unit) option;
+    controller_interval : float;
+    domains : int;
+  }
+
+  let default =
+    {
+      timing = default_timing;
+      faults = None;
+      monitor = None;
+      congestion = None;
+      controller = None;
+      controller_interval = 0.01;
+      domains = 1;
+    }
+end
+
 type authority_stat = {
   switch_id : int;
   misses_served : int;
@@ -55,6 +78,33 @@ type result = {
   backpressured : int;
 }
 
+(* Growable float vector: the per-flow sample accumulators used to cons
+   list cells on the packet hot path; now they write into a doubling
+   array, allocation-free in steady state. *)
+module Fvec = struct
+  type t = { mutable a : float array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let b = Array.make (max 16 (2 * t.n)) 0. in
+      Array.blit t.a 0 b 0 t.n;
+      t.a <- b
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let to_array t = Array.sub t.a 0 t.n
+
+  let iter f t =
+    for i = 0 to t.n - 1 do
+      f t.a.(i)
+    done
+
+  let append dst src = iter (push dst) src
+end
+
 type acc = {
   mutable completed : int;
   mutable dropped : int;
@@ -64,13 +114,15 @@ type acc = {
   mutable last_arrival : float;
   mutable first_delivery : float;
   mutable last_delivery : float;
-  mutable delays : float list;
-  mutable flow_delays : (float * float) list;
-  mutable miss_delays : float list;
-  mutable stretches : float list;
+  delays : Fvec.t;
+  fd_starts : Fvec.t;  (* flow_delays, split into parallel lanes *)
+  fd_delays : Fvec.t;
+  miss_delays : Fvec.t;
+  stretches : Fvec.t;
   mutable degraded : int;
   mutable install_drops : int;
   mutable outage : int;
+  mutable backpressured : int;
 }
 
 let fresh_acc () =
@@ -83,16 +135,33 @@ let fresh_acc () =
     last_arrival = 0.;
     first_delivery = infinity;
     last_delivery = 0.;
-    delays = [];
-    flow_delays = [];
-    miss_delays = [];
-    stretches = [];
+    delays = Fvec.create ();
+    fd_starts = Fvec.create ();
+    fd_delays = Fvec.create ();
+    miss_delays = Fvec.create ();
+    stretches = Fvec.create ();
     degraded = 0;
     install_drops = 0;
     outage = 0;
+    backpressured = 0;
   }
 
-let finish ?(authority_stats = []) ?(queue_drops = 0) ?(ecn_marks = 0) ?(backpressured = 0)
+(* Fold one run's (or shard's) tallies into the registry, once, after the
+   event loop drains.  Every operation is a commutative atomic add, so
+   worker domains mirroring concurrently produce the same final registry
+   values as any serial order — and the packet hot path pays nothing. *)
+let mirror_registry acc =
+  Telemetry.add m_delivered acc.delivered;
+  Telemetry.add m_cache_hits acc.cache_hits;
+  Telemetry.add m_completed acc.completed;
+  Telemetry.add m_dropped acc.dropped;
+  Telemetry.add m_degraded acc.degraded;
+  Telemetry.add m_install_drops acc.install_drops;
+  Telemetry.add m_outage_drops acc.outage;
+  Telemetry.add m_backpressured acc.backpressured;
+  Fvec.iter (Telemetry.observe h_first_packet) acc.delays
+
+let finish ?(authority_stats = []) ?(queue_drops = 0) ?(ecn_marks = 0)
     acc ~offered =
   let duration =
     if acc.last_delivery > acc.first_arrival then acc.last_delivery -. acc.first_arrival
@@ -108,6 +177,9 @@ let finish ?(authority_stats = []) ?(queue_drops = 0) ?(ecn_marks = 0) ?(backpre
     else 0.
   in
   let window = Float.max arrival_window completion_span in
+  let delays = Fvec.to_array acc.delays in
+  let starts = Fvec.to_array acc.fd_starts in
+  let fdelays = Fvec.to_array acc.fd_delays in
   {
     offered_flows = offered;
     completed_flows = acc.completed;
@@ -118,37 +190,44 @@ let finish ?(authority_stats = []) ?(queue_drops = 0) ?(ecn_marks = 0) ?(backpre
     setup_throughput =
       (if window > 0. then float_of_int acc.completed /. window else 0.);
     first_packet_delay =
-      (if acc.delays = [] then None else Some (Summary.of_list acc.delays));
-    delays = Array.of_list acc.delays;
-    flow_delays = Array.of_list acc.flow_delays;
-    miss_delays = Array.of_list acc.miss_delays;
-    stretches = Array.of_list acc.stretches;
+      (if Array.length delays = 0 then None
+       else Some (Summary.of_list (Array.to_list delays)));
+    delays;
+    flow_delays = Array.init (Array.length starts) (fun i -> (starts.(i), fdelays.(i)));
+    miss_delays = Fvec.to_array acc.miss_delays;
+    stretches = Fvec.to_array acc.stretches;
     authority_stats;
     degraded_packets = acc.degraded;
     install_drops = acc.install_drops;
     outage_drops = acc.outage;
     queue_drops;
     ecn_marks;
-    backpressured;
+    backpressured = acc.backpressured;
   }
 
-let deliver ?(was_miss = false) acc engine ~is_first ~arrival ~extra_latency ~cache_hit =
+(* [live] keeps the registry bumped per event instead of batched at the
+   end of the run: required when a monitor or a live controller co-runs,
+   because both can snapshot registry counters at simulated times. *)
+let deliver ?(was_miss = false) ~live acc engine ~is_first ~arrival ~extra_latency
+    ~cache_hit =
   let t = Engine.now engine +. extra_latency in
   acc.delivered <- acc.delivered + 1;
-  Telemetry.incr m_delivered;
+  if live then Telemetry.incr m_delivered;
   if cache_hit then begin
     acc.cache_hits <- acc.cache_hits + 1;
-    Telemetry.incr m_cache_hits
+    if live then Telemetry.incr m_cache_hits
   end;
   if t > acc.last_delivery then acc.last_delivery <- t;
   if t < acc.first_delivery then acc.first_delivery <- t;
   if is_first then begin
     acc.completed <- acc.completed + 1;
-    Telemetry.incr m_completed;
-    acc.delays <- (t -. arrival) :: acc.delays;
-    acc.flow_delays <- (arrival, t -. arrival) :: acc.flow_delays;
-    Telemetry.observe h_first_packet (t -. arrival);
-    if was_miss then acc.miss_delays <- (t -. arrival) :: acc.miss_delays
+    if live then Telemetry.incr m_completed;
+    let delay = t -. arrival in
+    Fvec.push acc.delays delay;
+    Fvec.push acc.fd_starts arrival;
+    Fvec.push acc.fd_delays delay;
+    if live then Telemetry.observe h_first_packet delay;
+    if was_miss then Fvec.push acc.miss_delays delay
   end
 
 let prop topo a b = Option.value ~default:0. (Topology.distance topo a b)
@@ -156,23 +235,34 @@ let prop topo a b = Option.value ~default:0. (Topology.distance topo a b)
 let egress_latency topo ~from action =
   match Action.egress action with Some e -> prop topo from e | None -> 0.
 
-let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
-    ?(controller_interval = 0.01) d flows =
+(* One single-engine run: the core every entry point (and every shard of
+   a sharded run) executes.  Returns the raw tallies; [finish] renders
+   them (or a shard-ordered merge of several) into a [result]. *)
+type raw = {
+  racc : acc;
+  rastats : authority_stat list;
+  rqueue_drops : int;
+  recn_marks : int;
+}
+
+let run_core (cfg : Config.t) d flows =
+  let timing = cfg.timing in
   let engine = Engine.create () in
   let acc = fresh_acc () in
+  let live = cfg.monitor <> None || cfg.controller <> None in
   (* Live-controller co-simulation: before each packet event, run the
      caller's control-loop callback at every crossed tick boundary (with
      the boundary time, so the controller's own clocks stay exact).  The
      controller mutates the same deployment the packets walk — this is
      how the adaptive rebalancer closes the loop on live traffic. *)
-  let next_tick = ref controller_interval in
+  let next_tick = ref cfg.controller_interval in
   let catch_up now =
-    match controller with
+    match cfg.controller with
     | None -> ()
     | Some tick ->
         while !next_tick <= now do
           tick ~now:!next_tick;
-          next_tick := !next_tick +. controller_interval
+          next_tick := !next_tick +. cfg.controller_interval
         done
   in
   let topo = Deployment.topology d in
@@ -206,16 +296,16 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
      plan's seed; scheduled crash/restart and link flaps drive the
      data-plane reachability model. *)
   let install_rng, install_drop =
-    match faults with
+    match cfg.faults with
     | None -> (Prng.create 0, 0.)
     | Some (p : Fault.plan) -> (Prng.create (p.Fault.seed lxor 0x51ab), p.Fault.link.Fault.drop)
   in
   (* Live controller replicas: while every one is down, the degraded
      (NOX-style fallback) path has no one to answer it. *)
   let controllers_up =
-    ref (match faults with None -> 1 | Some (p : Fault.plan) -> p.Fault.controllers)
+    ref (match cfg.faults with None -> 1 | Some (p : Fault.plan) -> p.Fault.controllers)
   in
-  (match faults with
+  (match cfg.faults with
   | None -> ()
   | Some p ->
       List.iter
@@ -232,11 +322,15 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
   let idle_timeout = (Deployment.config d).Deployment.cache_idle_timeout in
   let hard_timeout = (Deployment.config d).Deployment.cache_hard_timeout in
   (* Congestion model: per-port virtual-clock queues shared with the
-     deployment walk's semantics.  [None] (the default config) is the
-     legacy plane — infinite buffers, zero serialization — and every
-     congestion hook below degenerates to a no-op, keeping legacy runs
-     bit-identical. *)
-  let ccfg = (Deployment.config d).Deployment.congestion in
+     deployment walk's semantics.  The config override (if any) wins over
+     the deployment's; a disabled config is the legacy plane — infinite
+     buffers, zero serialization — and every congestion hook below
+     degenerates to a no-op, keeping legacy runs bit-identical. *)
+  let ccfg =
+    match cfg.congestion with
+    | Some c -> c
+    | None -> (Deployment.config d).Deployment.congestion
+  in
   let cong = if Congestion.enabled ccfg then Some (Congestion.create ccfg) else None in
   let credit_mode = cong <> None && ccfg.Congestion.mode = Congestion.Credit in
   (* Credit-based flow control: one shared pool per authority bounds its
@@ -251,7 +345,6 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
         Hashtbl.add credits auth r;
         r
   in
-  let backpressured = ref 0 in
   (* Book the congestion model along the shortest path [a -> b] starting
      at [now]: [`Ok extra] is queueing delay on top of propagation,
      [`Queue_full] a drop-tail shed at some hop's port buffer. *)
@@ -281,8 +374,10 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
     match Action.egress action with None -> `Ok 0. | Some e -> congested_path ~now from e
   in
   let flow_dropped ~is_first =
-    if is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped)
+    if is_first then begin
+      acc.dropped <- acc.dropped + 1;
+      if live then Telemetry.incr m_dropped
+    end
   in
   (* Controller path, NOX-style: half an RTT up, a controller service
      slot, half an RTT back.  Reached for [`Failure] (no live replica for
@@ -296,9 +391,8 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
       (* total controller outage on top of total replica loss: the packet
          has nowhere to go — the one genuinely fatal combination *)
       acc.outage <- acc.outage + 1;
-      Telemetry.incr m_outage_drops;
-      if is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped)
+      if live then Telemetry.incr m_outage_drops;
+      flow_dropped ~is_first
     end
     else
     Engine.after engine ~delay:(timing.controller_rtt /. 2.) (fun () ->
@@ -310,26 +404,25 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
                 | `Failure ->
                     let o = Deployment.inject d ~now ~ingress:flow.ingress flow.header in
                     acc.degraded <- acc.degraded + 1;
-                    Telemetry.incr m_degraded;
+                    if live then Telemetry.incr m_degraded;
                     o
                 | `Backpressure ->
                     Deployment.controller_serve ~cause:`Backpressure d ~now
                       ~ingress:flow.ingress flow.header
               in
-              deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+              deliver ~was_miss:true ~live acc engine ~is_first ~arrival:flow.start
                 ~extra_latency:
                   ((timing.controller_rtt /. 2.)
                   +. egress_latency topo ~from:flow.ingress o.Deployment.action)
                 ~cache_hit:false)
         in
-        if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped))
+        if not accepted then flow_dropped ~is_first)
   in
   let serve_degraded = serve_via_controller ~cause:`Failure in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
     catch_up now;
-    (match monitor with
+    (match cfg.monitor with
     | Some m -> Monitor.observe_packet m ~now ~ingress:flow.ingress flow.header
     | None -> ());
     let ingress_sw = Deployment.switch d flow.ingress in
@@ -338,12 +431,10 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
         match deliver_leg ~now ~from:flow.ingress action with
         | `Queue_full -> flow_dropped ~is_first
         | `Ok extra ->
-            deliver acc engine ~is_first ~arrival:now
+            deliver ~live acc engine ~is_first ~arrival:now
               ~extra_latency:(egress_latency topo ~from:flow.ingress action +. extra)
               ~cache_hit:(bank = Switch.Cache_bank))
-    | Switch.Unmatched | Switch.Misconfigured ->
-        if is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped)
+    | Switch.Unmatched | Switch.Misconfigured -> flow_dropped ~is_first
     | Switch.Tunnel nominal -> (
         match Deployment.resolve_authority d ~ingress:flow.ingress flow.header ~nominal with
         | None -> serve_degraded flow ~is_first
@@ -351,8 +442,8 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
         if credit_mode && !(credit_for auth) <= ccfg.Congestion.credit_low_water then begin
           (* the pool is drained to the low-water mark: the authority is
              saturated, so defer re-splicing instead of piling on *)
-          incr backpressured;
-          Telemetry.incr m_backpressured;
+          acc.backpressured <- acc.backpressured + 1;
+          if live then Telemetry.incr m_backpressured;
           serve_via_controller ~cause:`Backpressure flow ~is_first
         end
         else begin
@@ -375,8 +466,7 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
                     Switch.serve_miss ~mode:(Deployment.config d).Deployment.cache_mode
                       (Deployment.switch d auth) ~now flow.header
                   with
-                  | None -> if is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped)
+                  | None -> flow_dropped ~is_first
                   | Some { Switch.action; cache_rule; origin_id; pid } -> (
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
@@ -386,7 +476,7 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
                       if install_drop > 0. && Prng.float install_rng < install_drop then
                         begin
                           acc.install_drops <- acc.install_drops + 1;
-                          Telemetry.incr m_install_drops
+                          if live then Telemetry.incr m_install_drops
                         end
                       else
                         Engine.after engine ~delay:timing.install_latency (fun () ->
@@ -396,40 +486,48 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
                                  cache_rule));
                       (match Action.egress action with
                       | Some e ->
-                          acc.stretches
-                          <- Topology.stretch topo ~src:flow.ingress ~via:auth ~dst:e
-                             :: acc.stretches
+                          Fvec.push acc.stretches
+                            (Topology.stretch topo ~src:flow.ingress ~via:auth ~dst:e)
                       | None -> ());
                       match deliver_leg ~now:(Engine.now engine) ~from:auth action with
                       | `Queue_full -> flow_dropped ~is_first
                       | `Ok extra ->
-                          deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+                          deliver ~was_miss:true ~live acc engine ~is_first
+                            ~arrival:flow.start
                             ~extra_latency:(egress_latency topo ~from:auth action +. extra)
                             ~cache_hit:false))
             in
             if not accepted then begin
               return_credit ();
-              if is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped)
+              flow_dropped ~is_first
             end)
         end)
   in
-  List.iter
-    (fun (flow : Traffic.flow) ->
+  (* Packet arrivals are packed events: the payload carries the flow's
+     index and the first-packet bit, so a million-flow schedule costs four
+     scalar lanes per event and no closures. *)
+  let flows_arr = Array.of_list flows in
+  let k_packet =
+    Engine.kind engine (fun payload ->
+        process_packet flows_arr.(payload lsr 1) ~is_first:(payload land 1 = 1))
+  in
+  Array.iteri
+    (fun idx (flow : Traffic.flow) ->
       if flow.start < acc.first_arrival then acc.first_arrival <- flow.start;
       if flow.start > acc.last_arrival then acc.last_arrival <- flow.start;
-      Engine.schedule engine ~at:flow.start (fun () -> process_packet flow ~is_first:true);
+      Engine.post engine ~at:flow.start k_packet ((idx lsl 1) lor 1);
       for i = 1 to flow.packets - 1 do
-        Engine.schedule engine
+        Engine.post engine
           ~at:(flow.start +. (float_of_int i *. flow.interval))
-          (fun () -> process_packet flow ~is_first:false)
+          k_packet (idx lsl 1)
       done)
-    flows;
+    flows_arr;
   Engine.run engine;
   catch_up (Engine.now engine);
-  (match monitor with
+  (match cfg.monitor with
   | Some m -> Monitor.finish m ~now:(Engine.now engine)
   | None -> ());
+  if not live then mirror_registry acc;
   let authority_stats =
     Hashtbl.fold
       (fun auth server acc ->
@@ -447,8 +545,111 @@ let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
         let s = Congestion.stats c in
         (s.Congestion.drops, s.Congestion.marks)
   in
-  finish ~authority_stats ~queue_drops ~ecn_marks ~backpressured:!backpressured acc
-    ~offered:(List.length flows)
+  { racc = acc; rastats = authority_stats; rqueue_drops = queue_drops;
+    recn_marks = ecn_marks }
+
+let run (cfg : Config.t) d flows =
+  if cfg.domains <> 1 then
+    invalid_arg "Flowsim.run: domains > 1 needs run_sharded (per-shard deployments)";
+  let r = run_core cfg d flows in
+  finish ~authority_stats:r.rastats ~queue_drops:r.rqueue_drops
+    ~ecn_marks:r.recn_marks r.racc ~offered:(List.length flows)
+
+(* Deterministic cross-shard merge: always in shard-index order,
+   whatever domain ran which shard — counters sum, extrema min/max,
+   sample vectors concatenate, authority tallies sum per switch id. *)
+let merge_raws raws ~offered =
+  let macc = fresh_acc () in
+  let auth = Hashtbl.create 16 in
+  let queue_drops = ref 0 and ecn_marks = ref 0 in
+  Array.iter
+    (fun { racc = a; rastats; rqueue_drops; recn_marks } ->
+      macc.completed <- macc.completed + a.completed;
+      macc.dropped <- macc.dropped + a.dropped;
+      macc.delivered <- macc.delivered + a.delivered;
+      macc.cache_hits <- macc.cache_hits + a.cache_hits;
+      macc.first_arrival <- Float.min macc.first_arrival a.first_arrival;
+      macc.last_arrival <- Float.max macc.last_arrival a.last_arrival;
+      macc.first_delivery <- Float.min macc.first_delivery a.first_delivery;
+      macc.last_delivery <- Float.max macc.last_delivery a.last_delivery;
+      Fvec.append macc.delays a.delays;
+      Fvec.append macc.fd_starts a.fd_starts;
+      Fvec.append macc.fd_delays a.fd_delays;
+      Fvec.append macc.miss_delays a.miss_delays;
+      Fvec.append macc.stretches a.stretches;
+      macc.degraded <- macc.degraded + a.degraded;
+      macc.install_drops <- macc.install_drops + a.install_drops;
+      macc.outage <- macc.outage + a.outage;
+      macc.backpressured <- macc.backpressured + a.backpressured;
+      queue_drops := !queue_drops + rqueue_drops;
+      ecn_marks := !ecn_marks + recn_marks;
+      List.iter
+        (fun s ->
+          let served, rejected =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt auth s.switch_id)
+          in
+          Hashtbl.replace auth s.switch_id
+            (served + s.misses_served, rejected + s.misses_rejected))
+        rastats)
+    raws;
+  let authority_stats =
+    Hashtbl.fold
+      (fun switch_id (misses_served, misses_rejected) l ->
+        { switch_id; misses_served; misses_rejected } :: l)
+      auth []
+    |> List.sort (fun a b -> Int.compare a.switch_id b.switch_id)
+  in
+  finish ~authority_stats ~queue_drops:!queue_drops ~ecn_marks:!ecn_marks macc
+    ~offered
+
+let run_sharded (cfg : Config.t) ~shards ~deployment ~flows =
+  if shards < 1 then invalid_arg "Flowsim.run_sharded: shards < 1";
+  if cfg.faults <> None || cfg.monitor <> None || cfg.controller <> None then
+    invalid_arg
+      "Flowsim.run_sharded: faults/monitor/controller are cross-shard global \
+       state; run them single-domain";
+  let cfg1 = { cfg with Config.domains = 1 } in
+  let raws = Array.make shards None in
+  let offered = Array.make shards 0 in
+  (* The shard decomposition and everything computed inside a shard are
+     functions of the shard index alone; the domain count only decides
+     which domain executes which shard (round-robin), so any count yields
+     byte-identical merged results. *)
+  let work me nd =
+    let i = ref me in
+    while !i < shards do
+      let s = !i in
+      let d = deployment s in
+      let fl = flows s in
+      offered.(s) <- List.length fl;
+      raws.(s) <- Some (run_core cfg1 d fl);
+      i := s + nd
+    done
+  in
+  let nd = max 1 (min cfg.Config.domains shards) in
+  if nd = 1 then work 0 1
+  else begin
+    let doms =
+      Array.init (nd - 1) (fun j -> Domain.spawn (fun () -> work (j + 1) nd))
+    in
+    work 0 nd;
+    Array.iter Domain.join doms
+  end;
+  let raws =
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every shard index is covered above *))
+      raws
+  in
+  merge_raws raws ~offered:(Array.fold_left ( + ) 0 offered)
+
+let run_difane ?(timing = default_timing) ?faults ?monitor ?controller
+    ?(controller_interval = 0.01) d flows =
+  run
+    { Config.timing; faults; monitor; congestion = None; controller;
+      controller_interval; domains = 1 }
+    d flows
 
 let run_nox ?(timing = default_timing) n flows =
   let engine = Engine.create () in
@@ -463,7 +664,7 @@ let run_nox ?(timing = default_timing) n flows =
     let sw = Nox.switch n flow.ingress in
     match Tcam.lookup (Switch.cache sw) ~now flow.header with
     | Some r ->
-        deliver acc engine ~is_first ~arrival:now
+        deliver ~live:false acc engine ~is_first ~arrival:now
           ~extra_latency:(egress_latency topo ~from:flow.ingress r.Rule.action)
           ~cache_hit:true
     | None ->
@@ -474,37 +675,44 @@ let run_nox ?(timing = default_timing) n flows =
               Server.submit controller (fun () ->
                   let now = Engine.now engine in
                   let o = Nox.inject n ~now ~ingress:flow.ingress flow.header in
-                  deliver ~was_miss:true acc engine ~is_first ~arrival:flow.start
+                  deliver ~was_miss:true ~live:false acc engine ~is_first
+                    ~arrival:flow.start
                     ~extra_latency:
                       ((timing.controller_rtt /. 2.)
                       +. egress_latency topo ~from:flow.ingress o.Nox.action)
                     ~cache_hit:false)
             in
-            if (not accepted) && is_first then (acc.dropped <- acc.dropped + 1;
-         Telemetry.incr m_dropped))
+            if (not accepted) && is_first then acc.dropped <- acc.dropped + 1)
   in
-  List.iter
-    (fun (flow : Traffic.flow) ->
+  let flows_arr = Array.of_list flows in
+  let k_packet =
+    Engine.kind engine (fun payload ->
+        process_packet flows_arr.(payload lsr 1) ~is_first:(payload land 1 = 1))
+  in
+  Array.iteri
+    (fun idx (flow : Traffic.flow) ->
       if flow.start < acc.first_arrival then acc.first_arrival <- flow.start;
       if flow.start > acc.last_arrival then acc.last_arrival <- flow.start;
-      Engine.schedule engine ~at:flow.start (fun () -> process_packet flow ~is_first:true);
+      Engine.post engine ~at:flow.start k_packet ((idx lsl 1) lor 1);
       for i = 1 to flow.packets - 1 do
-        Engine.schedule engine
+        Engine.post engine
           ~at:(flow.start +. (float_of_int i *. flow.interval))
-          (fun () -> process_packet flow ~is_first:false)
+          k_packet (idx lsl 1)
       done)
-    flows;
+    flows_arr;
   Engine.run engine;
+  mirror_registry acc;
   finish acc ~offered:(List.length flows)
 
-let saturation_throughput ?timing ~mode ~workload ~rates () =
+let saturation_throughput ?(timing = default_timing) ~mode ~workload ~rates () =
   List.map
     (fun rate ->
       let flows = workload ~rate in
       let result =
         match mode with
-        | `Difane mk -> run_difane ?timing (mk ()) flows
-        | `Nox mk -> run_nox ?timing (mk ()) flows
+        | `Difane mk ->
+            run { Config.default with Config.timing } (mk ()) flows
+        | `Nox mk -> run_nox ~timing (mk ()) flows
       in
       (rate, result))
     rates

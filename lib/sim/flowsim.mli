@@ -36,6 +36,34 @@ val default_timing : timing
 (** 1.25 µs authority service, 20 µs controller service, 10 ms RTT,
     queue 2000, instantaneous installs. *)
 
+(** One typed value for everything that parameterises a simulation run —
+    the single argument surface replacing the sprawl of optional
+    arguments ([?timing ?faults ?monitor ?controller ...]) plus the
+    congestion config that used to ride in on the deployment alone.
+    Build with record update on {!Config.default}:
+    [{ Config.default with timing; domains = 4 }]. *)
+module Config : sig
+  type t = {
+    timing : timing;
+    faults : Fault.plan option;
+        (** scheduled crash/flap events + lossy install fabric *)
+    monitor : Monitor.t option;
+        (** offered every packet at simulated time; finished at drain *)
+    congestion : Congestion.config option;
+        (** [Some c] overrides the deployment's congestion config for
+            this run; [None] uses the deployment's own *)
+    controller : (now:float -> unit) option;
+        (** live control-loop co-simulation hook *)
+    controller_interval : float;  (** tick period, seconds *)
+    domains : int;
+        (** worker domains for {!run_sharded}; {!run} requires [1] *)
+  }
+
+  val default : t
+  (** [default_timing], no faults, no monitor, deployment's congestion,
+      no controller (10 ms interval), one domain. *)
+end
+
 type authority_stat = {
   switch_id : int;
   misses_served : int;  (** misses this authority's setup server completed *)
@@ -91,23 +119,17 @@ type result = {
           alternative to shedding the miss at a full buffer *)
 }
 
-val run_difane :
-  ?timing:timing ->
-  ?faults:Fault.plan ->
-  ?monitor:Monitor.t ->
-  ?controller:(now:float -> unit) ->
-  ?controller_interval:float ->
-  Deployment.t ->
-  Traffic.flow list -> result
-(** Replay the workload against a DIFANE deployment.  Switch state
-    (caches, counters) is mutated — build a fresh deployment per run.
+val run : Config.t -> Deployment.t -> Traffic.flow list -> result
+(** Replay the workload against a DIFANE deployment under one config.
+    Switch state (caches, counters) is mutated — build a fresh deployment
+    per run.
 
-    With [monitor], every packet entering the network is offered to the
+    With a monitor, every packet entering the network is offered to the
     monitor's flow sampler as it fires (simulated time), and the monitor
     is {!Monitor.finish}ed when the event queue drains — after the run
     its reports cover exactly this workload.
 
-    With [faults], the plan's scheduled events drive the data-plane
+    With faults, the plan's scheduled events drive the data-plane
     reachability model (crash/link-down marks the switch unreachable,
     restart/link-up restores it), each cache-install message is dropped
     with the plan's link drop probability (deterministically, from the
@@ -119,13 +141,53 @@ val run_difane :
     [controllers] replicas are up: while none is, degraded misses are
     dropped and counted in [outage_drops].
 
-    With [controller], the callback runs at every [controller_interval]
-    boundary (default 10 ms) the simulation clock crosses, called with
-    the boundary time — the deterministic co-simulation hook that lets a
-    live {!Control_plane} (or {!Cluster}) tick against the same
+    With a controller hook, the callback runs at every
+    [controller_interval] boundary the simulation clock crosses, called
+    with the boundary time — the deterministic co-simulation hook that
+    lets a live {!Control_plane} (or {!Cluster}) tick against the same
     deployment the packets are walking, e.g. for closed-loop adaptive
     rebalancing.  Boundaries are caught up lazily at the next packet
-    event, and once more when the event queue drains. *)
+    event, and once more when the event queue drains.
+
+    @raise Invalid_argument if [domains <> 1] — parallel execution needs
+    per-shard deployments; use {!run_sharded}. *)
+
+val run_sharded :
+  Config.t ->
+  shards:int ->
+  deployment:(int -> Deployment.t) ->
+  flows:(int -> Traffic.flow list) ->
+  result
+(** Run [shards] independent single-engine simulations — shard [i] gets
+    [deployment i] and replays [flows i] — spread over
+    [min Config.domains shards] OCaml domains, and merge the results.
+
+    Determinism contract: the shard decomposition is a function of the
+    shard index alone, shards are merged strictly in shard-index order
+    (counters sum, extrema min/max, sample arrays concatenate, authority
+    tallies sum per switch id), and registry mirroring uses only
+    commutative atomic operations — so a same-seed run is byte-identical
+    at {e any} domain count, including [domains = 1].  The callbacks run
+    on worker domains: they must touch only shard-local state (building a
+    fresh deployment and workload from a per-shard seed is the intended
+    shape).
+
+    @raise Invalid_argument if [shards < 1], or if the config carries
+    faults, a monitor, or a controller hook — those are cross-shard
+    global state and require a single-domain {!run}. *)
+
+val run_difane :
+  ?timing:timing ->
+  ?faults:Fault.plan ->
+  ?monitor:Monitor.t ->
+  ?controller:(now:float -> unit) ->
+  ?controller_interval:float ->
+  Deployment.t ->
+  Traffic.flow list -> result
+(** @deprecated Thin wrapper over {!run} kept for one release: builds a
+    {!Config.t} from the optional arguments ([controller_interval]
+    defaults to 10 ms) and runs single-domain.  New code should build a
+    config value. *)
 
 val run_nox : ?timing:timing -> Nox.t -> Traffic.flow list -> result
 (** Replay against the reactive baseline. *)

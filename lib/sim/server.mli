@@ -16,6 +16,12 @@ val submit : t -> (unit -> unit) -> bool
 (** Enqueue a job; its callback runs at service completion.  Returns
     [false] (and drops the job) when the backlog is at capacity. *)
 
+val submit_packed : t -> Engine.kind -> int -> bool
+(** Like {!submit}, but the continuation is a packed engine event:
+    at service completion the handler registered for the kind is invoked
+    (synchronously) with the int argument.  Allocation-free — the form
+    the simulator's hot paths use. *)
+
 val queue_length : t -> int
 val accepted : t -> int
 val rejected : t -> int

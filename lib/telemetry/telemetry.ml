@@ -1,11 +1,17 @@
-type counter = { mutable n : int }
-type gauge = { mutable g : float }
+(* Instrument cells are atomic so worker domains can bump them while the
+   simulator is sharded across cores: every mutation is a commutative
+   monoid operation (add, max), so the *final* value any snapshot sees is
+   independent of interleaving — the registry stays deterministic under
+   parallelism even though individual increments race. *)
+
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type histogram = {
   bounds : float array;  (* strictly increasing upper bounds *)
-  counts : int array;  (* length bounds + 1; last is the +inf bucket *)
-  mutable sum : float;
-  mutable count : int;
+  counts : counter array;  (* length bounds + 1; last is the +inf bucket *)
+  sum : gauge;
+  hcount : counter;
 }
 
 type cell = C of counter | G of gauge | H of histogram
@@ -15,6 +21,28 @@ type cell = C of counter | G of gauge | H of histogram
 type registered = { name : string; labels : (string * string) list; cell : cell }
 
 let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
+
+(* Registration and snapshots are rare; a single lock keeps the Hashtbl
+   safe if a worker domain ever registers an instrument. *)
+let registry_lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let atomic_add_float (a : float Atomic.t) v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. v)) then go ()
+  in
+  go ()
+
+let atomic_max_float (a : float Atomic.t) v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then go ()
+  in
+  go ()
 
 let canon_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
@@ -27,6 +55,7 @@ let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 let register name labels make check =
   let labels = canon_labels labels in
   let k = key name labels in
+  locked @@ fun () ->
   match Hashtbl.find_opt registry k with
   | Some r -> (
       match check r.cell with
@@ -43,24 +72,24 @@ let register name labels make check =
 let counter ?(labels = []) name =
   register name labels
     (fun () ->
-      let c = { n = 0 } in
+      let c = Atomic.make 0 in
       (C c, c))
     (function C c -> Some c | _ -> None)
 
-let incr c = c.n <- c.n + 1
-let add c n = c.n <- c.n + n
-let value c = c.n
+let incr c = ignore (Atomic.fetch_and_add c 1)
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
 
 let gauge ?(labels = []) name =
   register name labels
     (fun () ->
-      let g = { g = 0. } in
+      let g = Atomic.make 0. in
       (G g, g))
     (function G g -> Some g | _ -> None)
 
-let set g v = g.g <- v
-let set_max g v = if v > g.g then g.g <- v
-let gauge_value g = g.g
+let set g v = Atomic.set g v
+let set_max g v = atomic_max_float g v
+let gauge_value g = Atomic.get g
 
 (* 1 µs .. 4^13 µs ≈ 134 s, log-spaced: wide enough for everything from a
    lookup to a whole chaos run without per-site tuning. *)
@@ -75,7 +104,12 @@ let histogram ?(labels = []) ?(buckets = default_buckets) name =
           invalid_arg "Telemetry.histogram: bucket bounds must be strictly increasing"
       done;
       let h =
-        { bounds = Array.copy buckets; counts = Array.make (n + 1) 0; sum = 0.; count = 0 }
+        {
+          bounds = Array.copy buckets;
+          counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+          hcount = Atomic.make 0;
+        }
       in
       (H h, h))
     (function H h -> Some h | _ -> None)
@@ -86,12 +120,12 @@ let observe h v =
   while !i < n && v > h.bounds.(!i) do
     Stdlib.incr i
   done;
-  h.counts.(!i) <- h.counts.(!i) + 1;
-  h.sum <- h.sum +. v;
-  h.count <- h.count + 1
+  ignore (Atomic.fetch_and_add h.counts.(!i) 1);
+  atomic_add_float h.sum v;
+  ignore (Atomic.fetch_and_add h.hcount 1)
 
-let histogram_count h = h.count
-let histogram_sum h = h.sum
+let histogram_count h = Atomic.get h.hcount
+let histogram_sum h = Atomic.get h.sum
 
 type value_kind =
   | Counter of int
@@ -104,28 +138,30 @@ let compare_labels a b =
   compare (List.map (fun (k, v) -> (k, v)) a) (List.map (fun (k, v) -> (k, v)) b)
 
 let snapshot () =
-  Hashtbl.fold
-    (fun _ r acc ->
-      let v =
-        match r.cell with
-        | C c -> Counter c.n
-        | G g -> Gauge g.g
-        | H h ->
-            let cum = ref 0 in
-            let buckets =
-              List.init
-                (Array.length h.counts)
-                (fun i ->
-                  cum := !cum + h.counts.(i);
-                  let bound =
-                    if i < Array.length h.bounds then h.bounds.(i) else infinity
-                  in
-                  (bound, !cum))
-            in
-            Histogram { buckets; count = h.count; sum = h.sum }
-      in
-      { name = r.name; labels = r.labels; v } :: acc)
-    registry []
+  (locked @@ fun () ->
+   Hashtbl.fold
+     (fun _ r acc ->
+       let v =
+         match r.cell with
+         | C c -> Counter (Atomic.get c)
+         | G g -> Gauge (Atomic.get g)
+         | H h ->
+             let cum = ref 0 in
+             let buckets =
+               List.init
+                 (Array.length h.counts)
+                 (fun i ->
+                   cum := !cum + Atomic.get h.counts.(i);
+                   let bound =
+                     if i < Array.length h.bounds then h.bounds.(i) else infinity
+                   in
+                   (bound, !cum))
+             in
+             Histogram
+               { buckets; count = Atomic.get h.hcount; sum = Atomic.get h.sum }
+       in
+       { name = r.name; labels = r.labels; v } :: acc)
+     registry [])
   |> List.sort (fun a b ->
          match String.compare a.name b.name with
          | 0 -> compare_labels a.labels b.labels
@@ -208,16 +244,17 @@ module Trace = struct
 end
 
 let reset () =
-  Hashtbl.iter
-    (fun _ r ->
-      match r.cell with
-      | C c -> c.n <- 0
-      | G g -> g.g <- 0.
-      | H h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.sum <- 0.;
-          h.count <- 0)
-    registry;
+  (locked @@ fun () ->
+   Hashtbl.iter
+     (fun _ r ->
+       match r.cell with
+       | C c -> Atomic.set c 0
+       | G g -> Atomic.set g 0.
+       | H h ->
+           Array.iter (fun c -> Atomic.set c 0) h.counts;
+           Atomic.set h.sum 0.;
+           Atomic.set h.hcount 0)
+     registry);
   if Array.length Trace.st.Trace.ring > 0 then Trace.clear ()
 
 (* ---- rendering ---- *)

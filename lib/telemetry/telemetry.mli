@@ -21,7 +21,12 @@
       byte-identical text/JSON — the property the seeded-replay
       experiments extend to their telemetry;
     - {b bounded memory}: the trace buffer is a fixed-capacity ring,
-      disabled by default; when off, an emit is one load and a branch.
+      disabled by default; when off, an emit is one load and a branch;
+    - {b domain safety}: instrument cells are atomic and every mutation is
+      a commutative monoid operation (add, max), so worker domains of a
+      sharded simulation can bump shared instruments and the final
+      snapshot is independent of interleaving.  Registration and
+      snapshots take a lock; the trace ring remains single-domain.
 
     The registry is process-wide and cumulative: instruments created
     twice under the same name and labels share one cell, and values
