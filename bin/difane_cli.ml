@@ -644,11 +644,26 @@ let trace_cmd =
     Arg.(value & opt float 0.10 & info [ "loss" ] ~docv:"LOSS" ~doc)
   in
   let capacity_arg =
-    let doc = "Trace ring capacity: the newest N events survive." in
+    let doc = "Trace ring capacity: the newest N events survive (per lane)." in
     Arg.(value & opt int 4096 & info [ "capacity" ] ~docv:"N" ~doc)
   in
-  let run seed quick scenario loss capacity echo_interval retx_timeout retx_backoff
-      retx_limit =
+  let filter_arg =
+    let doc =
+      "Keep only events whose name or detail contains $(docv) (a switch id, a flow \
+       key, an event class like $(b,takeover) — any substring)."
+    in
+    Arg.(value & opt (some string) None & info [ "filter" ] ~docv:"STR" ~doc)
+  in
+  let since_arg =
+    let doc = "Keep only events at or after this simulated time (seconds)." in
+    Arg.(value & opt (some float) None & info [ "since" ] ~docv:"T" ~doc)
+  in
+  let until_arg =
+    let doc = "Keep only events at or before this simulated time (seconds)." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T" ~doc)
+  in
+  let run seed quick scenario loss capacity filter since until echo_interval
+      retx_timeout retx_backoff retx_limit =
     Telemetry.reset ();
     Telemetry.Trace.enable ~capacity ();
     (match scenario with
@@ -659,7 +674,25 @@ let trace_cmd =
         Experiments.E_ha.replay_one ~seed ~quick ~loss ?echo_interval ?retx_timeout
           ?retx_backoff ?retx_limit ());
     Telemetry.Trace.disable ();
-    Format.printf "%a%!" Telemetry.Trace.pp_timeline ()
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      nn = 0 || go 0
+    in
+    let keep =
+      match (filter, since, until) with
+      | None, None, None -> None
+      | _ ->
+          Some
+            (fun (e : Telemetry.Trace.event) ->
+              (match filter with
+              | Some s -> contains e.Telemetry.Trace.name s || contains e.Telemetry.Trace.detail s
+              | None -> true)
+              && (match since with Some t -> e.Telemetry.Trace.at >= t | None -> true)
+              && match until with Some t -> e.Telemetry.Trace.at <= t | None -> true)
+    in
+    Telemetry.Trace.pp_timeline ?filter:keep Format.std_formatter ();
+    Format.print_flush ()
   in
   let doc =
     "Replay one seeded fault scenario with event tracing enabled and print the      timeline of control-plane, cluster and takeover events (simulated time)."
@@ -667,7 +700,160 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ seed_arg $ quick_arg $ scenario_arg $ loss_arg $ capacity_arg
-      $ echo_interval_arg $ retx_timeout_arg $ retx_backoff_arg $ retx_limit_arg)
+      $ filter_arg $ since_arg $ until_arg $ echo_interval_arg $ retx_timeout_arg
+      $ retx_backoff_arg $ retx_limit_arg)
+
+let paths_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario to replay with postcard tracing enabled: $(b,chaos), \
+       $(b,rebalance) (adaptive run only), $(b,scale) or $(b,mon) (monitored run; \
+       provenance annotations join through the monitor)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("chaos", `Chaos); ("rebalance", `Rebalance); ("scale", `Scale);
+               ("mon", `Mon) ])
+          `Rebalance
+      & info [ "scenario" ] ~docv:"NAME" ~doc)
+  in
+  let domains_arg =
+    let doc =
+      "Worker domains for the $(b,scale) scenario.  The reconstructed paths (and \
+       their JSON) are byte-identical at any count."
+    in
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Postcard ring capacity per shard: the newest N postcards survive." in
+    Arg.(value & opt int 65536 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let flow_arg =
+    let doc =
+      "Keep only the path(s) of this packed 5-tuple key, written $(b,HI:LO) in hex \
+       (as printed in the text output) or a single hex value (high lane 0)."
+    in
+    Arg.(value & opt (some string) None & info [ "flow" ] ~docv:"KEY" ~doc)
+  in
+  let switch_arg =
+    let doc = "Keep only paths with at least one hop at this switch." in
+    Arg.(value & opt (some int) None & info [ "switch" ] ~docv:"ID" ~doc)
+  in
+  let outcome_arg =
+    let doc = "Keep only paths with this outcome: $(b,delivered), $(b,dropped) or $(b,incomplete)." in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("delivered", `Delivered); ("dropped", `Dropped);
+                  ("incomplete", `Incomplete) ]))
+          None
+      & info [ "outcome" ] ~docv:"O" ~doc)
+  in
+  let since_arg =
+    let doc = "Keep only paths starting at or after this simulated time (seconds)." in
+    Arg.(value & opt (some float) None & info [ "since" ] ~docv:"T" ~doc)
+  in
+  let until_arg =
+    let doc = "Keep only paths starting at or before this simulated time (seconds)." in
+    Arg.(value & opt (some float) None & info [ "until" ] ~docv:"T" ~doc)
+  in
+  let json_arg =
+    let doc = "Print the selected paths as a difane-paths-v1 JSON document." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let limit_arg =
+    let doc = "Paths spelled out in the text rendering." in
+    Arg.(value & opt int 20 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let paths_check_arg =
+    let doc =
+      "Exit nonzero unless every causal invariant holds over the whole trace: one \
+       terminal per path, no forwarding loops within a tunnel leg, every cache hit \
+       preceded by a live install, every provenance-carrying install by an authority \
+       serve or controller fallback, every serve by an ingress miss, backpressured \
+       misses resolved at the controller, and queue-full drops consistent with the \
+       congestion layer."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run seed quick scenario domains capacity flow switch outcome since until json
+      limit check =
+    if domains < 1 then begin
+      Printf.eprintf "error: --domains must be >= 1\n";
+      exit 2
+    end;
+    Telemetry.reset ();
+    Ptrace.enable ~capacity ();
+    let describe = ref None in
+    (match scenario with
+    | `Chaos -> Experiments.E_chaos.replay_one ~seed ~quick ()
+    | `Rebalance -> Experiments.E_rebalance.replay_one ~seed ~quick ()
+    | `Scale ->
+        let spec =
+          { (if quick then Experiments.E_scale.quick_spec
+             else Experiments.E_scale.default_spec)
+            with Experiments.E_scale.domains }
+        in
+        ignore (Experiments.E_scale.run ~seed spec)
+    | `Mon ->
+        let m, _ = Experiments.E_mon.run_monitored ~seed ~quick () in
+        describe :=
+          Some (fun ~origin ~pid -> Monitor.describe_provenance m ~origin ~pid));
+    Ptrace.disable ();
+    let t = Paths.reconstruct () in
+    let q_key =
+      match flow with
+      | None -> None
+      | Some s -> (
+          let hex v = int_of_string ("0x" ^ v) in
+          try
+            match String.index_opt s ':' with
+            | Some i ->
+                Some
+                  ( hex (String.sub s (i + 1) (String.length s - i - 1)),
+                    hex (String.sub s 0 i) )
+            | None -> Some (hex s, 0)
+          with _ ->
+            Printf.eprintf "error: --flow expects HI:LO (hex) or a hex key\n";
+            exit 2)
+    in
+    let q =
+      { Paths.q_key; q_switch = switch; q_outcome = outcome; q_since = since;
+        q_until = until }
+    in
+    let sel = Paths.select q t in
+    if json then (print_string (Paths.to_json ~paths:sel t); print_newline ())
+    else begin
+      Paths.pp ?describe:!describe ~limit Format.std_formatter sel;
+      Paths.pp_summary Format.std_formatter t;
+      Format.print_flush ()
+    end;
+    if check then begin
+      (* under --json stdout is the document; the verdict goes to stderr *)
+      match Paths.check t with
+      | [] ->
+          if json then prerr_endline "paths check: all causal invariants hold"
+          else print_endline "paths check: all causal invariants hold"
+      | fs ->
+          List.iter (fun f -> Printf.eprintf "paths check FAILED: %s\n" f) fs;
+          exit 1
+    end
+  in
+  let doc =
+    "Replay one scenario with causal packet-path tracing enabled, reconstruct \
+     per-packet paths from the postcard rings, query them (by 5-tuple key, switch, \
+     outcome, time window) and check the causal invariants the DIFANE planes must \
+     uphold."
+  in
+  Cmd.v (Cmd.info "paths" ~doc)
+    Term.(
+      const run $ seed_arg $ quick_arg $ scenario_arg $ domains_arg $ capacity_arg
+      $ flow_arg $ switch_arg $ outcome_arg $ since_arg $ until_arg $ json_arg
+      $ limit_arg $ paths_check_arg)
 
 let monitor_cmd =
   let sample_rate_arg =
@@ -775,6 +961,7 @@ let experiments =
     rebalance_cmd;
     scale_cmd;
     trace_cmd;
+    paths_cmd;
     monitor_cmd;
     experiment "monitor-report" "Flow monitoring: heavy hitters, hotspots, determinism"
       (fun ~seed ~quick -> Experiments.E_mon.print (Experiments.E_mon.run ~seed ~quick ()));

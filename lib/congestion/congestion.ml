@@ -117,6 +117,7 @@ let transit t ~now ~from (l : Topology.link) =
   | Some cap when wait > 0. && depth >= cap ->
       t.drops <- t.drops + 1;
       Telemetry.incr m_drops;
+      Ptrace.emit ~at:now Ptrace.Queue_drop ~switch:from ~rule:(-1) ~aux:depth;
       `Drop
   | _ ->
       let marked =
@@ -126,7 +127,8 @@ let transit t ~now ~from (l : Topology.link) =
       in
       if marked then begin
         t.marks <- t.marks + 1;
-        Telemetry.incr m_marks
+        Telemetry.incr m_marks;
+        Ptrace.emit ~at:now Ptrace.Ecn ~switch:from ~rule:(-1) ~aux:depth
       end;
       p.busy_until <- Float.max now p.busy_until +. ser;
       `Forward (wait +. ser, marked)

@@ -245,6 +245,9 @@ let controller_fallback ?(cause = `Failure) d ~now ~ingress h =
   let origin =
     Option.map (fun (r : Rule.t) -> r.Rule.id) (Classifier.first_match d.policy h)
   in
+  Ptrace.emit ~at:now Ptrace.Controller ~switch:ingress
+    ~rule:(Option.value ~default:(-1) origin)
+    ~aux:(match cause with `Failure -> 0 | `Backpressure -> 1);
   let rule =
     Rule.make ~id:(Switch.fresh_cache_id sw) ~priority:0
       (exact_pred (Classifier.schema d.policy) h)
@@ -257,6 +260,9 @@ let controller_fallback ?(cause = `Failure) d ~now ~ingress h =
     (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
        ?hard_timeout:d.config.cache_hard_timeout ?origin_id:origin ~pid sw ~now rule);
   let path, latency = deliver d.topology ~from:ingress action in
+  Ptrace.emit ~at:(now +. latency) Ptrace.Deliver
+    ~switch:(List.fold_left (fun _ n -> n) ingress path)
+    ~rule:(-1) ~aux:0;
   { action; path; latency; cache_hit = false; authority = None;
     installed = Some rule; degraded = true }
 
@@ -300,22 +306,45 @@ let authority_saturated cong ~now p1 =
           >= cfg.Congestion.credit_pool - cfg.Congestion.credit_low_water
       | _ -> false)
 
-let queue_drop ~ingress =
+let queue_drop ~now ~ingress =
+  Ptrace.emit ~at:now Ptrace.Drop ~switch:ingress ~rule:(-1)
+    ~aux:Ptrace.drop_queue_full;
   { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
     authority = None; installed = None; degraded = false }
+
+(* Transit postcards for a shortcut leg: one per node entered. *)
+let emit_leg ~at = function
+  | [] -> ()
+  | _ :: rest ->
+      List.iter
+        (fun n -> Ptrace.emit ~at Ptrace.Transit ~switch:n ~rule:(-1) ~aux:0)
+        rest
+
+let last_node ~default path = List.fold_left (fun _ n -> n) default path
 
 (* [cong] is threaded explicitly (rather than read from [d]) so that
    semantic checks can run the same walk with congestion bypassed — a
    full buffer must not make [semantically_equal] report a policy
    divergence. *)
-let inject_impl ~cong d ~now ~ingress h =
+let inject_impl ?pkt ~cong d ~now ~ingress h =
+  (* [pkt]: the caller (the DES controller path) already opened a traced
+     packet for this header — continue it instead of starting a second
+     path for the same packet *)
+  (match pkt with
+  | Some p -> Ptrace.resume_packet ~pkt:p h
+  | None -> ignore (Ptrace.begin_packet now h));
   let sw = d.switches.(ingress) in
   match Switch.process sw ~now h with
   | Switch.Local (action, bank) -> (
       let path, latency = deliver d.topology ~from:ingress action in
       match congested_leg cong d.topology ~now path with
-      | `Queue_full -> queue_drop ~ingress
+      | `Queue_full -> queue_drop ~now ~ingress
       | `Ok extra ->
+          emit_leg ~at:now path;
+          Ptrace.emit ~at:(now +. latency +. extra) Ptrace.Deliver
+            ~switch:(last_node ~default:ingress path)
+            ~rule:(-1)
+            ~aux:(if bank = Switch.Cache_bank then 1 else 0);
           {
             action;
             path;
@@ -334,15 +363,20 @@ let inject_impl ~cong d ~now ~ingress h =
       let to_auth = leg d.topology ingress auth in
       match to_auth with
       | None ->
+          Ptrace.emit ~at:now Ptrace.Drop ~switch:ingress ~rule:(-1)
+            ~aux:Ptrace.drop_unreachable;
           { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
             authority = None; installed = None; degraded = false }
       | Some (p1, l1) -> (
-          if authority_saturated cong ~now p1 then
+          if authority_saturated cong ~now p1 then begin
+            Ptrace.emit ~at:now Ptrace.Backpressure ~switch:auth ~rule:(-1) ~aux:0;
             controller_fallback ~cause:`Backpressure d ~now ~ingress h
+          end
           else
           match congested_leg cong d.topology ~now p1 with
-          | `Queue_full -> queue_drop ~ingress
+          | `Queue_full -> queue_drop ~now ~ingress
           | `Ok e1 -> (
+          emit_leg ~at:now p1;
           match Switch.serve_miss ~mode:d.config.cache_mode d.switches.(auth) ~now h with
           | None ->
               (* misrouted: the authority lost its partition (e.g. a crash
@@ -357,8 +391,12 @@ let inject_impl ~cong d ~now ~ingress h =
                    cache_rule);
               let p2, l2 = deliver d.topology ~from:auth action in
               match congested_leg cong d.topology ~now:(now +. l1 +. e1) p2 with
-              | `Queue_full -> queue_drop ~ingress
+              | `Queue_full -> queue_drop ~now ~ingress
               | `Ok e2 ->
+                  emit_leg ~at:(now +. l1 +. e1) p2;
+                  Ptrace.emit ~at:(now +. l1 +. e1 +. l2 +. e2) Ptrace.Deliver
+                    ~switch:(last_node ~default:auth p2)
+                    ~rule:(-1) ~aux:0;
                   {
                     action;
                     path = join p1 p2;
@@ -368,11 +406,18 @@ let inject_impl ~cong d ~now ~ingress h =
                     installed = Some cache_rule;
                     degraded = false;
                   })))))
-  | Switch.Unmatched | Switch.Misconfigured ->
+  | Switch.Unmatched ->
+      Ptrace.emit ~at:now Ptrace.Drop ~switch:ingress ~rule:(-1)
+        ~aux:Ptrace.drop_unmatched;
+      { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
+        authority = None; installed = None; degraded = false }
+  | Switch.Misconfigured ->
+      Ptrace.emit ~at:now Ptrace.Drop ~switch:ingress ~rule:(-1)
+        ~aux:Ptrace.drop_misconfigured;
       { action = Action.Drop; path = [ ingress ]; latency = 0.; cache_hit = false;
         authority = None; installed = None; degraded = false }
 
-let inject d ~now ~ingress h = inject_impl ~cong:d.cong d ~now ~ingress h
+let inject ?pkt d ~now ~ingress h = inject_impl ?pkt ~cong:d.cong d ~now ~ingress h
 
 let controller_serve ?cause d ~now ~ingress h = controller_fallback ?cause d ~now ~ingress h
 

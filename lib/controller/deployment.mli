@@ -102,13 +102,17 @@ type outcome = {
           deferred the miss ({!backpressured_misses}) *)
 }
 
-val inject : t -> now:float -> ingress:int -> Header.t -> outcome
+val inject : ?pkt:int -> t -> now:float -> ingress:int -> Header.t -> outcome
 (** Walk one packet through the network, mutating switch state (cache
     counters and reactive installs) exactly as DIFANE would.  When every
     replica of the header's partition is unreachable the miss is served
     degraded: the controller answers from the policy directly and
     installs an exact-match entry at the ingress (see {!outcome.degraded}
-    and {!degraded_misses}). *)
+    and {!degraded_misses}).
+
+    Each call opens a fresh {!Ptrace} packet context; [pkt] instead
+    continues an already-open traced packet (the DES controller-fallback
+    path hands its own packet id so the trace stays one causal path). *)
 
 val expire_caches : t -> now:float -> int
 (** Run cache timeouts on every switch; returns entries expired. *)

@@ -1853,6 +1853,13 @@ module E_rebalance = struct
       (Cluster.cluster_log cl, Bytes.to_string (Journal.encode (Cluster.journal cl)),
        res.Flowsim.flow_delays) )
 
+  (* One adaptive run, nothing else: the replay target [difane paths]
+     traces — flash crowd, hotspot detection, staged migration, cache
+     invalidation — without the static/crash/replay-gate siblings. *)
+  let replay_one ?(seed = 42) ?(quick = false) ?(hotspot_threshold = 2.0)
+      ?(hotspot_window = 3) () =
+    ignore (scenario ~seed ~quick ~hotspot_threshold ~hotspot_window ~mode:`Adaptive)
+
   let run ?(seed = 42) ?(quick = false) ?(hotspot_threshold = 2.0) ?(hotspot_window = 3)
       () =
     let scenario = scenario ~seed ~quick ~hotspot_threshold ~hotspot_window in

@@ -422,6 +422,17 @@ module E_rebalance : sig
       are the adaptive controller's detection knobs
       ({!Control_plane.config}). *)
 
+  val replay_one :
+    ?seed:int ->
+    ?quick:bool ->
+    ?hotspot_threshold:float ->
+    ?hotspot_window:int ->
+    unit ->
+    unit
+  (** Run just the adaptive scenario once — the tracing target
+      [difane paths --scenario rebalance] replays with postcard
+      recording enabled. *)
+
   val check : row list -> string list
   (** Violated claims across the three rows ([[]] when all hold): every
       per-run invariant, the static baseline {e not} recovering, and the

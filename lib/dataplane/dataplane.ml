@@ -60,6 +60,8 @@ let hop w ~now next =
           w.at <- next;
           w.rev_trace <- next :: w.rev_trace;
           w.ttl <- w.ttl - 1;
+          Ptrace.emit ~at:(now +. w.latency) Ptrace.Transit ~switch:next ~rule:(-1)
+            ~aux:(if marked then 1 else 0);
           `Forwarded)
 
 (* Carry an encapsulated packet to its tunnel endpoint.  Transit switches
@@ -88,46 +90,62 @@ let finish w ~action ~delivered ~drop_reason =
     marked = w.marked;
   }
 
-let dropped w reason = finish w ~action:Action.Drop ~delivered:false ~drop_reason:(Some reason)
+let reason_code = function
+  | Ttl -> Ptrace.drop_ttl
+  | Unmatched -> Ptrace.drop_unmatched
+  | Misconfigured -> Ptrace.drop_misconfigured
+  | Unreachable -> Ptrace.drop_unreachable
+  | No_authority -> Ptrace.drop_no_authority
+  | Queue_full -> Ptrace.drop_queue_full
+
+let dropped w ~now reason =
+  Ptrace.emit ~at:(now +. w.latency) Ptrace.Drop ~switch:w.at ~rule:(-1)
+    ~aux:(reason_code reason);
+  finish w ~action:Action.Drop ~delivered:false ~drop_reason:(Some reason)
+
+let delivered_at w ~now action =
+  Ptrace.emit ~at:(now +. w.latency) Ptrace.Deliver ~switch:w.at ~rule:(-1) ~aux:0;
+  finish w ~action ~delivered:true ~drop_reason:None
 
 let deliver_action w ~now action =
   (* a forwarding action tunnels to the egress switch; anything else
      terminates where we stand — a matched [Drop] is a policy verdict,
      not a network drop, so [drop_reason] stays [None] *)
   match Action.egress action with
-  | None -> finish w ~action ~delivered:true ~drop_reason:None
+  | None -> delivered_at w ~now action
   | Some egress -> (
-      if egress = w.at then finish w ~action ~delivered:true ~drop_reason:None
+      if egress = w.at then delivered_at w ~now action
       else
         match tunnel_to w ~now egress with
-        | `Arrived -> finish w ~action ~delivered:true ~drop_reason:None
-        | `Ttl_exceeded -> dropped w Ttl
-        | `Unreachable -> dropped w Unreachable
-        | `Queue_full -> dropped w Queue_full)
+        | `Arrived -> delivered_at w ~now action
+        | `Ttl_exceeded -> dropped w ~now Ttl
+        | `Unreachable -> dropped w ~now Unreachable
+        | `Queue_full -> dropped w ~now Queue_full)
 
 let packet ?(config = default_config) ?congestion ~routing ~switch ~now ~ingress header =
   let w =
     { routing; congestion; at = ingress; rev_trace = [ ingress ]; ttl = config.max_ttl;
       latency = 0.; encaps = 0; marked = false }
   in
+  ignore (Ptrace.begin_packet now header);
   let ingress_sw = switch ingress in
   match Switch.process ingress_sw ~now header with
   | Switch.Local (action, _) -> deliver_action w ~now action
-  | Switch.Unmatched -> dropped w Unmatched
-  | Switch.Misconfigured -> dropped w Misconfigured
+  | Switch.Unmatched -> dropped w ~now Unmatched
+  | Switch.Misconfigured -> dropped w ~now Misconfigured
   | Switch.Tunnel authority -> (
       if authority = w.at then
         (* the ingress is the authority's neighbourless corner case: a
            partition rule pointing at self would be a controller bug *)
-        dropped w No_authority
+        dropped w ~now No_authority
       else
         match tunnel_to w ~now authority with
-        | `Ttl_exceeded -> dropped w Ttl
-        | `Unreachable -> dropped w Unreachable
-        | `Queue_full -> dropped w Queue_full
+        | `Ttl_exceeded -> dropped w ~now Ttl
+        | `Unreachable -> dropped w ~now Unreachable
+        | `Queue_full -> dropped w ~now Queue_full
         | `Arrived -> (
             match Switch.serve_miss ~mode:config.cache_mode (switch authority) ~now header with
-            | None -> dropped w No_authority
+            | None -> dropped w ~now No_authority
             | Some { Switch.action; cache_rule; origin_id; pid } ->
                 ignore
                   (Switch.install_cache_rule ?idle_timeout:config.cache_idle_timeout

@@ -89,6 +89,31 @@ let chain_of t rule_id =
          | Some _ -> Some (p.Partitioner.pid, Assignment.switch_for asg p.Partitioner.pid)
          | None -> None)
 
+(* The trace-side provenance join: decode the (origin, pid) pair a
+   Cache_hit/Install postcard carries into the human chain
+   policy rule -> partition -> authority switch.  Components the
+   deployment no longer knows (retired pids, deleted rules) degrade to
+   a marker instead of hiding the rest of the chain. *)
+let describe_provenance t ~origin ~pid =
+  if origin < 0 && pid < 0 then None
+  else begin
+    let rule_part =
+      if origin < 0 then "rule ?"
+      else
+        match Classifier.find (Deployment.policy t.d) origin with
+        | Some (r : Rule.t) -> Printf.sprintf "rule %d prio %d" origin r.Rule.priority
+        | None -> Printf.sprintf "rule %d (retired)" origin
+    in
+    let part_part =
+      if pid < 0 then ""
+      else
+        match Assignment.switch_for (Deployment.assignment t.d) pid with
+        | auth -> Printf.sprintf " -> pid %d @ authority %d" pid auth
+        | exception Not_found -> Printf.sprintf " -> pid %d (retired)" pid
+    in
+    Some (rule_part ^ part_part)
+  end
+
 let rule_reports t =
   let cache = Hashtbl.create 64 and auth = Hashtbl.create 64 in
   let bump tbl k v =

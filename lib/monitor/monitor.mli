@@ -65,6 +65,13 @@ type rule_report = {
 
 val rule_total : rule_report -> int64
 
+val describe_provenance : t -> origin:int -> pid:int -> string option
+(** Decode a packed provenance pair (as carried by {!Ptrace.Cache_hit}
+    and {!Ptrace.Install} postcards) into the human-readable chain
+    [rule <id> prio <p> -> pid <pid> @ authority <switch>].  [None] when
+    both components are unknown ([-1]); retired pids and deleted rules
+    are marked rather than dropped. *)
+
 val heavy_hitters : ?k:int -> t -> rule_report list
 (** Policy rules by descending total hits (ties: ascending id), top [k]
     (default [config.top_k]); zero-hit rules excluded. *)

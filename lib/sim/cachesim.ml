@@ -238,12 +238,33 @@ let run_keys kind ~cache_size { keys; origin_of } =
   let lru = Lru.create ~key_bound cache_size in
   let misses = ref 0 in
   let hit_counts = Array.make (max 1 key_bound) 0 in
-  Array.iter
-    (fun k ->
-      if Lru.access lru k then
-        Array.unsafe_set hit_counts k (1 + Array.unsafe_get hit_counts k)
-      else incr misses)
-    keys;
+  (* Traced and untraced loops are split so the untraced hot loop stays
+     exactly the PR-8 shape; the model has no switches, so postcards
+     carry switch -1 and the key as both packet key and rule id. *)
+  if Ptrace.enabled () then
+    Array.iteri
+      (fun i k ->
+        let at = float_of_int i in
+        ignore (Ptrace.begin_packet_key at ~lo:k ~hi:0);
+        if Lru.access lru k then begin
+          Array.unsafe_set hit_counts k (1 + Array.unsafe_get hit_counts k);
+          Ptrace.emit ~at Ptrace.Cache_hit ~switch:(-1) ~rule:k ~aux:0;
+          Ptrace.emit ~at Ptrace.Deliver ~switch:(-1) ~rule:(-1) ~aux:1
+        end
+        else begin
+          incr misses;
+          Ptrace.emit ~at Ptrace.Miss ~switch:(-1) ~rule:(-1) ~aux:(-1);
+          Ptrace.emit ~at Ptrace.Install ~switch:(-1) ~rule:k ~aux:0;
+          Ptrace.emit ~at Ptrace.Deliver ~switch:(-1) ~rule:(-1) ~aux:0
+        end)
+      keys
+  else
+    Array.iter
+      (fun k ->
+        if Lru.access lru k then
+          Array.unsafe_set hit_counts k (1 + Array.unsafe_get hit_counts k)
+        else incr misses)
+      keys;
   let lookups = Array.length keys in
   Telemetry.add m_lookups lookups;
   Telemetry.add m_misses !misses;

@@ -245,9 +245,15 @@ type raw = {
   recn_marks : int;
 }
 
-let run_core (cfg : Config.t) d flows =
+let run_core ?(shard = 0) (cfg : Config.t) d flows =
   let timing = cfg.timing in
   let engine = Engine.create () in
+  (* Tracing rails: this shard's postcards (and Trace events) go to the
+     shard's own ring/lane, so the read side's shard-index-ordered merge
+     is byte-identical at any domain count.  Both binds are no-ops when
+     the facility is off. *)
+  Ptrace.bind ~shard;
+  Telemetry.Trace.bind ~lane:shard;
   let acc = fresh_acc () in
   let live = cfg.monitor <> None || cfg.controller <> None in
   (* Live-controller co-simulation: before each packet event, run the
@@ -386,23 +392,32 @@ let run_core (cfg : Config.t) d flows =
      [`Backpressure] (credit mode found the authority saturated, so the
      ingress defers re-splicing; the replicas are alive, so the
      controller is asked directly and the accounting stays separate). *)
-  let serve_via_controller ~cause (flow : Traffic.flow) ~is_first =
+  let serve_via_controller ~cause (flow : Traffic.flow) ~is_first ~pkt =
     if !controllers_up <= 0 then begin
       (* total controller outage on top of total replica loss: the packet
          has nowhere to go — the one genuinely fatal combination *)
       acc.outage <- acc.outage + 1;
       if live then Telemetry.incr m_outage_drops;
+      Ptrace.emit ~at:(Engine.now engine) Ptrace.Drop ~switch:flow.ingress ~rule:(-1)
+        ~aux:Ptrace.drop_outage;
       flow_dropped ~is_first
     end
     else
     Engine.after engine ~delay:(timing.controller_rtt /. 2.) (fun () ->
+        Ptrace.resume_packet ~pkt flow.header;
         let accepted =
           Server.submit (controller_server ()) (fun () ->
               let now = Engine.now engine in
+              Ptrace.resume_packet ~pkt flow.header;
+              (* the Deployment walk emits this packet's remaining
+                 postcards (controller verdict, install, terminal) on the
+                 resumed context — no terminal is emitted here *)
               let o =
                 match cause with
                 | `Failure ->
-                    let o = Deployment.inject d ~now ~ingress:flow.ingress flow.header in
+                    let o =
+                      Deployment.inject ~pkt d ~now ~ingress:flow.ingress flow.header
+                    in
                     acc.degraded <- acc.degraded + 1;
                     if live then Telemetry.incr m_degraded;
                     o
@@ -416,12 +431,20 @@ let run_core (cfg : Config.t) d flows =
                   +. egress_latency topo ~from:flow.ingress o.Deployment.action)
                 ~cache_hit:false)
         in
-        if not accepted then flow_dropped ~is_first)
+        if not accepted then begin
+          Ptrace.emit ~at:(Engine.now engine) Ptrace.Drop ~switch:flow.ingress
+            ~rule:(-1) ~aux:Ptrace.drop_rejected;
+          flow_dropped ~is_first
+        end)
   in
   let serve_degraded = serve_via_controller ~cause:`Failure in
   let process_packet (flow : Traffic.flow) ~is_first =
     let now = Engine.now engine in
     catch_up now;
+    (* opened after [catch_up], so controller ticks never inherit a
+       packet context; the packet id rides into every deferred
+       continuation below via [resume_packet] *)
+    let pkt = Ptrace.begin_packet now flow.header in
     (match cfg.monitor with
     | Some m -> Monitor.observe_packet m ~now ~ingress:flow.ingress flow.header
     | None -> ());
@@ -429,22 +452,38 @@ let run_core (cfg : Config.t) d flows =
     match Switch.process ingress_sw ~now flow.header with
     | Switch.Local (action, bank) -> (
         match deliver_leg ~now ~from:flow.ingress action with
-        | `Queue_full -> flow_dropped ~is_first
+        | `Queue_full ->
+            Ptrace.emit ~at:now Ptrace.Drop ~switch:flow.ingress ~rule:(-1)
+              ~aux:Ptrace.drop_queue_full;
+            flow_dropped ~is_first
         | `Ok extra ->
-            deliver ~live acc engine ~is_first ~arrival:now
-              ~extra_latency:(egress_latency topo ~from:flow.ingress action +. extra)
+            let lat = egress_latency topo ~from:flow.ingress action +. extra in
+            Ptrace.emit ~at:(now +. lat) Ptrace.Deliver
+              ~switch:
+                (match Action.egress action with Some e -> e | None -> flow.ingress)
+              ~rule:(-1)
+              ~aux:(if bank = Switch.Cache_bank then 1 else 0);
+            deliver ~live acc engine ~is_first ~arrival:now ~extra_latency:lat
               ~cache_hit:(bank = Switch.Cache_bank))
-    | Switch.Unmatched | Switch.Misconfigured -> flow_dropped ~is_first
+    | Switch.Unmatched ->
+        Ptrace.emit ~at:now Ptrace.Drop ~switch:flow.ingress ~rule:(-1)
+          ~aux:Ptrace.drop_unmatched;
+        flow_dropped ~is_first
+    | Switch.Misconfigured ->
+        Ptrace.emit ~at:now Ptrace.Drop ~switch:flow.ingress ~rule:(-1)
+          ~aux:Ptrace.drop_misconfigured;
+        flow_dropped ~is_first
     | Switch.Tunnel nominal -> (
         match Deployment.resolve_authority d ~ingress:flow.ingress flow.header ~nominal with
-        | None -> serve_degraded flow ~is_first
+        | None -> serve_degraded flow ~is_first ~pkt
         | Some auth ->
         if credit_mode && !(credit_for auth) <= ccfg.Congestion.credit_low_water then begin
           (* the pool is drained to the low-water mark: the authority is
              saturated, so defer re-splicing instead of piling on *)
           acc.backpressured <- acc.backpressured + 1;
           if live then Telemetry.incr m_backpressured;
-          serve_via_controller ~cause:`Backpressure flow ~is_first
+          Ptrace.emit ~at:now Ptrace.Backpressure ~switch:auth ~rule:(-1) ~aux:0;
+          serve_via_controller ~cause:`Backpressure flow ~is_first ~pkt
         end
         else begin
         if credit_mode then decr (credit_for auth);
@@ -452,21 +491,30 @@ let run_core (cfg : Config.t) d flows =
         match congested_path ~now flow.ingress auth with
         | `Queue_full ->
             return_credit ();
+            Ptrace.emit ~at:now Ptrace.Drop ~switch:flow.ingress ~rule:(-1)
+              ~aux:Ptrace.drop_queue_full;
             flow_dropped ~is_first
         | `Ok tunnel_extra ->
         let tunnel_latency = prop topo flow.ingress auth +. tunnel_extra in
         (* the miss packet reaches the authority, then queues for a
            flow-setup slot *)
         Engine.after engine ~delay:tunnel_latency (fun () ->
+            Ptrace.resume_packet ~pkt flow.header;
+            Ptrace.emit ~at:(Engine.now engine) Ptrace.Transit ~switch:auth ~rule:(-1)
+              ~aux:0;
             let accepted =
               Server.submit (server_for auth) (fun () ->
                   return_credit ();
                   let now = Engine.now engine in
+                  Ptrace.resume_packet ~pkt flow.header;
                   match
                     Switch.serve_miss ~mode:(Deployment.config d).Deployment.cache_mode
                       (Deployment.switch d auth) ~now flow.header
                   with
-                  | None -> flow_dropped ~is_first
+                  | None ->
+                      Ptrace.emit ~at:now Ptrace.Drop ~switch:auth ~rule:(-1)
+                        ~aux:Ptrace.drop_no_authority;
+                      flow_dropped ~is_first
                   | Some { Switch.action; cache_rule; origin_id; pid } -> (
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
@@ -480,6 +528,7 @@ let run_core (cfg : Config.t) d flows =
                         end
                       else
                         Engine.after engine ~delay:timing.install_latency (fun () ->
+                            Ptrace.resume_packet ~pkt flow.header;
                             ignore
                               (Switch.install_cache_rule ?idle_timeout ?hard_timeout
                                  ~origin_id ~pid ingress_sw ~now:(Engine.now engine)
@@ -490,15 +539,25 @@ let run_core (cfg : Config.t) d flows =
                             (Topology.stretch topo ~src:flow.ingress ~via:auth ~dst:e)
                       | None -> ());
                       match deliver_leg ~now:(Engine.now engine) ~from:auth action with
-                      | `Queue_full -> flow_dropped ~is_first
+                      | `Queue_full ->
+                          Ptrace.emit ~at:(Engine.now engine) Ptrace.Drop ~switch:auth
+                            ~rule:(-1) ~aux:Ptrace.drop_queue_full;
+                          flow_dropped ~is_first
                       | `Ok extra ->
+                          let lat = egress_latency topo ~from:auth action +. extra in
+                          Ptrace.emit ~at:(Engine.now engine +. lat) Ptrace.Deliver
+                            ~switch:
+                              (match Action.egress action with
+                              | Some e -> e
+                              | None -> auth)
+                            ~rule:(-1) ~aux:0;
                           deliver ~was_miss:true ~live acc engine ~is_first
-                            ~arrival:flow.start
-                            ~extra_latency:(egress_latency topo ~from:auth action +. extra)
-                            ~cache_hit:false))
+                            ~arrival:flow.start ~extra_latency:lat ~cache_hit:false))
             in
             if not accepted then begin
               return_credit ();
+              Ptrace.emit ~at:(Engine.now engine) Ptrace.Drop ~switch:auth ~rule:(-1)
+                ~aux:Ptrace.drop_rejected;
               flow_dropped ~is_first
             end)
         end)
@@ -622,7 +681,7 @@ let run_sharded (cfg : Config.t) ~shards ~deployment ~flows =
       let d = deployment s in
       let fl = flows s in
       offered.(s) <- List.length fl;
-      raws.(s) <- Some (run_core cfg1 d fl);
+      raws.(s) <- Some (run_core ~shard:s cfg1 d fl);
       i := s + nd
     done
   in

@@ -164,9 +164,13 @@ let apply_flow_mod t ~now (fm : Message.flow_mod) =
       ignore
         (Tcam.insert ?idle_timeout:fm.idle_timeout ?hard_timeout:fm.hard_timeout t.cache
            ~now fm.rule);
+      Ptrace.emit_control ~at:now Ptrace.Install ~switch:t.id ~rule:fm.rule.Rule.id
+        ~aux:0;
       sync_occupancy t
   | Message.Cache, (Message.Delete | Message.Delete_strict) ->
       ignore (Tcam.remove t.cache fm.rule.Rule.id);
+      Ptrace.emit_control ~at:now Ptrace.Invalidate ~switch:t.id ~rule:fm.rule.Rule.id
+        ~aux:Ptrace.invalidate_delete;
       sync_occupancy t
   | (Message.Authority | Message.Partition), _ ->
       invalid_arg "Switch.apply_flow_mod: authority/partition banks are replaced wholesale"
@@ -318,8 +322,11 @@ let process t ~now h =
       (match Hashtbl.find_opt t.cache_origin r.Rule.id with
       | Some (origin, pid) ->
           bump t.origin_cache_hits origin 1L;
-          if pid >= 0 then bump t.pid_cache_hits pid 1L
-      | None -> ());
+          if pid >= 0 then bump t.pid_cache_hits pid 1L;
+          Ptrace.emit ~at:now Ptrace.Cache_hit ~switch:t.id ~rule:r.Rule.id
+            ~aux:(Ptrace.pack_provenance ~origin ~pid)
+      | None ->
+          Ptrace.emit ~at:now Ptrace.Cache_hit ~switch:t.id ~rule:r.Rule.id ~aux:0);
       Local (r.Rule.action, Cache_bank)
   | None -> (
       match authority_lookup t h with
@@ -327,12 +334,14 @@ let process t ~now h =
           t.authority_hits <- Int64.add t.authority_hits 1L;
           Telemetry.incr t.tele.m_authority_hits;
           bump t.origin_auth_hits r.Rule.id 1L;
+          Ptrace.emit ~at:now Ptrace.Authority_hit ~switch:t.id ~rule:r.Rule.id ~aux:0;
           Local (r.Rule.action, Authority_bank)
       | None -> (
           match partition_lookup t h with
           | Some { Rule.action = Action.To_authority a; _ } ->
               t.tunnelled <- Int64.add t.tunnelled 1L;
               Telemetry.incr t.tele.m_tunnelled;
+              Ptrace.emit ~at:now Ptrace.Miss ~switch:t.id ~rule:(-1) ~aux:a;
               Tunnel a
           | Some _ ->
               (* a partition rule claimed the header but cannot tunnel
@@ -353,7 +362,6 @@ let exact_pred schema h =
          Ternary.exact ~width:(Schema.field_bits schema i) (Header.field h i)))
 
 let serve_miss ?(mode = `Spliced) t ~now h =
-  ignore now;
   match
     List.find_opt
       (fun ((p : Partitioner.partition), _) -> Pred.matches p.region h)
@@ -371,6 +379,8 @@ let serve_miss ?(mode = `Spliced) t ~now h =
           Telemetry.incr t.tele.m_authority_hits;
           bump t.origin_auth_hits piece.origin.Rule.id 1L;
           bump t.partition_hits p.Partitioner.pid 1L;
+          Ptrace.emit ~at:now Ptrace.Authority_serve ~switch:t.id
+            ~rule:piece.origin.Rule.id ~aux:p.Partitioner.pid;
           let next_id () =
             let i = t.next_cache_id in
             t.next_cache_id <- i + 1;
@@ -414,15 +424,27 @@ let notify_removed t ~now reason (e : Tcam.entry) =
 
 let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now rule =
   let d = Tcam.insert_or_evict_entries ?idle_timeout ?hard_timeout t.cache ~now rule in
-  List.iter (notify_removed t ~now Message.Evicted) d.Tcam.evicted;
+  List.iter
+    (fun (e : Tcam.entry) ->
+      Ptrace.emit ~at:now Ptrace.Replace ~switch:t.id ~rule:e.Tcam.rule.Rule.id
+        ~aux:Ptrace.replace_evicted;
+      notify_removed t ~now Message.Evicted e)
+    d.Tcam.evicted;
   (* a same-id reinstall displaces the old entry: report its final
      counters (cookie read before the provenance mapping is replaced)
      so rule attribution survives the churn *)
   Option.iter
     (fun (e : Tcam.entry) ->
+      Ptrace.emit ~at:now Ptrace.Replace ~switch:t.id ~rule:e.Tcam.rule.Rule.id
+        ~aux:Ptrace.replace_displaced;
       notify_removed t ~now Message.Replaced e;
       Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
     d.Tcam.replaced;
+  if not d.Tcam.bounced then begin
+    let origin = Option.value ~default:(-1) origin_id in
+    Ptrace.emit ~at:now Ptrace.Install ~switch:t.id ~rule:rule.Rule.id
+      ~aux:(Ptrace.pack_provenance ~origin ~pid)
+  end;
   (match origin_id with
   | Some origin when not d.Tcam.bounced ->
       Hashtbl.replace t.cache_origin rule.Rule.id (origin, pid)
@@ -447,6 +469,8 @@ let invalidate_cache_pids t ~now pids =
   in
   List.iter
     (fun (e : Tcam.entry) ->
+      Ptrace.emit_control ~at:now Ptrace.Invalidate ~switch:t.id
+        ~rule:e.Tcam.rule.Rule.id ~aux:Ptrace.invalidate_migration;
       notify_removed t ~now Message.Replaced e;
       ignore (Tcam.remove t.cache e.Tcam.rule.Rule.id);
       Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
@@ -463,6 +487,11 @@ let expire_cache t ~now =
         | Some d when now -. e.Tcam.installed_at >= d -> Message.Hard_timeout
         | _ -> Message.Idle_timeout
       in
+      Ptrace.emit_control ~at:now Ptrace.Replace ~switch:t.id
+        ~rule:e.Tcam.rule.Rule.id
+        ~aux:
+          (if reason = Message.Hard_timeout then Ptrace.replace_hard
+           else Ptrace.replace_idle);
       notify_removed t ~now reason e)
     gone;
   let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) gone in

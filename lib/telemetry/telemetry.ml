@@ -91,9 +91,12 @@ let set g v = Atomic.set g v
 let set_max g v = atomic_max_float g v
 let gauge_value g = Atomic.get g
 
-(* 1 µs .. 4^13 µs ≈ 134 s, log-spaced: wide enough for everything from a
-   lookup to a whole chaos run without per-site tuning. *)
-let default_buckets = Array.init 14 (fun i -> 1e-6 *. (4. ** float_of_int i))
+(* ~15.6 ns .. 4^13 µs ≈ 134 s, log-spaced: wide enough for everything
+   from a single TCAM lookup (tens of nanoseconds on the zero-alloc hot
+   path) to a whole chaos run without per-site tuning.  The three
+   sub-microsecond rungs keep nanosecond-scale latencies from collapsing
+   into one bucket; every pre-existing bound is still present. *)
+let default_buckets = Array.init 17 (fun i -> 1e-6 *. (4. ** float_of_int (i - 3)))
 
 let histogram ?(labels = []) ?(buckets = default_buckets) name =
   register name labels
@@ -189,50 +192,108 @@ module Trace = struct
 
   let dummy = { at = 0.; dur = 0.; name = ""; detail = "" }
 
-  type state = {
-    mutable on : bool;
-    mutable ring : event array;
+  (* One ring per lane, one writer per lane: a sharded simulator binds
+     each worker domain to its shard's lane, so emission stays a plain
+     store and the read side concatenates lanes in lane-id order — the
+     same deterministic merge rule as the engine's shard merge.  The
+     single-domain default is lane 0, bound to the enabling domain. *)
+  type lane = {
+    lane_id : int;
+    ring : event array;
     mutable next : int;  (* total emitted; next slot = next mod capacity *)
   }
 
-  let st = { on = false; ring = [||]; next = 0 }
+  type state = {
+    mutable on : bool;
+    mutable capacity : int;
+    mutable lanes : lane list;
+  }
+
+  let st = { on = false; capacity = 0; lanes = [] }
+  let lock = Mutex.create ()
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+  let lane_for id =
+    locked @@ fun () ->
+    match List.find_opt (fun l -> l.lane_id = id) st.lanes with
+    | Some l -> l
+    | None ->
+        let l = { lane_id = id; ring = Array.make st.capacity dummy; next = 0 } in
+        st.lanes <- l :: st.lanes;
+        l
+
+  let dls : lane option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+  let bind ~lane = if st.on then Domain.DLS.set dls (Some (lane_for lane))
+  let unbind () = Domain.DLS.set dls None
+
+  (* An emitting domain nobody bound still gets its own private lane
+     (far above any shard index), never a data race on someone else's. *)
+  let cur_lane () =
+    match Domain.DLS.get dls with
+    | Some l -> l
+    | None ->
+        let l = lane_for (1_000_000 + (Domain.self () :> int)) in
+        Domain.DLS.set dls (Some l);
+        l
 
   let enable ?(capacity = 4096) () =
     if capacity < 1 then invalid_arg "Telemetry.Trace.enable: capacity < 1";
+    locked (fun () ->
+        st.capacity <- capacity;
+        st.lanes <- []);
     st.on <- true;
-    st.ring <- Array.make capacity dummy;
-    st.next <- 0
+    Domain.DLS.set dls None;
+    bind ~lane:0
 
   let disable () = st.on <- false
   let enabled () = st.on
 
   let clear () =
-    Array.fill st.ring 0 (Array.length st.ring) dummy;
-    st.next <- 0
+    locked @@ fun () ->
+    List.iter
+      (fun l ->
+        Array.fill l.ring 0 (Array.length l.ring) dummy;
+        l.next <- 0)
+      st.lanes
 
   let span ~at ~dur ~name detail =
     if st.on then begin
-      st.ring.(st.next mod Array.length st.ring) <- { at; dur; name; detail };
-      st.next <- st.next + 1
+      let l = cur_lane () in
+      l.ring.(l.next mod Array.length l.ring) <- { at; dur; name; detail };
+      l.next <- l.next + 1
     end
 
   let event ~at ~name detail = span ~at ~dur:0. ~name detail
-  let emitted () = st.next
 
-  let events () =
-    let cap = Array.length st.ring in
+  let sorted_lanes () =
+    locked (fun () ->
+        List.sort (fun a b -> Int.compare a.lane_id b.lane_id) st.lanes)
+
+  let emitted () = List.fold_left (fun acc l -> acc + l.next) 0 (sorted_lanes ())
+
+  let lane_events l =
+    let cap = Array.length l.ring in
     if cap = 0 then []
     else begin
-      let n = min st.next cap in
-      let first = if st.next <= cap then 0 else st.next mod cap in
-      List.init n (fun i -> st.ring.((first + i) mod cap))
+      let n = min l.next cap in
+      let first = if l.next <= cap then 0 else l.next mod cap in
+      List.init n (fun i -> l.ring.((first + i) mod cap))
     end
 
-  let pp_timeline ppf () =
+  let events () = List.concat_map lane_events (sorted_lanes ())
+
+  let pp_timeline ?filter ppf () =
     let evs = events () in
+    let dropped = emitted () - List.length evs in
+    let evs =
+      match filter with None -> evs | Some keep -> List.filter keep evs
+    in
     if evs = [] then Format.fprintf ppf "(trace empty)@."
     else begin
-      let dropped = emitted () - List.length evs in
       if dropped > 0 then Format.fprintf ppf "... %d earlier events overwritten@." dropped;
       List.iter
         (fun e ->
@@ -255,7 +316,7 @@ let reset () =
            Atomic.set h.sum 0.;
            Atomic.set h.hcount 0)
      registry);
-  if Array.length Trace.st.Trace.ring > 0 then Trace.clear ()
+  Trace.clear ()
 
 (* ---- rendering ---- *)
 

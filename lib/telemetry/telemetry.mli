@@ -61,8 +61,9 @@ val set_max : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val default_buckets : float array
-(** Log-spaced seconds, 1 µs to ~134 s (powers of 4): the span of
-    everything this codebase times, from a TCAM lookup to a chaos run. *)
+(** Log-spaced seconds, ~15.6 ns to ~134 s (powers of 4): the span of
+    everything this codebase times, from a single zero-alloc TCAM
+    lookup (tens of nanoseconds) to a whole chaos run. *)
 
 val histogram :
   ?labels:(string * string) list -> ?buckets:float array -> string -> histogram
@@ -134,12 +135,26 @@ module Trace : sig
   }
 
   val enable : ?capacity:int -> unit -> unit
-  (** Start recording (default capacity 4096 events).
+  (** Start recording into fresh lanes ([capacity] events per lane,
+      default 4096) and bind the calling domain to lane 0 — the
+      single-domain default.
       @raise Invalid_argument if [capacity < 1]. *)
 
   val disable : unit -> unit
   val enabled : unit -> bool
+
   val clear : unit -> unit
+  (** Empty every lane (bindings and capacity survive). *)
+
+  val bind : lane:int -> unit
+  (** Route this domain's events to [lane]'s ring (created on first
+      use).  A sharded simulator binds each worker to its shard index —
+      one writer per lane — so a multi-domain run records safely and
+      {!events} stays deterministic.  No-op when disabled. *)
+
+  val unbind : unit -> unit
+  (** Drop this domain's lane binding.  An unbound domain that emits
+      anyway gets a private high-numbered lane, never a shared ring. *)
 
   val event : at:float -> name:string -> string -> unit
   (** Record a point event; no-op (one branch) when disabled. *)
@@ -152,8 +167,12 @@ module Trace : sig
       since overwritten. *)
 
   val events : unit -> event list
-  (** Oldest first; at most [capacity] (the newest survive wraparound). *)
+  (** Lanes in lane-id order, each lane oldest first, at most
+      [capacity] events per lane (the newest survive wraparound) — the
+      deterministic merge: the same run emits the same list at any
+      domain count. *)
 
-  val pp_timeline : Format.formatter -> unit -> unit
-  (** The buffer as a time-ordered, indented timeline. *)
+  val pp_timeline : ?filter:(event -> bool) -> Format.formatter -> unit -> unit
+  (** The buffer as a timeline, one line per event surviving [filter]
+      (default: all). *)
 end
