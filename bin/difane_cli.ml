@@ -855,6 +855,37 @@ let paths_cmd =
       $ flow_arg $ switch_arg $ outcome_arg $ since_arg $ until_arg $ json_arg
       $ limit_arg $ paths_check_arg)
 
+let aggregate_cmd =
+  let cases_arg =
+    let doc = "Number of randomized differential cases." in
+    Arg.(value & opt int 8 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let packets_arg =
+    let doc = "Packets compared per case." in
+    Arg.(value & opt int 400 & info [ "packets" ] ~docv:"N" ~doc)
+  in
+  let agg_check_arg =
+    let doc =
+      "Exit nonzero unless forwarding is bit-identical with aggregation on and \
+       off across every case (the CI aggregate-smoke gate)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run seed quick cases packets check =
+    let cases = if quick then min cases 4 else cases in
+    let packets_per_case = if quick then min packets 200 else packets in
+    let r = Diffgate.run ~seed ~cases ~packets_per_case () in
+    Diffgate.print r;
+    if check && not (Diffgate.passed r) then exit 1
+  in
+  let doc =
+    "Differential gate for cache-rule aggregation: twin deployments (aggregation \
+     on vs off) driven by identical randomized policies, packet streams and \
+     cache-management interleavings must forward every packet identically."
+  in
+  Cmd.v (Cmd.info "aggregate" ~doc)
+    Term.(const run $ seed_arg $ quick_arg $ cases_arg $ packets_arg $ agg_check_arg)
+
 let monitor_cmd =
   let sample_rate_arg =
     let doc = "Flow sampling rate: account every Nth packet (NetFlow-style 1-in-N)." in
@@ -962,6 +993,7 @@ let experiments =
     scale_cmd;
     trace_cmd;
     paths_cmd;
+    aggregate_cmd;
     monitor_cmd;
     experiment "monitor-report" "Flow monitoring: heavy hitters, hotspots, determinism"
       (fun ~seed ~quick -> Experiments.E_mon.print (Experiments.E_mon.run ~seed ~quick ()));

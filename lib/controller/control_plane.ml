@@ -902,7 +902,11 @@ let delete_cached_origin t ~now ~origin_id =
         let sw = Deployment.switch t.deployment i in
         List.iter
           (fun (e : Tcam.entry) ->
-            if Switch.origin_of_cache_rule sw e.Tcam.rule.Rule.id = Some origin_id then begin
+            (* membership in the entry's full origin set, not just its
+               primary: a merged entry standing for several policy rules
+               must be deleted when ANY of them changes *)
+            if List.mem origin_id (Switch.origins_of_cache_rule sw e.Tcam.rule.Rule.id)
+            then begin
               incr deleted;
               send_reliable t i ~now
                 (Message.Flow_mod

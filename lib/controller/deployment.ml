@@ -14,6 +14,7 @@ type config = {
   tunnel_to : [ `Primary | `Nearest_replica ];
   authority_tcam : int option;
   congestion : Congestion.config;
+  aggregation : Aggregate.config;
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     tunnel_to = `Primary;
     authority_tcam = None;
     congestion = Congestion.default;
+    aggregation = Aggregate.default;
   }
 
 type t = {
@@ -50,6 +52,9 @@ type t = {
   cong : Congestion.t option;
       (* port virtual clocks; [None] when the congestion model is off,
          which reproduces the legacy infinite-buffer walk bit-for-bit *)
+  agg : Aggregate.t;
+      (* aggregation engine + counters; with [config.aggregation]
+         disabled it degenerates to plain provenance installs *)
   mutable last_new_installs : int;
   mutable last_new_primary_installs : int;
 }
@@ -135,6 +140,7 @@ let build ?(config = default_config) ?(install : bool = true) ~policy ~topology
       cong =
         (if Congestion.enabled config.congestion then Some (Congestion.create config.congestion)
          else None);
+      agg = Aggregate.create config.aggregation;
       last_new_installs = 0; last_new_primary_installs = 0 }
   in
   (match config.authority_tcam with
@@ -256,9 +262,22 @@ let controller_fallback ?(cause = `Failure) d ~now ~ingress h =
   (* the controller still knows which region the header falls in, so even
      degraded installs carry the full (origin, pid) provenance pair *)
   let pid = (Partitioner.find d.partitioner h).Partitioner.pid in
-  ignore
-    (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
-       ?hard_timeout:d.config.cache_hard_timeout ?origin_id:origin ~pid sw ~now rule);
+  (match origin with
+  | Some o ->
+      (* exact fallbacks flow through the aggregation pipeline too:
+         adjacent degraded installs buddy-merge into wider exact blocks *)
+      let meta =
+        { Switch.pid; kind = Switch.Exact; group = None;
+          parts = [ { Switch.part_origin = o; part_rank = 0;
+                      part_pred = rule.Rule.pred } ] }
+      in
+      ignore
+        (Aggregate.install ?idle_timeout:d.config.cache_idle_timeout
+           ?hard_timeout:d.config.cache_hard_timeout d.agg sw ~now [ (rule, meta) ])
+  | None ->
+      ignore
+        (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
+           ?hard_timeout:d.config.cache_hard_timeout ~pid sw ~now rule));
   let path, latency = deliver d.topology ~from:ingress action in
   Ptrace.emit ~at:(now +. latency) Ptrace.Deliver
     ~switch:(List.fold_left (fun _ n -> n) ingress path)
@@ -377,18 +396,21 @@ let inject_impl ?pkt ~cong d ~now ~ingress h =
           | `Queue_full -> queue_drop ~now ~ingress
           | `Ok e1 -> (
           emit_leg ~at:now p1;
-          match Switch.serve_miss ~mode:d.config.cache_mode d.switches.(auth) ~now h with
+          match
+            Switch.serve_miss ~mode:d.config.cache_mode
+              ?cover_limit:(Aggregate.cover_limit d.config.aggregation)
+              d.switches.(auth) ~now h
+          with
           | None ->
               (* misrouted: the authority lost its partition (e.g. a crash
                  wiped it, or failover left stale partition rules); rescue
                  the packet through the controller rather than dropping *)
               let o = controller_fallback d ~now ~ingress h in
               { o with path = join p1 o.path; latency = l1 +. e1 +. o.latency }
-          | Some { Switch.action; cache_rule; origin_id; pid } -> (
+          | Some { Switch.action; cache_rule; origin_id = _; pid = _; installs } -> (
               ignore
-                (Switch.install_cache_rule ?idle_timeout:d.config.cache_idle_timeout
-                   ?hard_timeout:d.config.cache_hard_timeout ~origin_id ~pid sw ~now
-                   cache_rule);
+                (Aggregate.install ?idle_timeout:d.config.cache_idle_timeout
+                   ?hard_timeout:d.config.cache_hard_timeout d.agg sw ~now installs);
               let p2, l2 = deliver d.topology ~from:auth action in
               match congested_leg cong d.topology ~now:(now +. l1 +. e1) p2 with
               | `Queue_full -> queue_drop ~now ~ingress
@@ -443,20 +465,25 @@ let update_policy ?(flush = true) d ~now new_policy =
   if flush then flush_caches d';
   d'
 
-let invalidate_origins d ~origins =
+let invalidate_origins ?(now = 0.) d ~origins =
   Array.fold_left
     (fun acc sw ->
       let cache = Switch.cache sw in
       let victims =
         List.filter
           (fun (e : Tcam.entry) ->
-            match Switch.origin_of_cache_rule sw e.Tcam.rule.Rule.id with
-            | Some origin -> origins origin
-            | None -> false)
+            (* a merged entry stands for several policy rules: it must go
+               if ANY of its absorbed origins changed — the conservative
+               direction; survivors re-splice on their next miss *)
+            List.exists origins
+              (Switch.origins_of_cache_rule sw e.Tcam.rule.Rule.id))
           (Tcam.entries cache)
       in
       List.iter (fun (e : Tcam.entry) -> ignore (Tcam.remove cache e.Tcam.rule.Rule.id)) victims;
-      acc + List.length victims)
+      (* removing one cover-set member must take its whole group: the
+         broad member alone would answer packets its dependencies own *)
+      let orphans = Switch.drop_cover_orphans sw ~now in
+      acc + List.length victims + orphans)
     0 d.switches
 
 let changed_rule_ids ~old_policy new_policy =
@@ -520,6 +547,8 @@ let adopt ~model ~network =
 let degraded_misses d = !(d.degraded_count)
 let backpressured_misses d = !(d.backpressured_count)
 let congestion_state d = d.cong
+let aggregator d = d.agg
+let aggregate_stats d = Aggregate.stats d.agg
 
 let measured_partition_loads d =
   let totals = Hashtbl.create 16 in

@@ -53,6 +53,14 @@ type config = {
           [Credit] mode an ingress finding the authority's inbound port
           saturated defers re-splicing to the controller path
           ({!backpressured_misses}) instead of shedding the miss. *)
+  aggregation : Aggregate.config;
+      (** cache-rule aggregation ({!Aggregate.default} = off: the plain
+          one-install-per-miss path, bit-identical to the seed).  When
+          enabled, miss installs flow through {!Aggregate.install}
+          (subsumption suppression + buddy merging) and rules with small
+          dependent sets are cached as CacheFlow cover sets
+          ([cover_limit]) — fewer, wider TCAM entries deciding every
+          packet identically. *)
 }
 
 val default_config : config
@@ -146,11 +154,13 @@ val resolve_authority : t -> ?ingress:int -> Header.t -> nominal:int -> int opti
     [`Nearest_replica] and an [ingress]: the reachable replica closest to
     the ingress. *)
 
-val invalidate_origins : t -> origins:(int -> bool) -> int
+val invalidate_origins : ?now:float -> t -> origins:(int -> bool) -> int
 (** Remove every cached entry spliced from a policy rule selected by
-    [origins], across all switches; returns entries removed.  The
-    targeted-invalidation consistency mode: after a policy change only
-    the affected rules' cache entries need to go. *)
+    [origins], across all switches; returns entries removed (including
+    cover-set members scrubbed because their group lost a member — see
+    {!Switch.drop_cover_orphans}).  The targeted-invalidation
+    consistency mode: after a policy change only the affected rules'
+    cache entries need to go. *)
 
 val changed_rule_ids : old_policy:Classifier.t -> Classifier.t -> int list
 (** Rule ids whose definition differs between two policies (changed
@@ -207,6 +217,14 @@ val congestion_state : t -> Congestion.t option
 (** The live port-queue state, when the congestion model is enabled —
     lets callers read {!Congestion.stats} (drops, marks, peak depth) for
     a finished run. *)
+
+val aggregator : t -> Aggregate.t
+(** The deployment's aggregation engine — the DES install path routes
+    through it so walk-based and event-based planes share counters. *)
+
+val aggregate_stats : t -> Aggregate.stats
+(** Aggregation counters since [build]: installs performed, buddy merges,
+    suppressed (subsumed) installs, cover-set members installed. *)
 
 val last_new_authority_installs : t -> int
 (** Authority tables newly pushed to a switch by the most recent

@@ -905,6 +905,12 @@ module E_cache = struct
     authority_load : float;
     evictions : int64;  (* LRU victims: capacity pressure *)
     expirations : int64;  (* idle/hard timeouts: cache churn *)
+    installed_rules : int64;  (* TCAM writes over the run (seed path) *)
+    agg_hit_rate : float;  (* same workload, aggregation on *)
+    agg_installed_rules : int64;
+    compression : float;
+        (* 1 - aggregated installs / seed installs: the fraction of TCAM
+           writes aggregation saved at this capacity *)
   }
 
   let run ?(seed = 42) ?(quick = false) () =
@@ -928,41 +934,66 @@ module E_cache = struct
     let sizes = if quick then [ 4; 32; 256 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ] in
     List.map
       (fun cache_size ->
-        let config =
-          { Deployment.default_config with k = 8; cache_capacity = cache_size }
+        (* one run per arm at identical capacity and workload (same
+           generator seed): the seed install path vs the aggregation
+           pipeline (suppression + buddy merging + cover sets) *)
+        let arm aggregation =
+          let config =
+            { Deployment.default_config with k = 8; cache_capacity = cache_size;
+              aggregation }
+          in
+          let d = Deployment.build ~config ~policy ~topology ~authority_ids:[ 1; 2 ] () in
+          let flows = Traffic.generate (Prng.create (seed + 1)) policy profile in
+          let r = Flowsim.run Flowsim.Config.default d flows in
+          let sum f =
+            Array.fold_left
+              (fun acc sw -> Int64.add acc (f (Tcam.stats (Switch.cache sw))))
+              0L (Deployment.switches d)
+          in
+          (d, r, sum)
         in
-        let d = Deployment.build ~config ~policy ~topology ~authority_ids:[ 1; 2 ] () in
-        (* identical workload at every size: same generator seed *)
-        let flows = Traffic.generate (Prng.create (seed + 1)) policy profile in
-        let r = Flowsim.run Flowsim.Config.default d flows in
-        let packets = float_of_int (max 1 r.Flowsim.delivered_packets) in
-        let sum f =
-          Array.fold_left
-            (fun acc sw -> Int64.add acc (f (Tcam.stats (Switch.cache sw))))
-            0L (Deployment.switches d)
-        in
+        let d0, r0, sum0 = arm Aggregate.default in
+        let _d1, r1, sum1 = arm Aggregate.enabled_default in
+        ignore d0;
+        let packets = float_of_int (max 1 r0.Flowsim.delivered_packets) in
+        let packets1 = float_of_int (max 1 r1.Flowsim.delivered_packets) in
+        let installs = sum0 (fun (s : Tcam.stats) -> s.Tcam.inserts) in
+        let agg_installs = sum1 (fun (s : Tcam.stats) -> s.Tcam.inserts) in
         {
           cache_size;
-          hit_rate = float_of_int r.Flowsim.cache_hit_packets /. packets;
+          hit_rate = float_of_int r0.Flowsim.cache_hit_packets /. packets;
           authority_load =
-            (packets -. float_of_int r.Flowsim.cache_hit_packets) /. packets;
-          evictions = sum (fun (s : Tcam.stats) -> s.Tcam.evictions);
-          expirations = sum (fun (s : Tcam.stats) -> s.Tcam.expirations);
+            (packets -. float_of_int r0.Flowsim.cache_hit_packets) /. packets;
+          evictions = sum0 (fun (s : Tcam.stats) -> s.Tcam.evictions);
+          expirations = sum0 (fun (s : Tcam.stats) -> s.Tcam.expirations);
+          installed_rules = installs;
+          agg_hit_rate = float_of_int r1.Flowsim.cache_hit_packets /. packets1;
+          agg_installed_rules = agg_installs;
+          compression =
+            (if installs = 0L then 0.
+             else 1. -. (Int64.to_float agg_installs /. Int64.to_float installs));
         })
       sizes
 
   let print points =
-    Table.print ~title:"Supplementary: ingress cache size vs authority load"
+    Table.print
+      ~title:
+        "Supplementary: ingress cache size vs authority load (plain vs aggregated)"
       ~header:
-        [ "cache entries"; "cache hit rate"; "authority load"; "evictions"; "expirations" ]
+        [ "cache entries"; "hit rate"; "agg hit rate"; "authority load"; "evictions";
+          "expirations"; "installs"; "agg installs"; "compression" ]
       (List.map
          (fun p ->
            [
              string_of_int p.cache_size;
              Table.fmt_pct p.hit_rate;
+             Table.fmt_pct p.agg_hit_rate;
              Table.fmt_pct p.authority_load;
              Int64.to_string p.evictions;
              Int64.to_string p.expirations;
+             Int64.to_string p.installed_rules;
+             Int64.to_string p.agg_installed_rules;
+             Table.fmt_pct p.compression;
            ])
          points)
 end

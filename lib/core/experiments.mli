@@ -170,7 +170,11 @@ end
 
 (** Supplementary: how the ingress cache budget shifts load off the
     authority switches — hit rate and authority-served misses as the
-    cache size sweeps, under fixed Zipf traffic. *)
+    cache size sweeps, under fixed Zipf traffic.  Each capacity now runs
+    two arms on the identical workload: the seed install path and the
+    aggregation pipeline ({!Aggregate.enabled_default}: subsumption
+    suppression, buddy merging, cover sets), reporting the TCAM writes
+    each needed and the hit rate each achieved. *)
 module E_cache : sig
   type point = {
     cache_size : int;
@@ -178,6 +182,11 @@ module E_cache : sig
     authority_load : float;  (** misses per offered packet *)
     evictions : int64;  (** LRU victims — capacity pressure only *)
     expirations : int64;  (** idle/hard timeouts — churn, counted apart *)
+    installed_rules : int64;  (** cumulative TCAM writes, seed path *)
+    agg_hit_rate : float;  (** hit rate with aggregation on *)
+    agg_installed_rules : int64;  (** TCAM writes with aggregation on *)
+    compression : float;
+        (** 1 - aggregated/seed installs: fraction of writes saved *)
   }
 
   val run : ?seed:int -> ?quick:bool -> unit -> point list

@@ -146,9 +146,16 @@ let packet ?(config = default_config) ?congestion ~routing ~switch ~now ~ingress
         | `Arrived -> (
             match Switch.serve_miss ~mode:config.cache_mode (switch authority) ~now header with
             | None -> dropped w ~now No_authority
-            | Some { Switch.action; cache_rule; origin_id; pid } ->
-                ignore
-                  (Switch.install_cache_rule ?idle_timeout:config.cache_idle_timeout
-                     ?hard_timeout:config.cache_hard_timeout ~origin_id ~pid ingress_sw
-                     ~now cache_rule);
+            | Some { Switch.action; installs; _ } ->
+                List.iter
+                  (fun (r, meta) ->
+                    ignore
+                      (Switch.install_cache_meta
+                         ?idle_timeout:config.cache_idle_timeout
+                         ?hard_timeout:config.cache_hard_timeout ingress_sw ~now r
+                         (Some meta)))
+                  installs;
+                (* batch boundary: see Aggregate.install — an eviction
+                   during the batch may have broken a cover group *)
+                ignore (Switch.drop_cover_orphans ingress_sw ~now);
                 deliver_action w ~now action))

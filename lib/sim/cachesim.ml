@@ -1,4 +1,4 @@
-type kind = Wildcard_splice | Microflow
+type kind = Wildcard_splice | Microflow | Aggregated
 
 let m_lookups = Telemetry.counter "cachesim_lookups"
 let m_misses = Telemetry.counter "cachesim_misses"
@@ -43,8 +43,15 @@ end)
    unmatched headers.  Microflow provenance is resolved lazily —
    [origin_of] walks the classifier only for keys somebody asks about
    (the ones with cache hits), so a thrashing stream never pays for
-   attribution it will not report. *)
-type keyed = { keys : int array; origin_of : int -> int }
+   attribution it will not report.
+
+   [attr_keys] separates cache identity from hit attribution: for the
+   plain kinds it is [keys] itself (same array), but the [Aggregated]
+   kind merges several pieces into one resident entry while [attr_keys]
+   keeps each position's pre-merge piece — so per-origin hit counts stay
+   exact even when one installed entry stands for several rules, the
+   trace-driven mirror of the live switches' multi-part metas. *)
+type keyed = { keys : int array; attr_keys : int array; origin_of : int -> int }
 
 let keys_for kind classifier stream =
   match kind with
@@ -83,8 +90,8 @@ let keys_for kind classifier stream =
             Hashtbl.add origin_memo k o;
             o
       in
-      { keys; origin_of }
-  | Wildcard_splice ->
+      { keys; attr_keys = keys; origin_of }
+  | Wildcard_splice | Aggregated ->
       (* Key identity is the spliced piece, so splicing cannot be
          deferred — but it is memoized per distinct header, and piece
          interning goes through the piece's predicate rendering only once
@@ -92,17 +99,21 @@ let keys_for kind classifier stream =
       let memo : int Htbl.t = Htbl.create 1024 in
       let piece_tbl : (string, int) Hashtbl.t = Hashtbl.create 1024 in
       let origin_of_key : (int, int) Hashtbl.t = Hashtbl.create 1024 in
-      let intern repr origin =
+      (* piece key -> (pred, action): the merge inputs of the Aggregated
+         kind; nomatch keys carry no pred and never merge *)
+      let info_of_key : (int, Pred.t * Action.t) Hashtbl.t = Hashtbl.create 1024 in
+      let intern ?info repr origin =
         match Hashtbl.find_opt piece_tbl repr with
         | Some k -> k
         | None ->
             let k = Hashtbl.length piece_tbl in
             Hashtbl.add piece_tbl repr k;
             Hashtbl.add origin_of_key k origin;
+            Option.iter (fun i -> Hashtbl.add info_of_key k i) info;
             k
       in
       let nomatch = ref 0 in
-      let keys =
+      let attr_keys =
         Array.map
           (fun h ->
             match Htbl.find_opt memo h with
@@ -111,7 +122,9 @@ let keys_for kind classifier stream =
                 let k =
                   match Splice.for_header classifier h with
                   | Some piece ->
-                      intern (Pred.to_string piece.Splice.pred)
+                      intern
+                        ~info:(piece.Splice.pred, piece.Splice.origin.Rule.action)
+                        (Pred.to_string piece.Splice.pred)
                         piece.Splice.origin.Rule.id
                   | None ->
                       (* each unmatched header is its own key, as before
@@ -123,7 +136,45 @@ let keys_for kind classifier stream =
                 k)
           stream
       in
-      { keys; origin_of = (fun k -> Option.value ~default:(-1) (Hashtbl.find_opt origin_of_key k)) }
+      let origin_of k = Option.value ~default:(-1) (Hashtbl.find_opt origin_of_key k) in
+      if kind = Wildcard_splice then { keys = attr_keys; attr_keys; origin_of }
+      else begin
+        (* Aggregated: statically buddy-merge the distinct pieces to
+           fixpoint — two pieces with the same action whose predicates
+           are adjacent become one resident entry, exactly the merges
+           the live Aggregate engine performs on installed rules.
+           Pieces stay resident or evict together; attribution keeps the
+           pre-merge key per position, so origin hit counts are exact. *)
+        let n = Hashtbl.length piece_tbl in
+        let parent = Array.init n (fun i -> i) in
+        let rec find i = if parent.(i) = i then i else find parent.(i) in
+        let info = Array.make (max 1 n) None in
+        Hashtbl.iter (fun k i -> info.(k) <- Some i) info_of_key;
+        let changed = ref true in
+        while !changed do
+          changed := false;
+          for i = 0 to n - 1 do
+            if find i = i then
+              match info.(i) with
+              | None -> ()
+              | Some (pi, ai) ->
+                  for j = i + 1 to n - 1 do
+                    if find j = j && find i = i then
+                      match info.(j) with
+                      | Some (pj, aj) when Action.equal ai aj -> (
+                          match Pred.buddy_union pi pj with
+                          | Some u ->
+                              parent.(j) <- i;
+                              info.(i) <- Some (u, ai);
+                              info.(j) <- None;
+                              changed := true
+                          | None -> ())
+                      | Some _ | None -> ()
+                  done
+          done
+        done;
+        { keys = Array.map find attr_keys; attr_keys; origin_of }
+      end
 
 (* LRU over dense int keys: intrusive doubly-linked list, with the
    key->node index a flat array — interned keys are 0..bound-1, so the
@@ -232,11 +283,16 @@ let origin_hits_of ~origin_of hit_counts =
   Hashtbl.fold (fun o h acc -> (o, h) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let run_keys kind ~cache_size { keys; origin_of } =
+let run_keys kind ~cache_size { keys; attr_keys; origin_of } =
   if cache_size < 1 then invalid_arg "Cachesim.run: cache_size must be >= 1";
-  let key_bound = key_bound_of keys in
+  (* attribution keys bound the cache keys too: a merged key reuses the
+     index of its lowest-numbered member *)
+  let key_bound = key_bound_of attr_keys in
   let lru = Lru.create ~key_bound cache_size in
   let misses = ref 0 in
+  (* hits are counted against the position's attribution key (the
+     pre-merge piece), not the resident key, so per-origin counts stay
+     exact under aggregation; identical arrays for the plain kinds *)
   let hit_counts = Array.make (max 1 key_bound) 0 in
   (* Traced and untraced loops are split so the untraced hot loop stays
      exactly the PR-8 shape; the model has no switches, so postcards
@@ -247,7 +303,8 @@ let run_keys kind ~cache_size { keys; origin_of } =
         let at = float_of_int i in
         ignore (Ptrace.begin_packet_key at ~lo:k ~hi:0);
         if Lru.access lru k then begin
-          Array.unsafe_set hit_counts k (1 + Array.unsafe_get hit_counts k);
+          let a = Array.unsafe_get attr_keys i in
+          Array.unsafe_set hit_counts a (1 + Array.unsafe_get hit_counts a);
           Ptrace.emit ~at Ptrace.Cache_hit ~switch:(-1) ~rule:k ~aux:0;
           Ptrace.emit ~at Ptrace.Deliver ~switch:(-1) ~rule:(-1) ~aux:1
         end
@@ -259,10 +316,12 @@ let run_keys kind ~cache_size { keys; origin_of } =
         end)
       keys
   else
-    Array.iter
-      (fun k ->
-        if Lru.access lru k then
-          Array.unsafe_set hit_counts k (1 + Array.unsafe_get hit_counts k)
+    Array.iteri
+      (fun i k ->
+        if Lru.access lru k then begin
+          let a = Array.unsafe_get attr_keys i in
+          Array.unsafe_set hit_counts a (1 + Array.unsafe_get hit_counts a)
+        end
         else incr misses)
       keys;
   let lookups = Array.length keys in
@@ -284,10 +343,10 @@ let run kind classifier ~cache_size stream =
 (* Belady's OPT: evict the resident key whose next use lies furthest in
    the future.  Next-use positions are precomputed by a single backward
    pass; the eviction scan is linear in the cache size. *)
-let run_opt_keys kind ~cache_size { keys; origin_of } =
+let run_opt_keys kind ~cache_size { keys; attr_keys; origin_of } =
   if cache_size < 1 then invalid_arg "Cachesim.run_opt: cache_size must be >= 1";
   let n = Array.length keys in
-  let key_bound = key_bound_of keys in
+  let key_bound = key_bound_of attr_keys in
   let next_use = Array.make n max_int in
   let last_seen = Array.make (max 1 key_bound) (-1) in
   for i = n - 1 downto 0 do
@@ -302,7 +361,7 @@ let run_opt_keys kind ~cache_size { keys; origin_of } =
   Array.iteri
     (fun i key ->
       (match Hashtbl.find_opt resident key with
-      | Some _ -> hit_counts.(key) <- 1 + hit_counts.(key)
+      | Some _ -> hit_counts.(attr_keys.(i)) <- 1 + hit_counts.(attr_keys.(i))
       | None ->
           incr misses;
           if Hashtbl.length resident >= cache_size then begin

@@ -13,6 +13,15 @@
 type kind =
   | Wildcard_splice  (** DIFANE: one entry per independent rule piece *)
   | Microflow  (** Ethane/NOX: one exact-match entry per header *)
+  | Aggregated
+      (** DIFANE + cache-rule aggregation: spliced pieces with the same
+          action whose predicates are adjacent (exact buddy unions) are
+          statically merged to fixpoint, so several pieces share one
+          resident entry — the trace-driven model of {!Aggregate}'s
+          buddy merging.  Hit attribution stays per pre-merge piece, so
+          [origin_hits] is exactly as fine-grained as the other kinds;
+          [distinct_keys] reports the {e merged} working set (the
+          installed-entry count a TCAM would hold). *)
 
 type result = {
   kind : kind;

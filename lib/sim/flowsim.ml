@@ -509,13 +509,16 @@ let run_core ?(shard = 0) (cfg : Config.t) d flows =
                   Ptrace.resume_packet ~pkt flow.header;
                   match
                     Switch.serve_miss ~mode:(Deployment.config d).Deployment.cache_mode
+                      ?cover_limit:
+                        (Aggregate.cover_limit
+                           (Deployment.config d).Deployment.aggregation)
                       (Deployment.switch d auth) ~now flow.header
                   with
                   | None ->
                       Ptrace.emit ~at:now Ptrace.Drop ~switch:auth ~rule:(-1)
                         ~aux:Ptrace.drop_no_authority;
                       flow_dropped ~is_first
-                  | Some { Switch.action; cache_rule; origin_id; pid } -> (
+                  | Some { Switch.action; cache_rule = _; origin_id = _; pid = _; installs } -> (
                       (* the install message travels back to the ingress
                          and updates its table off the packet's critical
                          path — unless the lossy fabric eats it, in which
@@ -530,9 +533,9 @@ let run_core ?(shard = 0) (cfg : Config.t) d flows =
                         Engine.after engine ~delay:timing.install_latency (fun () ->
                             Ptrace.resume_packet ~pkt flow.header;
                             ignore
-                              (Switch.install_cache_rule ?idle_timeout ?hard_timeout
-                                 ~origin_id ~pid ingress_sw ~now:(Engine.now engine)
-                                 cache_rule));
+                              (Aggregate.install ?idle_timeout ?hard_timeout
+                                 (Deployment.aggregator d) ingress_sw
+                                 ~now:(Engine.now engine) installs));
                       (match Action.egress action with
                       | Some e ->
                           Fvec.push acc.stretches

@@ -25,10 +25,52 @@ let for_header table h =
       in
       Some { origin; pred }
 
-let cache_priority = 0 (* pieces are disjoint; any constant works *)
+(* Cache-rule priority: the origin's rank in its partition table, counted
+   from the bottom (the last rule ranks 1, the first ranks N).  Two
+   properties make this the right priority space for the ingress cache:
 
-let cache_rule ~next_id piece =
-  Rule.make ~id:(next_id ()) ~priority:cache_priority piece.pred piece.origin.Rule.action
+   - it is strictly decreasing along [Rule.compare_priority] table order,
+     so cached copies of whole rules (cover sets) beat each other exactly
+     as the authority table would — ties included, because table order
+     already breaks priority ties by id;
+   - a spliced fragment excludes every rule that beats its origin, so
+     giving the fragment its origin's rank can never steal a packet from
+     a higher-ranked cached rule (no such rule overlaps the fragment),
+     while correctly beating any lower-ranked cover rule it overlaps.
+
+   Ranks start at 1; the exact-match fallbacks installed by the degraded
+   controller path keep priority 0 and thus never outrank a spliced or
+   cover entry.  Ranks from different partition tables never interact:
+   partition tables are clipped to disjoint regions. *)
+let cache_priority table (origin : Rule.t) =
+  let rec rank n = function
+    | [] -> 1 (* unknown origin: floor rank, still above exact fallbacks *)
+    | (r : Rule.t) :: rest -> if r.id = origin.id then n else rank (n - 1) rest
+  in
+  rank (Classifier.length table) (Classifier.rules table)
+
+let cache_rule ~next_id table piece =
+  Rule.make ~id:(next_id ())
+    ~priority:(cache_priority table piece.origin)
+    piece.pred piece.origin.Rule.action
+
+(* The CacheFlow-style cover set of a rule: the rule itself plus the
+   transitive closure of its direct dependencies, in table order (best
+   first).  Installing every member at its own rank reproduces the
+   authority table's semantics over the union of their predicates: any
+   header matching a member is decided by the highest-ranked cached
+   member containing it, which the closure property makes the same rule
+   the full table would pick. *)
+let cover_set table (r : Rule.t) =
+  let seen = Hashtbl.create 16 in
+  let rec visit (r : Rule.t) =
+    if not (Hashtbl.mem seen r.id) then begin
+      Hashtbl.add seen r.id ();
+      List.iter visit (Classifier.direct_dependencies table r)
+    end
+  in
+  visit r;
+  List.filter (fun (x : Rule.t) -> Hashtbl.mem seen x.id) (Classifier.rules table)
 
 let pieces_of_rule table (r : Rule.t) =
   let blockers =

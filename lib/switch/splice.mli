@@ -22,10 +22,29 @@ val for_header : Classifier.t -> Header.t -> piece option
     [Pred.matches piece.pred h] and overlaps no rule that beats
     [piece.origin]. *)
 
-val cache_rule : next_id:(unit -> int) -> piece -> Rule.t
+val cache_priority : Classifier.t -> Rule.t -> int
+(** The cache-bank priority for rules spliced or covered from [origin] in
+    this partition table: the origin's rank counted from the table's
+    bottom (last rule = 1, first = table length).  Explicit, dependency-
+    aware priorities replace the old "all cache rules share priority 0"
+    constant, whose hidden assumption — that cached rules never overlap —
+    the cover-set and aggregation machinery breaks on purpose: ranks make
+    any overlap between cached entries resolve exactly as the authority
+    table would.  Exact-match fallback entries keep priority 0, below
+    every rank. *)
+
+val cache_rule : next_id:(unit -> int) -> Classifier.t -> piece -> Rule.t
 (** Materialise a piece as an installable cache rule carrying the origin's
-    action.  All cache rules get the same priority (pieces are disjoint by
-    construction). *)
+    action at {!cache_priority} of its origin. *)
+
+val cover_set : Classifier.t -> Rule.t -> Rule.t list
+(** [cover_set table r]: [r] plus the transitive closure of its direct
+    dependencies, in table order (best first) — the Infinite-CacheFlow
+    cover set.  Installing every member at its own {!cache_priority}
+    caches [r]'s {e whole} predicate safely: each member's overlap
+    structure is reproduced inside the cache, so the highest-priority
+    cached member matching a header is the rule the authority table would
+    pick.  Worth installing when {!dependent_set_cost} is small. *)
 
 val pieces_of_rule : Classifier.t -> Rule.t -> Pred.t list
 (** All independent pieces of one rule (its effective region as disjoint

@@ -21,6 +21,35 @@ type tele = {
   m_cache_occupancy : Telemetry.gauge;
 }
 
+(* Cache-entry provenance.  A plain spliced entry has one part; an entry
+   produced by buddy-merging fragments carries one part per absorbed
+   origin, each remembering the sub-predicate that origin contributed so
+   a hit can be attributed to the origin whose region the packet actually
+   fell in (parts are kept in descending-rank order, so the first
+   matching part is the one the policy would pick). *)
+type cache_kind = Fragment | Cover | Exact
+
+type cache_part = { part_origin : int; part_rank : int; part_pred : Pred.t }
+
+type cache_meta = {
+  pid : int;
+  kind : cache_kind;
+  parts : cache_part list;
+  group : (int * int list) option;
+      (* cover sets are only sound while complete: the broad low-rank
+         rule relies on its higher-rank dependencies being resident to
+         steal the packets it must not decide.  Members of one cover set
+         share a (group id, member cache-rule ids) tag;
+         [drop_cover_orphans] removes every member of any group that is
+         no longer whole, so a partial set can never decide a packet,
+         and a hit on any member refreshes the whole group's idle
+         deadlines so unhit high-rank dependencies don't idle out from
+         under it. *)
+}
+
+let meta_primary_origin m =
+  match m.parts with p :: _ -> p.part_origin | [] -> -1
+
 type t = {
   id : int;
   cache : Tcam.t;
@@ -33,11 +62,11 @@ type t = {
          scan is sub-linear; [None] when the bank is empty or cannot be
          indexed (duplicate ids from a confused controller) — then the
          lookup falls back to the linear scan *)
-  cache_origin : (int, int * int) Hashtbl.t;
-      (* cache rule id -> (origin rule id, partition id) — the provenance
-         pair threaded from policy rule through authority table to
-         installed cache entry; pid is -1 when the installer didn't know
-         it (degraded exact-match fallbacks outside any partition) *)
+  cache_origin : (int, cache_meta) Hashtbl.t;
+      (* cache rule id -> provenance: serving partition id (-1 when the
+         installer didn't know it — degraded exact-match fallbacks),
+         entry kind, and the origin set threaded from policy rule through
+         authority table to installed cache entry *)
   origin_cache_hits : (int, int64) Hashtbl.t; (* origin rule id -> cache-bank packets *)
   origin_auth_hits : (int, int64) Hashtbl.t; (* origin rule id -> authority-bank packets *)
   partition_hits : (int, int64) Hashtbl.t; (* partition id -> misses served *)
@@ -158,6 +187,54 @@ let bump tbl key n =
   let prev = Option.value ~default:0L (Hashtbl.find_opt tbl key) in
   Hashtbl.replace tbl key (Int64.add prev n)
 
+let notify_removed t ~now reason (e : Tcam.entry) =
+  let cookie =
+    match Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id with
+    | Some m -> meta_primary_origin m
+    | None -> -1
+  in
+  t.notifications <-
+    Message.Flow_removed
+      {
+        Message.removed_rule = e.Tcam.rule.Rule.id;
+        cookie;
+        reason;
+        final_packets = e.Tcam.packets;
+        final_bytes = e.Tcam.bytes;
+        lifetime = now -. e.Tcam.installed_at;
+      }
+    :: t.notifications
+
+(* A cover set decides packets correctly only while every member is
+   resident: the broad low-rank rule counts on its higher-rank
+   dependencies to catch the headers it must not answer.  Any removal
+   path (LRU eviction, idle/hard expiry, targeted invalidation, explicit
+   delete) can take one member out from under the rest, so after each
+   such removal — and after every install batch, whose evictions can
+   break a group mid-install — the survivors of any incomplete group are
+   scrubbed.  They report [Replaced] like other displacement paths; the
+   next miss simply re-serves. *)
+let drop_cover_orphans t ~now =
+  let doomed =
+    List.filter
+      (fun (e : Tcam.entry) ->
+        match Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id with
+        | Some { group = Some (_, members); _ } ->
+            not (List.for_all (Tcam.mem t.cache) members)
+        | _ -> false)
+      (Tcam.entries t.cache)
+  in
+  List.iter
+    (fun (e : Tcam.entry) ->
+      Ptrace.emit_control ~at:now Ptrace.Invalidate ~switch:t.id
+        ~rule:e.Tcam.rule.Rule.id ~aux:Ptrace.invalidate_cover_orphan;
+      notify_removed t ~now Message.Replaced e;
+      ignore (Tcam.remove t.cache e.Tcam.rule.Rule.id);
+      Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
+    doomed;
+  if doomed <> [] then sync_occupancy t;
+  List.length doomed
+
 let apply_flow_mod t ~now (fm : Message.flow_mod) =
   match (fm.bank, fm.command) with
   | Message.Cache, Message.Add ->
@@ -169,8 +246,12 @@ let apply_flow_mod t ~now (fm : Message.flow_mod) =
       sync_occupancy t
   | Message.Cache, (Message.Delete | Message.Delete_strict) ->
       ignore (Tcam.remove t.cache fm.rule.Rule.id);
+      Hashtbl.remove t.cache_origin fm.rule.Rule.id;
       Ptrace.emit_control ~at:now Ptrace.Invalidate ~switch:t.id ~rule:fm.rule.Rule.id
         ~aux:Ptrace.invalidate_delete;
+      (* a controller delete can take one cover-set member; the rest of
+         its group must not stay behind to misdecide packets *)
+      ignore (drop_cover_orphans t ~now);
       sync_occupancy t
   | (Message.Authority | Message.Partition), _ ->
       invalid_arg "Switch.apply_flow_mod: authority/partition banks are replaced wholesale"
@@ -314,17 +395,43 @@ let authority_lookup t h =
       else None)
     t.authority
 
+(* Which origin's region did a packet hitting a (possibly merged) cache
+   entry actually fall in?  Single-part metas — the overwhelmingly common
+   case — answer without touching the predicate; merged entries walk
+   their rank-ordered parts, so attribution is exact per packet even when
+   one installed rule stands for several policy rules. *)
+let attribute_hit m h =
+  match m.parts with
+  | [ p ] -> p.part_origin
+  | [] -> -1
+  | p :: _ as parts -> (
+      match List.find_opt (fun q -> Pred.matches q.part_pred h) parts with
+      | Some q -> q.part_origin
+      | None -> p.part_origin)
+
 let process t ~now h =
   match Tcam.lookup t.cache ~now h with
   | Some r ->
       t.cache_hits <- Int64.add t.cache_hits 1L;
       Telemetry.incr t.tele.m_cache_hits;
       (match Hashtbl.find_opt t.cache_origin r.Rule.id with
-      | Some (origin, pid) ->
+      | Some m ->
+          let origin = attribute_hit m h in
           bump t.origin_cache_hits origin 1L;
-          if pid >= 0 then bump t.pid_cache_hits pid 1L;
+          if m.pid >= 0 then bump t.pid_cache_hits m.pid 1L;
+          (* a cover set lives and dies as one unit: traffic absorbed by
+             any member keeps the whole group's idle deadlines fresh, or
+             an unhit high-rank dependency would expire and take the
+             group (and its hit stream) with it *)
+          (match m.group with
+          | Some (_, members) ->
+              List.iter
+                (fun id ->
+                  if id <> r.Rule.id then ignore (Tcam.touch t.cache ~now id))
+                members
+          | None -> ());
           Ptrace.emit ~at:now Ptrace.Cache_hit ~switch:t.id ~rule:r.Rule.id
-            ~aux:(Ptrace.pack_provenance ~origin ~pid)
+            ~aux:(Ptrace.pack_provenance ~origin ~pid:m.pid)
       | None ->
           Ptrace.emit ~at:now Ptrace.Cache_hit ~switch:t.id ~rule:r.Rule.id ~aux:0);
       Local (r.Rule.action, Cache_bank)
@@ -354,14 +461,20 @@ let process t ~now h =
               Telemetry.incr t.tele.m_unmatched;
               Unmatched))
 
-type miss_reply = { action : Action.t; cache_rule : Rule.t; origin_id : int; pid : int }
+type miss_reply = {
+  action : Action.t;
+  cache_rule : Rule.t;
+  origin_id : int;
+  pid : int;
+  installs : (Rule.t * cache_meta) list;
+}
 
 let exact_pred schema h =
   Pred.make schema
     (List.init (Schema.arity schema) (fun i ->
          Ternary.exact ~width:(Schema.field_bits schema i) (Header.field h i)))
 
-let serve_miss ?(mode = `Spliced) t ~now h =
+let serve_miss ?(mode = `Spliced) ?cover_limit t ~now h =
   match
     List.find_opt
       (fun ((p : Partitioner.partition), _) -> Pred.matches p.region h)
@@ -386,43 +499,88 @@ let serve_miss ?(mode = `Spliced) t ~now h =
             t.next_cache_id <- i + 1;
             i
           in
-          let cache_rule =
+          let pid = p.Partitioner.pid in
+          let part_of (r : Rule.t) rank =
+            { part_origin = r.id; part_rank = rank; part_pred = r.pred }
+          in
+          let fragment () =
+            let r = Splice.cache_rule ~next_id p.table piece in
+            ( r,
+              [ (r, { pid; kind = Fragment; group = None;
+                      parts = [ { (part_of piece.origin r.Rule.priority) with
+                                  part_pred = piece.pred } ] }) ] )
+          in
+          let cache_rule, installs =
             match mode with
-            | `Spliced -> Splice.cache_rule ~next_id piece
+            | `Spliced -> (
+                match cover_limit with
+                | Some limit
+                  when Splice.dependent_set_cost p.table piece.origin <= limit ->
+                    (* the whole dependency closure fits the budget:
+                       install the rule and its covers at their ranks
+                       instead of a per-packet clipped fragment — broader
+                       entries, and later misses on the same rule are
+                       already covered *)
+                    let members =
+                      List.map
+                        (fun (r : Rule.t) ->
+                          let rank = Splice.cache_priority p.table r in
+                          ( Rule.make ~id:(next_id ()) ~priority:rank r.pred
+                              r.action,
+                            r, rank ))
+                        (Splice.cover_set p.table piece.origin)
+                    in
+                    (* one atomic group per serve, tagged with every
+                       member's cache-rule id: if any member is later
+                       evicted or expired the whole set goes with it,
+                       and a hit on any member keeps all of them warm *)
+                    let group =
+                      Some
+                        ( next_id (),
+                          List.map (fun (cr, _, _) -> cr.Rule.id) members )
+                    in
+                    let covers =
+                      List.map
+                        (fun (cr, r, rank) ->
+                          ( cr,
+                            { pid; kind = Cover; group;
+                              parts = [ part_of r rank ] } ))
+                        members
+                    in
+                    let primary =
+                      (* the entry standing for the origin rule itself:
+                         the last of the table-ordered cover set *)
+                      match List.rev covers with
+                      | (r, _) :: _ -> r
+                      | [] -> assert false
+                    in
+                    (primary, covers)
+                | Some _ | None -> fragment ())
             | `Microflow ->
                 (* exact match on the packet's own header: always safe,
-                   never aggregates *)
-                Rule.make ~id:(next_id ()) ~priority:0
-                  (exact_pred (Classifier.schema p.table) h)
-                  piece.origin.Rule.action
+                   and under aggregation adjacent microflows merge into
+                   wider exact-union blocks *)
+                let pr = exact_pred (Classifier.schema p.table) h in
+                let r =
+                  Rule.make ~id:(next_id ()) ~priority:0 pr
+                    piece.origin.Rule.action
+                in
+                ( r,
+                  [ (r, { pid; kind = Exact; group = None;
+                          parts = [ { part_origin = piece.origin.Rule.id;
+                                      part_rank = 0; part_pred = pr } ] }) ] )
           in
           Some
             {
               action = piece.origin.Rule.action;
               cache_rule;
               origin_id = piece.origin.Rule.id;
-              pid = p.Partitioner.pid;
+              pid;
+              installs;
             })
 
-let notify_removed t ~now reason (e : Tcam.entry) =
-  let cookie =
-    match Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id with
-    | Some (origin, _) -> origin
-    | None -> -1
-  in
-  t.notifications <-
-    Message.Flow_removed
-      {
-        Message.removed_rule = e.Tcam.rule.Rule.id;
-        cookie;
-        reason;
-        final_packets = e.Tcam.packets;
-        final_bytes = e.Tcam.bytes;
-        lifetime = now -. e.Tcam.installed_at;
-      }
-    :: t.notifications
 
-let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now rule =
+let install_cache_meta ?idle_timeout ?hard_timeout t ~now rule meta =
   let d = Tcam.insert_or_evict_entries ?idle_timeout ?hard_timeout t.cache ~now rule in
   List.iter
     (fun (e : Tcam.entry) ->
@@ -441,18 +599,63 @@ let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now
       Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
     d.Tcam.replaced;
   if not d.Tcam.bounced then begin
-    let origin = Option.value ~default:(-1) origin_id in
-    Ptrace.emit ~at:now Ptrace.Install ~switch:t.id ~rule:rule.Rule.id
-      ~aux:(Ptrace.pack_provenance ~origin ~pid)
+    (match meta with
+    | Some m ->
+        Ptrace.emit ~at:now Ptrace.Install ~switch:t.id ~rule:rule.Rule.id
+          ~aux:(Ptrace.pack_provenance ~origin:(meta_primary_origin m) ~pid:m.pid);
+        Hashtbl.replace t.cache_origin rule.Rule.id m
+    | None ->
+        Ptrace.emit ~at:now Ptrace.Install ~switch:t.id ~rule:rule.Rule.id
+          ~aux:(Ptrace.pack_provenance ~origin:(-1) ~pid:(-1)))
   end;
-  (match origin_id with
-  | Some origin when not d.Tcam.bounced ->
-      Hashtbl.replace t.cache_origin rule.Rule.id (origin, pid)
-  | Some _ | None -> ());
   let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) d.Tcam.evicted in
   List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
   sync_occupancy t;
   rules
+
+let install_cache_rule ?idle_timeout ?hard_timeout ?origin_id ?(pid = -1) t ~now rule =
+  (* back-compat single-origin install: wrap the provenance pair into a
+     one-part meta; fully specified predicates are exact entries (the
+     degraded controller path), everything else is a spliced fragment *)
+  let meta =
+    Option.map
+      (fun origin ->
+        let kind = if Pred.size_log2 rule.Rule.pred = 0 then Exact else Fragment in
+        {
+          pid;
+          kind;
+          group = None;
+          parts =
+            [ { part_origin = origin;
+                part_rank = rule.Rule.priority;
+                part_pred = rule.Rule.pred } ];
+        })
+      origin_id
+  in
+  let evicted = install_cache_meta ?idle_timeout ?hard_timeout t ~now rule meta in
+  (* a single plain install is never part of a cover batch, so any group
+     its eviction broke can be scrubbed immediately *)
+  ignore (drop_cover_orphans t ~now);
+  evicted
+
+(* Aggregation absorbing an entry into a broader merged rule: the old
+   entry leaves the TCAM reporting [Replaced] with its final counters —
+   the same provenance-remap signal a same-id reinstall emits — so
+   nothing downstream loses attribution when installed rules coalesce. *)
+let absorb_cache_rule t ~now cid =
+  match
+    List.find_opt (fun (e : Tcam.entry) -> e.Tcam.rule.Rule.id = cid)
+      (Tcam.entries t.cache)
+  with
+  | None -> false
+  | Some e ->
+      Ptrace.emit ~at:now Ptrace.Replace ~switch:t.id ~rule:cid
+        ~aux:Ptrace.replace_displaced;
+      notify_removed t ~now Message.Replaced e;
+      ignore (Tcam.remove t.cache cid);
+      Hashtbl.remove t.cache_origin cid;
+      sync_occupancy t;
+      true
 
 (* Migration cleanup: evict cache entries spliced from a retired (or
    rolled-back) partition.  They report [Replaced] — the same signal a
@@ -463,7 +666,7 @@ let invalidate_cache_pids t ~now pids =
     List.filter
       (fun (e : Tcam.entry) ->
         match Hashtbl.find_opt t.cache_origin e.Tcam.rule.Rule.id with
-        | Some (_, pid) -> List.mem pid pids
+        | Some m -> List.mem m.pid pids
         | None -> false)
       (Tcam.entries t.cache)
   in
@@ -476,6 +679,7 @@ let invalidate_cache_pids t ~now pids =
       Hashtbl.remove t.cache_origin e.Tcam.rule.Rule.id)
     doomed;
   sync_occupancy t;
+  ignore (drop_cover_orphans t ~now);
   List.length doomed
 
 let expire_cache t ~now =
@@ -497,6 +701,9 @@ let expire_cache t ~now =
   let rules = List.map (fun (e : Tcam.entry) -> e.Tcam.rule) gone in
   List.iter (fun (r : Rule.t) -> Hashtbl.remove t.cache_origin r.id) rules;
   sync_occupancy t;
+  (* expiring one cover-set member (an unhit high-rank dependency idles
+     out first) invalidates its whole group *)
+  if rules <> [] then ignore (drop_cover_orphans t ~now);
   rules
 
 (* Crash semantics: the device reboots blank.  Every bank, staged update,
@@ -542,8 +749,19 @@ let stale_rejected t = t.stale_rejected
 let stale_accepted t = t.stale_accepted
 let cache t = t.cache
 let cache_occupancy t = Tcam.occupancy t.cache
-let origin_of_cache_rule t cid = Option.map fst (Hashtbl.find_opt t.cache_origin cid)
-let provenance_of_cache_rule t cid = Hashtbl.find_opt t.cache_origin cid
+let cache_meta_of_rule t cid = Hashtbl.find_opt t.cache_origin cid
+
+let origin_of_cache_rule t cid =
+  Option.map meta_primary_origin (Hashtbl.find_opt t.cache_origin cid)
+
+let origins_of_cache_rule t cid =
+  match Hashtbl.find_opt t.cache_origin cid with
+  | None -> []
+  | Some m ->
+      List.sort_uniq Int.compare (List.map (fun p -> p.part_origin) m.parts)
+
+let provenance_of_cache_rule t cid =
+  Option.map (fun m -> (meta_primary_origin m, m.pid)) (Hashtbl.find_opt t.cache_origin cid)
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []

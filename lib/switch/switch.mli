@@ -117,24 +117,75 @@ val process : t -> now:float -> Header.t -> verdict
     (its action is not [To_authority]) yields [Misconfigured] and is
     tallied as [misconfigured], not [unmatched]. *)
 
+(** {1 Cache-entry provenance}
+
+    Every installed cache entry carries a {!cache_meta}: the serving
+    partition, the entry kind, and one {!cache_part} per policy rule the
+    entry stands for.  Plain spliced fragments and cover rules have a
+    single part; entries produced by buddy-merging ({!Aggregate}) carry
+    one part per absorbed origin, each remembering the sub-predicate that
+    origin contributed — so a cache hit is attributed to the origin whose
+    region the packet actually fell in, exactly, even after merging. *)
+
+type cache_kind =
+  | Fragment  (** a spliced independent piece (DIFANE's default) *)
+  | Cover  (** a whole rule installed as part of a CacheFlow cover set *)
+  | Exact  (** a fully specified entry (microflow / degraded fallback) *)
+
+type cache_part = {
+  part_origin : int;  (** policy rule id *)
+  part_rank : int;  (** that rule's cache priority ({!Splice.cache_priority}) *)
+  part_pred : Pred.t;  (** the sub-region this origin contributed *)
+}
+
+type cache_meta = {
+  pid : int;  (** serving partition id; [-1] when unknown *)
+  kind : cache_kind;
+  parts : cache_part list;  (** descending rank; never empty for
+                                installer-known provenance *)
+  group : (int * int list) option;
+      (** cover-set atomicity tag: [(group id, member cache-rule ids)]
+          shared by every member of one installed cover set, [None] for
+          ungrouped entries.  A cover set decides packets correctly only
+          while complete — the broad low-rank rule relies on its
+          higher-rank dependencies being resident — so
+          {!drop_cover_orphans} scrubs the survivors of any group that
+          lost a member, and a hit on any member refreshes the idle
+          deadlines of them all ({!Tcam.touch}) so unhit dependencies
+          don't idle out from under the group. *)
+}
+
 type miss_reply = {
   action : Action.t;  (** the policy action to apply to the packet *)
-  cache_rule : Rule.t;  (** spliced rule the ingress switch should install *)
+  cache_rule : Rule.t;  (** primary rule the ingress switch should install *)
   origin_id : int;  (** policy rule the cache rule was spliced from *)
   pid : int;  (** authority partition that served the miss — with
                   [origin_id], the provenance pair the ingress install
                   records so every later cache hit stays attributable to
                   both the policy rule and the flowspace region *)
+  installs : (Rule.t * cache_meta) list;
+      (** everything the ingress switch should install, with provenance:
+          the singleton [cache_rule] for a plain spliced or microflow
+          miss, or the full cover set (each member at its own rank) when
+          the cover path fired.  Install these via {!Aggregate.install}
+          or {!install_cache_meta}. *)
 }
 
 val serve_miss :
-  ?mode:[ `Spliced | `Microflow ] -> t -> now:float -> Header.t -> miss_reply option
+  ?mode:[ `Spliced | `Microflow ] -> ?cover_limit:int -> t -> now:float ->
+  Header.t -> miss_reply option
 (** Authority-switch path for a tunnelled miss packet: look up the
     header in this switch's authority tables; return the policy action
-    together with the cache rule for the ingress switch — DIFANE's
+    together with the cache rules for the ingress switch — DIFANE's
     spliced wildcard piece by default, or an exact-match microflow entry
-    with [~mode:`Microflow] (the Ethane-style ablation).  [None] if this
-    switch is not authority for the header (a misrouted packet). *)
+    with [~mode:`Microflow] (the Ethane-style ablation).  With
+    [~cover_limit:n] (spliced mode only), a rule whose CacheFlow
+    dependent set has at most [n] members is cached as its whole cover
+    set instead of a clipped fragment: every member installs at its own
+    {!Splice.cache_priority} rank, reproducing the authority table's
+    overlap resolution inside the cache while covering the rule's entire
+    predicate.  [None] if this switch is not authority for the header (a
+    misrouted packet). *)
 
 val install_cache_rule :
   ?idle_timeout:float -> ?hard_timeout:float -> ?origin_id:int -> ?pid:int -> t ->
@@ -151,7 +202,33 @@ val install_cache_rule :
     how long a stale entry can survive a policy change (hits keep
     postponing an idle timeout indefinitely). *)
 
+val install_cache_meta :
+  ?idle_timeout:float -> ?hard_timeout:float -> t -> now:float -> Rule.t ->
+  cache_meta option -> Rule.t list
+(** The meta-carrying core of {!install_cache_rule}: install a cache
+    entry recording the given provenance (possibly multi-part, from
+    aggregation or a cover set).  [None] installs without provenance.
+    Same eviction/notification contract as {!install_cache_rule}. *)
+
+val absorb_cache_rule : t -> now:float -> int -> bool
+(** Remove a cache entry that aggregation absorbed into a broader merged
+    rule.  The entry reports [Replaced] through {!drain_notifications}
+    with its final counters — the same provenance-remap signal a same-id
+    reinstall emits — so attribution survives the coalescing.  Returns
+    [false] if no live entry has that id. *)
+
 val expire_cache : t -> now:float -> Rule.t list
+
+val drop_cover_orphans : t -> now:float -> int
+(** Scrub the surviving members of every cover set that is no longer
+    complete (see {!cache_meta.group}): a broad cover rule left without
+    its higher-rank dependencies would answer packets those dependencies
+    must decide.  Every internal removal path (expiry, invalidation,
+    explicit delete, plain installs' evictions) already calls this;
+    batch installers ({!Aggregate.install}, the dataplane miss path)
+    call it at batch boundaries, where a mid-batch eviction may have
+    broken a group.  Scrubbed entries report [Replaced] with final
+    counters, like other displacements.  Returns entries removed. *)
 
 val invalidate_cache_pids : t -> now:float -> int list -> int
 (** Evict every cache entry whose provenance pid is in the list — the
@@ -176,12 +253,21 @@ val cache_occupancy : t -> int
 val origin_of_cache_rule : t -> int -> int option
 (** Map a cache-rule id back to the policy rule it was spliced from —
     how flow counters stay attributable to original rules
-    (transparency). *)
+    (transparency).  For a merged entry this is the {e primary}
+    (highest-ranked) origin; see {!origins_of_cache_rule} for the set. *)
+
+val origins_of_cache_rule : t -> int -> int list
+(** All policy rules a cache entry stands for (sorted, deduplicated) —
+    singleton for plain entries, the absorbed-origin set for merged
+    ones.  Empty when the entry has no recorded provenance. *)
+
+val cache_meta_of_rule : t -> int -> cache_meta option
+(** Full provenance of a cache entry, parts included. *)
 
 val provenance_of_cache_rule : t -> int -> (int * int) option
-(** The full provenance pair of a cache rule: [(origin policy rule id,
-    serving partition id)]; the pid is [-1] when the installer didn't
-    know it. *)
+(** The provenance pair of a cache rule: [(primary origin policy rule
+    id, serving partition id)]; the pid is [-1] when the installer
+    didn't know it. *)
 
 val aggregate_counters : t -> (int * int64) list
 (** Per-origin-rule packet counts accumulated by this switch's cache bank

@@ -422,6 +422,20 @@ let lookup t ~now ?(bytes = 64) h =
 
 let peek t h = Option.map (fun n -> n.e.rule) (best_match t h)
 
+(* Liveness refresh without a hit: push the idle deadline forward and
+   move the entry to MRU, but leave the hit/packet counters alone.  The
+   expiry heap needs no update — deadlines are revalidated from
+   [last_hit] lazily at pop time.  Used to keep a cover set's unhit
+   high-rank members alive (and LRU-adjacent) while any member of the
+   group is absorbing traffic. *)
+let touch t ~now id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some n ->
+      n.e.last_hit <- now;
+      lru_touch t n;
+      true
+  | None -> false
+
 (* ---- statistics ---- *)
 
 let stats t =

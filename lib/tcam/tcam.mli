@@ -124,6 +124,13 @@ val lookup : t -> now:float -> ?bytes:int -> Header.t -> Rule.t option
 val peek : t -> Header.t -> Rule.t option
 (** Like [lookup] but with no statistics side effects. *)
 
+val touch : t -> now:float -> int -> bool
+(** Refresh an entry's idle deadline and LRU position without counting a
+    hit (packet/byte counters untouched).  Returns [false] if no live
+    entry has that id.  The caching layer uses this to keep every member
+    of a cover set warm while any one of them absorbs traffic — an unhit
+    high-rank dependency must not idle out from under the group. *)
+
 (** {1 Statistics} *)
 
 type stats = {

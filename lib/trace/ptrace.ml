@@ -97,6 +97,7 @@ let replace_idle = 2
 let replace_hard = 3
 let invalidate_migration = 0
 let invalidate_delete = 1
+let invalidate_cover_orphan = 2
 
 (* (origin, pid) in one lane: 21 bits each, +1-shifted so the unknown
    (-1) components pack to zero and (-1, -1) packs to aux = 0. *)

@@ -89,6 +89,10 @@ val invalidate_migration : int
 val invalidate_delete : int
 (** an explicit control-plane cache delete *)
 
+val invalidate_cover_orphan : int
+(** a surviving cover-set member scrubbed because its group lost a member
+    (cover sets are only sound while complete) *)
+
 (** {1 Provenance packing} *)
 
 val pack_provenance : origin:int -> pid:int -> int

@@ -1,0 +1,366 @@
+(* Cache-rule aggregation: merge legality, cover-set dependency safety,
+   the rank-priority and expiry-heap regressions, and the differential
+   property the whole layer rests on — aggregation must never change
+   what happens to a packet. *)
+
+open Test_util
+
+let s2 = Schema.tiny2
+let h a b = Header.make s2 [| Int64.of_int a; Int64.of_int b |]
+let p f1 = Pred.of_strings s2 [ ("f1", f1) ]
+
+let frag_meta ?(pid = 0) ~origin ~rank pred =
+  {
+    Switch.pid;
+    kind = Switch.Fragment;
+    group = None;
+    parts = [ { Switch.part_origin = origin; part_rank = rank; part_pred = pred } ];
+  }
+
+(* ---- buddy_union: the merge's algebraic core ---- *)
+
+let test_buddy_union () =
+  (* adjacent on one field: exact union *)
+  (match Pred.buddy_union (p "00000000") (p "00000001") with
+  | Some u -> check pred "one-bit buddies" (p "0000000x") u
+  | None -> Alcotest.fail "buddies did not merge");
+  (* two bits apart: union is not a rectangle *)
+  check Alcotest.bool "two bits apart" true
+    (Pred.buddy_union (p "00000000") (p "00000011") = None);
+  (* identical predicates are not buddies (zero differing fields) *)
+  check Alcotest.bool "identical" true
+    (Pred.buddy_union (p "0000000x") (p "0000000x") = None);
+  (* differing on two fields: no exact union *)
+  let a = Pred.of_strings s2 [ ("f1", "00000000"); ("f2", "00000000") ] in
+  let b = Pred.of_strings s2 [ ("f1", "00000001"); ("f2", "00000001") ] in
+  check Alcotest.bool "two fields differ" true (Pred.buddy_union a b = None)
+
+(* ---- merge legality at the install layer ---- *)
+
+let fresh ?(capacity = 8) ?(config = Aggregate.enabled_default) () =
+  (Switch.create ~id:0 ~cache_capacity:capacity, Aggregate.create config)
+
+let install1 t sw ~now rule meta = ignore (Aggregate.install t sw ~now [ (rule, meta) ])
+
+let test_fragments_merge () =
+  let sw, t = fresh () in
+  let r1 = Rule.make ~id:100 ~priority:1 (p "00000000") (Action.Forward 1) in
+  let r2 = Rule.make ~id:101 ~priority:1 (p "00000001") (Action.Forward 1) in
+  install1 t sw ~now:0. r1 (frag_meta ~origin:10 ~rank:1 r1.Rule.pred);
+  install1 t sw ~now:0. r2 (frag_meta ~origin:11 ~rank:1 r2.Rule.pred);
+  check Alcotest.int "one resident entry" 1 (Tcam.occupancy (Switch.cache sw));
+  check Alcotest.int "one merge" 1 (Aggregate.stats t).Aggregate.merges;
+  (* the merged entry covers both operands and keeps both origins *)
+  let e = List.hd (Tcam.entries (Switch.cache sw)) in
+  check pred "union pred" (p "0000000x") e.Tcam.rule.Rule.pred;
+  check (Alcotest.list Alcotest.int) "origin set" [ 10; 11 ]
+    (Switch.origins_of_cache_rule sw e.Tcam.rule.Rule.id)
+
+let test_no_merge_across_actions () =
+  let sw, t = fresh () in
+  let r1 = Rule.make ~id:100 ~priority:1 (p "00000000") (Action.Forward 1) in
+  let r2 = Rule.make ~id:101 ~priority:1 (p "00000001") (Action.Drop) in
+  install1 t sw ~now:0. r1 (frag_meta ~origin:10 ~rank:1 r1.Rule.pred);
+  install1 t sw ~now:0. r2 (frag_meta ~origin:11 ~rank:1 r2.Rule.pred);
+  check Alcotest.int "both resident" 2 (Tcam.occupancy (Switch.cache sw));
+  check Alcotest.int "no merges" 0 (Aggregate.stats t).Aggregate.merges
+
+let test_no_merge_across_pids () =
+  let sw, t = fresh () in
+  let r1 = Rule.make ~id:100 ~priority:1 (p "00000000") (Action.Forward 1) in
+  let r2 = Rule.make ~id:101 ~priority:1 (p "00000001") (Action.Forward 1) in
+  install1 t sw ~now:0. r1 (frag_meta ~pid:0 ~origin:10 ~rank:1 r1.Rule.pred);
+  install1 t sw ~now:0. r2 (frag_meta ~pid:1 ~origin:11 ~rank:1 r2.Rule.pred);
+  check Alcotest.int "both resident" 2 (Tcam.occupancy (Switch.cache sw))
+
+let test_fragment_merge_takes_max_rank () =
+  let sw, t = fresh () in
+  let r1 = Rule.make ~id:100 ~priority:1 (p "00000000") (Action.Forward 1) in
+  let r2 = Rule.make ~id:101 ~priority:3 (p "00000001") (Action.Forward 1) in
+  install1 t sw ~now:0. r1 (frag_meta ~origin:10 ~rank:1 r1.Rule.pred);
+  install1 t sw ~now:0. r2 (frag_meta ~origin:11 ~rank:3 r2.Rule.pred);
+  let e = List.hd (Tcam.entries (Switch.cache sw)) in
+  check Alcotest.int "merged at max rank" 3 e.Tcam.rule.Rule.priority
+
+let test_covers_never_merge_across_groups () =
+  (* two cover-set members from different groups, equal rank, buddy
+     predicates: merging would entangle two atomically-evicted sets *)
+  let sw, t = fresh () in
+  let meta gid id pred =
+    {
+      Switch.pid = 0;
+      kind = Switch.Cover;
+      group = Some (gid, [ id ]);
+      parts = [ { Switch.part_origin = id; part_rank = 2; part_pred = pred } ];
+    }
+  in
+  let r1 = Rule.make ~id:100 ~priority:2 (p "00000000") (Action.Forward 1) in
+  let r2 = Rule.make ~id:101 ~priority:2 (p "00000001") (Action.Forward 1) in
+  install1 t sw ~now:0. r1 (meta 900 100 r1.Rule.pred);
+  install1 t sw ~now:0. r2 (meta 901 101 r2.Rule.pred);
+  check Alcotest.int "both resident" 2 (Tcam.occupancy (Switch.cache sw));
+  check Alcotest.int "no merges" 0 (Aggregate.stats t).Aggregate.merges
+
+let test_subsumed_install_suppressed () =
+  let sw, t = fresh () in
+  let broad = Rule.make ~id:100 ~priority:2 (p "0000000x") (Action.Forward 1) in
+  let narrow = Rule.make ~id:101 ~priority:1 (p "00000000") (Action.Forward 1) in
+  install1 t sw ~now:0. broad (frag_meta ~origin:10 ~rank:2 broad.Rule.pred);
+  install1 t sw ~now:0. narrow (frag_meta ~origin:10 ~rank:1 narrow.Rule.pred);
+  check Alcotest.int "one resident entry" 1 (Tcam.occupancy (Switch.cache sw));
+  check Alcotest.int "suppressed" 1 (Aggregate.stats t).Aggregate.suppressed
+
+let test_disabled_installs_plainly () =
+  let sw, t = fresh ~config:Aggregate.default () in
+  let r1 = Rule.make ~id:100 ~priority:1 (p "00000000") (Action.Forward 1) in
+  let r2 = Rule.make ~id:101 ~priority:1 (p "00000001") (Action.Forward 1) in
+  install1 t sw ~now:0. r1 (frag_meta ~origin:10 ~rank:1 r1.Rule.pred);
+  install1 t sw ~now:0. r2 (frag_meta ~origin:11 ~rank:1 r2.Rule.pred);
+  check Alcotest.int "both resident" 2 (Tcam.occupancy (Switch.cache sw));
+  check Alcotest.int "no merges" 0 (Aggregate.stats t).Aggregate.merges
+
+(* ---- satellite 1 regression: cache priorities must encode table rank ---- *)
+
+(* The chain where naive caching is unsafe: a narrow drop over a broad
+   accept (same shape as test_splice.chained). *)
+let chained =
+  Classifier.of_specs s2
+    [
+      (30, [ ("f1", "00000001") ], Action.Drop);
+      (20, [ ("f1", "000000xx"); ("f2", "1xxxxxxx") ], Action.Forward 9);
+      (10, [ ("f1", "000000xx") ], Action.Forward 1);
+      (0, [], Action.Drop);
+    ]
+
+let test_rank_priorities_pick_the_winner () =
+  (* Cover-style entries reproduce authority rules verbatim, so the
+     narrow drop and the broad accept OVERLAP once cached.  Under the
+     old constant cache priority (always 0) the tie broke toward the
+     older entry — the broad accept installed first — and the drop rule
+     was bypassed.  Rank-based priorities must pick the table's winner
+     regardless of install order. *)
+  let top = Option.get (Classifier.find chained 0) in
+  let broad = Option.get (Classifier.find chained 2) in
+  let rank_top = Splice.cache_priority chained top in
+  let rank_broad = Splice.cache_priority chained broad in
+  check Alcotest.int "top rank (4-rule table)" 4 rank_top;
+  check Alcotest.int "broad rank" 2 rank_broad;
+  let sw = Switch.create ~id:0 ~cache_capacity:8 in
+  (* broad first => lower cache id => the old tie-break favoured it *)
+  ignore
+    (Switch.install_cache_rule ~origin_id:broad.Rule.id sw ~now:0.
+       (Rule.make ~id:1 ~priority:rank_broad broad.Rule.pred broad.Rule.action));
+  ignore
+    (Switch.install_cache_rule ~origin_id:top.Rule.id sw ~now:0.
+       (Rule.make ~id:2 ~priority:rank_top top.Rule.pred top.Rule.action));
+  match Switch.process sw ~now:1. (h 1 0) with
+  | Switch.Local (a, Switch.Cache_bank) ->
+      check action "narrow drop wins" Action.Drop a
+  | _ -> Alcotest.fail "expected a cache-bank decision"
+
+(* ---- satellite 3 regression: replace-then-expire staleness ---- *)
+
+let test_replace_then_expire () =
+  let tcam = Tcam.create ~capacity:4 in
+  let r = Rule.make ~id:1 ~priority:0 (p "00000000") Action.Drop in
+  (* short-lived install, then a same-id replacement with a long lease:
+     the heap still holds the OLD deadline; popping it must not expire
+     the fresh entry *)
+  (match Tcam.insert ~idle_timeout:0.1 tcam ~now:0. r with
+  | `Ok -> ()
+  | _ -> Alcotest.fail "first insert");
+  (match Tcam.insert ~idle_timeout:10. tcam ~now:0.05 r with
+  | `Replaced _ -> ()
+  | _ -> Alcotest.fail "expected same-id replacement");
+  check Alcotest.int "no premature expiry" 0
+    (List.length (Tcam.expire_entries tcam ~now:0.2));
+  check Alcotest.bool "entry survives its stale deadline" true (Tcam.mem tcam 1);
+  (* the hard-timeout lane has the same staleness hazard *)
+  let r2 = Rule.make ~id:2 ~priority:0 (p "00000001") Action.Drop in
+  ignore (Tcam.insert ~hard_timeout:0.1 tcam ~now:0. r2);
+  ignore (Tcam.insert ~hard_timeout:10. tcam ~now:0.05 r2);
+  check Alcotest.int "no premature hard expiry" 0
+    (List.length (Tcam.expire_entries tcam ~now:0.2));
+  check Alcotest.bool "hard-lease entry survives" true (Tcam.mem tcam 2);
+  (* both leases do end *)
+  check Alcotest.int "eventual expiry" 2
+    (List.length (Tcam.expire_entries tcam ~now:11.))
+
+let test_touch_defers_idle_expiry () =
+  let tcam = Tcam.create ~capacity:4 in
+  let r = Rule.make ~id:3 ~priority:0 (p "00000010") Action.Drop in
+  ignore (Tcam.insert ~idle_timeout:0.1 tcam ~now:0. r);
+  check Alcotest.bool "touch live entry" true (Tcam.touch tcam ~now:0.09 3);
+  check Alcotest.int "refreshed, not expired" 0
+    (List.length (Tcam.expire_entries tcam ~now:0.15));
+  check Alcotest.int "idles out after the refresh" 1
+    (List.length (Tcam.expire_entries tcam ~now:0.25));
+  check Alcotest.bool "touch dead entry" false (Tcam.touch tcam ~now:0.3 3)
+
+(* ---- cover sets: dependency safety and group atomicity ---- *)
+
+let cover_setup ?(capacity = 8) () =
+  let part = Partitioner.compute chained ~k:2 in
+  let auth = Switch.create ~id:7 ~cache_capacity:capacity in
+  let ingress = Switch.create ~id:0 ~cache_capacity:capacity in
+  let prules = Partitioner.partition_rules part ~assignment:(fun _ -> 7) in
+  Switch.install_partition_rules ingress prules;
+  Switch.install_partition_rules auth prules;
+  List.iter (fun pa -> Switch.install_authority auth pa) part.Partitioner.partitions;
+  (ingress, auth, Aggregate.create Aggregate.enabled_default)
+
+let serve_covers ?idle_timeout (ingress, auth, t) ~now hdr =
+  let reply = Option.get (Switch.serve_miss ~cover_limit:4 auth ~now hdr) in
+  ignore (Aggregate.install ?idle_timeout t ingress ~now reply.Switch.installs);
+  reply
+
+let test_cover_set_preserves_dependencies () =
+  let ((ingress, _, _) as env) = cover_setup () in
+  let reply = serve_covers env ~now:0. (h 2 0) in
+  (* broad accept depends on the narrow drop and the f2-range rule *)
+  check Alcotest.int "cover set size" 3 (List.length reply.Switch.installs);
+  check Alcotest.int "all members resident" 3 (Tcam.occupancy (Switch.cache ingress));
+  (* the covered headers decide exactly as the policy does — including
+     the header owned by the HIGHER-priority drop the cover set carries *)
+  (match Switch.process ingress ~now:1. (h 2 0) with
+  | Switch.Local (a, Switch.Cache_bank) -> check action "origin header" (Action.Forward 1) a
+  | _ -> Alcotest.fail "expected cache hit on the broad member");
+  match Switch.process ingress ~now:1. (h 1 0) with
+  | Switch.Local (a, Switch.Cache_bank) -> check action "dependency header" Action.Drop a
+  | _ -> Alcotest.fail "expected cache hit on the high-rank member"
+
+let test_cover_group_dies_atomically () =
+  let ((ingress, _, _) as env) = cover_setup () in
+  let reply = serve_covers env ~now:0. (h 2 0) in
+  (* lose one member behind the cache's back, then sweep *)
+  let victim, _ = List.hd reply.Switch.installs in
+  ignore (Tcam.remove (Switch.cache ingress) victim.Rule.id);
+  ignore (Switch.drop_cover_orphans ingress ~now:1.);
+  check Alcotest.int "whole group scrubbed" 0 (Tcam.occupancy (Switch.cache ingress))
+
+let test_cover_group_stays_warm_together () =
+  let ((ingress, _, _) as env) = cover_setup () in
+  ignore (serve_covers env ~idle_timeout:0.1 ~now:0. (h 2 0));
+  (* only the broad member absorbs traffic; its hits must keep the unhit
+     high-rank dependencies warm *)
+  ignore (Switch.process ingress ~now:0.09 (h 2 0));
+  ignore (Switch.process ingress ~now:0.18 (h 2 0));
+  ignore (Switch.expire_cache ingress ~now:0.25);
+  check Alcotest.int "group refreshed as one unit" 3
+    (Tcam.occupancy (Switch.cache ingress));
+  (* once the traffic stops the whole group idles out together *)
+  ignore (Switch.expire_cache ingress ~now:1.);
+  check Alcotest.int "group expires as one unit" 0
+    (Tcam.occupancy (Switch.cache ingress))
+
+let test_cover_group_too_big_for_tcam () =
+  (* capacity below the set size: members evict each other mid-batch;
+     the batch-boundary sweep must leave no partial group behind *)
+  let ((ingress, _, _) as env) = cover_setup ~capacity:2 () in
+  ignore (serve_covers env ~now:0. (h 2 0));
+  check Alcotest.int "no partial cover set survives" 0
+    (Tcam.occupancy (Switch.cache ingress))
+
+(* ---- the differential property: aggregation never changes forwarding ---- *)
+
+(* Random chain policies over the tiny schema, closed so every header
+   matches; egresses stay within the 3-node line topology below. *)
+let gen_policy =
+  let open QCheck2.Gen in
+  let* n = int_range 3 8 in
+  let* specs = list_repeat n (pair (int_bound 10) gen_pred_tiny2) in
+  let rules =
+    List.mapi
+      (fun i (pr, pd) ->
+        let act =
+          match i mod 3 with
+          | 0 -> Action.Drop
+          | 1 -> Action.Forward 1
+          | _ -> Action.Forward 2
+        in
+        Rule.make ~id:i ~priority:pr pd act)
+      specs
+  in
+  let rules = Rule.make ~id:n ~priority:(-1) (Pred.any s2) (Action.Forward 1) :: rules in
+  return (Classifier.create s2 rules)
+
+(* A stream step: a header plus an op selector that occasionally expires,
+   flushes or invalidates BOTH arms identically before injecting. *)
+let gen_case =
+  let open QCheck2.Gen in
+  triple gen_policy (int_range 2 8)
+    (list_size (int_range 10 40) (pair gen_header_tiny2 (int_bound 15)))
+
+let prop_aggregation_preserves_forwarding =
+  qt ~count:400 "aggregated deployment forwards identically to plain"
+    gen_case
+    (fun (policy, capacity, stream) ->
+      let arm aggregation =
+        let config =
+          {
+            Deployment.default_config with
+            k = 4;
+            cache_capacity = capacity;
+            cache_idle_timeout = Some 0.05;
+            aggregation;
+          }
+        in
+        Deployment.build ~config ~policy ~topology:(Topology.line 3 ())
+          ~authority_ids:[ 1 ] ()
+      in
+      let plain = arm Aggregate.default in
+      let agg = arm Aggregate.enabled_default in
+      let step = ref 0 in
+      let ok =
+        List.for_all
+          (fun (hdr, op) ->
+            let now = float_of_int !step /. 50. in
+            incr step;
+            (match op with
+            | 0 ->
+                ignore (Deployment.expire_caches plain ~now);
+                ignore (Deployment.expire_caches agg ~now)
+            | 1 ->
+                Deployment.flush_caches plain;
+                Deployment.flush_caches agg
+            | 2 ->
+                let origins o = o mod 2 = 0 in
+                ignore (Deployment.invalidate_origins ~now plain ~origins);
+                ignore (Deployment.invalidate_origins ~now agg ~origins)
+            | _ -> ());
+            let o0 = Deployment.inject plain ~now ~ingress:0 hdr in
+            let o1 = Deployment.inject agg ~now ~ingress:0 hdr in
+            Action.equal o0.Deployment.action o1.Deployment.action)
+          stream
+      in
+      (* and with the caches warm, both arms still agree with the policy *)
+      let probes = List.map fst stream in
+      ok
+      && Deployment.semantically_equal plain probes
+      && Deployment.semantically_equal agg probes)
+
+let suite =
+  [
+    ( "aggregate",
+      [
+        tc "buddy_union algebra" test_buddy_union;
+        tc "adjacent same-action fragments merge" test_fragments_merge;
+        tc "no merge across actions" test_no_merge_across_actions;
+        tc "no merge across partitions" test_no_merge_across_pids;
+        tc "fragment merge takes the max rank" test_fragment_merge_takes_max_rank;
+        tc "covers never merge across groups" test_covers_never_merge_across_groups;
+        tc "subsumed install suppressed" test_subsumed_install_suppressed;
+        tc "disabled config installs plainly" test_disabled_installs_plainly;
+        tc "rank priorities pick the winner (regression)"
+          test_rank_priorities_pick_the_winner;
+        tc "replace-then-expire keeps the fresh lease (regression)"
+          test_replace_then_expire;
+        tc "touch defers idle expiry" test_touch_defers_idle_expiry;
+        tc "cover set preserves dependencies" test_cover_set_preserves_dependencies;
+        tc "cover group dies atomically" test_cover_group_dies_atomically;
+        tc "cover group stays warm together" test_cover_group_stays_warm_together;
+        tc "oversized cover group leaves no partial set"
+          test_cover_group_too_big_for_tcam;
+        prop_aggregation_preserves_forwarding;
+      ] );
+  ]

@@ -41,10 +41,14 @@ let test_cache_rule () =
   let piece = Option.get (Splice.for_header chained (h 2 0)) in
   let counter = ref 100 in
   let next_id () = incr counter; !counter in
-  let r = Splice.cache_rule ~next_id piece in
+  let r = Splice.cache_rule ~next_id chained piece in
   check Alcotest.int "fresh id" 101 r.Rule.id;
   check action "origin action" (Action.Forward 1) r.Rule.action;
-  check pred "piece pred" piece.pred r.Rule.pred
+  check pred "piece pred" piece.pred r.Rule.pred;
+  (* the cache priority is the origin's bottom-up table rank *)
+  check Alcotest.int "rank priority" (Splice.cache_priority chained piece.origin)
+    r.Rule.priority;
+  check Alcotest.int "broad accept ranks 2nd from bottom" 2 r.Rule.priority
 
 let test_no_match () =
   let partial = Classifier.of_specs s2 [ (1, [ ("f1", "00000001") ], Action.Drop) ] in
